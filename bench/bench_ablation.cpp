@@ -1,0 +1,187 @@
+// Ablation studies for the design choices DESIGN.md calls out.  Not a
+// paper figure — these justify the knobs the strategies rely on:
+//  A. DCR INIT re-send period (the paper's "aggressively resend every
+//     1 sec"): what happens at other cadences, including DSM-style
+//     fail-driven re-sends (period 0)?
+//  B. DSM max.spout.pending: how the source throttle bounds replay storms.
+//  C. Backlog pump rate: how fast DCR/CCR refill after unpause, and the
+//     effect on stabilization.
+#include "bench_common.hpp"
+
+using namespace rill;
+
+namespace {
+
+workloads::ExperimentResult run_grid(core::StrategyKind strategy,
+                                     dsps::PlatformConfig platform) {
+  workloads::ExperimentConfig cfg;
+  cfg.dag = workloads::DagKind::Grid;
+  cfg.strategy = strategy;
+  cfg.scale = workloads::ScaleKind::In;
+  cfg.platform = platform;
+  return workloads::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablations — re-send cadence, spout throttle, pump rate",
+                      "design choices discussed in §3 and §5.1");
+
+  {
+    std::puts("\nA. DCR INIT re-send period (Grid scale-in):");
+    std::vector<std::vector<std::string>> rows;
+    for (const double period_sec : {0.0, 0.5, 1.0, 2.0, 5.0, 10.0}) {
+      dsps::PlatformConfig p;
+      p.init_resend_period = time::sec_f(period_sec);
+      const auto r = run_grid(core::StrategyKind::DCR, p);
+      rows.push_back({period_sec == 0.0 ? "fail-driven (30 s)"
+                                        : metrics::fmt(period_sec, 1) + " s",
+                      metrics::fmt_opt(r.report.restore_sec),
+                      metrics::fmt_opt(r.report.stabilization_sec, 0)});
+    }
+    std::fputs(metrics::render_table({"Re-send period", "Restore(s)",
+                                      "Stabilization(s)"},
+                                     rows)
+                   .c_str(),
+               stdout);
+    std::puts("Expected: 1 s re-sends track worker readiness closely;"
+              " fail-driven re-sends quantise restore to 30 s waves.");
+  }
+
+  {
+    std::puts("\nB. DSM max.spout.pending (Grid scale-in):");
+    std::vector<std::vector<std::string>> rows;
+    for (const std::size_t pending : {10ul, 40ul, 150ul, 1000ul}) {
+      dsps::PlatformConfig p;
+      p.max_spout_pending = pending;
+      const auto r = run_grid(core::StrategyKind::DSM, p);
+      rows.push_back({std::to_string(pending),
+                      std::to_string(r.report.replayed_messages),
+                      metrics::fmt_opt(r.report.recovery_sec),
+                      metrics::fmt_opt(r.report.stabilization_sec, 0)});
+    }
+    std::fputs(metrics::render_table({"max pending", "Replayed", "Recovery(s)",
+                                      "Stabilization(s)"},
+                                     rows)
+                   .c_str(),
+               stdout);
+    std::puts("Expected: a loose throttle floods the dataflow during the"
+              " outage and multiplies replays and recovery time.");
+  }
+
+  {
+    std::puts("\nC. Backlog pump rate after unpause (CCR, Grid scale-in):");
+    std::vector<std::vector<std::string>> rows;
+    for (const double pump : {10.0, 20.0, 40.0, 80.0}) {
+      dsps::PlatformConfig p;
+      p.backlog_pump_rate = pump;
+      const auto r = run_grid(core::StrategyKind::CCR, p);
+      rows.push_back({metrics::fmt(pump, 0) + " ev/s",
+                      metrics::fmt_opt(r.report.catchup_sec),
+                      metrics::fmt_opt(r.report.stabilization_sec, 0)});
+    }
+    std::fputs(metrics::render_table({"Pump rate", "Catchup(s)",
+                                      "Stabilization(s)"},
+                                     rows)
+                   .c_str(),
+               stdout);
+    std::puts("Expected: pumping faster than task capacity (10 ev/s per"
+              " instance) only moves the queueing inside the dataflow;"
+              " stabilization is capacity-bound.");
+  }
+  {
+    std::puts("\nD. DSM-T rebalance-timeout estimate (Linear scale-in):");
+    std::puts("   (paper \u00a72: users may under- or over-estimate this"
+              " timeout, causing messages to be lost or the dataflow to be"
+              " idle)");
+    std::vector<std::vector<std::string>> rows;
+    for (const double est : {0.05, 0.5, 2.0, 5.0, 15.0, 30.0}) {
+      sim::Engine engine;
+      dsps::Platform platform(engine, dsps::PlatformConfig{});
+      platform.setup_infrastructure();
+      dsps::Topology topo = workloads::build_dag(workloads::DagKind::Linear);
+      const auto plan = workloads::vm_plan_for(topo);
+      const auto d2 = platform.cluster().provision_n(
+          cluster::VmType::D2, plan.default_d2_vms, "d2");
+      dsps::RoundRobinScheduler sched;
+      platform.deploy(std::move(topo), d2, sched);
+      metrics::Collector collector;
+      platform.set_listener(&collector);
+      auto strategy = core::make_dsm_timeout_strategy(time::sec_f(est));
+      strategy->configure(platform);
+      platform.start();
+      engine.schedule(time::sec(60), [&] {
+        collector.set_request_time(engine.now());
+        const auto d3 = platform.cluster().provision_n(
+            cluster::VmType::D3, plan.scale_in_d3_vms, "d3");
+        dsps::MigrationPlan mplan;
+        mplan.target_vms = d3;
+        mplan.scheduler = &sched;
+        strategy->migrate(platform, std::move(mplan), [](bool) {});
+      });
+      engine.run_until(static_cast<SimTime>(time::sec(420)));
+      platform.stop();
+      const auto& rec = platform.rebalancer().last();
+      rows.push_back(
+          {metrics::fmt(est, 2) + " s",
+           std::to_string(collector.lost_user_events()),
+           std::to_string(collector.replayed_messages()),
+           rec ? metrics::fmt(time::to_sec(static_cast<SimDuration>(
+                     rec->killed_at - rec->invoked_at)), 1)
+               : "-"});
+    }
+    std::fputs(metrics::render_table({"Timeout estimate", "Lost events",
+                                      "Replayed", "Idle-before-kill(s)"},
+                                     rows)
+                   .c_str(),
+               stdout);
+    std::puts("Expected: under-estimates lose in-flight events; over-"
+              "estimates idle the paused dataflow for the whole window."
+              "  DCR's verified drain needs neither guess.");
+  }
+
+  {
+    std::puts("\nE. Placement: round-robin vs locality (Grid, steady state):");
+    std::vector<std::vector<std::string>> rows;
+    for (const bool locality : {false, true}) {
+      sim::Engine engine;
+      dsps::Platform platform(engine, dsps::PlatformConfig{});
+      platform.setup_infrastructure();
+      dsps::Topology topo = workloads::build_dag(workloads::DagKind::Grid);
+      const auto vms = platform.cluster().provision_n(
+          cluster::VmType::D3, 6, "w");
+      dsps::RoundRobinScheduler rr;
+      dsps::LocalityScheduler loc(topo);
+      if (locality) {
+        platform.deploy(std::move(topo), vms, loc);
+      } else {
+        platform.deploy(std::move(topo), vms, rr);
+      }
+      metrics::Collector collector;
+      platform.set_listener(&collector);
+      platform.start();
+      engine.run_until(static_cast<SimTime>(time::sec(120)));
+      platform.stop();
+      const auto& ns = platform.network().stats();
+      const auto med = collector.latency().median_ms(
+          static_cast<SimTime>(time::sec(60)),
+          static_cast<SimTime>(time::sec(120)));
+      rows.push_back({locality ? "locality" : "round-robin",
+                      metrics::fmt(100.0 * static_cast<double>(ns.inter_vm) /
+                                       static_cast<double>(ns.messages_sent),
+                                   1) + " %",
+                      metrics::fmt_opt(med, 1) + " ms"});
+    }
+    std::fputs(metrics::render_table({"Scheduler", "Inter-VM msgs",
+                                      "Median latency"},
+                                     rows)
+                   .c_str(),
+               stdout);
+    std::puts("Expected: locality placement cuts inter-VM traffic and"
+              " trims end-to-end latency (the paper's Fig 1 locality"
+              " argument; Storm's default round-robin \"may not exploit\""
+              " co-location, \u00a75.1).");
+  }
+  return 0;
+}

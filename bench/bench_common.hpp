@@ -1,0 +1,36 @@
+// Shared helpers for the figure/table benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "workloads/runner.hpp"
+
+namespace rill::bench {
+
+inline const std::vector<core::StrategyKind> kStrategies = {
+    core::StrategyKind::DSM, core::StrategyKind::DCR, core::StrategyKind::CCR};
+
+/// Run one (dag, strategy, scale) cell with the default paper setup.
+inline workloads::ExperimentResult run_cell(workloads::DagKind dag,
+                                            core::StrategyKind strategy,
+                                            workloads::ScaleKind scale,
+                                            std::uint64_t seed = 42) {
+  workloads::ExperimentConfig cfg;
+  cfg.dag = dag;
+  cfg.strategy = strategy;
+  cfg.scale = scale;
+  cfg.platform.seed = seed;
+  return workloads::run_experiment(cfg);
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s of Shukla & Simmhan, ICDCS 2018)\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace rill::bench

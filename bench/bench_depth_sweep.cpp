@@ -1,0 +1,39 @@
+// DAG-depth sensitivity sweep (extends the paper's Linear-50 drain
+// experiment to every §4 headline metric): Linear-N for N ∈ {5..50}, CCR
+// vs DCR vs DSM.  Expected: DCR's drain grows with depth while CCR's
+// restore stays flat — the paper's core scalability claim for CCR.
+#include "bench_common.hpp"
+
+using namespace rill;
+
+int main() {
+  bench::print_header(
+      "Depth sweep — Linear-N restore/drain/catchup per strategy",
+      "an extension of the Linear-50 analysis in §5.1");
+  std::vector<std::vector<std::string>> rows;
+  for (const int n : {5, 10, 20, 35, 50}) {
+    for (core::StrategyKind s : bench::kStrategies) {
+      workloads::ExperimentConfig cfg;
+      cfg.custom_topology = workloads::build_linear_n(n);
+      cfg.strategy = s;
+      cfg.scale = workloads::ScaleKind::In;
+      const auto r = workloads::run_experiment(cfg);
+      rows.push_back({"Linear-" + std::to_string(n),
+                      std::string(core::to_string(s)),
+                      metrics::fmt(r.report.drain_sec, 2),
+                      metrics::fmt_opt(r.report.restore_sec),
+                      metrics::fmt_opt(r.report.catchup_sec),
+                      std::to_string(r.report.replayed_messages)});
+    }
+  }
+  std::fputs(metrics::render_table({"DAG", "Strategy", "Drain(s)",
+                                    "Restore(s)", "Catchup(s)", "Replayed"},
+                                   rows)
+                 .c_str(),
+             stdout);
+  std::puts("Shapes to check: DCR drain grows ~linearly with depth; CCR"
+            " capture stays sub-second and its restore flat (~8 s); DSM"
+            " replays grow with the causal-tree size (one tree spans the"
+            " whole chain).");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig 5a: Restore / Catchup / Recovery time per strategy and DAG, scale-in.
+//
+// The paper plots these as stacked bars (seconds since the migration
+// request).  Expected shape: CCR restore < DCR < DSM; catchup only for DSM
+// and CCR; recovery only for DSM; DSM grows with DAG size.
+#include "bench_common.hpp"
+
+using namespace rill;
+
+int main() {
+  bench::print_header("Fig 5a — performance time per strategy (SCALE-IN)",
+                      "Figure 5a");
+  std::vector<std::vector<std::string>> rows;
+  for (workloads::DagKind dag : workloads::all_dags()) {
+    for (core::StrategyKind s : bench::kStrategies) {
+      const auto r = bench::run_cell(dag, s, workloads::ScaleKind::In);
+      rows.push_back({std::string(workloads::to_string(dag)),
+                      std::string(core::to_string(s)),
+                      metrics::fmt_opt(r.report.restore_sec),
+                      metrics::fmt_opt(r.report.catchup_sec),
+                      metrics::fmt_opt(r.report.recovery_sec),
+                      metrics::fmt(r.report.drain_sec, 2),
+                      metrics::fmt(r.report.rebalance_sec, 2)});
+    }
+  }
+  std::fputs(metrics::render_table({"DAG", "Strategy", "Restore(s)",
+                                    "Catchup(s)", "Recovery(s)", "Drain(s)",
+                                    "Rebalance(s)"},
+                                   rows)
+                 .c_str(),
+             stdout);
+  std::puts("Paper (Fig 5a) restore for Grid: DSM 92, DCR 41, CCR 15;"
+            " shape to check: CCR < DCR < DSM, DSM grows with DAG size.");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig 5b: Restore / Catchup / Recovery time per strategy and DAG, scale-out
+// (from ⌈n/2⌉ D2 VMs to n D1 VMs; slot count unchanged).
+#include "bench_common.hpp"
+
+using namespace rill;
+
+int main() {
+  bench::print_header("Fig 5b — performance time per strategy (SCALE-OUT)",
+                      "Figure 5b");
+  std::vector<std::vector<std::string>> rows;
+  for (workloads::DagKind dag : workloads::all_dags()) {
+    for (core::StrategyKind s : bench::kStrategies) {
+      const auto r = bench::run_cell(dag, s, workloads::ScaleKind::Out);
+      rows.push_back({std::string(workloads::to_string(dag)),
+                      std::string(core::to_string(s)),
+                      metrics::fmt_opt(r.report.restore_sec),
+                      metrics::fmt_opt(r.report.catchup_sec),
+                      metrics::fmt_opt(r.report.recovery_sec),
+                      metrics::fmt(r.report.drain_sec, 2),
+                      metrics::fmt(r.report.rebalance_sec, 2)});
+    }
+  }
+  std::fputs(metrics::render_table({"DAG", "Strategy", "Restore(s)",
+                                    "Catchup(s)", "Recovery(s)", "Drain(s)",
+                                    "Rebalance(s)"},
+                                   rows)
+                 .c_str(),
+             stdout);
+  std::puts("Paper (Fig 5b) restore for Grid: DSM 70, DCR 36, CCR 17;"
+            " shape to check: CCR < DCR < DSM, like scale-in.");
+  return 0;
+}

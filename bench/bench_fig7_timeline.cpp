@@ -1,0 +1,48 @@
+// Fig 7: input/output throughput timeline for the scale-in of the Grid
+// dataflow, one ASCII series per strategy.  Time 0 is the migration
+// request; values are events/sec in 10-second buckets.
+//
+// Shapes to check against the paper:
+//  * DSM (7a): input never pauses; 30 s-spaced replay spikes after the
+//    restore; output resumes late and stays elevated until ≈ +300 s.
+//  * DCR (7b): one input silence window (pause) followed by a single
+//    backlog spike; clean output resume.
+//  * CCR (7c): like DCR but with a shorter silence and earlier output.
+#include "bench_common.hpp"
+
+using namespace rill;
+
+namespace {
+
+void print_series(const char* name, const metrics::RateSeries& s,
+                  std::size_t request_sec, std::size_t until_sec) {
+  std::printf("%s (ev/s, 10 s buckets, t=0 at migration request):\n", name);
+  for (std::size_t t = 0; request_sec + t < until_sec; t += 10) {
+    const double rate = s.rate_over(request_sec + t, 10);
+    std::printf("  t=%4zu s  %6.1f  |", t, rate);
+    const int bars = static_cast<int>(rate);
+    for (int i = 0; i < bars && i < 70; ++i) std::putchar('#');
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fig 7 — throughput timeline, Grid scale-in (DSM / DCR / CCR)",
+      "Figures 7a-7c");
+  for (core::StrategyKind s : bench::kStrategies) {
+    const auto r = bench::run_cell(workloads::DagKind::Grid, s,
+                                   workloads::ScaleKind::In);
+    const auto request_sec =
+        static_cast<std::size_t>(r.phases.request_at / 1'000'000ull);
+    std::printf("\n--- %s ---\n", std::string(core::to_string(s)).c_str());
+    print_series("input ", r.collector.input(), request_sec, 720);
+    print_series("output", r.collector.output(), request_sec, 720);
+    std::printf("stabilized at +%s s (expected output %.0f ev/s)\n",
+                metrics::fmt_opt(r.report.stabilization_sec).c_str(),
+                r.report.expected_output_rate);
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Fig 8: rate-stabilization time (output within ±20 % of expected for
+// 60 s), per strategy and DAG, for scale-in (8a) and scale-out (8b).
+#include "bench_common.hpp"
+
+using namespace rill;
+
+int main() {
+  bench::print_header("Fig 8 — stabilization time per strategy",
+                      "Figures 8a and 8b");
+  for (workloads::ScaleKind scale :
+       {workloads::ScaleKind::In, workloads::ScaleKind::Out}) {
+    std::printf("\n--- %s ---\n",
+                std::string(workloads::to_string(scale)).c_str());
+    std::vector<std::vector<std::string>> rows;
+    for (workloads::DagKind dag : workloads::all_dags()) {
+      std::vector<std::string> row{std::string(workloads::to_string(dag))};
+      for (core::StrategyKind s : bench::kStrategies) {
+        const auto r = bench::run_cell(dag, s, scale);
+        row.push_back(metrics::fmt_opt(r.report.stabilization_sec, 0));
+      }
+      rows.push_back(std::move(row));
+    }
+    std::fputs(metrics::render_table(
+                   {"DAG", "DSM stab(s)", "DCR stab(s)", "CCR stab(s)"}, rows)
+                   .c_str(),
+               stdout);
+  }
+  std::puts("\nPaper (Fig 8a, scale-in): Linear 147/128/100, Diamond 135/100/90,");
+  std::puts("Star 130/116/110, Grid 224/148/130, Traffic 208/140/128.");
+  std::puts("Shape to check: DSM worst everywhere; CCR <= DCR.");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// google-benchmark micro-suite: hot paths of the simulator substrate.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "dsps/acker.hpp"
+#include "dsps/state.hpp"
+#include "sim/engine.hpp"
+#include "workloads/runner.hpp"
+
+namespace {
+
+using namespace rill;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) {
+      engine.schedule(time::us(i), [] {});
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_AckerAddAck(benchmark::State& state) {
+  sim::Engine engine;
+  dsps::AckerService acker(engine, time::sec(30));
+  Rng rng(7);
+  for (auto _ : state) {
+    const RootId root = rng.next();
+    acker.register_root(root, [](RootId) {}, [](RootId) {});
+    EventId prev = root;
+    for (int hop = 0; hop < 16; ++hop) {
+      const EventId child = rng.next();
+      acker.add(root, child);
+      acker.ack(root, prev);
+      prev = child;
+    }
+    acker.ack(root, prev);
+  }
+  state.SetItemsProcessed(state.iterations() * 17);
+}
+BENCHMARK(BM_AckerAddAck);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+}
+BENCHMARK(BM_RngNext);
+
+void BM_CheckpointBlobSerde(benchmark::State& state) {
+  dsps::CheckpointBlob blob;
+  blob.checkpoint_id = 3;
+  blob.state["processed"] = 123456;
+  blob.state["sig"] = -42;
+  blob.pending.resize(static_cast<std::size_t>(state.range(0)));
+  for (auto& ev : blob.pending) {
+    ev.id = 1;
+    ev.root = 2;
+    ev.origin = 2;
+  }
+  for (auto _ : state) {
+    const Bytes raw = blob.serialize();
+    const auto back = dsps::CheckpointBlob::deserialize(raw);
+    benchmark::DoNotOptimize(back.pending.size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CheckpointBlobSerde)->Arg(16)->Arg(256);
+
+void BM_FullExperiment(benchmark::State& state) {
+  // Wall-clock cost of one complete 420-simulated-second migration
+  // experiment — the unit of work every figure bench runs repeatedly.
+  for (auto _ : state) {
+    workloads::ExperimentConfig cfg;
+    cfg.dag = workloads::DagKind::Grid;
+    cfg.strategy = core::StrategyKind::CCR;
+    cfg.run_duration = time::sec(420);
+    cfg.migrate_at = time::sec(60);
+    const auto r = workloads::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.collector.sink_arrivals());
+  }
+}
+BENCHMARK(BM_FullExperiment)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

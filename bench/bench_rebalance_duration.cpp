@@ -1,0 +1,43 @@
+// §5.1: "the rebalance duration ... remains relatively constant across
+// dataflows, VM counts and strategies, with an average value of 7.26 secs."
+#include "bench_common.hpp"
+
+#include <cmath>
+
+using namespace rill;
+
+int main() {
+  bench::print_header("Rebalance command duration across all cells",
+                      "the rebalance-duration analysis in §5.1");
+  std::vector<std::vector<std::string>> rows;
+  double sum = 0.0, sq = 0.0;
+  int n = 0;
+  for (workloads::DagKind dag : workloads::all_dags()) {
+    for (workloads::ScaleKind scale :
+         {workloads::ScaleKind::In, workloads::ScaleKind::Out}) {
+      for (core::StrategyKind s : bench::kStrategies) {
+        const auto r =
+            bench::run_cell(dag, s, scale, /*seed=*/40 + static_cast<std::uint64_t>(n));
+        const double d = r.report.rebalance_sec;
+        sum += d;
+        sq += d * d;
+        ++n;
+        rows.push_back({std::string(workloads::to_string(dag)),
+                        std::string(workloads::to_string(scale)),
+                        std::string(core::to_string(s)),
+                        metrics::fmt(d, 2)});
+      }
+    }
+  }
+  std::fputs(metrics::render_table({"DAG", "Scale", "Strategy",
+                                    "Rebalance(s)"},
+                                   rows)
+                 .c_str(),
+             stdout);
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sq / n - mean * mean);
+  std::printf("mean = %.2f s, stddev = %.2f s over %d cells\n", mean, stddev,
+              n);
+  std::puts("Paper: 7.26 s average, near-constant across every cell.");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Table 1: tasks, task instances (slots) and VM counts for each dataflow.
+#include "bench_common.hpp"
+
+#include "workloads/scenario.hpp"
+
+using namespace rill;
+
+int main() {
+  bench::print_header("Table 1 — tasks, slots and VMs for the dataflows",
+                      "Table 1");
+  std::vector<std::vector<std::string>> rows;
+  for (workloads::DagKind dag : workloads::all_dags()) {
+    const dsps::Topology topo = workloads::build_dag(dag, 8.0);
+    const workloads::VmPlan plan = workloads::vm_plan_for(topo);
+    int worker_tasks = 0;
+    for (const auto& def : topo.tasks()) {
+      if (def.kind == dsps::TaskKind::Worker) ++worker_tasks;
+    }
+    rows.push_back({std::string(workloads::to_string(dag)),
+                    std::to_string(worker_tasks), std::to_string(plan.slots),
+                    std::to_string(plan.default_d2_vms),
+                    std::to_string(plan.scale_in_d3_vms),
+                    std::to_string(plan.scale_out_d1_vms)});
+  }
+  std::fputs(metrics::render_table({"DAG", "Tasks*", "Instances(Slots)",
+                                    "Default #VM(2 slots)",
+                                    "Scale-in #VM(4 slots)",
+                                    "Scale-out #VM(1 slot)"},
+                                   rows)
+                 .c_str(),
+             stdout);
+  std::puts("* excludes source and sink tasks (pinned to a separate 4-core VM)");
+  std::puts("Paper values: Linear 5/5/3/2/5, Diamond 5/8/4/2/8, Star 5/8/4/2/8,");
+  std::puts("              Grid 15/21/11/6/21, Traffic 11/13/7/4/13.");
+  return 0;
+}

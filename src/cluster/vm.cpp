@@ -1,0 +1,15 @@
+#include "cluster/vm.hpp"
+
+namespace rill::cluster {
+
+std::string_view to_string(VmType t) noexcept {
+  switch (t) {
+    case VmType::D1: return "D1";
+    case VmType::D2: return "D2";
+    case VmType::D3: return "D3";
+    case VmType::D4: return "D4";
+  }
+  return "?";
+}
+
+}  // namespace rill::cluster

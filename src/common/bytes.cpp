@@ -1,0 +1,103 @@
+#include "common/bytes.hpp"
+
+namespace rill {
+
+namespace {
+
+template <typename T>
+void append_le(Bytes& buf, T v) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    buf.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+template <typename T>
+T read_le(const Bytes& buf, std::size_t pos) {
+  T v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(buf[pos + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void BytesWriter::put_u8(std::uint8_t v) { buf_.push_back(v); }
+void BytesWriter::put_u32(std::uint32_t v) { append_le(buf_, v); }
+void BytesWriter::put_u64(std::uint64_t v) { append_le(buf_, v); }
+
+void BytesWriter::put_i64(std::int64_t v) {
+  append_le(buf_, static_cast<std::uint64_t>(v));
+}
+
+void BytesWriter::put_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  append_le(buf_, bits);
+}
+
+void BytesWriter::put_string(std::string_view s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BytesWriter::put_bytes(const Bytes& b) {
+  put_u32(static_cast<std::uint32_t>(b.size()));
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+void BytesReader::require(std::size_t n) const {
+  if (remaining() < n) {
+    throw DeserializeError("blob truncated: need " + std::to_string(n) +
+                           " bytes, have " + std::to_string(remaining()));
+  }
+}
+
+std::uint8_t BytesReader::get_u8() {
+  require(1);
+  return (*buf_)[pos_++];
+}
+
+std::uint32_t BytesReader::get_u32() {
+  require(4);
+  auto v = read_le<std::uint32_t>(*buf_, pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BytesReader::get_u64() {
+  require(8);
+  auto v = read_le<std::uint64_t>(*buf_, pos_);
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t BytesReader::get_i64() {
+  return static_cast<std::int64_t>(get_u64());
+}
+
+double BytesReader::get_f64() {
+  const std::uint64_t bits = get_u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string BytesReader::get_string() {
+  const auto n = get_u32();
+  require(n);
+  std::string s(reinterpret_cast<const char*>(buf_->data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Bytes BytesReader::get_bytes() {
+  const auto n = get_u32();
+  require(n);
+  Bytes b(buf_->begin() + static_cast<std::ptrdiff_t>(pos_),
+          buf_->begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return b;
+}
+
+}  // namespace rill

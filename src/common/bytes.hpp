@@ -1,0 +1,70 @@
+// A tiny, dependency-free binary serialisation buffer.
+//
+// Checkpoint state (task user state + CCR pending-event lists) is persisted
+// to the simulated key-value store as flat byte blobs, exactly as Storm
+// serialises state into Redis.  The writer/reader pair below provides
+// little-endian, length-prefixed primitives with explicit bounds checking
+// on the read side.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rill {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends primitives to a growing byte buffer.
+class BytesWriter {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_f64(double v);
+  void put_string(std::string_view s);
+  void put_bytes(const Bytes& b);
+
+  [[nodiscard]] const Bytes& data() const noexcept { return buf_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Error thrown when a blob is truncated or malformed.
+struct DeserializeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Reads primitives back out of a byte buffer, throwing DeserializeError
+/// on underflow.
+class BytesReader {
+ public:
+  explicit BytesReader(const Bytes& buf) noexcept : buf_(&buf) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  double get_f64();
+  std::string get_string();
+  Bytes get_bytes();
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == buf_->size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return buf_->size() - pos_; }
+
+ private:
+  void require(std::size_t n) const;
+
+  const Bytes* buf_;
+  std::size_t pos_{0};
+};
+
+}  // namespace rill

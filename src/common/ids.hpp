@@ -1,0 +1,65 @@
+// Strongly-typed identifiers used across the platform.
+//
+// Each identifier is a distinct struct wrapping an integer so that a TaskId
+// cannot be passed where a VmId is expected.  All are hashable and ordered
+// so they can key std:: containers.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace rill {
+
+namespace detail {
+
+/// CRTP-free tagged integer id.  `Tag` only disambiguates the type.
+template <typename Tag, typename Rep = std::uint32_t>
+struct TypedId {
+  Rep value{0};
+
+  constexpr TypedId() = default;
+  constexpr explicit TypedId(Rep v) noexcept : value(v) {}
+
+  friend constexpr auto operator<=>(TypedId, TypedId) = default;
+};
+
+}  // namespace detail
+
+struct VmTag;
+struct SlotTag;
+struct TaskTag;
+struct InstanceTag;
+struct EdgeTag;
+
+/// A virtual machine in the simulated cluster.
+using VmId = detail::TypedId<VmTag>;
+/// A 1-core resource slot on a VM.
+using SlotId = detail::TypedId<SlotTag>;
+/// A logical task (vertex) in the dataflow DAG.
+using TaskId = detail::TypedId<TaskTag>;
+/// One running instance (executor thread) of a logical task.
+using InstanceId = detail::TypedId<InstanceTag>;
+/// A directed edge in the dataflow DAG.
+using EdgeId = detail::TypedId<EdgeTag>;
+
+/// Event ids are 64-bit, matching Storm's acker design where the XOR
+/// causal-tree hash relies on ids being (nearly) unique random values.
+using EventId = std::uint64_t;
+
+/// Root (spout-emitted) event id, the anchor of a causal tree.
+using RootId = std::uint64_t;
+
+}  // namespace rill
+
+namespace std {
+
+template <typename Tag, typename Rep>
+struct hash<rill::detail::TypedId<Tag, Rep>> {
+  size_t operator()(const rill::detail::TypedId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,24 @@
+#include "core/controller.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rill::core {
+
+void MigrationController::request(dsps::MigrationPlan plan,
+                                  std::function<void(bool)> on_done) {
+  if (in_flight_) {
+    throw std::logic_error("a migration is already in flight");
+  }
+  in_flight_ = true;
+  completed_ = false;
+  strategy_.migrate(platform_, std::move(plan),
+                    [this, on_done = std::move(on_done)](bool ok) {
+                      in_flight_ = false;
+                      completed_ = true;
+                      success_ = ok;
+                      if (on_done) on_done(ok);
+                    });
+}
+
+}  // namespace rill::core

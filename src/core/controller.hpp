@@ -1,0 +1,41 @@
+// MigrationController: thin façade that binds a platform and a strategy,
+// enacts migration requests, and exposes completion state — the public
+// entry point applications use (see examples/quickstart.cpp).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/strategy.hpp"
+#include "dsps/platform.hpp"
+
+namespace rill::core {
+
+class MigrationController {
+ public:
+  MigrationController(dsps::Platform& platform, MigrationStrategy& strategy)
+      : platform_(platform), strategy_(strategy) {}
+
+  /// Enact the plan now.  `on_done` (optional) fires when the strategy
+  /// finishes.  One request at a time.
+  void request(dsps::MigrationPlan plan,
+               std::function<void(bool)> on_done = {});
+
+  [[nodiscard]] bool in_flight() const noexcept { return in_flight_; }
+  [[nodiscard]] bool completed() const noexcept { return completed_; }
+  [[nodiscard]] bool succeeded() const noexcept {
+    return completed_ && success_;
+  }
+  [[nodiscard]] const PhaseTimes& phases() const noexcept {
+    return strategy_.phases();
+  }
+
+ private:
+  dsps::Platform& platform_;
+  MigrationStrategy& strategy_;
+  bool in_flight_{false};
+  bool completed_{false};
+  bool success_{false};
+};
+
+}  // namespace rill::core

@@ -1,0 +1,63 @@
+// Concrete strategy classes.  Most users go through make_strategy(); the
+// concrete types are exposed for tests that poke at strategy internals.
+#pragma once
+
+#include "core/strategy.hpp"
+
+namespace rill::core {
+
+/// Default Storm Migration: always-on acking for every user event plus
+/// periodic checkpoints; migration = immediate rebalance with timeout 0,
+/// then an INIT wave that is re-sent only on 30 s ack-timeout failures.
+class DsmStrategy final : public MigrationStrategy {
+ public:
+  [[nodiscard]] StrategyKind kind() const noexcept override {
+    return StrategyKind::DSM;
+  }
+  void configure(dsps::Platform& platform) override;
+  void migrate(dsps::Platform& platform, dsps::MigrationPlan plan,
+               std::function<void(bool)> done) override;
+};
+
+/// DSM with Storm's rebalance timeout: pause sources for a user-estimated
+/// window before the kill, hoping in-flight events drain.  Unlike DCR
+/// there is no rearguard to *verify* the drain — an under-estimate still
+/// loses events, an over-estimate idles the dataflow.
+class DsmTimeoutStrategy final : public MigrationStrategy {
+ public:
+  explicit DsmTimeoutStrategy(SimDuration timeout) : timeout_(timeout) {}
+  [[nodiscard]] StrategyKind kind() const noexcept override {
+    return StrategyKind::DSM_T;
+  }
+  [[nodiscard]] SimDuration timeout() const noexcept { return timeout_; }
+  void configure(dsps::Platform& platform) override;
+  void migrate(dsps::Platform& platform, dsps::MigrationPlan plan,
+               std::function<void(bool)> done) override;
+
+ private:
+  SimDuration timeout_;
+};
+
+/// Drain, Checkpoint and Restore.
+class DcrStrategy final : public MigrationStrategy {
+ public:
+  [[nodiscard]] StrategyKind kind() const noexcept override {
+    return StrategyKind::DCR;
+  }
+  void configure(dsps::Platform& platform) override;
+  void migrate(dsps::Platform& platform, dsps::MigrationPlan plan,
+               std::function<void(bool)> done) override;
+};
+
+/// Capture, Checkpoint and Resume.
+class CcrStrategy final : public MigrationStrategy {
+ public:
+  [[nodiscard]] StrategyKind kind() const noexcept override {
+    return StrategyKind::CCR;
+  }
+  void configure(dsps::Platform& platform) override;
+  void migrate(dsps::Platform& platform, dsps::MigrationPlan plan,
+               std::function<void(bool)> done) override;
+};
+
+}  // namespace rill::core

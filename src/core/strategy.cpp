@@ -1,0 +1,33 @@
+#include "core/strategy.hpp"
+
+#include "core/strategies.hpp"
+
+namespace rill::core {
+
+std::string_view to_string(StrategyKind k) noexcept {
+  switch (k) {
+    case StrategyKind::DSM: return "DSM";
+    case StrategyKind::DSM_T: return "DSM-T";
+    case StrategyKind::DCR: return "DCR";
+    case StrategyKind::CCR: return "CCR";
+  }
+  return "?";
+}
+
+std::unique_ptr<MigrationStrategy> make_strategy(StrategyKind k) {
+  switch (k) {
+    case StrategyKind::DSM: return std::make_unique<DsmStrategy>();
+    case StrategyKind::DSM_T:
+      return std::make_unique<DsmTimeoutStrategy>(time::sec(10));
+    case StrategyKind::DCR: return std::make_unique<DcrStrategy>();
+    case StrategyKind::CCR: return std::make_unique<CcrStrategy>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<MigrationStrategy> make_dsm_timeout_strategy(
+    SimDuration timeout) {
+  return std::make_unique<DsmTimeoutStrategy>(timeout);
+}
+
+}  // namespace rill::core

@@ -1,0 +1,91 @@
+// Migration strategies — the paper's primary contribution.
+//
+// A MigrationStrategy configures the platform's reliability machinery for
+// normal operation (acking scope, checkpoint wiring/periodicity) and then
+// enacts a user migration request end to end:
+//
+//   DSM  (baseline) : rebalance immediately; acking + periodic checkpoints
+//                     repair losses afterwards (§2).
+//   DCR             : pause → drain via PREPARE sweep → JIT COMMIT →
+//                     rebalance → INIT (1 s re-sends) → unpause (§3.1).
+//   CCR             : pause → broadcast PREPARE, capture in-flight events →
+//                     COMMIT sweep persists state + pending lists →
+//                     rebalance → broadcast INIT, resume captured events →
+//                     unpause (§3.2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "common/time.hpp"
+#include "dsps/platform.hpp"
+
+namespace rill::core {
+
+enum class StrategyKind : std::uint8_t {
+  DSM,    ///< default Storm migration (rebalance timeout 0)
+  DSM_T,  ///< Storm migration with a user-estimated rebalance timeout (§2)
+  DCR,
+  CCR,
+};
+
+[[nodiscard]] std::string_view to_string(StrategyKind k) noexcept;
+
+/// Timestamps of the strategy's internal phases, for the §4 metrics.
+struct PhaseTimes {
+  SimTime request_at{0};
+  std::optional<SimTime> checkpoint_started;
+  std::optional<SimTime> checkpoint_done;
+  std::optional<SimTime> rebalance_invoked;
+  std::optional<SimTime> rebalance_completed;
+  std::optional<SimTime> init_complete;
+  std::optional<SimTime> sources_unpaused;
+  std::optional<SimTime> migration_done;
+
+  /// Drain/Capture duration (§4 metric 2): request → rebalance invocation.
+  [[nodiscard]] std::optional<double> drain_sec() const {
+    if (!rebalance_invoked) return std::nullopt;
+    return time::to_sec(
+        static_cast<SimDuration>(*rebalance_invoked - request_at));
+  }
+};
+
+class MigrationStrategy {
+ public:
+  virtual ~MigrationStrategy() = default;
+
+  [[nodiscard]] virtual StrategyKind kind() const noexcept = 0;
+  [[nodiscard]] std::string_view name() const noexcept {
+    return to_string(kind());
+  }
+
+  /// Configure platform-session knobs (acking scope, checkpoint mode,
+  /// periodic checkpointing).  Call once after deploy, before start.
+  virtual void configure(dsps::Platform& platform) = 0;
+
+  /// Enact a migration.  `done(success)` fires when the strategy considers
+  /// the migration complete (all tasks initialised and, for DCR/CCR,
+  /// sources unpaused).  The plan's scheduler must outlive the migration.
+  virtual void migrate(dsps::Platform& platform, dsps::MigrationPlan plan,
+                       std::function<void(bool)> done) = 0;
+
+  [[nodiscard]] const PhaseTimes& phases() const noexcept { return phases_; }
+
+ protected:
+  PhaseTimes phases_;
+};
+
+/// Factory for the paper strategies.  DSM_T gets a default 10 s timeout;
+/// use make_dsm_timeout_strategy for a specific estimate.
+[[nodiscard]] std::unique_ptr<MigrationStrategy> make_strategy(StrategyKind k);
+
+/// DSM with Storm's rebalance-timeout argument: sources pause for
+/// `timeout` before the kill so in-flight events may drain.  The paper
+/// (§2) notes users under-estimate (messages lost anyway) or
+/// over-estimate (dataflow idles) this value — the ablation bench sweeps it.
+[[nodiscard]] std::unique_ptr<MigrationStrategy> make_dsm_timeout_strategy(
+    SimDuration timeout);
+
+}  // namespace rill::core

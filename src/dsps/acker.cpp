@@ -1,0 +1,76 @@
+#include "dsps/acker.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace rill::dsps {
+
+AckerService::AckerService(sim::Engine& engine, SimDuration ack_timeout,
+                           SimDuration scan_period)
+    : engine_(engine),
+      ack_timeout_(ack_timeout),
+      scanner_(engine, scan_period, [this] { scan(); }) {}
+
+void AckerService::start() { scanner_.start(); }
+void AckerService::stop() { scanner_.stop(); }
+
+void AckerService::register_root(RootId root, OnComplete on_complete,
+                                 OnFail on_fail) {
+  ++stats_.roots_registered;
+  PendingRoot p;
+  p.hash = root;  // the root event itself is the first pending entry
+  p.registered_at = engine_.now();
+  p.on_complete = std::move(on_complete);
+  p.on_fail = std::move(on_fail);
+  pending_[root] = std::move(p);
+}
+
+bool AckerService::pending(RootId root) const {
+  return pending_.contains(root);
+}
+
+void AckerService::add(RootId root, EventId event) {
+  auto it = pending_.find(root);
+  if (it == pending_.end()) return;  // root already resolved; late add is a no-op
+  ++stats_.adds;
+  it->second.hash ^= event;
+}
+
+void AckerService::ack(RootId root, EventId event) {
+  auto it = pending_.find(root);
+  if (it == pending_.end()) return;  // late ack after timeout/fail: ignore
+  ++stats_.acks;
+  it->second.hash ^= event;
+  if (it->second.hash == 0) {
+    ++stats_.roots_completed;
+    OnComplete cb = std::move(it->second.on_complete);
+    pending_.erase(it);
+    if (cb) cb(root);
+  }
+}
+
+void AckerService::fail(RootId root) {
+  auto it = pending_.find(root);
+  if (it == pending_.end()) return;
+  ++stats_.roots_failed;
+  OnFail cb = std::move(it->second.on_fail);
+  pending_.erase(it);
+  if (cb) cb(root);
+}
+
+void AckerService::forget(RootId root) { pending_.erase(root); }
+
+void AckerService::scan() {
+  // Collect first so that fail callbacks (which may register new roots,
+  // e.g. replays) do not invalidate the iteration.
+  std::vector<RootId> expired;
+  const SimTime now = engine_.now();
+  for (const auto& [root, p] : pending_) {
+    if (now >= p.registered_at + static_cast<SimTime>(ack_timeout_)) {
+      expired.push_back(root);
+    }
+  }
+  for (RootId root : expired) fail(root);
+}
+
+}  // namespace rill::dsps

@@ -1,0 +1,89 @@
+// XOR causal-tree acknowledgement service (Storm's acker, §2 of the paper).
+//
+// Each root event registers a 64-bit id.  Every causally-derived event id
+// is XORed into the root's hash once when it is created ("add") and once
+// when its processing is acknowledged ("ack"); the hash therefore returns
+// to the registration value exactly when every event in the causal tree
+// has been acked.  A periodic scan fails roots that have not completed
+// within the ack timeout (Storm default 30 s), triggering replay at the
+// owner (the spout, or the checkpoint coordinator for protocol waves).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "sim/engine.hpp"
+
+namespace rill::dsps {
+
+struct AckerStats {
+  std::uint64_t roots_registered{0};
+  std::uint64_t roots_completed{0};
+  std::uint64_t roots_failed{0};
+  std::uint64_t adds{0};
+  std::uint64_t acks{0};
+};
+
+/// The acking service.  Owners (spouts / checkpoint coordinator) register
+/// roots with completion/failure callbacks; executors add and ack derived
+/// events as they emit and finish processing them.
+class AckerService {
+ public:
+  using OnComplete = std::function<void(RootId)>;
+  using OnFail = std::function<void(RootId)>;
+
+  AckerService(sim::Engine& engine, SimDuration ack_timeout,
+               SimDuration scan_period = time::sec(1));
+
+  /// Start / stop the timeout scanner.  The scanner is idempotent to start.
+  void start();
+  void stop();
+
+  /// Register a root.  The root's own id is XORed in as its first pending
+  /// entry — the source acks it after a successful emit downstream.
+  void register_root(RootId root, OnComplete on_complete, OnFail on_fail);
+
+  /// Is this root still pending?
+  [[nodiscard]] bool pending(RootId root) const;
+
+  /// A new event derived from `root` was emitted.
+  void add(RootId root, EventId event);
+
+  /// An event belonging to `root` finished processing.
+  void ack(RootId root, EventId event);
+
+  /// Explicitly fail a root (e.g. user logic error).  Fires on_fail.
+  void fail(RootId root);
+
+  /// Drop a root without firing callbacks (owner no longer cares, e.g. a
+  /// superseded checkpoint wave).
+  void forget(RootId root);
+
+  /// Number of roots currently tracked.
+  [[nodiscard]] std::size_t inflight() const noexcept { return pending_.size(); }
+  [[nodiscard]] const AckerStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] SimDuration timeout() const noexcept { return ack_timeout_; }
+  void set_timeout(SimDuration t) noexcept { ack_timeout_ = t; }
+
+ private:
+  struct PendingRoot {
+    std::uint64_t hash{0};
+    SimTime registered_at{0};
+    OnComplete on_complete;
+    OnFail on_fail;
+  };
+
+  void scan();
+
+  sim::Engine& engine_;
+  SimDuration ack_timeout_;
+  sim::PeriodicTimer scanner_;
+  std::unordered_map<RootId, PendingRoot> pending_;
+  AckerStats stats_;
+};
+
+}  // namespace rill::dsps

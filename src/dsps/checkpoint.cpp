@@ -1,0 +1,184 @@
+#include "dsps/checkpoint.hpp"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "dsps/platform.hpp"
+
+namespace rill::dsps {
+
+CheckpointCoordinator::CheckpointCoordinator(Platform& platform)
+    : platform_(platform),
+      periodic_(platform.engine(), platform.config().checkpoint_interval,
+                [this] { on_periodic_tick(); }) {}
+
+void CheckpointCoordinator::start_periodic() { periodic_.start(); }
+void CheckpointCoordinator::stop_periodic() { periodic_.stop(); }
+
+bool CheckpointCoordinator::periodic_running() const noexcept {
+  return periodic_.running();
+}
+
+void CheckpointCoordinator::on_periodic_tick() {
+  // Skip ticks while a wave, an init session or a rebalance is in flight —
+  // Storm deactivates checkpointing while the topology is rebalancing.
+  if (checkpoint_active_ || init_.active ||
+      platform_.rebalancer().in_progress()) {
+    return;
+  }
+  run_checkpoint(platform_.checkpoint_mode(), [](bool) {});
+}
+
+RootId CheckpointCoordinator::send_wave(ControlKind kind,
+                                        std::uint64_t checkpoint_id,
+                                        bool broadcast,
+                                        AckerOnDone on_complete,
+                                        AckerOnDone on_fail) {
+  const RootId root = platform_.fresh_event_id();
+  platform_.acker().register_root(root, std::move(on_complete),
+                                  std::move(on_fail));
+
+  Event base;
+  base.root = root;
+  base.control = kind;
+  base.checkpoint_id = checkpoint_id;
+  base.born_at = platform_.engine().now();
+  base.payload_size = 32;
+
+  auto send_copy = [&](InstanceRef dst) {
+    Event copy = base;
+    copy.id = platform_.fresh_event_id();
+    copy.emitted_at = platform_.engine().now();
+    platform_.acker().add(root, copy.id);
+    platform_.send_control_from_coordinator(dst, copy);
+  };
+
+  if (broadcast) {
+    // CCR hub-and-spoke: straight into every task instance's input queue.
+    for (const InstanceRef& ref : platform_.worker_and_sink_instances()) {
+      send_copy(ref);
+    }
+  } else {
+    // Sequential wiring: inject at the entry tasks (one copy per source
+    // in-edge per replica); executors sweep it downstream.
+    const Topology& topo = platform_.topology();
+    for (TaskId t : platform_.entry_tasks()) {
+      int source_edges = 0;
+      for (TaskId up : topo.upstream(t)) {
+        if (topo.task(up).kind == TaskKind::Source) ++source_edges;
+      }
+      for (int r = 0; r < topo.task(t).parallelism; ++r) {
+        for (int c = 0; c < source_edges; ++c) {
+          send_copy(InstanceRef{t, r});
+        }
+      }
+    }
+  }
+
+  // Self-ack the root entry now that all first-hop copies are anchored.
+  platform_.acker().ack(root, root);
+  return root;
+}
+
+void CheckpointCoordinator::run_checkpoint(CheckpointMode mode, Done done) {
+  if (checkpoint_active_) {
+    if (done) done(false);
+    return;
+  }
+  checkpoint_active_ = true;
+  ++stats_.waves_started;
+  const std::uint64_t cid = next_checkpoint_id_++;
+
+  auto shared_done = std::make_shared<Done>(std::move(done));
+  auto fail_wave = [this, cid, shared_done](RootId) {
+    ++stats_.waves_rolled_back;
+    checkpoint_active_ = false;
+    // Best-effort rollback broadcast; completion is not tracked.
+    send_wave(ControlKind::Rollback, cid, /*broadcast=*/true, [](RootId) {},
+              [](RootId) {});
+    if (*shared_done) (*shared_done)(false);
+  };
+
+  send_wave(
+      ControlKind::Prepare, cid, mode == CheckpointMode::Capture,
+      [this, cid, shared_done, fail_wave](RootId) {
+        // All tasks prepared; COMMIT always sweeps the dataflow wiring so
+        // it lands behind every in-flight user event.
+        send_wave(ControlKind::Commit, cid, /*broadcast=*/false,
+                  [this, cid, shared_done](RootId) {
+                    last_committed_ = cid;
+                    checkpoint_active_ = false;
+                    ++stats_.waves_committed;
+                    if (*shared_done) (*shared_done)(true);
+                  },
+                  fail_wave);
+      },
+      fail_wave);
+}
+
+void CheckpointCoordinator::run_init(std::uint64_t checkpoint_id,
+                                     CheckpointMode mode,
+                                     SimDuration resend_period, Done done) {
+  assert(!init_.active && "init session already running");
+  init_.checkpoint_id = checkpoint_id;
+  init_.mode = mode;
+  init_.resend_period = resend_period;
+  init_.done = std::move(done);
+  init_.outstanding.clear();
+  init_.active = true;
+  first_init_received_.reset();
+
+  send_init_attempt();
+
+  if (resend_period > 0) {
+    // Aggressive re-send (DCR/CCR, paper: every 1 s).  Self-rescheduling so
+    // completion can cancel cleanly.
+    auto rearm = std::make_shared<std::function<void()>>();
+    *rearm = [this, rearm] {
+      if (!init_.active) return;
+      init_resend_timer_ =
+          platform_.engine().schedule(init_.resend_period, [this, rearm] {
+            if (!init_.active) return;
+            send_init_attempt();
+            (*rearm)();
+          });
+    };
+    (*rearm)();
+  }
+}
+
+void CheckpointCoordinator::send_init_attempt() {
+  ++stats_.init_attempts;
+  const RootId root = send_wave(
+      ControlKind::Init, init_.checkpoint_id,
+      init_.mode == CheckpointMode::Capture,
+      [this](RootId completed) {
+        if (!init_.active) return;
+        init_.active = false;
+        platform_.engine().cancel(init_resend_timer_);
+        for (RootId r : init_.outstanding) {
+          if (r != completed) platform_.acker().forget(r);
+        }
+        init_.outstanding.clear();
+        ++stats_.init_completions;
+        Done done = std::move(init_.done);
+        if (done) done(true);
+      },
+      [this](RootId) {
+        // A wave timed out (some worker dropped its INIT copy).  DSM
+        // (resend_period == 0) re-sends only now — producing the ≈30 s
+        // restore jumps; DCR/CCR already re-send on the 1 s timer.
+        if (!init_.active) return;
+        if (init_.resend_period == 0) send_init_attempt();
+      });
+  init_.outstanding.push_back(root);
+}
+
+void CheckpointCoordinator::note_init_received(SimTime t) {
+  if (init_.active && !first_init_received_.has_value()) {
+    first_init_received_ = t;
+  }
+}
+
+}  // namespace rill::dsps

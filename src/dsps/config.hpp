@@ -1,0 +1,88 @@
+// Platform configuration: every timing constant in the simulation model.
+//
+// Defaults follow DESIGN.md §6 — paper-specified values where the paper
+// gives them (100 ms service time, 8 ev/s sources, 30 s ack timeout and
+// checkpoint interval, 1 s DCR/CCR INIT re-send, ≈7.26 s rebalance command)
+// and fitted values for the JVM-worker start-up model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/time.hpp"
+
+namespace rill::dsps {
+
+/// Checkpoint wiring mode, chosen by the migration strategy.
+///  * Wave: PREPARE/COMMIT/INIT sweep through the dataflow edges (DSM, DCR).
+///  * Capture: PREPARE/INIT are broadcast straight into every task's input
+///    queue and in-flight events are captured (CCR).
+enum class CheckpointMode : std::uint8_t { Wave, Capture };
+
+struct PlatformConfig {
+  // ---- Workload ----
+  /// Source emission rate, events per second.
+  double source_rate = 8.0;
+  /// Peak sustainable rate per task instance (10 ev/s at 100 ms service).
+  double per_instance_rate = 8.0;
+
+  // ---- Reliability ----
+  /// Ack timeout for user events and for un-acked checkpoint waves.
+  SimDuration ack_timeout = time::sec(30);
+  /// Periodic checkpoint interval (DSM keeps this running; DCR/CCR do a
+  /// just-in-time wave instead).
+  SimDuration checkpoint_interval = time::sec(30);
+
+  // ---- Control-plane latencies ----
+  /// Platform-logic handling time for a control event at a task.
+  SimDuration control_handling = time::ms(2);
+  /// DCR/CCR aggressive INIT re-send period (paper §3.1).
+  SimDuration init_resend_period = time::sec(1);
+
+  // ---- Rebalance / worker model ----
+  /// Mean and stddev of Storm's rebalance command latency (paper: 7.26 s
+  /// average, "relatively constant across dataflows, VM counts and
+  /// strategies").
+  double rebalance_mean_sec = 7.26;
+  double rebalance_stddev_sec = 0.5;
+  /// Delay between the rebalance request and the kill of migrating tasks.
+  SimDuration kill_delay = time::ms(200);
+  /// A migrated worker becomes able to receive events U(min,max) after the
+  /// rebalance command completes, plus a contention term per instance
+  /// CO-LOCATED on the same target VM (JVM spin-up and code distribution
+  /// compete for the host) — this is what makes scale-in (4 workers per
+  /// D3) start up slower than scale-out (1 worker per D1), echoing the
+  /// paper's Grid restore gap (92 s in vs 70 s out).
+  double worker_startup_min_sec = 28.0;
+  double worker_startup_max_sec = 34.0;
+  double worker_startup_per_colocated_sec = 2.0;
+  /// Slow-start tail: each worker independently suffers an extra
+  /// U(slow_min, slow_max) with this probability (JVM + code-distribution
+  /// stragglers).  Larger migrations are more likely to contain a
+  /// straggler and hence to miss a whole 30 s INIT wave under DSM —
+  /// the paper's DAG-size-dependent restore jumps.
+  double worker_slow_start_prob = 0.05;
+  double worker_slow_start_min_sec = 4.0;
+  double worker_slow_start_max_sec = 10.0;
+
+  // ---- Source behaviour ----
+  /// While paused, the external stream keeps producing; on unpause the
+  /// backlog is pumped into the dataflow at this rate (ev/s).
+  double backlog_pump_rate = 40.0;
+  /// Max unacked roots a spout keeps in flight when acking is on (Storm's
+  /// max.spout.pending); bounds DSM's replay storms.
+  std::size_t max_spout_pending = 40;
+  /// Max events the paused external stream buffers before dropping (a
+  /// sensor feed does not buffer unboundedly); bounds the post-unpause
+  /// refill surge for DCR/CCR.
+  std::size_t max_source_backlog = 200;
+
+  /// Distinct partition keys the synthetic sources cycle through (e.g.
+  /// sensor ids); fields-grouped edges route by hash of these.
+  std::uint64_t key_cardinality = 64;
+
+  /// Master seed; every component forks its own stream from this.
+  std::uint64_t seed = 42;
+};
+
+}  // namespace rill::dsps

@@ -1,0 +1,346 @@
+#include "dsps/executor.hpp"
+
+#include <cassert>
+
+#include "dsps/platform.hpp"
+
+namespace rill::dsps {
+
+namespace {
+
+/// splitmix64 finalizer — order-independent signature hashing for the
+/// user-logic state so tests can compare "same multiset of events
+/// processed" across migrations.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Executor::Executor(Platform& platform, InstanceId id, InstanceRef ref)
+    : platform_(platform), id_(id), ref_(ref) {}
+
+void Executor::kill() {
+  ++epoch_;
+  life_ = LifeState::Dead;
+  busy_ = false;
+  awaiting_init_ = false;
+  for (const Event& ev : transport_buffer_) {
+    if (!ev.is_control()) ++stats_.lost_at_kill;
+    platform_.note_lost(ev);
+  }
+  transport_buffer_.clear();
+  for (const Event& ev : queue_) {
+    if (!ev.is_control()) {
+      ++stats_.lost_at_kill;
+    }
+    platform_.note_lost(ev);
+  }
+  queue_.clear();
+  for (const Event& ev : pend_until_init_) {
+    ++stats_.lost_at_kill;
+    platform_.note_lost(ev);
+  }
+  pend_until_init_.clear();
+  state_ = TaskState{};
+  prepared_state_.reset();
+  prepared_checkpoint_ = 0;
+  committed_this_wave_ = false;
+  capturing_ = false;
+  pending_capture_.clear();  // the durable copy lives in the store
+  align_count_.clear();
+  seen_init_roots_.clear();
+}
+
+void Executor::respawn(SlotId new_slot) {
+  ++epoch_;
+  slot_ = new_slot;
+  life_ = LifeState::Starting;
+}
+
+void Executor::set_ready(bool awaiting_init) {
+  life_ = LifeState::Running;
+  awaiting_init_ = awaiting_init;
+  // Senders' transport clients flush once the worker connection is up.
+  while (!transport_buffer_.empty()) {
+    queue_.push_back(std::move(transport_buffer_.front()));
+    transport_buffer_.pop_front();
+  }
+  pump();
+}
+
+void Executor::enqueue(Event ev) {
+  switch (life_) {
+    case LifeState::Dead:
+      ++stats_.lost_enqueue;
+      platform_.note_lost(ev);
+      return;
+    case LifeState::Starting:
+      if (ev.is_control()) {
+        // Checkpoint-stream events need a live, subscribed task; a worker
+        // that is still launching cannot consume them — the wave times out
+        // and the coordinator re-sends (paper §5.1: "INIT events timeout
+        // without acking due to the tasks not being active yet").
+        ++stats_.lost_enqueue;
+        platform_.note_lost(ev);
+        return;
+      }
+      transport_buffer_.push_back(std::move(ev));
+      return;
+    case LifeState::Running:
+      queue_.push_back(std::move(ev));
+      pump();
+      return;
+  }
+}
+
+void Executor::pump() {
+  // Instant branches (capture / pend) loop; timed branches schedule and
+  // return, re-entering pump() on completion.
+  while (ready() && !busy_ && !queue_.empty()) {
+    Event ev = std::move(queue_.front());
+    queue_.pop_front();
+
+    if (ev.is_control()) {
+      busy_ = true;
+      const std::uint64_t epoch = epoch_;
+      platform_.engine().schedule(
+          platform_.config().control_handling, [this, ev, epoch] {
+            if (epoch != epoch_) return;
+            busy_ = false;
+            handle_control(ev);
+            pump();
+          });
+      return;
+    }
+
+    if (capturing_) {
+      // CCR: snapshot the in-flight event instead of processing it.
+      ++stats_.captured;
+      if (committed_this_wave_) ++stats_.post_commit_arrivals;
+      pending_capture_.push_back(std::move(ev));
+      continue;
+    }
+
+    if (awaiting_init_) {
+      // Storm's StatefulBoltExecutor pends pre-init tuples.
+      pend_until_init_.push_back(std::move(ev));
+      continue;
+    }
+
+    busy_ = true;
+    const std::uint64_t epoch = epoch_;
+    const TaskDef& def = platform_.topology().task(ref_.task);
+    platform_.engine().schedule(def.service_time, [this, ev, epoch] {
+      if (epoch != epoch_) {
+        // Killed mid-processing: the event is lost with the worker.
+        platform_.note_lost(ev);
+        return;
+      }
+      finish_user_event(ev);
+      busy_ = false;
+      pump();
+    });
+    return;
+  }
+}
+
+void Executor::apply_user_logic(const Event& ev) {
+  state_["processed"] += 1;
+  state_["sig"] ^= static_cast<std::int64_t>(mix64(ev.id));
+  if (ev.replayed) state_["replayed_seen"] += 1;
+  if (platform_.topology().task(ref_.task).keyed_state) {
+    state_["key/" + std::to_string(ev.key)] += 1;
+  }
+  state_["v" + std::to_string(logic_version_)] += 1;
+}
+
+void Executor::finish_user_event(const Event& ev) {
+  apply_user_logic(ev);
+  ++stats_.processed;
+
+  const TaskDef& def = platform_.topology().task(ref_.task);
+  if (def.kind == TaskKind::Sink) {
+    platform_.listener().on_sink_arrival(ev, platform_.engine().now());
+  } else {
+    stats_.emitted +=
+        static_cast<std::uint64_t>(platform_.emit_user_children(*this, ev));
+  }
+  if (platform_.user_acking()) {
+    platform_.acker().ack(ev.root, ev.id);
+  }
+}
+
+bool Executor::aligned(const Event& ev, int expected) {
+  int& count = align_count_[ev.root];
+  ++count;
+  if (count < expected) return false;
+  align_count_.erase(ev.root);
+  return true;
+}
+
+void Executor::handle_control(const Event& ev) {
+  switch (ev.control) {
+    case ControlKind::Prepare: on_prepare(ev); break;
+    case ControlKind::Commit: on_commit(ev); break;
+    case ControlKind::Rollback: on_rollback(ev); break;
+    case ControlKind::Init:
+      platform_.coordinator().note_init_received(platform_.engine().now());
+      on_init(ev);
+      break;
+    case ControlKind::None: assert(false && "user event in handle_control"); break;
+  }
+}
+
+void Executor::on_prepare(const Event& ev) {
+  if (platform_.checkpoint_mode() == CheckpointMode::Capture) {
+    // Broadcast copy (fan-in 1): snapshot state now — everything that was
+    // ahead of PREPARE in the queue has been processed — and start
+    // capturing later arrivals.
+    prepared_state_ = state_;
+    prepared_checkpoint_ = ev.checkpoint_id;
+    capturing_ = true;
+    committed_this_wave_ = false;
+    platform_.acker().ack(ev.root, ev.id);
+    return;
+  }
+  // Sequential wave: PREPARE is a rearguard.  Align across all upstream
+  // instances; forward only once aligned.
+  if (!aligned(ev, platform_.control_fanin(ref_.task))) {
+    platform_.acker().ack(ev.root, ev.id);
+    return;
+  }
+  prepared_state_ = state_;
+  prepared_checkpoint_ = ev.checkpoint_id;
+  platform_.forward_control(*this, ev);
+  platform_.acker().ack(ev.root, ev.id);
+}
+
+void Executor::on_commit(const Event& ev) {
+  // COMMIT always sweeps the dataflow wiring, in both modes.
+  if (!aligned(ev, platform_.control_fanin(ref_.task))) {
+    platform_.acker().ack(ev.root, ev.id);
+    return;
+  }
+  const TaskDef& def = platform_.topology().task(ref_.task);
+  const bool capture_mode =
+      platform_.checkpoint_mode() == CheckpointMode::Capture;
+
+  CheckpointBlob blob;
+  blob.checkpoint_id = ev.checkpoint_id;
+  blob.state = prepared_state_.value_or(state_);
+  if (capture_mode) blob.pending = pending_capture_;
+  committed_this_wave_ = true;
+
+  if (!def.stateful && blob.pending.empty()) {
+    platform_.forward_control(*this, ev);
+    platform_.acker().ack(ev.root, ev.id);
+    return;
+  }
+
+  const std::uint64_t epoch = epoch_;
+  platform_.store().put(
+      platform_.cluster().vm_of(slot_),
+      CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica),
+      blob.serialize(), [this, ev, epoch] {
+        if (epoch != epoch_) return;  // killed while persisting: wave fails
+        platform_.forward_control(*this, ev);
+        platform_.acker().ack(ev.root, ev.id);
+      });
+}
+
+void Executor::on_rollback(const Event& ev) {
+  prepared_state_.reset();
+  prepared_checkpoint_ = 0;
+  committed_this_wave_ = false;
+  if (capturing_) {
+    // Re-inject captured events at the head of the queue so processing
+    // resumes exactly where capture froze it.
+    capturing_ = false;
+    for (auto it = pending_capture_.rbegin(); it != pending_capture_.rend();
+         ++it) {
+      queue_.push_front(std::move(*it));
+    }
+    pending_capture_.clear();
+  }
+  platform_.acker().ack(ev.root, ev.id);
+}
+
+void Executor::on_init(const Event& ev) {
+  const bool capture_mode =
+      platform_.checkpoint_mode() == CheckpointMode::Capture;
+
+  if (seen_init_roots_.contains(ev.root)) {
+    // Another copy of a wave root we already handled (multi-input tasks in
+    // sequential wiring).  Just ack.
+    ++stats_.duplicate_inits;
+    platform_.acker().ack(ev.root, ev.id);
+    return;
+  }
+  seen_init_roots_.insert(ev.root);
+
+  if (awaiting_init_) {
+    // Respawned worker: state (and CCR pending events) come from the store.
+    const std::uint64_t epoch = epoch_;
+    platform_.store().get(
+        platform_.cluster().vm_of(slot_),
+        CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica),
+        [this, ev, epoch](std::optional<Bytes> raw) {
+          if (epoch != epoch_) return;
+          CheckpointBlob blob;
+          if (raw) blob = CheckpointBlob::deserialize(*raw);
+          restore_from_blob(blob);
+          if (platform_.checkpoint_mode() == CheckpointMode::Wave) {
+            platform_.forward_control(*this, ev);
+          }
+          platform_.acker().ack(ev.root, ev.id);
+        });
+    return;
+  }
+
+  if (capturing_) {
+    // Never-killed instance (e.g. the pinned sink) resuming from its
+    // in-memory capture: no store round-trip needed.
+    capturing_ = false;
+    committed_this_wave_ = false;
+    ++stats_.init_restores;
+    std::vector<Event> pend = std::move(pending_capture_);
+    pending_capture_.clear();
+    for (auto it = pend.rbegin(); it != pend.rend(); ++it) {
+      queue_.push_front(std::move(*it));
+    }
+    if (!capture_mode) platform_.forward_control(*this, ev);
+    platform_.acker().ack(ev.root, ev.id);
+    return;
+  }
+
+  // Already initialised (or nothing to restore): forward so downstream
+  // stragglers still receive this wave, then ack.
+  ++stats_.duplicate_inits;
+  if (!capture_mode) platform_.forward_control(*this, ev);
+  platform_.acker().ack(ev.root, ev.id);
+}
+
+void Executor::restore_from_blob(const CheckpointBlob& blob) {
+  state_ = blob.state;
+  awaiting_init_ = false;
+  capturing_ = false;
+  committed_this_wave_ = false;
+  ++stats_.init_restores;
+
+  // Rebuild the queue front: captured in-flight events first (they were
+  // logically ahead), then any tuples pended while awaiting init.
+  for (auto it = pend_until_init_.rbegin(); it != pend_until_init_.rend();
+       ++it) {
+    queue_.push_front(std::move(*it));
+  }
+  pend_until_init_.clear();
+  for (auto it = blob.pending.rbegin(); it != blob.pending.rend(); ++it) {
+    queue_.push_front(*it);
+  }
+  pump();
+}
+
+}  // namespace rill::dsps

@@ -1,0 +1,162 @@
+// Task-instance executor: one logical task replica bound to a 1-core slot.
+//
+// Mirrors Storm's executor + StatefulBoltExecutor pair (§2, §3): a
+// single-threaded FIFO input queue, user logic invoked per event with the
+// task's service time, and platform logic that intercepts the checkpoint
+// protocol events.  The platform logic implements both checkpoint wirings:
+//
+//  * Wave mode (DSM, DCR): PREPARE/COMMIT/INIT arrive through the dataflow
+//    edges with barrier alignment across upstream instances — PREPARE is a
+//    rearguard behind all in-flight events.
+//  * Capture mode (CCR): PREPARE/INIT arrive directly on the broadcast
+//    channel; after PREPARE the executor *captures* later user events into
+//    a pending list that COMMIT persists together with the state, and INIT
+//    replays after migration.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "dsps/config.hpp"
+#include "dsps/event.hpp"
+#include "dsps/scheduler.hpp"
+#include "dsps/state.hpp"
+#include "dsps/topology.hpp"
+
+namespace rill::dsps {
+
+class Platform;
+
+/// Per-executor counters for tests and invariant checks.
+struct ExecutorStats {
+  std::uint64_t processed{0};
+  std::uint64_t emitted{0};
+  std::uint64_t captured{0};
+  std::uint64_t lost_enqueue{0};      ///< deliveries while dead
+  std::uint64_t lost_at_kill{0};      ///< queued events dropped by kill
+  std::uint64_t post_commit_arrivals{0};  ///< CCR invariant: must stay 0
+  std::uint64_t init_restores{0};
+  std::uint64_t duplicate_inits{0};
+};
+
+/// Worker lifecycle.  Dead: killed, no destination exists — deliveries are
+/// lost (Storm's broken connections during rebalance).  Starting: the
+/// replacement worker is assigned and launching — senders' transport
+/// clients buffer deliveries until the connection comes up (Storm's netty
+/// client reconnect behaviour).  Running: processing normally.
+enum class LifeState : std::uint8_t { Dead, Starting, Running };
+
+class Executor {
+ public:
+  Executor(Platform& platform, InstanceId id, InstanceRef ref);
+
+  // Non-copyable: identity object owned by the platform.
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  // ---- identity & placement ----
+  [[nodiscard]] InstanceId id() const noexcept { return id_; }
+  [[nodiscard]] InstanceRef ref() const noexcept { return ref_; }
+  [[nodiscard]] TaskId task() const noexcept { return ref_.task; }
+  [[nodiscard]] SlotId slot() const noexcept { return slot_; }
+  void bind_slot(SlotId slot) noexcept { slot_ = slot; }
+
+  // ---- lifecycle (driven by the rebalancer) ----
+  /// Kill the worker: drop queued events (counted lost), state, snapshots.
+  void kill();
+  /// Assign the replacement worker to a new slot; not yet ready.
+  void respawn(SlotId new_slot);
+  /// Worker process is up: accept deliveries.  Pass `awaiting_init` true
+  /// after a migration respawn so user events pend until INIT restores the
+  /// state (Storm's StatefulBoltExecutor behaviour).
+  void set_ready(bool awaiting_init = false);
+
+  [[nodiscard]] bool ready() const noexcept {
+    return life_ == LifeState::Running;
+  }
+  [[nodiscard]] LifeState life() const noexcept { return life_; }
+  [[nodiscard]] bool awaiting_init() const noexcept { return awaiting_init_; }
+  [[nodiscard]] bool capturing() const noexcept { return capturing_; }
+
+  // ---- dataflow ----
+  /// Deliver an event into the input queue (network callback).  Dropped
+  /// and reported lost when the worker is not ready.
+  void enqueue(Event ev);
+
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+  [[nodiscard]] const TaskState& state() const noexcept { return state_; }
+  [[nodiscard]] const std::vector<Event>& pending_capture() const noexcept {
+    return pending_capture_;
+  }
+  [[nodiscard]] const ExecutorStats& stats() const noexcept { return stats_; }
+
+  /// Version of the user logic this worker runs; bumped by migrations
+  /// that carry logic updates.  The user logic tags per-version counters
+  /// ("v<N>") so tests can audit which version processed which events.
+  [[nodiscard]] int logic_version() const noexcept { return logic_version_; }
+  void set_logic_version(int v) noexcept { logic_version_ = v; }
+
+ private:
+  friend class Platform;
+
+  void pump();
+  void finish_user_event(const Event& ev);
+  void handle_control(const Event& ev);
+
+  void on_prepare(const Event& ev);
+  void on_commit(const Event& ev);
+  void on_rollback(const Event& ev);
+  void on_init(const Event& ev);
+
+  /// Barrier alignment: true when all expected copies of this wave root
+  /// have been consumed at this executor.
+  bool aligned(const Event& ev, int expected);
+
+  void apply_user_logic(const Event& ev);
+  void restore_from_blob(const CheckpointBlob& blob);
+
+  Platform& platform_;
+  InstanceId id_;
+  InstanceRef ref_;
+  SlotId slot_{};
+
+  std::deque<Event> queue_;
+  bool busy_{false};
+  LifeState life_{LifeState::Dead};
+  bool awaiting_init_{false};
+  /// Deliveries that arrived while Starting (buffered in the senders'
+  /// transport clients until the worker connection comes up).
+  std::deque<Event> transport_buffer_;
+  /// User events pended while awaiting INIT (Storm's StatefulBoltExecutor
+  /// buffers pre-init tuples).
+  std::deque<Event> pend_until_init_;
+
+  TaskState state_;
+  std::optional<TaskState> prepared_state_;
+  std::uint64_t prepared_checkpoint_{0};
+  bool committed_this_wave_{false};
+
+  // CCR capture machinery.
+  bool capturing_{false};
+  std::vector<Event> pending_capture_;
+
+  // Barrier alignment: wave root → copies consumed so far.
+  std::unordered_map<RootId, int> align_count_;
+  // INIT dedup: wave roots already acted on (forwarded / restored).
+  std::unordered_set<RootId> seen_init_roots_;
+
+  /// Bumped on kill/respawn so that in-flight scheduled callbacks from a
+  /// previous incarnation become no-ops.
+  std::uint64_t epoch_{0};
+
+  int logic_version_{1};
+
+  ExecutorStats stats_;
+};
+
+}  // namespace rill::dsps

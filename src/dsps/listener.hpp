@@ -1,0 +1,33 @@
+// Observer interface the platform reports event lifecycle to.
+//
+// Keeps the dsps layer independent of the metrics layer: the metrics
+// Collector implements this interface and derives every paper metric
+// (restore, catchup, recovery, stabilization, replay counts, throughput
+// and latency series) purely from these callbacks.
+#pragma once
+
+#include "common/time.hpp"
+#include "dsps/event.hpp"
+
+namespace rill::dsps {
+
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+
+  /// A source emitted a root event copy into the dataflow.  `replay` marks
+  /// re-emissions of failed roots (DSM recovery traffic).
+  virtual void on_source_emit(const Event& /*ev*/, bool /*replay*/) {}
+
+  /// Any event (root copy or derived child) was emitted anywhere.
+  virtual void on_emit(const Event& /*ev*/) {}
+
+  /// An event finished processing at a sink task.
+  virtual void on_sink_arrival(const Event& /*ev*/, SimTime /*now*/) {}
+
+  /// An event was dropped (delivered to a dead/not-ready worker, or was in
+  /// a killed worker's queue).
+  virtual void on_lost(const Event& /*ev*/, SimTime /*now*/) {}
+};
+
+}  // namespace rill::dsps

@@ -1,0 +1,337 @@
+#include "dsps/platform.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rill::dsps {
+
+namespace {
+
+std::uint64_t splitmix64_once(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Platform::Platform(sim::Engine& engine, PlatformConfig config)
+    : engine_(engine),
+      config_(config),
+      cluster_(engine),
+      rng_root_(config.seed),
+      rng_net_(rng_root_.fork()),
+      rng_rebalance_(rng_root_.fork()),
+      rng_ids_(rng_root_.fork()) {}
+
+Platform::~Platform() = default;
+
+void Platform::setup_infrastructure() {
+  if (network_) throw std::logic_error("infrastructure already set up");
+  network_ = std::make_unique<net::Network>(engine_, cluster_,
+                                            net::NetworkConfig{}, rng_net_);
+  io_vm_ = cluster_.provision(cluster::VmType::D3, "io");
+  store_vm_ = cluster_.provision(cluster::VmType::D3, "redis");
+  store_ = std::make_unique<kvstore::Store>(engine_, *network_, store_vm_);
+  acker_ = std::make_unique<AckerService>(engine_, config_.ack_timeout);
+  coordinator_ = std::make_unique<CheckpointCoordinator>(*this);
+  rebalancer_ = std::make_unique<Rebalancer>(*this);
+}
+
+void Platform::deploy(Topology topology, std::vector<VmId> worker_vms,
+                      const Scheduler& scheduler) {
+  if (!network_) throw std::logic_error("call setup_infrastructure() first");
+  if (deployed_) throw std::logic_error("a topology is already deployed");
+  if (!topology.validated()) topology.validate();
+  topology_ = std::move(topology);
+  worker_vms_ = std::move(worker_vms);
+
+  // Sources and sinks live on the dedicated I/O VM (paper §5: "they are
+  // not migrated, to allow logging of end-to-end statistics").
+  std::vector<SlotId> io_slots = cluster_.vacant_slots_on({io_vm_});
+  std::size_t io_used = 0;
+  auto next_io_slot = [&]() -> SlotId {
+    if (io_used >= io_slots.size()) {
+      throw std::logic_error("I/O VM out of slots for sources/sinks");
+    }
+    return io_slots[io_used++];
+  };
+
+  for (TaskId src : topology_.sources()) {
+    const InstanceId iid{next_instance_++};
+    auto spout = std::make_unique<Spout>(*this, iid, InstanceRef{src, 0},
+                                         config_.source_rate);
+    const SlotId slot = next_io_slot();
+    spout->bind_slot(slot);
+    cluster_.occupy(slot, iid);
+    spouts_.emplace(src, std::move(spout));
+  }
+  for (TaskId snk : topology_.sinks()) {
+    for (int r = 0; r < topology_.task(snk).parallelism; ++r) {
+      const InstanceId iid{next_instance_++};
+      const InstanceRef ref{snk, r};
+      auto ex = std::make_unique<Executor>(*this, iid, ref);
+      const SlotId slot = next_io_slot();
+      ex->bind_slot(slot);
+      cluster_.occupy(slot, iid);
+      ex->set_ready(false);
+      executors_.emplace(ref, std::move(ex));
+    }
+  }
+
+  // Worker instances, placed by the scheduler on the worker VM pool.
+  std::vector<InstanceRef> refs;
+  for (TaskId t : topology_.workers()) {
+    for (int r = 0; r < topology_.task(t).parallelism; ++r) {
+      refs.push_back(InstanceRef{t, r});
+    }
+  }
+  const Placement placement =
+      scheduler.place(refs, cluster_.vacant_slots_on(worker_vms_), cluster_);
+  for (const auto& [ref, slot] : placement) {
+    const InstanceId iid{next_instance_++};
+    auto ex = std::make_unique<Executor>(*this, iid, ref);
+    ex->bind_slot(slot);
+    cluster_.occupy(slot, iid);
+    ex->set_ready(false);
+    executors_.emplace(ref, std::move(ex));
+  }
+  deployed_ = true;
+}
+
+void Platform::start() {
+  if (!deployed_) throw std::logic_error("deploy a topology before start()");
+  acker_->start();
+  for (auto& [task, spout] : spouts_) spout->start();
+}
+
+void Platform::stop() {
+  for (auto& [task, spout] : spouts_) spout->stop();
+  acker_->stop();
+  coordinator_->stop_periodic();
+}
+
+void Platform::set_user_acking(bool on) { user_acking_ = on; }
+
+Executor& Platform::executor(InstanceRef ref) {
+  auto it = executors_.find(ref);
+  if (it == executors_.end()) throw std::logic_error("unknown instance");
+  return *it->second;
+}
+
+const Executor& Platform::executor(InstanceRef ref) const {
+  auto it = executors_.find(ref);
+  if (it == executors_.end()) throw std::logic_error("unknown instance");
+  return *it->second;
+}
+
+Spout& Platform::spout(TaskId source_task) {
+  auto it = spouts_.find(source_task);
+  if (it == spouts_.end()) throw std::logic_error("unknown source task");
+  return *it->second;
+}
+
+std::vector<Spout*> Platform::spouts() {
+  std::vector<Spout*> out;
+  out.reserve(spouts_.size());
+  for (auto& [task, spout] : spouts_) out.push_back(spout.get());
+  return out;
+}
+
+std::vector<InstanceRef> Platform::worker_and_sink_instances() const {
+  std::vector<InstanceRef> out;
+  for (TaskId t : topology_.topo_order()) {
+    const TaskDef& def = topology_.task(t);
+    if (def.kind == TaskKind::Source) continue;
+    for (int r = 0; r < def.parallelism; ++r) out.push_back(InstanceRef{t, r});
+  }
+  return out;
+}
+
+std::vector<InstanceRef> Platform::worker_instances() const {
+  std::vector<InstanceRef> out;
+  for (TaskId t : topology_.topo_order()) {
+    const TaskDef& def = topology_.task(t);
+    if (def.kind != TaskKind::Worker) continue;
+    for (int r = 0; r < def.parallelism; ++r) out.push_back(InstanceRef{t, r});
+  }
+  return out;
+}
+
+std::vector<InstanceRef> Platform::sink_instances() const {
+  std::vector<InstanceRef> out;
+  for (TaskId t : topology_.sinks()) {
+    for (int r = 0; r < topology_.task(t).parallelism; ++r) {
+      out.push_back(InstanceRef{t, r});
+    }
+  }
+  return out;
+}
+
+void Platform::pause_sources() {
+  for (auto& [task, spout] : spouts_) spout->pause();
+}
+
+void Platform::unpause_sources() {
+  for (auto& [task, spout] : spouts_) spout->unpause();
+}
+
+EventId Platform::fresh_event_id() noexcept {
+  // A counter through the splitmix64 finaliser: unique (bijective) and
+  // pseudo-random enough for XOR-tree hashing, yet fully deterministic.
+  return splitmix64_once(++id_counter_ ^ (config_.seed << 1));
+}
+
+int Platform::shuffle_replica(InstanceId from, EdgeId edge, int parallelism) {
+  if (parallelism == 1) return 0;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from.value) << 32) | edge.value;
+  int& counter = shuffle_counters_[key];
+  const int replica = counter % parallelism;
+  ++counter;
+  return replica;
+}
+
+int Platform::route_replica(InstanceId from, const EdgeDef& edge,
+                            const Event& ev, int parallelism) {
+  if (parallelism == 1) return 0;
+  if (edge.grouping == Grouping::Fields) {
+    // Key-affine routing: the same key always lands on the same replica,
+    // independent of the sender (Storm's fieldsGrouping).
+    return static_cast<int>(splitmix64_once(ev.key) %
+                            static_cast<std::uint64_t>(parallelism));
+  }
+  return shuffle_replica(from, edge.id, parallelism);
+}
+
+int Platform::emit_user_children(Executor& from, const Event& parent) {
+  const TaskDef& def = topology_.task(from.task());
+  int emitted = 0;
+  for (EdgeId eid : topology_.out_edges(from.task())) {
+    const EdgeDef& e = topology_.edge(eid);
+    // Fractional selectivity accumulates per (instance, edge) so e.g.
+    // 0.5 emits every other event, deterministically.
+    const std::uint64_t acc_key =
+        (static_cast<std::uint64_t>(from.id().value) << 32) |
+        (0x80000000u | eid.value);
+    // Reuse shuffle_counters_ storage for the integer part bookkeeping is
+    // too clever; keep a dedicated accumulator map.
+    double& acc = selectivity_acc_[acc_key];
+    acc += def.selectivity;
+    int count = static_cast<int>(acc);
+    acc -= count;
+
+    const TaskDef& dst_def = topology_.task(e.to);
+    for (int k = 0; k < count; ++k) {
+      Event child;
+      child.id = fresh_event_id();
+      child.root = parent.root;
+      child.origin = parent.origin;
+      child.producer = from.task();
+      child.born_at = parent.born_at;
+      child.emitted_at = engine_.now();
+      child.replayed = parent.replayed;
+      child.key = parent.key;
+      child.payload_size = parent.payload_size;
+
+      const int replica =
+          route_replica(from.id(), e, child, dst_def.parallelism);
+      Executor& dst = executor(InstanceRef{e.to, replica});
+
+      if (user_acking_) acker_->add(child.root, child.id);
+      ++stats_.events_emitted;
+      if (child.replayed) ++stats_.replayed_emissions;
+      listener().on_emit(child);
+
+      network_->send(cluster_.vm_of(from.slot()), cluster_.vm_of(dst.slot()),
+                     child.payload_size,
+                     [&dst, child] { dst.enqueue(child); });
+      ++emitted;
+    }
+  }
+  return emitted;
+}
+
+void Platform::emit_from_source(Spout& spout, const Event& root_copy_template,
+                                bool replay) {
+  listener().on_source_emit(root_copy_template, replay);
+  for (EdgeId eid : topology_.out_edges(spout.task())) {
+    const EdgeDef& e = topology_.edge(eid);
+    const TaskDef& dst_def = topology_.task(e.to);
+
+    Event copy = root_copy_template;
+    copy.id = fresh_event_id();
+    copy.emitted_at = engine_.now();
+
+    const int replica = route_replica(spout.id(), e, copy, dst_def.parallelism);
+    Executor& dst = executor(InstanceRef{e.to, replica});
+
+    if (user_acking_) acker_->add(copy.root, copy.id);
+    ++stats_.events_emitted;
+    if (copy.replayed) ++stats_.replayed_emissions;
+    listener().on_emit(copy);
+
+    network_->send(cluster_.vm_of(spout.slot()), cluster_.vm_of(dst.slot()),
+                   copy.payload_size, [&dst, copy] { dst.enqueue(copy); });
+  }
+}
+
+void Platform::forward_control(Executor& from, const Event& ev) {
+  for (EdgeId eid : topology_.out_edges(from.task())) {
+    const EdgeDef& e = topology_.edge(eid);
+    const TaskDef& dst_def = topology_.task(e.to);
+    for (int r = 0; r < dst_def.parallelism; ++r) {
+      Event copy = ev;
+      copy.id = fresh_event_id();
+      copy.emitted_at = engine_.now();
+      acker_->add(ev.root, copy.id);
+
+      Executor& dst = executor(InstanceRef{e.to, r});
+      network_->send(cluster_.vm_of(from.slot()), cluster_.vm_of(dst.slot()),
+                     copy.payload_size, [&dst, copy] { dst.enqueue(copy); });
+    }
+  }
+}
+
+void Platform::send_control_from_coordinator(InstanceRef dst_ref, Event ev) {
+  Executor& dst = executor(dst_ref);
+  network_->send(io_vm_, cluster_.vm_of(dst.slot()), ev.payload_size,
+                 [&dst, ev] { dst.enqueue(ev); });
+}
+
+int Platform::control_fanin(TaskId task) const {
+  int fanin = 0;
+  for (TaskId up : topology_.upstream(task)) {
+    const TaskDef& u = topology_.task(up);
+    // The coordinator injects one copy per source in-edge; worker upstream
+    // tasks forward one copy per instance.
+    fanin += (u.kind == TaskKind::Source) ? 1 : u.parallelism;
+  }
+  return fanin;
+}
+
+std::vector<TaskId> Platform::entry_tasks() const {
+  std::vector<TaskId> out;
+  for (TaskId t : topology_.topo_order()) {
+    if (topology_.task(t).kind == TaskKind::Source) continue;
+    for (TaskId up : topology_.upstream(t)) {
+      if (topology_.task(up).kind == TaskKind::Source) {
+        out.push_back(t);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void Platform::note_lost(const Event& ev) {
+  ++stats_.events_lost;
+  listener().on_lost(ev, engine_.now());
+}
+
+VmId Platform::vm_of_instance(InstanceRef ref) const {
+  return cluster_.vm_of(executor(ref).slot());
+}
+
+}  // namespace rill::dsps

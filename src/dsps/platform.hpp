@@ -1,0 +1,200 @@
+// StreamPlatform: the Storm-like DSPS that everything runs on.
+//
+// Owns the simulated infrastructure (cluster, network, key-value store),
+// the platform services (acker, checkpoint coordinator, rebalancer) and
+// the deployed dataflow (spouts + executors), and provides the routing and
+// checkpoint-wiring services the paper's migration strategies drive.
+//
+// Layout decisions match the paper's experiment setup (§5): source and
+// sink instances are pinned to a dedicated 4-slot "I/O" VM that is never
+// migrated; the store runs on its own VM; worker instances are placed on
+// the worker VM pool by a pluggable scheduler (Storm round-robin default).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "dsps/acker.hpp"
+#include "dsps/checkpoint.hpp"
+#include "dsps/config.hpp"
+#include "dsps/event.hpp"
+#include "dsps/executor.hpp"
+#include "dsps/listener.hpp"
+#include "dsps/rebalance.hpp"
+#include "dsps/scheduler.hpp"
+#include "dsps/spout.hpp"
+#include "dsps/topology.hpp"
+#include "kvstore/store.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+
+namespace rill::dsps {
+
+struct PlatformStats {
+  std::uint64_t events_emitted{0};
+  std::uint64_t events_lost{0};
+  std::uint64_t replayed_emissions{0};  ///< emissions tainted `replayed`
+};
+
+class Platform {
+ public:
+  Platform(sim::Engine& engine, PlatformConfig config);
+  ~Platform();
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  // ---- infrastructure ----
+  /// Provision the I/O VM (sources/sinks/coordinator) and the store VM.
+  /// Must be called before deploy().
+  void setup_infrastructure();
+
+  /// Deploy a validated topology: spouts/sinks on the I/O VM, worker
+  /// instances on `worker_vms` via `scheduler`.
+  void deploy(Topology topology, std::vector<VmId> worker_vms,
+              const Scheduler& scheduler);
+
+  /// Start the sources and platform timers.
+  void start();
+  /// Stop sources and timers (end of experiment).
+  void stop();
+
+  // ---- component access ----
+  [[nodiscard]] sim::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const PlatformConfig& config() const noexcept { return config_; }
+  [[nodiscard]] PlatformConfig& config_mut() noexcept { return config_; }
+  [[nodiscard]] cluster::Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] net::Network& network() noexcept { return *network_; }
+  [[nodiscard]] kvstore::Store& store() noexcept { return *store_; }
+  [[nodiscard]] AckerService& acker() noexcept { return *acker_; }
+  [[nodiscard]] CheckpointCoordinator& coordinator() noexcept { return *coordinator_; }
+  [[nodiscard]] Rebalancer& rebalancer() noexcept { return *rebalancer_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+
+  [[nodiscard]] VmId io_vm() const noexcept { return io_vm_; }
+  [[nodiscard]] VmId store_vm() const noexcept { return store_vm_; }
+  [[nodiscard]] const std::vector<VmId>& worker_vms() const noexcept {
+    return worker_vms_;
+  }
+
+  // ---- session knobs (set by migration strategies) ----
+  void set_user_acking(bool on);
+  [[nodiscard]] bool user_acking() const noexcept { return user_acking_; }
+  void set_checkpoint_mode(CheckpointMode m) noexcept { checkpoint_mode_ = m; }
+  [[nodiscard]] CheckpointMode checkpoint_mode() const noexcept {
+    return checkpoint_mode_;
+  }
+
+  void set_listener(EventListener* listener) noexcept { listener_ = listener; }
+  [[nodiscard]] EventListener& listener() noexcept {
+    return listener_ ? *listener_ : null_listener_;
+  }
+
+  // ---- dataflow access ----
+  [[nodiscard]] Executor& executor(InstanceRef ref);
+  [[nodiscard]] const Executor& executor(InstanceRef ref) const;
+  [[nodiscard]] Spout& spout(TaskId source_task);
+  [[nodiscard]] std::vector<Spout*> spouts();
+  /// All worker + sink instance refs in topology order.
+  [[nodiscard]] std::vector<InstanceRef> worker_and_sink_instances() const;
+  /// Worker instance refs only (the migrating set).
+  [[nodiscard]] std::vector<InstanceRef> worker_instances() const;
+  [[nodiscard]] std::vector<InstanceRef> sink_instances() const;
+
+  void pause_sources();
+  void unpause_sources();
+
+  // ---- services used by executors / spouts / coordinator ----
+  [[nodiscard]] EventId fresh_event_id() noexcept;
+
+  /// Emit the user-event children of `parent` from `from` along every
+  /// out-edge (duplicate semantics), honouring selectivity, the acker and
+  /// the listener.  Returns the number of children emitted.
+  int emit_user_children(Executor& from, const Event& parent);
+
+  /// Spout root emission: one copy per source out-edge, shuffle-routed.
+  void emit_from_source(Spout& spout, const Event& root_copy_template,
+                        bool replay);
+
+  /// Forward control-event copies from `from` to every instance of each
+  /// downstream task (sequential checkpoint wiring).
+  void forward_control(Executor& from, const Event& ev);
+
+  /// Send one control copy from the coordinator (I/O VM) to an instance.
+  void send_control_from_coordinator(InstanceRef dst, Event ev);
+
+  /// Number of control-event copies an instance of `task` must collect for
+  /// barrier alignment of a sequentially-wired wave.
+  [[nodiscard]] int control_fanin(TaskId task) const;
+
+  /// Entry tasks: workers with at least one Source upstream (per-edge).
+  [[nodiscard]] std::vector<TaskId> entry_tasks() const;
+
+  /// Report a lost event (dead destination or killed queue).
+  void note_lost(const Event& ev);
+
+  [[nodiscard]] const PlatformStats& stats() const noexcept { return stats_; }
+
+  /// Deterministic RNG streams forked from the config seed.
+  [[nodiscard]] Rng& rng_rebalance() noexcept { return rng_rebalance_; }
+
+  /// VM hosting an instance's current slot.
+  [[nodiscard]] VmId vm_of_instance(InstanceRef ref) const;
+
+ private:
+  friend class Rebalancer;
+
+  /// Choose a destination replica for a user event on `edge` (shuffle).
+  int shuffle_replica(InstanceId from, EdgeId edge, int parallelism);
+  /// Grouping-aware replica choice: Fields routes by hash(event key).
+  int route_replica(InstanceId from, const EdgeDef& edge, const Event& ev,
+                    int parallelism);
+
+  sim::Engine& engine_;
+  PlatformConfig config_;
+  cluster::Cluster cluster_;
+  Rng rng_root_;
+  Rng rng_net_;
+  Rng rng_rebalance_;
+  Rng rng_ids_;
+  std::uint64_t id_counter_{0};
+
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<kvstore::Store> store_;
+  std::unique_ptr<AckerService> acker_;
+  std::unique_ptr<CheckpointCoordinator> coordinator_;
+  std::unique_ptr<Rebalancer> rebalancer_;
+
+  Topology topology_{"unset"};
+  bool deployed_{false};
+  VmId io_vm_{};
+  VmId store_vm_{};
+  std::vector<VmId> worker_vms_;
+
+  std::map<InstanceRef, std::unique_ptr<Executor>> executors_;
+  std::map<TaskId, std::unique_ptr<Spout>> spouts_;
+  std::uint32_t next_instance_{1};
+
+  bool user_acking_{false};
+  CheckpointMode checkpoint_mode_{CheckpointMode::Wave};
+
+  EventListener* listener_{nullptr};
+  EventListener null_listener_;
+
+  /// Shuffle-grouping round-robin counters per (sender instance, edge).
+  std::unordered_map<std::uint64_t, int> shuffle_counters_;
+  /// Fractional-selectivity accumulators per (sender instance, edge).
+  std::unordered_map<std::uint64_t, double> selectivity_acc_;
+
+  PlatformStats stats_;
+};
+
+}  // namespace rill::dsps

@@ -1,0 +1,145 @@
+#include "dsps/rebalance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "dsps/platform.hpp"
+
+namespace rill::dsps {
+
+Rebalancer::Rebalancer(Platform& platform) : platform_(platform) {}
+
+void Rebalancer::rebalance(const MigrationPlan& plan, SimDuration timeout,
+                           std::function<void()> on_command_complete) {
+  if (in_progress_) {
+    throw std::logic_error("rebalance already in progress");
+  }
+  if (plan.scheduler == nullptr) {
+    throw std::logic_error("migration plan has no scheduler");
+  }
+  in_progress_ = true;
+
+  RebalanceRecord rec;
+  rec.invoked_at = platform_.engine().now();
+  last_ = rec;
+
+  if (timeout > 0) {
+    // Storm's timeout variant: sources pause so in-flight events may flow
+    // through before the kill; they resume when the command completes.
+    platform_.pause_sources();
+    platform_.engine().schedule(timeout, [this, plan,
+                                          done = std::move(on_command_complete)]() mutable {
+      kill_and_redeploy(plan, [this, done = std::move(done)] {
+        platform_.unpause_sources();
+        if (done) done();
+      });
+    });
+    return;
+  }
+  kill_and_redeploy(plan, std::move(on_command_complete));
+}
+
+void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
+                                   std::function<void()> on_command_complete) {
+  const PlatformConfig& cfg = platform_.config();
+
+  // Command latency, sampled once per invocation (paper: ≈7.26 s mean,
+  // near-constant across DAGs and strategies).
+  const double command_sec =
+      std::max(2.0, platform_.rng_rebalance().normal(cfg.rebalance_mean_sec,
+                                                     cfg.rebalance_stddev_sec));
+
+  platform_.engine().schedule(cfg.kill_delay, [this, plan, command_sec,
+                                               done = std::move(on_command_complete)]() mutable {
+    last_->killed_at = platform_.engine().now();
+
+    // Kill every migrating worker instance: queues, in-memory state and
+    // CCR capture lists die with the worker.
+    const std::vector<InstanceRef> migrating = platform_.worker_instances();
+    last_->instances_migrated = static_cast<int>(migrating.size());
+    const std::vector<VmId> old_vms = platform_.worker_vms();
+
+    std::uint64_t lost = 0;
+    for (const InstanceRef& ref : migrating) {
+      Executor& ex = platform_.executor(ref);
+      const std::uint64_t before = ex.stats().lost_at_kill;
+      platform_.cluster().vacate(ex.slot());
+      ex.kill();
+      lost += ex.stats().lost_at_kill - before;
+    }
+    last_->events_lost_in_queues = lost;
+
+    const SimDuration remaining =
+        time::sec_f(command_sec) - platform_.config().kill_delay;
+    platform_.engine().schedule(
+        std::max<SimDuration>(remaining, 0),
+        [this, plan, migrating, old_vms, done = std::move(done)]() mutable {
+          const PlatformConfig& cfg2 = platform_.config();
+
+          // Place the migrating instances on the target VMs and rewire.
+          const std::vector<SlotId> slots =
+              platform_.cluster().vacant_slots_on(plan.target_vms);
+          const Placement placement =
+              plan.scheduler->place(migrating, slots, platform_.cluster());
+          for (const auto& [ref, slot] : placement) {
+            Executor& ex = platform_.executor(ref);
+            ex.respawn(slot);
+            platform_.cluster().occupy(slot, ex.id());
+            for (const auto& [task, version] : plan.logic_updates) {
+              if (task == ref.task) ex.set_logic_version(version);
+            }
+          }
+          platform_.worker_vms_ = plan.target_vms;
+
+          if (plan.release_old_vms) {
+            std::unordered_set<std::uint32_t> target;
+            for (VmId v : plan.target_vms) target.insert(v.value);
+            for (VmId v : old_vms) {
+              if (!target.contains(v.value) &&
+                  platform_.cluster().vm(v).active()) {
+                platform_.cluster().release(v);
+              }
+            }
+          }
+
+          // Each worker becomes ready after its own start-up delay plus a
+          // contention term per instance co-located on its target VM.
+          std::unordered_map<std::uint32_t, int> per_vm;
+          for (const InstanceRef& ref : migrating) {
+            ++per_vm[platform_.cluster()
+                         .vm_of(platform_.executor(ref).slot())
+                         .value];
+          }
+          for (const InstanceRef& ref : migrating) {
+            const int colocated =
+                per_vm[platform_.cluster()
+                           .vm_of(platform_.executor(ref).slot())
+                           .value];
+            double startup =
+                platform_.rng_rebalance().uniform(cfg2.worker_startup_min_sec,
+                                                  cfg2.worker_startup_max_sec) +
+                cfg2.worker_startup_per_colocated_sec *
+                    static_cast<double>(colocated);
+            if (platform_.rng_rebalance().uniform01() <
+                cfg2.worker_slow_start_prob) {
+              startup += platform_.rng_rebalance().uniform(
+                  cfg2.worker_slow_start_min_sec,
+                  cfg2.worker_slow_start_max_sec);
+            }
+            Executor& ex = platform_.executor(ref);
+            const bool stateful = platform_.topology().task(ref.task).stateful;
+            platform_.engine().schedule(
+                time::sec_f(startup),
+                [&ex, stateful] { ex.set_ready(/*awaiting_init=*/stateful); });
+          }
+
+          last_->command_completed_at = platform_.engine().now();
+          in_progress_ = false;
+          if (done) done();
+        });
+  });
+}
+
+}  // namespace rill::dsps

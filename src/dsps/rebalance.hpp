@@ -1,0 +1,79 @@
+// The rebalance engine — Storm's `rebalance` command.
+//
+// Kills the task instances being migrated (dropping their input queues and
+// in-memory state, exactly the loss DSM relies on the acker to repair),
+// reschedules them onto the target VM set, and rewires the dataflow.  The
+// command itself completes after ≈7.26 s (paper §5.1: "remains relatively
+// constant across dataflows, VM counts and strategies"), after which each
+// respawned worker becomes ready following an additional start-up delay —
+// the paper's tasks "waiting to be initialized with INIT events".
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "dsps/scheduler.hpp"
+
+namespace rill::dsps {
+
+class Platform;
+
+/// The already-decided new schedule (the paper treats planning as a
+/// solved precursor problem; we enact it).
+struct MigrationPlan {
+  /// VMs that will host the worker instances after migration.  Must be
+  /// provisioned before the rebalance is invoked.
+  std::vector<VmId> target_vms;
+  /// Scheduler used to place instances on the target VMs (Storm default:
+  /// round-robin).
+  const Scheduler* scheduler{nullptr};
+  /// Release the vacated worker VMs once the command completes (scale-in
+  /// billing benefit).
+  bool release_old_vms{true};
+  /// Task-logic upgrades applied when the replacement workers spawn (the
+  /// paper's "updating the task logic by re-wiring the DAG on the fly").
+  /// Old events drained by DCR run entirely under the old version; events
+  /// captured by CCR resume under the new one.
+  std::vector<std::pair<TaskId, int>> logic_updates;
+};
+
+struct RebalanceRecord {
+  SimTime invoked_at{0};
+  SimTime killed_at{0};
+  SimTime command_completed_at{0};
+  int instances_migrated{0};
+  std::uint64_t events_lost_in_queues{0};
+};
+
+class Rebalancer {
+ public:
+  explicit Rebalancer(Platform& platform);
+
+  /// Enact the plan.  `timeout` reproduces Storm's rebalance timeout
+  /// argument: sources are paused for that long before the kill so
+  /// in-flight events may drain (the paper uses 0 everywhere, but the
+  /// knob exists for the ablation bench).  `on_command_complete` runs when
+  /// the command returns — workers may still be starting up at that point.
+  void rebalance(const MigrationPlan& plan, SimDuration timeout,
+                 std::function<void()> on_command_complete);
+
+  [[nodiscard]] bool in_progress() const noexcept { return in_progress_; }
+  [[nodiscard]] const std::optional<RebalanceRecord>& last() const noexcept {
+    return last_;
+  }
+
+ private:
+  void kill_and_redeploy(const MigrationPlan& plan,
+                         std::function<void()> on_command_complete);
+
+  Platform& platform_;
+  bool in_progress_{false};
+  std::optional<RebalanceRecord> last_;
+};
+
+}  // namespace rill::dsps

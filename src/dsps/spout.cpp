@@ -1,0 +1,130 @@
+#include "dsps/spout.hpp"
+
+#include <algorithm>
+
+#include "dsps/platform.hpp"
+
+namespace rill::dsps {
+
+Spout::Spout(Platform& platform, InstanceId id, InstanceRef ref, double rate)
+    : platform_(platform),
+      id_(id),
+      ref_(ref),
+      rate_(rate),
+      gen_timer_(platform.engine(), time::sec_f(1.0 / rate),
+                 [this] { tick(); }),
+      pump_timer_(platform.engine(),
+                  time::sec_f(1.0 / platform.config().backlog_pump_rate),
+                  [this] { pump_backlog(); }) {}
+
+void Spout::start() {
+  if (running_) return;
+  running_ = true;
+  gen_timer_.start();
+}
+
+void Spout::stop() {
+  running_ = false;
+  gen_timer_.stop();
+  pump_timer_.stop();
+}
+
+void Spout::pause() {
+  paused_ = true;
+  pump_timer_.stop();
+}
+
+void Spout::unpause() {
+  if (!paused_) return;
+  paused_ = false;
+  if (!backlog_.empty()) pump_timer_.start();
+}
+
+void Spout::tick() {
+  ++stats_.generated;
+  const SimTime born = platform_.engine().now();
+
+  const bool cap_hit = platform_.user_acking() &&
+                       cache_.size() >= platform_.config().max_spout_pending;
+  if (paused_ || cap_hit || !backlog_.empty()) {
+    if (backlog_.size() >= platform_.config().max_source_backlog) {
+      ++stats_.backlog_dropped;  // the external feed does not buffer forever
+      return;
+    }
+    backlog_.push_back(born);
+    stats_.backlog_peak = std::max<std::uint64_t>(stats_.backlog_peak,
+                                                  backlog_.size());
+    if (!paused_ && !pump_timer_.running()) pump_timer_.start();
+    return;
+  }
+  emit_root(born, /*replay=*/false);
+}
+
+void Spout::pump_backlog() {
+  if (paused_ || backlog_.empty()) {
+    pump_timer_.stop();
+    return;
+  }
+  if (platform_.user_acking() &&
+      cache_.size() >= platform_.config().max_spout_pending) {
+    return;  // keep the timer armed; capacity frees when roots resolve
+  }
+  const SimTime born = backlog_.front();
+  backlog_.pop_front();
+  emit_root(born, /*replay=*/false);
+  if (backlog_.empty()) pump_timer_.stop();
+}
+
+void Spout::emit_root(SimTime born_at, bool replay, RootId origin) {
+  const RootId root = platform_.fresh_event_id();
+  if (origin == 0) origin = root;
+
+  if (platform_.user_acking()) {
+    platform_.acker().register_root(
+        root, [this](RootId r) { on_root_complete(r); },
+        [this](RootId r) { on_root_fail(r); });
+    cache_[root] = CachedRoot{born_at, replay, origin};
+  }
+
+  Event tmpl;
+  tmpl.id = root;
+  tmpl.root = root;
+  tmpl.origin = origin;
+  tmpl.key = next_key_++ % platform_.config().key_cardinality;
+  tmpl.producer = ref_.task;
+  tmpl.born_at = born_at;
+  tmpl.emitted_at = platform_.engine().now();
+  tmpl.replayed = replay;
+
+  platform_.emit_from_source(*this, tmpl, replay);
+
+  if (platform_.user_acking()) {
+    // Self-ack the root entry now that all copies are anchored.
+    platform_.acker().ack(root, root);
+  }
+
+  ++stats_.emitted;
+  if (replay) ++stats_.replayed_roots;
+}
+
+void Spout::on_root_complete(RootId root) {
+  cache_.erase(root);
+  ++stats_.completed_roots;
+  if (!paused_ && !backlog_.empty() && !pump_timer_.running()) {
+    pump_timer_.start();
+  }
+}
+
+void Spout::on_root_fail(RootId root) {
+  auto it = cache_.find(root);
+  if (it == cache_.end()) return;
+  const SimTime born = it->second.born_at;
+  const RootId origin = it->second.origin;
+  cache_.erase(it);
+  // At-least-once: re-emit the whole causal tree from the source, exactly
+  // like Storm replaying a failed tuple.  The fresh root id starts a new
+  // acker tree; `origin` keeps the lineage auditable.
+  emit_root(born, /*replay=*/true, origin);
+}
+
+}  // namespace rill::dsps

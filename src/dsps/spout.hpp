@@ -1,0 +1,102 @@
+// Source task (spout): rate-driven synthetic event generator with the
+// reliability features the paper's strategies depend on.
+//
+//  * Emits root events at a fixed rate (paper: 8 ev/s) and duplicates each
+//    root to every out-edge.
+//  * When user acking is enabled (DSM), caches emitted roots until the
+//    acker reports the causal tree complete; failed roots are re-emitted
+//    ("replayed") with the original birth timestamp so end-to-end latency
+//    reflects the recovery delay.
+//  * pause()/unpause(): while paused (DCR/CCR migration) the external
+//    stream keeps producing into a backlog, which is pumped into the
+//    dataflow at a configurable rate after unpause — this produces the
+//    input-rate spike visible in the paper's Fig 7b/7c.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "dsps/event.hpp"
+#include "dsps/scheduler.hpp"
+#include "sim/engine.hpp"
+
+namespace rill::dsps {
+
+class Platform;
+
+struct SpoutStats {
+  std::uint64_t generated{0};       ///< external stream events produced
+  std::uint64_t emitted{0};         ///< root emissions into the dataflow
+  std::uint64_t replayed_roots{0};  ///< failed roots re-emitted
+  std::uint64_t completed_roots{0};
+  std::uint64_t backlog_peak{0};
+  std::uint64_t backlog_dropped{0};  ///< external-feed drops at the cap
+};
+
+class Spout {
+ public:
+  Spout(Platform& platform, InstanceId id, InstanceRef ref, double rate);
+
+  Spout(const Spout&) = delete;
+  Spout& operator=(const Spout&) = delete;
+
+  [[nodiscard]] InstanceId id() const noexcept { return id_; }
+  [[nodiscard]] InstanceRef ref() const noexcept { return ref_; }
+  [[nodiscard]] TaskId task() const noexcept { return ref_.task; }
+  [[nodiscard]] SlotId slot() const noexcept { return slot_; }
+  void bind_slot(SlotId slot) noexcept { slot_ = slot; }
+
+  /// Begin generating events.
+  void start();
+  void stop();
+
+  /// Stop emitting into the dataflow; external generation continues into
+  /// the backlog.
+  void pause();
+  /// Resume: drain the backlog at the configured pump rate, then return to
+  /// direct emission.
+  void unpause();
+
+  [[nodiscard]] bool paused() const noexcept { return paused_; }
+  [[nodiscard]] std::size_t backlog() const noexcept { return backlog_.size(); }
+  [[nodiscard]] std::size_t cache_size() const noexcept { return cache_.size(); }
+  [[nodiscard]] const SpoutStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct CachedRoot {
+    SimTime born_at;
+    bool replay;     ///< this cache entry is itself a replay
+    RootId origin;   ///< lineage id stable across replays
+  };
+
+  void tick();                   ///< periodic external generation
+  void pump_backlog();
+  void emit_root(SimTime born_at, bool replay, RootId origin = 0);
+  void on_root_complete(RootId root);
+  void on_root_fail(RootId root);
+
+  Platform& platform_;
+  InstanceId id_;
+  InstanceRef ref_;
+  SlotId slot_{};
+  double rate_;
+  bool running_{false};
+  bool paused_{false};
+
+  sim::PeriodicTimer gen_timer_;
+  sim::PeriodicTimer pump_timer_;
+
+  /// Rolling partition-key assignment for emitted roots.
+  std::uint64_t next_key_{0};
+  /// Birth timestamps of generated-but-not-yet-emitted events.
+  std::deque<SimTime> backlog_;
+  /// Roots awaiting causal-tree completion (only when acking is on).
+  std::unordered_map<RootId, CachedRoot> cache_;
+
+  SpoutStats stats_;
+};
+
+}  // namespace rill::dsps

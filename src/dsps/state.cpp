@@ -1,0 +1,84 @@
+#include "dsps/state.hpp"
+
+namespace rill::dsps {
+
+Bytes TaskState::serialize() const {
+  BytesWriter w;
+  w.put_u32(static_cast<std::uint32_t>(counters.size()));
+  for (const auto& [k, v] : counters) {
+    w.put_string(k);
+    w.put_i64(v);
+  }
+  return w.take();
+}
+
+TaskState TaskState::deserialize(BytesReader& r) {
+  TaskState s;
+  const auto n = r.get_u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string k = r.get_string();
+    s.counters[std::move(k)] = r.get_i64();
+  }
+  return s;
+}
+
+void serialize_event(BytesWriter& w, const Event& ev) {
+  w.put_u64(ev.id);
+  w.put_u64(ev.root);
+  w.put_u64(ev.origin);
+  w.put_u32(ev.producer.value);
+  w.put_u64(ev.born_at);
+  w.put_u64(ev.emitted_at);
+  w.put_u8(static_cast<std::uint8_t>(ev.control));
+  w.put_u64(ev.checkpoint_id);
+  w.put_u8(ev.replayed ? 1 : 0);
+  w.put_u64(ev.key);
+  w.put_u32(ev.payload_size);
+}
+
+Event deserialize_event(BytesReader& r) {
+  Event ev;
+  ev.id = r.get_u64();
+  ev.root = r.get_u64();
+  ev.origin = r.get_u64();
+  ev.producer = TaskId{r.get_u32()};
+  ev.born_at = r.get_u64();
+  ev.emitted_at = r.get_u64();
+  ev.control = static_cast<ControlKind>(r.get_u8());
+  ev.checkpoint_id = r.get_u64();
+  ev.replayed = r.get_u8() != 0;
+  ev.key = r.get_u64();
+  ev.payload_size = r.get_u32();
+  return ev;
+}
+
+Bytes CheckpointBlob::serialize() const {
+  BytesWriter w;
+  w.put_u64(checkpoint_id);
+  const Bytes state_bytes = state.serialize();
+  w.put_bytes(state_bytes);
+  w.put_u32(static_cast<std::uint32_t>(pending.size()));
+  for (const Event& ev : pending) serialize_event(w, ev);
+  return w.take();
+}
+
+CheckpointBlob CheckpointBlob::deserialize(const Bytes& raw) {
+  BytesReader r(raw);
+  CheckpointBlob b;
+  b.checkpoint_id = r.get_u64();
+  const Bytes state_bytes = r.get_bytes();
+  BytesReader sr(state_bytes);
+  b.state = TaskState::deserialize(sr);
+  const auto n = r.get_u32();
+  b.pending.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) b.pending.push_back(deserialize_event(r));
+  return b;
+}
+
+std::string CheckpointBlob::key(std::uint64_t checkpoint_id, TaskId task,
+                                int replica) {
+  return "chk/" + std::to_string(checkpoint_id) + "/" +
+         std::to_string(task.value) + "/" + std::to_string(replica);
+}
+
+}  // namespace rill::dsps

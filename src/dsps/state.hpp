@@ -1,0 +1,56 @@
+// Task state and checkpoint blobs.
+//
+// Stateful tasks own a TaskState that their user logic mutates per event
+// (the paper's example: counts of events seen, windows for aggregation).
+// A checkpoint persists the state — and, for CCR, the captured pending
+// events — to the key-value store as one serialised blob per task instance.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "dsps/event.hpp"
+
+namespace rill::dsps {
+
+/// In-memory state of a stateful task instance.  An ordered map keeps
+/// serialisation deterministic.
+struct TaskState {
+  std::map<std::string, std::int64_t> counters;
+
+  std::int64_t& operator[](const std::string& key) { return counters[key]; }
+
+  [[nodiscard]] std::int64_t get(const std::string& key) const {
+    auto it = counters.find(key);
+    return it == counters.end() ? 0 : it->second;
+  }
+
+  friend bool operator==(const TaskState&, const TaskState&) = default;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static TaskState deserialize(BytesReader& r);
+};
+
+/// Serialisation of a single event for the CCR pending-event list.
+void serialize_event(BytesWriter& w, const Event& ev);
+[[nodiscard]] Event deserialize_event(BytesReader& r);
+
+/// What one task instance persists at COMMIT time: the user state snapshot
+/// taken at PREPARE, plus (CCR only) the captured in-flight events.
+struct CheckpointBlob {
+  std::uint64_t checkpoint_id{0};
+  TaskState state;
+  std::vector<Event> pending;
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static CheckpointBlob deserialize(const Bytes& raw);
+
+  /// Store key for a given wave / task instance.
+  [[nodiscard]] static std::string key(std::uint64_t checkpoint_id,
+                                       TaskId task, int replica);
+};
+
+}  // namespace rill::dsps

@@ -1,0 +1,86 @@
+#include "kvstore/store.hpp"
+
+#include <utility>
+
+namespace rill::kvstore {
+
+SimDuration Store::service_cost(std::size_t items, std::size_t bytes) const {
+  return config_.request_overhead +
+         static_cast<SimDuration>(items) * config_.per_item_cost +
+         static_cast<SimDuration>(config_.ns_per_byte *
+                                  static_cast<double>(bytes) / 1000.0);
+}
+
+void Store::put(VmId client, std::string key, Bytes value, PutDone done) {
+  std::vector<std::pair<std::string, Bytes>> kvs;
+  kvs.emplace_back(std::move(key), std::move(value));
+  put_batch(client, std::move(kvs), std::move(done));
+}
+
+void Store::put_batch(VmId client,
+                      std::vector<std::pair<std::string, Bytes>> kvs,
+                      PutDone done) {
+  std::size_t bytes = 0;
+  for (const auto& [k, v] : kvs) bytes += k.size() + v.size();
+
+  // Request travels client → store VM, the store applies the batch after
+  // its service cost, then the reply travels back.
+  network_.send(client, host_, bytes,
+                [this, client, kvs = std::move(kvs), bytes,
+                 done = std::move(done)]() mutable {
+                  const SimDuration cost = service_cost(kvs.size(), bytes);
+                  engine_.schedule(cost, [this, client, kvs = std::move(kvs),
+                                          bytes, done = std::move(done)]() mutable {
+                    stats_.puts += 1;
+                    stats_.batch_items += kvs.size();
+                    stats_.bytes_written += bytes;
+                    for (auto& [k, v] : kvs) data_[std::move(k)] = std::move(v);
+                    network_.send(host_, client, 16, std::move(done));
+                  });
+                });
+}
+
+void Store::get(VmId client, std::string key, GetDone done) {
+  network_.send(client, host_, key.size(),
+                [this, client, key = std::move(key),
+                 done = std::move(done)]() mutable {
+                  const SimDuration cost = service_cost(1, key.size());
+                  engine_.schedule(cost, [this, client, key = std::move(key),
+                                          done = std::move(done)]() mutable {
+                    ++stats_.gets;
+                    std::optional<Bytes> value;
+                    if (auto it = data_.find(key); it != data_.end()) {
+                      value = it->second;
+                      stats_.bytes_read += value->size();
+                    }
+                    const std::size_t reply_bytes =
+                        value ? value->size() : 16;
+                    network_.send(host_, client, reply_bytes,
+                                  [value = std::move(value),
+                                   done = std::move(done)]() mutable {
+                                    done(std::move(value));
+                                  });
+                  });
+                });
+}
+
+void Store::del(VmId client, std::string key, PutDone done) {
+  network_.send(client, host_, key.size(),
+                [this, client, key = std::move(key),
+                 done = std::move(done)]() mutable {
+                  const SimDuration cost = service_cost(1, key.size());
+                  engine_.schedule(cost, [this, client, key = std::move(key),
+                                          done = std::move(done)]() mutable {
+                    ++stats_.deletes;
+                    data_.erase(key);
+                    network_.send(host_, client, 16, std::move(done));
+                  });
+                });
+}
+
+std::optional<Bytes> Store::peek(const std::string& key) const {
+  if (auto it = data_.find(key); it != data_.end()) return it->second;
+  return std::nullopt;
+}
+
+}  // namespace rill::kvstore

@@ -1,0 +1,83 @@
+#include "metrics/json.hpp"
+
+#include <sstream>
+
+namespace rill::metrics {
+
+namespace {
+
+std::string opt_num(std::optional<double> v) {
+  return v.has_value() ? fmt(*v, 3) : "null";
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string to_json(const MigrationReport& r, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream os;
+  os << "{\n";
+  os << pad << "\"dag\": \"" << json_escape(r.dag) << "\",\n";
+  os << pad << "\"strategy\": \"" << json_escape(r.strategy) << "\",\n";
+  os << pad << "\"scale\": \"" << json_escape(r.scale) << "\",\n";
+  os << pad << "\"restore_sec\": " << opt_num(r.restore_sec) << ",\n";
+  os << pad << "\"drain_sec\": " << fmt(r.drain_sec, 3) << ",\n";
+  os << pad << "\"rebalance_sec\": " << fmt(r.rebalance_sec, 3) << ",\n";
+  os << pad << "\"catchup_sec\": " << opt_num(r.catchup_sec) << ",\n";
+  os << pad << "\"recovery_sec\": " << opt_num(r.recovery_sec) << ",\n";
+  os << pad << "\"stabilization_sec\": " << opt_num(r.stabilization_sec)
+     << ",\n";
+  os << pad << "\"first_init_sec\": " << opt_num(r.first_init_sec) << ",\n";
+  os << pad << "\"replayed_messages\": " << r.replayed_messages << ",\n";
+  os << pad << "\"lost_events\": " << r.lost_events << ",\n";
+  os << pad << "\"expected_output_rate\": " << fmt(r.expected_output_rate, 2)
+     << "\n";
+  os << "}";
+  return os.str();
+}
+
+std::string series_json(const Collector& collector,
+                        std::size_t latency_window_sec) {
+  std::ostringstream os;
+  os << "{\n  \"input_per_sec\": [";
+  const auto& in = collector.input().buckets();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    os << (i ? "," : "") << in[i];
+  }
+  os << "],\n  \"output_per_sec\": [";
+  const auto& out = collector.output().buckets();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    os << (i ? "," : "") << out[i];
+  }
+  os << "],\n  \"latency_windows\": [";
+  const auto rows = collector.latency().windowed_avg_ms(latency_window_sec);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    os << (i ? "," : "") << "[" << rows[i].first << ","
+       << fmt(rows[i].second, 1) << "]";
+  }
+  os << "]\n}";
+  return os.str();
+}
+
+}  // namespace rill::metrics

@@ -1,0 +1,24 @@
+// Minimal JSON rendering for reports and series — machine-readable output
+// for the rill_run CLI (no external JSON dependency needed for writing).
+#pragma once
+
+#include <string>
+
+#include "metrics/collector.hpp"
+#include "metrics/report.hpp"
+
+namespace rill::metrics {
+
+/// One-object JSON rendering of a MigrationReport.
+[[nodiscard]] std::string to_json(const MigrationReport& report,
+                                  int indent = 2);
+
+/// JSON rendering of the per-second input/output series and the windowed
+/// latency rows, suitable for plotting Fig 7/9-style timelines.
+[[nodiscard]] std::string series_json(const Collector& collector,
+                                      std::size_t latency_window_sec = 10);
+
+/// Escape a string for embedding in JSON.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace rill::metrics

@@ -1,0 +1,52 @@
+// Migration report: the paper's §4 metrics for one experiment, plus
+// fixed-width table rendering shared by the benches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rill::metrics {
+
+/// All §4 metrics for one migration run, in seconds relative to the
+/// migration request (except where noted).
+struct MigrationReport {
+  std::string dag;
+  std::string strategy;
+  std::string scale;
+
+  /// 1) Restore Duration: request → first sink output.
+  std::optional<double> restore_sec;
+  /// 2) Drain/Capture Duration: request → rebalance invocation (0 for DSM).
+  double drain_sec{0.0};
+  /// 3) Rebalance Duration: rebalance command invoke → complete.
+  double rebalance_sec{0.0};
+  /// 4) Catchup time: request → last pre-migration event at the sink.
+  std::optional<double> catchup_sec;
+  /// 5) Recovery time: request → last replayed event at the sink.
+  std::optional<double> recovery_sec;
+  /// 6) Rate stabilization: request → start of a 60 s window with output
+  /// within ±20 % of expected.
+  std::optional<double> stabilization_sec;
+  /// 7) Message loss/recovery count: replayed user-event emissions.
+  std::uint64_t replayed_messages{0};
+  std::uint64_t lost_events{0};
+
+  /// Auxiliary: request → first INIT received by any task (§5.1 analysis).
+  std::optional<double> first_init_sec;
+  /// Expected steady-state output rate (ev/s) at the sinks.
+  double expected_output_rate{0.0};
+};
+
+/// Render a fixed-width text table.  `rows` are pre-formatted cells.
+std::string render_table(const std::vector<std::string>& headers,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// "12.3" / "-" formatting for optional metrics.
+std::string fmt_opt(std::optional<double> v, int precision = 1);
+std::string fmt(double v, int precision = 1);
+
+}  // namespace rill::metrics

@@ -1,0 +1,109 @@
+#include "metrics/series.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rill::metrics {
+
+void RateSeries::add(SimTime t) {
+  const auto sec = static_cast<std::size_t>(t / 1'000'000ull);
+  if (sec >= buckets_.size()) buckets_.resize(sec + 1, 0);
+  ++buckets_[sec];
+  ++total_;
+}
+
+std::uint64_t RateSeries::count_at(std::size_t sec) const {
+  return sec < buckets_.size() ? buckets_[sec] : 0;
+}
+
+double RateSeries::rate_over(std::size_t start_sec, std::size_t len) const {
+  if (len == 0) return 0.0;
+  std::uint64_t sum = 0;
+  for (std::size_t s = start_sec; s < start_sec + len; ++s) sum += count_at(s);
+  return static_cast<double>(sum) / static_cast<double>(len);
+}
+
+double RateSeries::smoothed_rate(std::size_t sec, std::size_t window) const {
+  if (window == 0) return 0.0;
+  const std::size_t start = sec + 1 >= window ? sec + 1 - window : 0;
+  return rate_over(start, sec - start + 1);
+}
+
+std::optional<std::size_t> find_stabilization(const RateSeries& series,
+                                              double expected,
+                                              std::size_t from_sec,
+                                              std::size_t window_sec,
+                                              double tolerance,
+                                              std::size_t smooth) {
+  if (expected <= 0.0) return std::nullopt;
+  const std::size_t end = series.seconds();
+  if (end < window_sec) return std::nullopt;
+
+  auto stable_at = [&](std::size_t s) {
+    const double r = series.smoothed_rate(s, smooth);
+    return std::abs(r - expected) <= tolerance * expected;
+  };
+
+  std::size_t run = 0;
+  for (std::size_t s = from_sec; s < end; ++s) {
+    run = stable_at(s) ? run + 1 : 0;
+    if (run >= window_sec) return s + 1 - window_sec;
+  }
+  return std::nullopt;
+}
+
+void LatencySeries::add(SimTime arrival, SimDuration latency) {
+  samples_.push_back(Sample{arrival, latency});
+}
+
+std::vector<std::pair<std::size_t, double>> LatencySeries::windowed_avg_ms(
+    std::size_t window_sec) const {
+  std::vector<std::pair<std::size_t, double>> out;
+  if (samples_.empty() || window_sec == 0) return out;
+
+  std::size_t window_start = 0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  const auto flush = [&] {
+    if (n > 0) out.emplace_back(window_start, time::to_ms(
+                                                  static_cast<SimDuration>(
+                                                      sum / static_cast<double>(n))));
+  };
+  for (const Sample& s : samples_) {
+    const std::size_t w =
+        static_cast<std::size_t>(s.arrival / 1'000'000ull) / window_sec *
+        window_sec;
+    if (w != window_start) {
+      flush();
+      window_start = w;
+      sum = 0.0;
+      n = 0;
+    }
+    sum += static_cast<double>(s.latency);
+    ++n;
+  }
+  flush();
+  return out;
+}
+
+std::optional<double> LatencySeries::median_ms(SimTime from, SimTime to) const {
+  return percentile_ms(0.5, from, to);
+}
+
+std::optional<double> LatencySeries::percentile_ms(double q, SimTime from,
+                                                   SimTime to) const {
+  if (q <= 0.0 || q >= 1.0) return std::nullopt;
+  std::vector<SimDuration> vals;
+  for (const Sample& s : samples_) {
+    if (s.arrival >= from && s.arrival < to) vals.push_back(s.latency);
+  }
+  if (vals.empty()) return std::nullopt;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(vals.size()));
+  const std::size_t idx = rank >= vals.size() ? vals.size() - 1 : rank;
+  std::nth_element(vals.begin(), vals.begin() + static_cast<std::ptrdiff_t>(idx),
+                   vals.end());
+  return time::to_ms(vals[idx]);
+}
+
+}  // namespace rill::metrics

@@ -1,0 +1,90 @@
+// Time-series containers for throughput and latency measurements.
+//
+// RateSeries buckets event counts per simulated second (the paper's Fig 7
+// timeline plots); LatencySeries records (arrival, end-to-end latency)
+// samples and derives the windowed averages of Fig 9.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rill::metrics {
+
+/// Events-per-second histogram over simulated time.
+class RateSeries {
+ public:
+  /// Record one event at instant `t`.
+  void add(SimTime t);
+
+  /// Count in the 1-second bucket starting at `sec`.
+  [[nodiscard]] std::uint64_t count_at(std::size_t sec) const;
+
+  /// Number of buckets (== last event second + 1).
+  [[nodiscard]] std::size_t seconds() const noexcept { return buckets_.size(); }
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Average rate (ev/s) over [start_sec, start_sec + len).
+  [[nodiscard]] double rate_over(std::size_t start_sec, std::size_t len) const;
+
+  /// Trailing moving average ending at `sec` over `window` buckets.
+  [[nodiscard]] double smoothed_rate(std::size_t sec, std::size_t window) const;
+
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_{0};
+};
+
+/// Earliest second >= `from_sec` at which the smoothed rate stays within
+/// `tolerance` (fraction) of `expected` for `window_sec` consecutive
+/// seconds, with the window fully inside the series.  This is the paper's
+/// rate-stabilization criterion (±20 % sustained for 60 s).  Returns the
+/// start of the stable window, or nullopt if never stable.
+std::optional<std::size_t> find_stabilization(const RateSeries& series,
+                                              double expected,
+                                              std::size_t from_sec,
+                                              std::size_t window_sec = 60,
+                                              double tolerance = 0.2,
+                                              std::size_t smooth = 5);
+
+/// End-to-end latency samples with windowed aggregation.
+class LatencySeries {
+ public:
+  void add(SimTime arrival, SimDuration latency);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+
+  /// Average latency (ms) per `window_sec` window: one (window start sec,
+  /// avg ms) row per non-empty window.
+  [[nodiscard]] std::vector<std::pair<std::size_t, double>> windowed_avg_ms(
+      std::size_t window_sec = 10) const;
+
+  /// Median latency (ms) of samples arriving in [from, to).
+  [[nodiscard]] std::optional<double> median_ms(SimTime from, SimTime to) const;
+
+  /// Arbitrary percentile (0 < q < 1) of samples arriving in [from, to),
+  /// nearest-rank method.  p95/p99 tails make DSM's replay-induced latency
+  /// spread visible where the median hides it.
+  [[nodiscard]] std::optional<double> percentile_ms(double q, SimTime from,
+                                                    SimTime to) const;
+
+  struct Sample {
+    SimTime arrival;
+    SimDuration latency;
+  };
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  std::vector<Sample> samples_;  // arrival-ordered (arrivals are monotone)
+};
+
+}  // namespace rill::metrics

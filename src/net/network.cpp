@@ -1,0 +1,51 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace rill::net {
+
+namespace {
+
+std::uint64_t pair_key(VmId from, VmId to) noexcept {
+  return (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+}
+
+}  // namespace
+
+SimTime Network::fifo_arrival(VmId from, VmId to, SimTime proposed) {
+  auto& last = last_arrival_[pair_key(from, to)];
+  const SimTime arrival = std::max(proposed, last);
+  last = arrival;
+  return arrival;
+}
+
+void Network::send(VmId from, VmId to, std::size_t bytes, Deliver deliver) {
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+
+  SimDuration latency;
+  if (from == to) {
+    ++stats_.intra_vm;
+    latency = config_.intra_vm_latency;
+  } else {
+    ++stats_.inter_vm;
+    const double jitter =
+        rng_.uniform(0.0, config_.jitter_frac) *
+        static_cast<double>(config_.inter_vm_latency);
+    latency = config_.inter_vm_latency + static_cast<SimDuration>(jitter);
+  }
+  latency += static_cast<SimDuration>(config_.ns_per_byte *
+                                      static_cast<double>(bytes) / 1000.0);
+
+  const SimTime arrival =
+      fifo_arrival(from, to, engine_.now() + static_cast<SimTime>(latency));
+  engine_.schedule_at(arrival, std::move(deliver));
+}
+
+void Network::send_between_slots(SlotId from, SlotId to, std::size_t bytes,
+                                 Deliver deliver) {
+  send(cluster_.vm_of(from), cluster_.vm_of(to), bytes, std::move(deliver));
+}
+
+}  // namespace rill::net

@@ -1,0 +1,76 @@
+// Simulated message fabric between VMs.
+//
+// Models the paper's 1 Gbps shared Ethernet: messages between slots on the
+// same VM cross loopback (~0.15 ms), messages between VMs cross the LAN
+// (~1.2 ms base + serialisation time + jitter).  Delivery order between a
+// fixed (source VM, destination VM) pair is FIFO, matching TCP streams that
+// Storm workers hold between each other — the checkpoint protocol's
+// "PREPARE is the last event in the queue" argument depends on this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "cluster/cluster.hpp"
+#include "common/ids.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "sim/engine.hpp"
+
+namespace rill::net {
+
+struct NetworkConfig {
+  SimDuration intra_vm_latency = time::us(150);
+  SimDuration inter_vm_latency = time::us(1200);
+  /// Per-byte serialisation + wire time.  1 Gbps ≈ 8 ns/byte; we use a
+  /// slightly conservative figure to account for framing and kernel copies.
+  double ns_per_byte = 10.0;
+  /// Uniform jitter added to inter-VM messages, as a fraction of base
+  /// latency.
+  double jitter_frac = 0.25;
+};
+
+/// Counters for tests and reporting.
+struct NetworkStats {
+  std::uint64_t messages_sent{0};
+  std::uint64_t intra_vm{0};
+  std::uint64_t inter_vm{0};
+  std::uint64_t bytes_sent{0};
+};
+
+/// Point-to-point delivery between VMs with a latency model.  Payload
+/// delivery is a callback; the network itself is payload-agnostic.
+class Network {
+ public:
+  using Deliver = std::function<void()>;
+
+  Network(sim::Engine& engine, const cluster::Cluster& cluster,
+          NetworkConfig config, Rng rng)
+      : engine_(engine), cluster_(cluster), config_(config), rng_(rng) {}
+
+  /// Send `bytes` worth of payload from `from` VM to `to` VM and run
+  /// `deliver` on arrival.  FIFO per (from, to) pair.
+  void send(VmId from, VmId to, std::size_t bytes, Deliver deliver);
+
+  /// Convenience overload routed by slot.
+  void send_between_slots(SlotId from, SlotId to, std::size_t bytes,
+                          Deliver deliver);
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Smallest arrival time that keeps the (from, to) channel FIFO.
+  SimTime fifo_arrival(VmId from, VmId to, SimTime proposed);
+
+  sim::Engine& engine_;
+  const cluster::Cluster& cluster_;
+  NetworkConfig config_;
+  Rng rng_;
+  NetworkStats stats_;
+  /// Last delivery time per directed VM pair, for FIFO enforcement.
+  std::unordered_map<std::uint64_t, SimTime> last_arrival_;
+};
+
+}  // namespace rill::net

@@ -1,0 +1,98 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <unordered_map>
+#include <utility>
+
+namespace rill::sim {
+
+TimerId Engine::schedule(SimDuration delay, Callback cb) {
+  const SimTime when = delay <= 0 ? now_ : now_ + static_cast<SimTime>(delay);
+  return schedule_at(when, std::move(cb));
+}
+
+TimerId Engine::schedule_at(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Entry{when, seq, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  return TimerId{seq};
+}
+
+bool Engine::cancel(TimerId id) {
+  auto it = callbacks_.find(id.value);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id.value);
+  return true;
+}
+
+bool Engine::step() {
+  while (!heap_.empty()) {
+    Entry top = heap_.top();
+    heap_.pop();
+    if (cancelled_.erase(top.id) > 0) continue;  // lazily swept
+    auto it = callbacks_.find(top.id);
+    assert(it != callbacks_.end());
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    assert(top.when >= now_);
+    now_ = top.when;
+    ++executed_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run_until(SimTime limit) {
+  while (!heap_.empty()) {
+    // Peek past cancelled entries without executing.
+    Entry top = heap_.top();
+    if (cancelled_.contains(top.id)) {
+      heap_.pop();
+      cancelled_.erase(top.id);
+      continue;
+    }
+    if (top.when > limit) {
+      now_ = limit;
+      return;
+    }
+    step();
+  }
+  if (now_ < limit) now_ = limit;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+PeriodicTimer::PeriodicTimer(Engine& engine, SimDuration period,
+                             Engine::Callback on_tick)
+    : engine_(engine), period_(period), on_tick_(std::move(on_tick)) {}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start() {
+  if (running_) return;
+  running_ = true;
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  engine_.cancel(pending_);
+}
+
+void PeriodicTimer::arm() {
+  pending_ = engine_.schedule(period_, [this] {
+    if (!running_) return;
+    // Re-arm first so that a tick which calls stop() cancels cleanly.
+    arm();
+    on_tick_();
+  });
+}
+
+}  // namespace rill::sim

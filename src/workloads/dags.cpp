@@ -1,0 +1,329 @@
+#include "workloads/dags.hpp"
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include <string>
+
+namespace rill::workloads {
+
+using dsps::Topology;
+
+std::string_view to_string(DagKind k) noexcept {
+  switch (k) {
+    case DagKind::Linear: return "Linear";
+    case DagKind::Diamond: return "Diamond";
+    case DagKind::Star: return "Star";
+    case DagKind::Traffic: return "Traffic";
+    case DagKind::Grid: return "Grid";
+  }
+  return "?";
+}
+
+std::vector<DagKind> all_dags() {
+  return {DagKind::Linear, DagKind::Diamond, DagKind::Star, DagKind::Traffic,
+          DagKind::Grid};
+}
+
+int expected_tasks(DagKind k) noexcept {
+  switch (k) {
+    case DagKind::Linear: return 5;
+    case DagKind::Diamond: return 5;
+    case DagKind::Star: return 5;
+    case DagKind::Traffic: return 11;
+    case DagKind::Grid: return 15;
+  }
+  return 0;
+}
+
+int expected_instances(DagKind k) noexcept {
+  switch (k) {
+    case DagKind::Linear: return 5;
+    case DagKind::Diamond: return 8;
+    case DagKind::Star: return 8;
+    case DagKind::Traffic: return 13;
+    case DagKind::Grid: return 21;
+  }
+  return 0;
+}
+
+namespace {
+
+Topology build_linear(double rate) {
+  Topology t("Linear");
+  const TaskId src = t.add_source("src");
+  TaskId prev = src;
+  for (int i = 1; i <= 5; ++i) {
+    const TaskId w = t.add_worker("T" + std::to_string(i));
+    t.add_edge(prev, w);
+    prev = w;
+  }
+  const TaskId sink = t.add_sink("sink");
+  t.add_edge(prev, sink);
+  t.validate();
+  t.autosize_parallelism(rate);
+  return t;
+}
+
+Topology build_diamond(double rate) {
+  // A fans out to B, C, D and also feeds E directly; B/C/D fan back into
+  // E, so E sees 4× the source rate (32 ev/s → 4 instances; total 8).
+  Topology t("Diamond");
+  const TaskId src = t.add_source("src");
+  const TaskId a = t.add_worker("A");
+  const TaskId b = t.add_worker("B");
+  const TaskId c = t.add_worker("C");
+  const TaskId d = t.add_worker("D");
+  const TaskId e = t.add_worker("E");
+  const TaskId sink = t.add_sink("sink");
+  t.add_edge(src, a);
+  t.add_edge(a, b);
+  t.add_edge(a, c);
+  t.add_edge(a, d);
+  t.add_edge(a, e);
+  t.add_edge(b, e);
+  t.add_edge(c, e);
+  t.add_edge(d, e);
+  t.add_edge(e, sink);
+  t.validate();
+  t.autosize_parallelism(rate);
+  return t;
+}
+
+Topology build_star(double rate) {
+  // Two entry spokes feed the hub (16 ev/s, 2 instances); the hub feeds
+  // two exit spokes (16 ev/s, 2 instances each); sink sees 32 ev/s.
+  Topology t("Star");
+  const TaskId src = t.add_source("src");
+  const TaskId a = t.add_worker("A");
+  const TaskId b = t.add_worker("B");
+  const TaskId hub = t.add_worker("Hub");
+  const TaskId d = t.add_worker("D");
+  const TaskId e = t.add_worker("E");
+  const TaskId sink = t.add_sink("sink");
+  t.add_edge(src, a);
+  t.add_edge(src, b);
+  t.add_edge(a, hub);
+  t.add_edge(b, hub);
+  t.add_edge(hub, d);
+  t.add_edge(hub, e);
+  t.add_edge(d, sink);
+  t.add_edge(e, sink);
+  t.validate();
+  t.autosize_parallelism(rate);
+  return t;
+}
+
+Topology build_traffic(double rate) {
+  // GPS-stream traffic analytics (after Biem et al.): a parser fans out
+  // to three per-metric chains that aggregate into H (24 ev/s, 3 inst),
+  // plus a map-matching chain I→J→K that reaches the sink directly.
+  // 11 tasks, 13 instances, sink at 32 ev/s.
+  Topology t("Traffic");
+  const TaskId src = t.add_source("src");
+  const TaskId a = t.add_worker("parse");
+  const TaskId b = t.add_worker("speed1");
+  const TaskId c = t.add_worker("speed2");
+  const TaskId d = t.add_worker("dens1");
+  const TaskId e = t.add_worker("dens2");
+  const TaskId f = t.add_worker("flow1");
+  const TaskId g = t.add_worker("flow2");
+  const TaskId h = t.add_worker("aggregate");
+  const TaskId i = t.add_worker("match1");
+  const TaskId j = t.add_worker("match2");
+  const TaskId k = t.add_worker("route");
+  const TaskId sink = t.add_sink("sink");
+  t.add_edge(src, a);
+  t.add_edge(a, b);
+  t.add_edge(b, c);
+  t.add_edge(a, d);
+  t.add_edge(d, e);
+  t.add_edge(a, f);
+  t.add_edge(f, g);
+  t.add_edge(c, h);
+  t.add_edge(e, h);
+  t.add_edge(g, h);
+  t.add_edge(a, i);
+  t.add_edge(i, j);
+  t.add_edge(j, k);
+  t.add_edge(h, sink);
+  t.add_edge(k, sink);
+  t.validate();
+  t.autosize_parallelism(rate);
+  return t;
+}
+
+Topology build_grid(double rate) {
+  // Smart-grid predictive analytics (after Simmhan et al.): meter and
+  // weather branches join through J (16 ev/s), K (24 ev/s) and M
+  // (32 ev/s).  15 tasks, 21 instances, sink at 32 ev/s.
+  Topology t("Grid");
+  const TaskId src = t.add_source("src");
+  const TaskId a = t.add_worker("meter1");
+  const TaskId b = t.add_worker("meter2");
+  const TaskId c = t.add_worker("weather1");
+  const TaskId n = t.add_worker("weather2");
+  const TaskId d = t.add_worker("parse1");
+  const TaskId e = t.add_worker("avg1");
+  const TaskId f = t.add_worker("parse2");
+  const TaskId g = t.add_worker("avg2");
+  const TaskId h = t.add_worker("interp");
+  const TaskId i = t.add_worker("regress");
+  const TaskId i2 = t.add_worker("forecast");
+  const TaskId n2 = t.add_worker("alerts");
+  const TaskId jj = t.add_worker("join");      // 16 ev/s → 2 inst
+  const TaskId kk = t.add_worker("predict");   // 24 ev/s → 3 inst
+  const TaskId m = t.add_worker("publish");    // 32 ev/s → 4 inst
+  const TaskId sink = t.add_sink("sink");
+  t.add_edge(src, a);
+  t.add_edge(src, b);
+  t.add_edge(src, c);
+  t.add_edge(src, n);
+  t.add_edge(a, d);
+  t.add_edge(d, e);
+  t.add_edge(b, f);
+  t.add_edge(f, g);
+  t.add_edge(c, h);
+  t.add_edge(h, i);
+  t.add_edge(i, i2);
+  t.add_edge(n, n2);
+  t.add_edge(e, jj);
+  t.add_edge(g, jj);
+  t.add_edge(i2, kk);
+  t.add_edge(jj, kk);
+  t.add_edge(kk, m);
+  t.add_edge(n2, m);
+  t.add_edge(m, sink);
+  t.validate();
+  t.autosize_parallelism(rate);
+  return t;
+}
+
+}  // namespace
+
+Topology build_dag(DagKind kind, double source_rate) {
+  switch (kind) {
+    case DagKind::Linear: return build_linear(source_rate);
+    case DagKind::Diamond: return build_diamond(source_rate);
+    case DagKind::Star: return build_star(source_rate);
+    case DagKind::Traffic: return build_traffic(source_rate);
+    case DagKind::Grid: return build_grid(source_rate);
+  }
+  throw std::logic_error("unknown DAG kind");
+}
+
+Topology build_linear_n(int n_tasks, double source_rate) {
+  if (n_tasks < 1) throw std::invalid_argument("n_tasks must be >= 1");
+  Topology t("Linear-" + std::to_string(n_tasks));
+  const TaskId src = t.add_source("src");
+  TaskId prev = src;
+  for (int i = 1; i <= n_tasks; ++i) {
+    const TaskId w = t.add_worker("T" + std::to_string(i));
+    t.add_edge(prev, w);
+    prev = w;
+  }
+  const TaskId sink = t.add_sink("sink");
+  t.add_edge(prev, sink);
+  t.validate();
+  t.autosize_parallelism(source_rate);
+  return t;
+}
+
+Topology build_random_dag(std::uint64_t seed, int layers, int max_width,
+                          double source_rate) {
+  if (layers < 1) throw std::invalid_argument("layers must be >= 1");
+  if (max_width < 1) throw std::invalid_argument("max_width must be >= 1");
+  Rng rng(seed ^ 0xDA6DA6DA6ull);
+  Topology t("Random-" + std::to_string(seed));
+  const TaskId src = t.add_source("src");
+
+  std::vector<std::vector<TaskId>> layer_tasks;
+  for (int l = 0; l < layers; ++l) {
+    const int width =
+        1 + static_cast<int>(rng.uniform_int(0, static_cast<std::uint64_t>(
+                                                    max_width - 1)));
+    std::vector<TaskId> layer;
+    for (int w = 0; w < width; ++w) {
+      layer.push_back(t.add_worker("L" + std::to_string(l) + "_" +
+                                   std::to_string(w)));
+    }
+    layer_tasks.push_back(std::move(layer));
+  }
+  const TaskId sink = t.add_sink("sink");
+
+  // Every first-layer worker is source-fed; every later worker gets at
+  // least one parent from the previous layer; every worker reaches the
+  // next layer (or the sink) — guarantees validity by construction.
+  for (TaskId w : layer_tasks[0]) t.add_edge(src, w);
+  for (int l = 1; l < layers; ++l) {
+    const auto& prev = layer_tasks[static_cast<std::size_t>(l - 1)];
+    for (TaskId w : layer_tasks[static_cast<std::size_t>(l)]) {
+      const TaskId parent =
+          prev[rng.uniform_int(0, prev.size() - 1)];
+      t.add_edge(parent, w);
+    }
+    // Parents without children yet must still reach downstream: wire them
+    // to a random task in this layer (duplicate edges are rejected, so
+    // retry with the next candidate deterministically).
+    for (TaskId p : prev) {
+      if (t.out_edges(p).empty()) {
+        const auto& layer = layer_tasks[static_cast<std::size_t>(l)];
+        for (std::size_t k = 0; k < layer.size(); ++k) {
+          const TaskId cand =
+              layer[(rng.uniform_int(0, layer.size() - 1) + k) % layer.size()];
+          bool dup = false;
+          for (TaskId d : t.downstream(p)) dup = dup || d == cand;
+          if (!dup) {
+            t.add_edge(p, cand);
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (TaskId w : layer_tasks.back()) t.add_edge(w, sink);
+  // A few skip edges for fan-in/fan-out variety.
+  const int extra = static_cast<int>(rng.uniform_int(0, 2));
+  for (int e = 0; e < extra && layers >= 2; ++e) {
+    const int from_l = static_cast<int>(
+        rng.uniform_int(0, static_cast<std::uint64_t>(layers - 2)));
+    const auto& from_layer = layer_tasks[static_cast<std::size_t>(from_l)];
+    const auto& to_layer = layer_tasks[static_cast<std::size_t>(from_l + 1)];
+    const TaskId from = from_layer[rng.uniform_int(0, from_layer.size() - 1)];
+    const TaskId to = to_layer[rng.uniform_int(0, to_layer.size() - 1)];
+    bool dup = false;
+    for (TaskId d : t.downstream(from)) dup = dup || d == to;
+    if (!dup) t.add_edge(from, to);
+  }
+
+  t.validate();
+  t.autosize_parallelism(source_rate);
+  return t;
+}
+
+std::uint64_t sink_paths(const dsps::Topology& topo) {
+  // paths(v) = Σ paths(u) over in-edges; sources seed 1.
+  std::vector<std::uint64_t> paths(topo.tasks().size(), 0);
+  for (TaskId tid : topo.topo_order()) {
+    if (topo.task(tid).kind == dsps::TaskKind::Source) {
+      paths[tid.value] = 1;
+      continue;
+    }
+    std::uint64_t sum = 0;
+    for (TaskId up : topo.upstream(tid)) sum += paths[up.value];
+    paths[tid.value] = sum;
+  }
+  std::uint64_t total = 0;
+  for (TaskId snk : topo.sinks()) total += paths[snk.value];
+  return total;
+}
+
+double expected_output_rate(const dsps::Topology& topo, double source_rate) {
+  double total = 0.0;
+  for (TaskId snk : topo.sinks()) {
+    total += topo.input_rate(snk, source_rate);
+  }
+  return total;
+}
+
+}  // namespace rill::workloads

@@ -1,0 +1,55 @@
+// The paper's five benchmark dataflows (Fig 4) plus a parameterised
+// Linear-N used for the drain-time scaling experiment (§5.1).
+//
+// All tasks use the paper's dummy logic: 100 ms service time, selectivity
+// 1:1 per out-edge (tasks with several out-edges duplicate outputs, which
+// is how Grid turns 8 ev/s of input into 32 ev/s at the sink).
+// Parallelism follows the paper's sizing rule — one instance per 8 ev/s of
+// cumulative input — reproducing Table 1's instance counts exactly:
+// Linear 5, Diamond 8, Star 8, Traffic 13, Grid 21.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "dsps/topology.hpp"
+
+namespace rill::workloads {
+
+enum class DagKind : std::uint8_t { Linear, Diamond, Star, Traffic, Grid };
+
+[[nodiscard]] std::string_view to_string(DagKind k) noexcept;
+[[nodiscard]] std::vector<DagKind> all_dags();
+
+/// Build and validate a benchmark DAG, autosizing parallelism for the
+/// given source rate.
+[[nodiscard]] dsps::Topology build_dag(DagKind kind, double source_rate = 8.0);
+
+/// Sequential chain of `n_tasks` workers (the paper's Linear-50 drain
+/// experiment uses n_tasks = 50).
+[[nodiscard]] dsps::Topology build_linear_n(int n_tasks,
+                                            double source_rate = 8.0);
+
+/// Random layered DAG for property testing: `layers` layers of 1..max_width
+/// workers, every worker connected from the previous layer (guaranteeing a
+/// single-source/single-sink DAG), plus extra skip edges.  Deterministic
+/// in `seed`.
+[[nodiscard]] dsps::Topology build_random_dag(std::uint64_t seed,
+                                              int layers = 4,
+                                              int max_width = 3,
+                                              double source_rate = 8.0);
+
+/// Table 1: logical task count (excluding source and sink).
+[[nodiscard]] int expected_tasks(DagKind k) noexcept;
+/// Table 1: worker instance (slot) count.
+[[nodiscard]] int expected_instances(DagKind k) noexcept;
+
+/// Number of distinct source→sink paths (sink arrivals per root event
+/// under duplicate-to-all-edges semantics with selectivity 1).
+[[nodiscard]] std::uint64_t sink_paths(const dsps::Topology& topo);
+
+/// Expected steady-state output rate at the sinks (ev/s).
+[[nodiscard]] double expected_output_rate(const dsps::Topology& topo,
+                                          double source_rate);
+
+}  // namespace rill::workloads

@@ -1,0 +1,129 @@
+#include "workloads/runner.hpp"
+
+#include <string>
+#include <utility>
+
+#include "core/controller.hpp"
+#include "dsps/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace rill::workloads {
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  sim::Engine engine;
+  dsps::Platform platform(engine, config.platform);
+  platform.setup_infrastructure();
+
+  dsps::Topology topo =
+      config.custom_topology.has_value()
+          ? *config.custom_topology
+          : build_dag(config.dag, config.platform.source_rate);
+  if (!topo.validated()) topo.validate();
+
+  const VmPlan plan = vm_plan_for(topo);
+  const double expected_out =
+      expected_output_rate(topo, config.platform.source_rate);
+
+  // Initial deployment: the default D2 pool (Table 1).
+  const std::vector<VmId> default_vms = platform.cluster().provision_n(
+      cluster::VmType::D2, plan.default_d2_vms, "d2");
+  dsps::RoundRobinScheduler scheduler;
+  platform.deploy(std::move(topo), default_vms, scheduler);
+
+  metrics::Collector collector;
+  platform.set_listener(&collector);
+
+  auto strategy = core::make_strategy(config.strategy);
+  strategy->configure(platform);
+  core::MigrationController controller(platform, *strategy);
+
+  platform.start();
+
+  // Enact the migration at `migrate_at`: provision the target pool, then
+  // hand the plan to the strategy.
+  engine.schedule_at(
+      static_cast<SimTime>(config.migrate_at),
+      [&platform, &collector, &controller, &scheduler, &config, plan] {
+        collector.set_request_time(platform.engine().now());
+        const std::vector<VmId> target = platform.cluster().provision_n(
+            target_vm_type(config.scale), target_vm_count(plan, config.scale),
+            config.scale == ScaleKind::In ? "d3" : "d1");
+        dsps::MigrationPlan mplan;
+        mplan.target_vms = target;
+        mplan.scheduler = &scheduler;
+        controller.request(std::move(mplan));
+      });
+
+  engine.run_until(static_cast<SimTime>(config.run_duration));
+  platform.stop();
+
+  // ---- distil results ----
+  ExperimentResult result;
+  result.dag_name = platform.topology().name();
+  result.strategy = config.strategy;
+  result.scale = config.scale;
+  result.vm_plan = plan;
+  result.worker_instances = platform.topology().worker_instances();
+  result.sink_paths = sink_paths(platform.topology());
+  result.expected_output_rate = expected_out;
+  result.migration_succeeded = controller.succeeded();
+  result.phases = strategy->phases();
+  result.rebalance = platform.rebalancer().last();
+
+  result.events_emitted = platform.stats().events_emitted;
+  result.events_lost = platform.stats().events_lost;
+  for (const dsps::InstanceRef& ref : platform.worker_and_sink_instances()) {
+    const dsps::ExecutorStats& s = platform.executor(ref).stats();
+    result.post_commit_arrivals += s.post_commit_arrivals;
+    result.lost_at_kill += s.lost_at_kill;
+  }
+  result.billed_cents = platform.cluster().billed_cents();
+
+  const SimTime request = result.phases.request_at;
+  metrics::MigrationReport rep;
+  rep.dag = result.dag_name;
+  rep.strategy = std::string(core::to_string(config.strategy));
+  rep.scale = std::string(to_string(config.scale));
+  rep.expected_output_rate = expected_out;
+
+  auto rel_sec = [request](std::optional<SimTime> t) -> std::optional<double> {
+    if (!t.has_value()) return std::nullopt;
+    return time::to_sec(static_cast<SimDuration>(*t - request));
+  };
+
+  // Restore duration: output is silent from the moment the migrating
+  // workers are killed; measure to the first sink arrival after that.
+  if (result.rebalance.has_value() && result.rebalance->killed_at > 0) {
+    rep.restore_sec =
+        rel_sec(collector.first_sink_arrival_after(result.rebalance->killed_at));
+  } else {
+    rep.restore_sec = rel_sec(collector.first_sink_after_request());
+  }
+  rep.drain_sec = result.phases.drain_sec().value_or(0.0);
+  if (result.rebalance.has_value() &&
+      result.rebalance->command_completed_at > 0) {
+    rep.rebalance_sec = time::to_sec(static_cast<SimDuration>(
+        result.rebalance->command_completed_at - result.rebalance->invoked_at));
+  }
+  rep.catchup_sec = rel_sec(collector.last_old_arrival());
+  rep.recovery_sec = rel_sec(collector.last_replayed_arrival());
+  rep.replayed_messages = collector.replayed_messages();
+  rep.lost_events = collector.lost_user_events();
+
+  const auto request_sec = static_cast<std::size_t>(request / 1'000'000ull);
+  if (auto stab = metrics::find_stabilization(collector.output(), expected_out,
+                                              request_sec)) {
+    rep.stabilization_sec = static_cast<double>(*stab - request_sec);
+  }
+  // First INIT receipt is read from the coordinator before teardown: the
+  // phases struct does not carry it, so stash it here.
+  if (platform.coordinator().first_init_received().has_value()) {
+    rep.first_init_sec = rel_sec(platform.coordinator().first_init_received());
+  }
+
+  result.report = std::move(rep);
+  result.collector = std::move(collector);
+  return result;
+}
+
+}  // namespace rill::workloads

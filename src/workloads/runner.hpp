@@ -1,0 +1,67 @@
+// ExperimentRunner: one paper experiment end to end.
+//
+// Deploys a DAG on the default D2 pool, warms it up, provisions the target
+// VMs, enacts the migration with the chosen strategy at `migrate_at`, runs
+// to `run_duration` (paper: request at 3 min, 12 min total) and distils a
+// MigrationReport plus the raw series/counters the tests and benches use.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/strategy.hpp"
+#include "dsps/config.hpp"
+#include "dsps/rebalance.hpp"
+#include "dsps/topology.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/report.hpp"
+#include "workloads/dags.hpp"
+#include "workloads/scenario.hpp"
+
+namespace rill::workloads {
+
+struct ExperimentConfig {
+  DagKind dag{DagKind::Grid};
+  core::StrategyKind strategy{core::StrategyKind::CCR};
+  ScaleKind scale{ScaleKind::In};
+
+  /// Platform constants; `platform.source_rate` drives the workload.
+  dsps::PlatformConfig platform{};
+
+  SimDuration run_duration = time::sec(720);
+  SimDuration migrate_at = time::sec(180);
+
+  /// Override the DAG with a custom topology (e.g. Linear-50).  The Table-1
+  /// VM plan is derived from it.
+  std::optional<dsps::Topology> custom_topology;
+};
+
+struct ExperimentResult {
+  std::string dag_name;
+  core::StrategyKind strategy{};
+  ScaleKind scale{};
+
+  metrics::MigrationReport report;
+  metrics::Collector collector;
+  core::PhaseTimes phases;
+  std::optional<dsps::RebalanceRecord> rebalance;
+
+  VmPlan vm_plan;
+  int worker_instances{0};
+  std::uint64_t sink_paths{0};
+  double expected_output_rate{0.0};
+  bool migration_succeeded{false};
+
+  // Raw platform aggregates for invariant checks.
+  std::uint64_t events_emitted{0};
+  std::uint64_t events_lost{0};
+  std::uint64_t post_commit_arrivals{0};  ///< CCR invariant, must be 0
+  std::uint64_t lost_at_kill{0};          ///< 0 for DCR/CCR
+  double billed_cents{0.0};
+};
+
+/// Run one experiment.  Deterministic for a fixed config (seed included).
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace rill::workloads

@@ -1,0 +1,30 @@
+#include "workloads/scenario.hpp"
+
+namespace rill::workloads {
+
+std::string_view to_string(ScaleKind k) noexcept {
+  switch (k) {
+    case ScaleKind::In: return "scale-in";
+    case ScaleKind::Out: return "scale-out";
+  }
+  return "?";
+}
+
+VmPlan vm_plan_for(const dsps::Topology& topo) {
+  VmPlan plan;
+  plan.slots = topo.worker_instances();
+  plan.default_d2_vms = (plan.slots + 1) / 2;
+  plan.scale_in_d3_vms = (plan.slots + 3) / 4;
+  plan.scale_out_d1_vms = plan.slots;
+  return plan;
+}
+
+cluster::VmType target_vm_type(ScaleKind k) noexcept {
+  return k == ScaleKind::In ? cluster::VmType::D3 : cluster::VmType::D1;
+}
+
+int target_vm_count(const VmPlan& plan, ScaleKind k) noexcept {
+  return k == ScaleKind::In ? plan.scale_in_d3_vms : plan.scale_out_d1_vms;
+}
+
+}  // namespace rill::workloads

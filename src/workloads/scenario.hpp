@@ -1,0 +1,34 @@
+// Elasticity scenarios: the paper's Table 1 VM plans.
+//
+// Default deployment: ⌈slots/2⌉ D2 VMs (2 slots each).
+// Scale-in target:    ⌈slots/4⌉ D3 VMs (4 slots each).
+// Scale-out target:   `slots`   D1 VMs (1 slot each).
+// The total slot count never changes — only the VMs they are packed on.
+#pragma once
+
+#include <string_view>
+
+#include "cluster/vm.hpp"
+#include "dsps/topology.hpp"
+
+namespace rill::workloads {
+
+enum class ScaleKind : std::uint8_t { In, Out };
+
+[[nodiscard]] std::string_view to_string(ScaleKind k) noexcept;
+
+struct VmPlan {
+  int slots{0};           ///< worker instances to host
+  int default_d2_vms{0};  ///< initial deployment
+  int scale_in_d3_vms{0};
+  int scale_out_d1_vms{0};
+};
+
+/// Compute the Table-1 plan for a topology.
+[[nodiscard]] VmPlan vm_plan_for(const dsps::Topology& topo);
+
+/// VM type and count of the migration target for a scenario.
+[[nodiscard]] cluster::VmType target_vm_type(ScaleKind k) noexcept;
+[[nodiscard]] int target_vm_count(const VmPlan& plan, ScaleKind k) noexcept;
+
+}  // namespace rill::workloads

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace rill {
+namespace {
+
+TEST(Time, ConstructorsScale) {
+  EXPECT_EQ(time::us(5), 5);
+  EXPECT_EQ(time::ms(5), 5000);
+  EXPECT_EQ(time::sec(5), 5'000'000);
+  EXPECT_EQ(time::min(2), 120'000'000);
+  EXPECT_EQ(time::sec_f(0.5), 500'000);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(time::to_sec(time::sec(3)), 3.0);
+  EXPECT_DOUBLE_EQ(time::to_ms(time::ms(250)), 250.0);
+  EXPECT_DOUBLE_EQ(time::at_sec(static_cast<SimTime>(time::sec(7))), 7.0);
+}
+
+TEST(Time, NegativeDurationsRepresentable) {
+  const SimDuration d = time::sec(1) - time::sec(3);
+  EXPECT_EQ(d, time::sec(-2));
+  EXPECT_DOUBLE_EQ(time::to_sec(d), -2.0);
+}
+
+TEST(Ids, TypedIdsCompareAndHash) {
+  const TaskId a{1}, b{1}, c{2};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+  std::unordered_set<TaskId> set{a, b, c};
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Ids, DistinctTagTypesAreDistinctTypes) {
+  // Compile-time property: TaskId and VmId are not interchangeable.
+  static_assert(!std::is_same_v<TaskId, VmId>);
+  static_assert(!std::is_same_v<SlotId, InstanceId>);
+  SUCCEED();
+}
+
+TEST(Ids, DefaultConstructedIsZero) {
+  EXPECT_EQ(TaskId{}.value, 0u);
+  EXPECT_EQ(VmId{}.value, 0u);
+}
+
+}  // namespace
+}  // namespace rill

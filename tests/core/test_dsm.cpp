@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rill::core {
+namespace {
+
+using testutil::quick_experiment;
+using workloads::DagKind;
+using workloads::ScaleKind;
+
+TEST(Dsm, MigrationSucceedsAndReplays) {
+  const auto r = quick_experiment(DagKind::Linear, StrategyKind::DSM,
+                                  ScaleKind::In);
+  EXPECT_TRUE(r.migration_succeeded);
+  // DSM loses in-flight events and repairs them by replay.
+  EXPECT_GT(r.report.replayed_messages, 0u);
+  EXPECT_GT(r.report.lost_events, 0u);
+  EXPECT_TRUE(r.report.recovery_sec.has_value());
+}
+
+TEST(Dsm, RestoreQuantisedByAckTimeoutWaves) {
+  // INIT waves are re-sent only after the 30 s ack timeout, so restore
+  // lands near a 30 s multiple past the rebalance (paper's "30 sec jumps").
+  const auto r = quick_experiment(DagKind::Diamond, StrategyKind::DSM,
+                                  ScaleKind::In);
+  ASSERT_TRUE(r.report.restore_sec.has_value());
+  const double restore = *r.report.restore_sec;
+  EXPECT_GT(restore, 35.0);
+  // Within a few seconds after a wave boundary (38.2 or 68.2 …).
+  bool near_wave = false;
+  for (double wave = 38.0; wave < 130.0; wave += 30.0) {
+    if (restore >= wave - 2.0 && restore <= wave + 6.0) near_wave = true;
+  }
+  EXPECT_TRUE(near_wave) << "restore=" << restore;
+}
+
+TEST(Dsm, NoDrainPhase) {
+  const auto r = quick_experiment(DagKind::Star, StrategyKind::DSM,
+                                  ScaleKind::In);
+  EXPECT_LT(r.report.drain_sec, 0.05);  // rebalance invoked immediately
+  EXPECT_FALSE(r.phases.checkpoint_started.has_value());
+}
+
+TEST(Dsm, SourcesNeverPause) {
+  // Input series has no empty second before the end of the run.
+  const auto r = quick_experiment(DagKind::Linear, StrategyKind::DSM,
+                                  ScaleKind::In);
+  const auto& in = r.collector.input();
+  std::size_t gaps = 0;
+  for (std::size_t s = 5; s + 5 < in.seconds(); ++s) {
+    if (in.count_at(s) == 0) ++gaps;
+  }
+  // The max-pending throttle can stall emission briefly, but there is no
+  // multi-minute silence like a paused source would show.
+  EXPECT_LT(gaps, 60u);
+}
+
+TEST(Dsm, StateRestoredFromLastPeriodicCheckpoint) {
+  // With 30 s periodic checkpoints and migration at 60 s, the last
+  // committed wave is the second one.
+  const auto r = quick_experiment(DagKind::Linear, StrategyKind::DSM,
+                                  ScaleKind::In);
+  EXPECT_TRUE(r.migration_succeeded);
+  // Replay repairs everything: every origin root eventually reaches the
+  // sink at least once (checked thoroughly in the integration suite).
+  std::size_t unreached = 0;
+  const SimTime settle =
+      static_cast<SimTime>(time::sec(420) - time::sec(90));
+  for (const auto& [origin, rec] : r.collector.roots()) {
+    if (rec.born_at < settle && rec.sink_arrivals == 0) ++unreached;
+  }
+  EXPECT_EQ(unreached, 0u);
+}
+
+TEST(Dsm, CatchupCoversReplayedOldEvents) {
+  const auto r = quick_experiment(DagKind::Linear, StrategyKind::DSM,
+                                  ScaleKind::In);
+  ASSERT_TRUE(r.report.catchup_sec.has_value());
+  // Old events replay after the 30 s ack timeout at the earliest.
+  EXPECT_GT(*r.report.catchup_sec, 25.0);
+}
+
+TEST(Dsm, ScaleOutBehavesLikeScaleIn) {
+  const auto in = quick_experiment(DagKind::Diamond, StrategyKind::DSM,
+                                   ScaleKind::In);
+  const auto out = quick_experiment(DagKind::Diamond, StrategyKind::DSM,
+                                    ScaleKind::Out);
+  ASSERT_TRUE(in.report.restore_sec && out.report.restore_sec);
+  // Paper: "little difference in the impact of either scaling in or out".
+  EXPECT_NEAR(*in.report.restore_sec, *out.report.restore_sec, 35.0);
+  EXPECT_GT(out.report.replayed_messages, 0u);
+}
+
+}  // namespace
+}  // namespace rill::core

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsps/acker.hpp"
+#include "sim/engine.hpp"
+
+namespace rill::dsps {
+namespace {
+
+struct AckerFixture : ::testing::Test {
+  sim::Engine engine;
+  AckerService acker{engine, time::sec(30)};
+  std::vector<RootId> completed;
+  std::vector<RootId> failed;
+
+  void reg(RootId root) {
+    acker.register_root(
+        root, [this](RootId r) { completed.push_back(r); },
+        [this](RootId r) { failed.push_back(r); });
+  }
+};
+
+TEST_F(AckerFixture, RootSelfAckCompletes) {
+  reg(100);
+  EXPECT_TRUE(acker.pending(100));
+  acker.ack(100, 100);
+  EXPECT_FALSE(acker.pending(100));
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0], 100u);
+}
+
+TEST_F(AckerFixture, TreeCompletesOnlyWhenAllAcked) {
+  reg(1);
+  acker.add(1, 11);
+  acker.add(1, 12);
+  acker.ack(1, 1);   // root self-ack
+  acker.ack(1, 11);
+  EXPECT_TRUE(acker.pending(1));
+  acker.ack(1, 12);
+  EXPECT_FALSE(acker.pending(1));
+  EXPECT_EQ(completed.size(), 1u);
+}
+
+TEST_F(AckerFixture, DeepChainCompletes) {
+  // Linear causal chain: each hop adds one child then acks its own event.
+  reg(5);
+  EventId prev = 5;
+  for (int hop = 0; hop < 50; ++hop) {
+    const EventId child = 1000 + static_cast<EventId>(hop);
+    acker.add(5, child);
+    acker.ack(5, prev);
+    prev = child;
+    EXPECT_TRUE(acker.pending(5));
+  }
+  acker.ack(5, prev);
+  EXPECT_FALSE(acker.pending(5));
+}
+
+TEST_F(AckerFixture, TimeoutFailsPendingRoot) {
+  acker.start();
+  reg(7);
+  acker.add(7, 70);
+  acker.ack(7, 7);
+  engine.run_until(static_cast<SimTime>(time::sec(31)));
+  EXPECT_EQ(failed.size(), 1u);
+  EXPECT_FALSE(acker.pending(7));
+  acker.stop();
+}
+
+TEST_F(AckerFixture, CompletedRootDoesNotTimeout) {
+  acker.start();
+  reg(7);
+  acker.ack(7, 7);
+  engine.run_until(static_cast<SimTime>(time::sec(60)));
+  EXPECT_TRUE(failed.empty());
+  acker.stop();
+}
+
+TEST_F(AckerFixture, LateAcksAreIgnored) {
+  reg(9);
+  acker.fail(9);
+  EXPECT_EQ(failed.size(), 1u);
+  acker.ack(9, 9);  // must not crash or complete
+  EXPECT_TRUE(completed.empty());
+  acker.add(9, 90);  // late add is also a no-op
+  EXPECT_FALSE(acker.pending(9));
+}
+
+TEST_F(AckerFixture, ForgetDropsWithoutCallbacks) {
+  reg(3);
+  acker.forget(3);
+  EXPECT_FALSE(acker.pending(3));
+  EXPECT_TRUE(completed.empty());
+  EXPECT_TRUE(failed.empty());
+}
+
+TEST_F(AckerFixture, FailCallbackMayReRegister) {
+  acker.start();
+  acker.register_root(
+      21, [this](RootId r) { completed.push_back(r); },
+      [this](RootId) {
+        // replay under a new root id, like a spout would
+        reg(22);
+        acker.ack(22, 22);
+      });
+  engine.run_until(static_cast<SimTime>(time::sec(35)));
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0], 22u);
+  acker.stop();
+}
+
+TEST_F(AckerFixture, StatsAccumulate) {
+  reg(1);
+  acker.add(1, 10);
+  acker.ack(1, 1);
+  acker.ack(1, 10);
+  reg(2);
+  acker.fail(2);
+  EXPECT_EQ(acker.stats().roots_registered, 2u);
+  EXPECT_EQ(acker.stats().roots_completed, 1u);
+  EXPECT_EQ(acker.stats().roots_failed, 1u);
+  EXPECT_EQ(acker.stats().adds, 1u);
+  EXPECT_EQ(acker.stats().acks, 2u);
+}
+
+/// Property sweep: random-ish causal trees always complete exactly when
+/// every event is acked, never earlier.
+class AckerTreeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AckerTreeSweep, CompletesExactlyAtFullAck) {
+  sim::Engine engine;
+  AckerService acker(engine, time::sec(30));
+  int completions = 0;
+  const RootId root = 42;
+  acker.register_root(root, [&](RootId) { ++completions; }, [](RootId) {});
+
+  // Build a branching tree seeded by the parameter: node i spawns
+  // (param + i) % 4 children, up to 200 events.  Every event is added
+  // exactly once and acked exactly once, in a rotated order.  Ids must be
+  // well-mixed 64-bit values: the XOR-tree scheme (like Storm's) only
+  // guarantees "zero ⇒ complete" probabilistically, and sequential ids
+  // would make spurious cancellation likely.
+  Rng ids(static_cast<std::uint64_t>(GetParam()) + 1);
+  std::vector<EventId> events{root};
+  for (std::size_t i = 0; i < events.size() && events.size() < 200; ++i) {
+    const int kids = (GetParam() + static_cast<int>(i)) % 4;
+    for (int k = 0; k < kids; ++k) {
+      const EventId id = ids.next();
+      acker.add(root, id);
+      events.push_back(id);
+    }
+  }
+  // Ack in an order different from creation (rotation by param).
+  const std::size_t n = events.size();
+  const std::size_t start = static_cast<std::size_t>(GetParam()) % n;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(completions, 0) << "completed before all acks";
+    acker.ack(root, events[(start + i) % n]);
+  }
+  EXPECT_EQ(completions, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(TreeShapes, AckerTreeSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace rill::dsps

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rill::dsps {
+namespace {
+
+using testutil::Harness;
+
+struct RebalanceFixture : ::testing::Test {
+  std::unique_ptr<Harness> h;
+  std::vector<VmId> target;
+
+  void SetUp() override {
+    h = std::make_unique<Harness>(testutil::mini_chain());
+    h->p().start();
+    h->run_for(time::sec(5));
+    target = h->p().cluster().provision_n(cluster::VmType::D3, 1, "d3");
+  }
+
+  MigrationPlan plan() {
+    MigrationPlan p;
+    p.target_vms = target;
+    p.scheduler = &h->scheduler;
+    return p;
+  }
+};
+
+TEST_F(RebalanceFixture, KillsAndRespawnsOnTarget) {
+  bool done = false;
+  h->p().rebalancer().rebalance(plan(), 0, [&] { done = true; });
+  EXPECT_TRUE(h->p().rebalancer().in_progress());
+
+  h->run_for(time::sec(10));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(h->p().rebalancer().in_progress());
+
+  // Workers now sit on the D3 VM, in Starting or Running state.
+  for (const InstanceRef& ref : h->p().worker_instances()) {
+    const Executor& ex = h->p().executor(ref);
+    EXPECT_EQ(h->p().cluster().vm_of(ex.slot()), target[0]);
+    EXPECT_NE(ex.life(), LifeState::Dead);
+  }
+}
+
+TEST_F(RebalanceFixture, RecordCapturesPhases) {
+  h->p().rebalancer().rebalance(plan(), 0, [] {});
+  h->run_for(time::sec(15));
+  const auto& rec = h->p().rebalancer().last();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_GT(rec->killed_at, rec->invoked_at);
+  EXPECT_GT(rec->command_completed_at, rec->killed_at);
+  EXPECT_EQ(rec->instances_migrated, 2);
+  const double dur = time::to_sec(static_cast<SimDuration>(
+      rec->command_completed_at - rec->invoked_at));
+  EXPECT_GT(dur, 5.0);
+  EXPECT_LT(dur, 10.0);
+}
+
+TEST_F(RebalanceFixture, OldVmsAreReleased) {
+  const auto old_vms = h->worker_vms;
+  h->p().rebalancer().rebalance(plan(), 0, [] {});
+  h->run_for(time::sec(15));
+  for (VmId v : old_vms) {
+    EXPECT_FALSE(h->p().cluster().vm(v).active());
+  }
+  EXPECT_EQ(h->p().worker_vms(), target);
+}
+
+TEST_F(RebalanceFixture, KeepOldVmsWhenRequested) {
+  MigrationPlan p = plan();
+  p.release_old_vms = false;
+  const auto old_vms = h->worker_vms;
+  h->p().rebalancer().rebalance(p, 0, [] {});
+  h->run_for(time::sec(15));
+  for (VmId v : old_vms) {
+    EXPECT_TRUE(h->p().cluster().vm(v).active());
+  }
+}
+
+TEST_F(RebalanceFixture, WorkersBecomeReadyAfterStartup) {
+  h->p().rebalancer().rebalance(plan(), 0, [] {});
+  h->run_for(time::sec(9));  // command done (~7.3 s) but workers starting
+  int starting = 0;
+  for (const InstanceRef& ref : h->p().worker_instances()) {
+    if (h->p().executor(ref).life() == LifeState::Starting) ++starting;
+  }
+  EXPECT_EQ(starting, 2);
+
+  h->run_for(time::sec(60));
+  for (const InstanceRef& ref : h->p().worker_instances()) {
+    const Executor& ex = h->p().executor(ref);
+    EXPECT_TRUE(ex.ready());
+    EXPECT_TRUE(ex.awaiting_init());  // stateful ⇒ waits for INIT
+  }
+}
+
+TEST_F(RebalanceFixture, ConcurrentRebalanceThrows) {
+  h->p().rebalancer().rebalance(plan(), 0, [] {});
+  EXPECT_THROW(h->p().rebalancer().rebalance(plan(), 0, [] {}),
+               std::logic_error);
+  h->run_for(time::sec(15));
+}
+
+TEST_F(RebalanceFixture, MissingSchedulerThrows) {
+  MigrationPlan p;
+  p.target_vms = target;
+  p.scheduler = nullptr;
+  EXPECT_THROW(h->p().rebalancer().rebalance(p, 0, [] {}), std::logic_error);
+}
+
+TEST_F(RebalanceFixture, TimeoutVariantPausesSourcesDuringDrain) {
+  Spout& s = h->p().spout(h->p().topology().sources()[0]);
+  bool done = false;
+  h->p().rebalancer().rebalance(plan(), time::sec(5), [&] { done = true; });
+  h->run_for(time::sec(2));
+  EXPECT_TRUE(s.paused());
+  h->run_for(time::sec(20));
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(s.paused());
+}
+
+TEST_F(RebalanceFixture, QueueContentsAreCountedLost) {
+  // Pile events into the first worker by pausing it artificially via a
+  // burst: just verify the record's loss counter is consistent with the
+  // executors' lost_at_kill totals.
+  h->p().rebalancer().rebalance(plan(), 0, [] {});
+  h->run_for(time::sec(15));
+  std::uint64_t lost = 0;
+  for (const InstanceRef& ref : h->p().worker_instances()) {
+    lost += h->p().executor(ref).stats().lost_at_kill;
+  }
+  ASSERT_TRUE(h->p().rebalancer().last().has_value());
+  EXPECT_EQ(h->p().rebalancer().last()->events_lost_in_queues, lost);
+}
+
+}  // namespace
+}  // namespace rill::dsps

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rill::dsps {
+namespace {
+
+using testutil::Harness;
+
+TEST(Spout, EmitsAtConfiguredRate) {
+  Harness h(testutil::mini_chain());
+  h.p().start();
+  h.run_for(time::sec(20));
+  const Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  // 8 ev/s × 20 s = 160 ± one tick.
+  EXPECT_NEAR(static_cast<double>(s.stats().emitted), 160.0, 2.0);
+  EXPECT_EQ(s.stats().generated, s.stats().emitted);
+}
+
+TEST(Spout, PauseBuffersIntoBacklog) {
+  Harness h(testutil::mini_chain());
+  h.p().start();
+  h.run_for(time::sec(5));
+  Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  const auto emitted_before = s.stats().emitted;
+  s.pause();
+  h.run_for(time::sec(10));
+  EXPECT_EQ(s.stats().emitted, emitted_before);  // nothing emitted
+  EXPECT_NEAR(static_cast<double>(s.backlog()), 80.0, 2.0);
+  EXPECT_GE(s.stats().backlog_peak, 78u);
+}
+
+TEST(Spout, UnpauseDrainsBacklogAtPumpRate) {
+  PlatformConfig cfg;
+  cfg.backlog_pump_rate = 40.0;
+  Harness h(testutil::mini_chain(), cfg);
+  h.p().start();
+  h.run_for(time::sec(5));
+  Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  s.pause();
+  h.run_for(time::sec(10));  // backlog ≈ 80
+  const auto backlog = s.backlog();
+  s.unpause();
+  // At 40/s pump + 8/s fresh generation the backlog drains in ~2.5 s.
+  h.run_for(time::sec(4));
+  EXPECT_EQ(s.backlog(), 0u);
+  EXPECT_GT(backlog, 70u);
+}
+
+TEST(Spout, BacklogCapDropsExcess) {
+  PlatformConfig cfg;
+  cfg.max_source_backlog = 50;
+  Harness h(testutil::mini_chain(), cfg);
+  h.p().start();
+  Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  s.pause();
+  h.run_for(time::sec(30));  // generates 240, cap 50
+  EXPECT_EQ(s.backlog(), 50u);
+  EXPECT_NEAR(static_cast<double>(s.stats().backlog_dropped), 190.0, 3.0);
+}
+
+TEST(Spout, AckingCachesUntilComplete) {
+  Harness h(testutil::mini_chain());
+  h.p().set_user_acking(true);
+  h.p().start();
+  h.run_for(time::sec(10));
+  const Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  // Completed roots trail emissions only by the in-flight window.
+  EXPECT_GT(s.stats().completed_roots, 60u);
+  EXPECT_LE(s.cache_size(), 10u);
+}
+
+TEST(Spout, FailedRootsAreReplayedWithOriginalBirth) {
+  // Kill the first worker permanently: every root times out and replays.
+  PlatformConfig cfg;
+  cfg.ack_timeout = time::sec(5);
+  Harness h(testutil::mini_chain(), cfg);
+  h.p().set_user_acking(true);
+  h.p().start();
+  h.run_for(time::sec(3));
+
+  const InstanceRef victim = h.p().worker_instances()[0];
+  Executor& ex = h.p().executor(victim);
+  h.p().cluster().vacate(ex.slot());
+  ex.kill();
+
+  h.run_for(time::sec(10));
+  const Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  EXPECT_GT(s.stats().replayed_roots, 5u);
+  EXPECT_GT(h.collector.replayed_messages(), 0u);
+  // Replays keep the original origin id: records flagged replay exist.
+  int flagged = 0;
+  for (const auto& [origin, rec] : h.collector.roots()) {
+    if (rec.replay) ++flagged;
+  }
+  EXPECT_GT(flagged, 5);
+}
+
+TEST(Spout, MaxPendingThrottlesEmission) {
+  PlatformConfig cfg;
+  cfg.max_spout_pending = 10;
+  cfg.ack_timeout = time::sec(1000);  // no replays, just throttling
+  Harness h(testutil::mini_chain(), cfg);
+  h.p().set_user_acking(true);
+  h.p().start();
+  h.run_for(time::sec(2));
+
+  // Kill the first worker: acks stop, so at most 10 roots stay in flight.
+  const InstanceRef victim = h.p().worker_instances()[0];
+  Executor& ex = h.p().executor(victim);
+  h.p().cluster().vacate(ex.slot());
+  ex.kill();
+  Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  const auto emitted_at_kill = s.stats().emitted;
+  h.run_for(time::sec(20));
+  EXPECT_LE(s.stats().emitted, emitted_at_kill + 12);
+  EXPECT_LE(s.cache_size(), 10u);
+  EXPECT_GT(s.backlog(), 100u);
+}
+
+TEST(Spout, StopHaltsGeneration) {
+  Harness h(testutil::mini_chain());
+  h.p().start();
+  h.run_for(time::sec(5));
+  Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  s.stop();
+  const auto n = s.stats().generated;
+  h.run_for(time::sec(5));
+  EXPECT_EQ(s.stats().generated, n);
+}
+
+}  // namespace
+}  // namespace rill::dsps

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "dsps/state.hpp"
+
+namespace rill::dsps {
+namespace {
+
+TEST(TaskState, SerdeRoundtrip) {
+  TaskState s;
+  s["processed"] = 1234;
+  s["sig"] = -987654321;
+  s["window"] = 0;
+
+  const Bytes raw = s.serialize();
+  BytesReader r(raw);
+  const TaskState back = TaskState::deserialize(r);
+  EXPECT_EQ(back, s);
+  EXPECT_EQ(back.get("processed"), 1234);
+  EXPECT_EQ(back.get("missing"), 0);
+}
+
+TEST(TaskState, EmptySerde) {
+  TaskState s;
+  const Bytes raw = s.serialize();
+  BytesReader r(raw);
+  EXPECT_EQ(TaskState::deserialize(r), s);
+}
+
+TEST(TaskState, DeterministicSerialisation) {
+  TaskState a, b;
+  a["z"] = 1;
+  a["a"] = 2;
+  b["a"] = 2;
+  b["z"] = 1;
+  EXPECT_EQ(a.serialize(), b.serialize());  // ordered map ⇒ canonical bytes
+}
+
+Event sample_event() {
+  Event ev;
+  ev.id = 0xAABB;
+  ev.root = 0x1122;
+  ev.origin = 0x99;
+  ev.producer = TaskId{3};
+  ev.born_at = 123456;
+  ev.emitted_at = 234567;
+  ev.control = ControlKind::None;
+  ev.checkpoint_id = 0;
+  ev.replayed = true;
+  ev.payload_size = 77;
+  return ev;
+}
+
+TEST(EventSerde, Roundtrip) {
+  BytesWriter w;
+  serialize_event(w, sample_event());
+  BytesReader r(w.data());
+  const Event back = deserialize_event(r);
+  const Event orig = sample_event();
+  EXPECT_EQ(back.id, orig.id);
+  EXPECT_EQ(back.root, orig.root);
+  EXPECT_EQ(back.origin, orig.origin);
+  EXPECT_EQ(back.producer, orig.producer);
+  EXPECT_EQ(back.born_at, orig.born_at);
+  EXPECT_EQ(back.emitted_at, orig.emitted_at);
+  EXPECT_EQ(back.control, orig.control);
+  EXPECT_EQ(back.replayed, orig.replayed);
+  EXPECT_EQ(back.payload_size, orig.payload_size);
+}
+
+TEST(CheckpointBlob, RoundtripWithPending) {
+  CheckpointBlob blob;
+  blob.checkpoint_id = 17;
+  blob.state["processed"] = 55;
+  for (int i = 0; i < 10; ++i) {
+    Event ev = sample_event();
+    ev.id = static_cast<EventId>(i);
+    blob.pending.push_back(ev);
+  }
+
+  const Bytes raw = blob.serialize();
+  const CheckpointBlob back = CheckpointBlob::deserialize(raw);
+  EXPECT_EQ(back.checkpoint_id, 17u);
+  EXPECT_EQ(back.state, blob.state);
+  ASSERT_EQ(back.pending.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(back.pending[static_cast<size_t>(i)].id,
+              static_cast<EventId>(i));
+  }
+}
+
+TEST(CheckpointBlob, EmptyPendingRoundtrip) {
+  CheckpointBlob blob;
+  blob.checkpoint_id = 1;
+  const CheckpointBlob back = CheckpointBlob::deserialize(blob.serialize());
+  EXPECT_TRUE(back.pending.empty());
+}
+
+TEST(CheckpointBlob, KeyIsUniquePerInstance) {
+  const std::string a = CheckpointBlob::key(1, TaskId{2}, 3);
+  const std::string b = CheckpointBlob::key(1, TaskId{2}, 4);
+  const std::string c = CheckpointBlob::key(1, TaskId{3}, 3);
+  const std::string d = CheckpointBlob::key(2, TaskId{2}, 3);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+TEST(CheckpointBlob, GarbageThrows) {
+  Bytes garbage{1, 2, 3};
+  EXPECT_THROW(CheckpointBlob::deserialize(garbage), DeserializeError);
+}
+
+}  // namespace
+}  // namespace rill::dsps

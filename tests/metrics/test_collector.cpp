@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "metrics/collector.hpp"
+
+namespace rill::metrics {
+namespace {
+
+dsps::Event user_event(RootId origin, SimTime born, SimTime emitted,
+                       bool replayed = false) {
+  dsps::Event ev;
+  ev.id = origin * 10;
+  ev.root = origin;
+  ev.origin = origin;
+  ev.born_at = born;
+  ev.emitted_at = emitted;
+  ev.replayed = replayed;
+  return ev;
+}
+
+SimTime at(double sec) { return static_cast<SimTime>(sec * 1e6); }
+
+TEST(Collector, CountsSourceEmitsAndRoots) {
+  Collector c;
+  c.on_source_emit(user_event(1, at(1), at(1)), false);
+  c.on_source_emit(user_event(2, at(2), at(2)), false);
+  EXPECT_EQ(c.roots_emitted(), 2u);
+  EXPECT_EQ(c.input().total(), 2u);
+  EXPECT_EQ(c.roots().size(), 2u);
+}
+
+TEST(Collector, ReplayKeepsOriginRecord) {
+  Collector c;
+  c.on_source_emit(user_event(5, at(1), at(1)), false);
+  c.on_source_emit(user_event(5, at(1), at(40), true), true);
+  EXPECT_EQ(c.roots_emitted(), 1u);
+  EXPECT_EQ(c.replayed_roots(), 1u);
+  ASSERT_EQ(c.roots().size(), 1u);
+  EXPECT_TRUE(c.roots().at(5).replay);
+}
+
+TEST(Collector, ReplayedEmissionsCounted) {
+  Collector c;
+  c.on_emit(user_event(1, at(1), at(1), true));
+  c.on_emit(user_event(1, at(1), at(1), false));
+  dsps::Event ctrl = user_event(2, at(1), at(1), true);
+  ctrl.control = dsps::ControlKind::Init;
+  c.on_emit(ctrl);  // control events never count
+  EXPECT_EQ(c.replayed_messages(), 1u);
+}
+
+TEST(Collector, SinkArrivalUpdatesSeriesAndRecords) {
+  Collector c;
+  c.on_source_emit(user_event(1, at(1), at(1)), false);
+  c.on_sink_arrival(user_event(1, at(1), at(1)), at(1.5));
+  EXPECT_EQ(c.sink_arrivals(), 1u);
+  EXPECT_EQ(c.output().total(), 1u);
+  EXPECT_EQ(c.roots().at(1).sink_arrivals, 1u);
+  EXPECT_EQ(c.latency().size(), 1u);
+}
+
+TEST(Collector, MigrationTimestamps) {
+  Collector c;
+  c.set_request_time(at(10));
+  // Old event (born 9) arrives after the request.
+  c.on_source_emit(user_event(1, at(9), at(9)), false);
+  c.on_sink_arrival(user_event(1, at(9), at(9)), at(12));
+  // New replayed event arrives later.
+  c.on_sink_arrival(user_event(2, at(11), at(11), true), at(45));
+
+  ASSERT_TRUE(c.first_sink_after_request().has_value());
+  EXPECT_EQ(*c.first_sink_after_request(), at(12));
+  ASSERT_TRUE(c.last_old_arrival().has_value());
+  EXPECT_EQ(*c.last_old_arrival(), at(12));
+  ASSERT_TRUE(c.last_replayed_arrival().has_value());
+  EXPECT_EQ(*c.last_replayed_arrival(), at(45));
+}
+
+TEST(Collector, ArrivalsBeforeRequestDoNotCount) {
+  Collector c;
+  c.set_request_time(at(100));
+  c.on_sink_arrival(user_event(1, at(1), at(1)), at(2));
+  EXPECT_FALSE(c.first_sink_after_request().has_value());
+  EXPECT_FALSE(c.last_old_arrival().has_value());
+}
+
+TEST(Collector, FirstSinkArrivalAfterBinarySearch) {
+  Collector c;
+  c.on_sink_arrival(user_event(1, at(1), at(1)), at(1));
+  c.on_sink_arrival(user_event(2, at(2), at(2)), at(2));
+  c.on_sink_arrival(user_event(3, at(3), at(3)), at(5));
+  EXPECT_EQ(*c.first_sink_arrival_after(at(0.5)), at(1));
+  EXPECT_EQ(*c.first_sink_arrival_after(at(1)), at(2));  // strictly after
+  EXPECT_EQ(*c.first_sink_arrival_after(at(3)), at(5));
+  EXPECT_FALSE(c.first_sink_arrival_after(at(5)).has_value());
+}
+
+TEST(Collector, LostEventsSplitByKind) {
+  Collector c;
+  c.on_lost(user_event(1, at(1), at(1)), at(1));
+  dsps::Event ctrl = user_event(2, at(1), at(1));
+  ctrl.control = dsps::ControlKind::Prepare;
+  c.on_lost(ctrl, at(1));
+  EXPECT_EQ(c.lost_user_events(), 1u);
+  EXPECT_EQ(c.lost_control_events(), 1u);
+}
+
+}  // namespace
+}  // namespace rill::metrics

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "metrics/json.hpp"
+
+namespace rill::metrics {
+namespace {
+
+TEST(Json, EscapesSpecials) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape("plain"), "plain");
+}
+
+TEST(Json, ReportRendersAllFields) {
+  MigrationReport r;
+  r.dag = "Grid";
+  r.strategy = "CCR";
+  r.scale = "scale-in";
+  r.restore_sec = 7.9;
+  r.drain_sec = 0.2;
+  r.rebalance_sec = 7.3;
+  r.catchup_sec = std::nullopt;
+  r.recovery_sec = std::nullopt;
+  r.stabilization_sec = 160.0;
+  r.replayed_messages = 0;
+  r.lost_events = 0;
+  r.expected_output_rate = 32.0;
+
+  const std::string j = to_json(r);
+  EXPECT_NE(j.find("\"dag\": \"Grid\""), std::string::npos);
+  EXPECT_NE(j.find("\"restore_sec\": 7.900"), std::string::npos);
+  EXPECT_NE(j.find("\"catchup_sec\": null"), std::string::npos);
+  EXPECT_NE(j.find("\"recovery_sec\": null"), std::string::npos);
+  EXPECT_NE(j.find("\"stabilization_sec\": 160.000"), std::string::npos);
+  EXPECT_NE(j.find("\"replayed_messages\": 0"), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+TEST(Json, SeriesRendersBucketsAndLatency) {
+  Collector c;
+  dsps::Event ev;
+  ev.root = 1;
+  ev.origin = 1;
+  ev.born_at = 0;
+  ev.emitted_at = 500'000;  // 0.5 s
+  c.on_source_emit(ev, false);
+  c.on_sink_arrival(ev, 1'500'000);  // 1.5 s, latency 1.5 s
+
+  const std::string j = series_json(c);
+  EXPECT_NE(j.find("\"input_per_sec\": [1]"), std::string::npos);
+  EXPECT_NE(j.find("\"output_per_sec\": [0,1]"), std::string::npos);
+  EXPECT_NE(j.find("\"latency_windows\": [[0,1500.0]]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rill::metrics

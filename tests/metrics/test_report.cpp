@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "metrics/report.hpp"
+
+namespace rill::metrics {
+namespace {
+
+TEST(Report, FmtRoundsToPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(-1.55, 1), "-1.6");
+}
+
+TEST(Report, FmtOptShowsDashForMissing) {
+  EXPECT_EQ(fmt_opt(std::nullopt), "-");
+  EXPECT_EQ(fmt_opt(12.34, 1), "12.3");
+}
+
+TEST(Report, RenderTableAlignsColumns) {
+  const std::string table =
+      render_table({"A", "LongHeader"}, {{"x", "1"}, {"longcell", "22"}});
+  // Every line has the same width.
+  std::size_t width = 0;
+  std::size_t lines = 0;
+  std::size_t pos = 0;
+  while (pos < table.size()) {
+    const std::size_t nl = table.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    ++lines;
+    pos = nl + 1;
+  }
+  EXPECT_EQ(lines, 6u);  // rule, header, rule, 2 rows, rule
+  EXPECT_NE(table.find("| longcell | 22"), std::string::npos);
+}
+
+TEST(Report, RenderTableHandlesShortRows) {
+  const std::string table = render_table({"A", "B"}, {{"only-a"}});
+  EXPECT_NE(table.find("| only-a |"), std::string::npos);
+}
+
+TEST(Report, RenderTableEmptyRows) {
+  const std::string table = render_table({"H1", "H2"}, {});
+  EXPECT_NE(table.find("H1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rill::metrics

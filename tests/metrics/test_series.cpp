@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "metrics/series.hpp"
+
+namespace rill::metrics {
+namespace {
+
+SimTime at(double sec) { return static_cast<SimTime>(sec * 1e6); }
+
+TEST(RateSeries, BucketsBySecond) {
+  RateSeries s;
+  s.add(at(0.1));
+  s.add(at(0.9));
+  s.add(at(1.5));
+  EXPECT_EQ(s.count_at(0), 2u);
+  EXPECT_EQ(s.count_at(1), 1u);
+  EXPECT_EQ(s.count_at(2), 0u);
+  EXPECT_EQ(s.total(), 3u);
+  EXPECT_EQ(s.seconds(), 2u);
+}
+
+TEST(RateSeries, RateOverWindow) {
+  RateSeries s;
+  for (int i = 0; i < 10; ++i) s.add(at(i + 0.5));
+  EXPECT_DOUBLE_EQ(s.rate_over(0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(s.rate_over(0, 20), 0.5);  // zeros beyond the end count
+}
+
+TEST(RateSeries, SmoothedRateTrailingWindow) {
+  RateSeries s;
+  for (int i = 0; i < 5; ++i) {
+    for (int k = 0; k < (i + 1); ++k) s.add(at(i + 0.5));
+  }
+  // Buckets: 1,2,3,4,5.  Trailing 3-window at sec 4 → (3+4+5)/3.
+  EXPECT_DOUBLE_EQ(s.smoothed_rate(4, 3), 4.0);
+  // Clipped at the start.
+  EXPECT_DOUBLE_EQ(s.smoothed_rate(0, 3), 1.0);
+}
+
+TEST(FindStabilization, DetectsWindowStart) {
+  RateSeries s;
+  // 0–9 s: noisy (rate 20); 10–99 s: steady 32/s.
+  for (int sec = 0; sec < 10; ++sec) {
+    for (int k = 0; k < 20; ++k) s.add(at(sec + 0.5));
+  }
+  for (int sec = 10; sec < 100; ++sec) {
+    for (int k = 0; k < 32; ++k) s.add(at(sec + 0.5));
+  }
+  const auto stab = find_stabilization(s, 32.0, 0, 60, 0.2, 1);
+  ASSERT_TRUE(stab.has_value());
+  EXPECT_EQ(*stab, 10u);
+}
+
+TEST(FindStabilization, RespectsFromSec) {
+  RateSeries s;
+  for (int sec = 0; sec < 100; ++sec) {
+    for (int k = 0; k < 32; ++k) s.add(at(sec + 0.5));
+  }
+  const auto stab = find_stabilization(s, 32.0, 25, 60, 0.2, 1);
+  ASSERT_TRUE(stab.has_value());
+  EXPECT_EQ(*stab, 25u);
+}
+
+TEST(FindStabilization, NeverStableReturnsNullopt) {
+  RateSeries s;
+  for (int sec = 0; sec < 100; ++sec) {
+    const int rate = sec % 2 == 0 ? 10 : 60;  // oscillating far off 32
+    for (int k = 0; k < rate; ++k) s.add(at(sec + 0.5));
+  }
+  EXPECT_FALSE(find_stabilization(s, 32.0, 0, 60, 0.2, 1).has_value());
+}
+
+TEST(FindStabilization, ShortSeriesReturnsNullopt) {
+  RateSeries s;
+  for (int sec = 0; sec < 30; ++sec) {
+    for (int k = 0; k < 32; ++k) s.add(at(sec + 0.5));
+  }
+  EXPECT_FALSE(find_stabilization(s, 32.0, 0, 60).has_value());
+}
+
+TEST(FindStabilization, ZeroExpectedIsInvalid) {
+  RateSeries s;
+  EXPECT_FALSE(find_stabilization(s, 0.0, 0).has_value());
+}
+
+TEST(LatencySeries, WindowedAverage) {
+  LatencySeries l;
+  l.add(at(1), time::ms(100));
+  l.add(at(5), time::ms(300));
+  l.add(at(12), time::ms(500));
+  const auto rows = l.windowed_avg_ms(10);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].first, 0u);
+  EXPECT_DOUBLE_EQ(rows[0].second, 200.0);
+  EXPECT_EQ(rows[1].first, 10u);
+  EXPECT_DOUBLE_EQ(rows[1].second, 500.0);
+}
+
+TEST(LatencySeries, MedianWithinRange) {
+  LatencySeries l;
+  for (int i = 1; i <= 9; ++i) l.add(at(i), time::ms(i * 100));
+  const auto med = l.median_ms(at(0), at(10));
+  ASSERT_TRUE(med.has_value());
+  EXPECT_DOUBLE_EQ(*med, 500.0);
+  // Restricted range shifts the median.
+  const auto late = l.median_ms(at(5), at(10));
+  ASSERT_TRUE(late.has_value());
+  EXPECT_DOUBLE_EQ(*late, 700.0);
+  EXPECT_FALSE(l.median_ms(at(20), at(30)).has_value());
+}
+
+TEST(LatencySeries, PercentilesNearestRank) {
+  LatencySeries l;
+  for (int i = 1; i <= 100; ++i) l.add(at(i), time::ms(i));
+  EXPECT_DOUBLE_EQ(*l.percentile_ms(0.95, at(0), at(200)), 96.0);
+  EXPECT_DOUBLE_EQ(*l.percentile_ms(0.5, at(0), at(200)), 51.0);
+  EXPECT_FALSE(l.percentile_ms(0.0, at(0), at(200)).has_value());
+  EXPECT_FALSE(l.percentile_ms(1.0, at(0), at(200)).has_value());
+  // Heavy tail shows in p99 but not the median.
+  LatencySeries tail;
+  for (int i = 0; i < 99; ++i) tail.add(at(i), time::ms(100));
+  tail.add(at(99), time::sec(30));
+  EXPECT_DOUBLE_EQ(*tail.median_ms(at(0), at(200)), 100.0);
+  EXPECT_GT(*tail.percentile_ms(0.995, at(0), at(200)), 1000.0);
+}
+
+TEST(LatencySeries, EmptyBehaviour) {
+  LatencySeries l;
+  EXPECT_TRUE(l.windowed_avg_ms(10).empty());
+  EXPECT_FALSE(l.median_ms(0, at(100)).has_value());
+}
+
+}  // namespace
+}  // namespace rill::metrics

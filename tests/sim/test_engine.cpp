@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace rill::sim {
+namespace {
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(time::ms(30), [&] { order.push_back(3); });
+  e.schedule(time::ms(10), [&] { order.push_back(1); });
+  e.schedule(time::ms(20), [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, SameInstantFiresInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(time::ms(5), [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ClockAdvancesToEventTime) {
+  Engine e;
+  SimTime seen = 0;
+  e.schedule(time::sec(5), [&] { seen = e.now(); });
+  e.run();
+  EXPECT_EQ(seen, static_cast<SimTime>(time::sec(5)));
+  EXPECT_EQ(e.now(), static_cast<SimTime>(time::sec(5)));
+}
+
+TEST(Engine, RunUntilStopsAtLimit) {
+  Engine e;
+  int fired = 0;
+  e.schedule(time::sec(1), [&] { ++fired; });
+  e.schedule(time::sec(10), [&] { ++fired; });
+  e.run_until(static_cast<SimTime>(time::sec(5)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), static_cast<SimTime>(time::sec(5)));
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine e;
+  e.run_until(static_cast<SimTime>(time::sec(42)));
+  EXPECT_EQ(e.now(), static_cast<SimTime>(time::sec(42)));
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine e;
+  int fired = 0;
+  const TimerId id = e.schedule(time::ms(10), [&] { ++fired; });
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // double-cancel reports failure
+  e.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, CancelFromInsideCallback) {
+  Engine e;
+  int fired = 0;
+  const TimerId victim = e.schedule(time::ms(20), [&] { ++fired; });
+  e.schedule(time::ms(10), [&] { e.cancel(victim); });
+  e.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, NegativeDelayClampsToNow) {
+  Engine e;
+  e.schedule(time::sec(1), [] {});
+  e.run();
+  SimTime fired_at = 0;
+  e.schedule(time::ms(-50), [&] { fired_at = e.now(); });
+  e.run();
+  EXPECT_EQ(fired_at, static_cast<SimTime>(time::sec(1)));
+}
+
+TEST(Engine, ScheduleAtInPastClampsToNow) {
+  Engine e;
+  e.schedule(time::sec(2), [] {});
+  e.run();
+  SimTime fired_at = 0;
+  e.schedule_at(static_cast<SimTime>(time::sec(1)), [&] { fired_at = e.now(); });
+  e.run();
+  EXPECT_EQ(fired_at, static_cast<SimTime>(time::sec(2)));
+}
+
+TEST(Engine, NestedScheduling) {
+  Engine e;
+  std::vector<SimTime> times;
+  e.schedule(time::ms(10), [&] {
+    times.push_back(e.now());
+    e.schedule(time::ms(10), [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], static_cast<SimTime>(time::ms(10)));
+  EXPECT_EQ(times[1], static_cast<SimTime>(time::ms(20)));
+}
+
+TEST(Engine, StepExecutesExactlyOne) {
+  Engine e;
+  int fired = 0;
+  e.schedule(time::ms(1), [&] { ++fired; });
+  e.schedule(time::ms(2), [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, ExecutedCounter) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.schedule(time::ms(i), [] {});
+  e.run();
+  EXPECT_EQ(e.executed(), 5u);
+}
+
+TEST(PeriodicTimer, TicksAtPeriod) {
+  Engine e;
+  std::vector<SimTime> ticks;
+  PeriodicTimer t(e, time::sec(1), [&] { ticks.push_back(e.now()); });
+  t.start();
+  e.run_until(static_cast<SimTime>(time::sec_f(3.5)));
+  t.stop();
+  ASSERT_EQ(ticks.size(), 3u);
+  EXPECT_EQ(ticks[0], static_cast<SimTime>(time::sec(1)));
+  EXPECT_EQ(ticks[2], static_cast<SimTime>(time::sec(3)));
+}
+
+TEST(PeriodicTimer, StopInsideTick) {
+  Engine e;
+  int ticks = 0;
+  PeriodicTimer t(e, time::sec(1), [&] {
+    if (++ticks == 2) t.stop();
+  });
+  t.start();
+  e.run_until(static_cast<SimTime>(time::sec(10)));
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTimer, StartIsIdempotent) {
+  Engine e;
+  int ticks = 0;
+  PeriodicTimer t(e, time::sec(1), [&] { ++ticks; });
+  t.start();
+  t.start();
+  e.run_until(static_cast<SimTime>(time::sec_f(1.5)));
+  EXPECT_EQ(ticks, 1);
+  t.stop();
+}
+
+TEST(PeriodicTimer, DestructorCancels) {
+  Engine e;
+  int ticks = 0;
+  {
+    PeriodicTimer t(e, time::sec(1), [&] { ++ticks; });
+    t.start();
+  }
+  e.run_until(static_cast<SimTime>(time::sec(5)));
+  EXPECT_EQ(ticks, 0);
+}
+
+}  // namespace
+}  // namespace rill::sim

@@ -1,0 +1,95 @@
+// Shared helpers for the Rill test suite.
+#pragma once
+
+#include <memory>
+
+#include "core/strategy.hpp"
+#include "dsps/platform.hpp"
+#include "workloads/dags.hpp"
+#include "workloads/runner.hpp"
+#include "workloads/scenario.hpp"
+
+namespace rill::testutil {
+
+/// A tiny src→A→B→sink chain for unit tests.
+inline dsps::Topology mini_chain(double rate = 8.0) {
+  dsps::Topology t("mini");
+  const TaskId src = t.add_source("src");
+  const TaskId a = t.add_worker("A");
+  const TaskId b = t.add_worker("B");
+  const TaskId sink = t.add_sink("sink");
+  t.add_edge(src, a);
+  t.add_edge(a, b);
+  t.add_edge(b, sink);
+  t.validate();
+  t.autosize_parallelism(rate);
+  return t;
+}
+
+/// src → A → {B, C} → D → sink, with D seeing two upstream channels — used
+/// for barrier-alignment tests.
+inline dsps::Topology mini_diamond(double rate = 8.0) {
+  dsps::Topology t("mini-diamond");
+  const TaskId src = t.add_source("src");
+  const TaskId a = t.add_worker("A");
+  const TaskId b = t.add_worker("B");
+  const TaskId c = t.add_worker("C");
+  const TaskId d = t.add_worker("D");
+  const TaskId sink = t.add_sink("sink");
+  t.add_edge(src, a);
+  t.add_edge(a, b);
+  t.add_edge(a, c);
+  t.add_edge(b, d);
+  t.add_edge(c, d);
+  t.add_edge(d, sink);
+  t.validate();
+  t.autosize_parallelism(rate);
+  return t;
+}
+
+/// An engine + platform + deployed topology, ready to start.  Keeps the
+/// scheduler and collector alive for the platform's lifetime.
+struct Harness {
+  sim::Engine engine;
+  dsps::PlatformConfig config;
+  std::unique_ptr<dsps::Platform> platform;
+  dsps::RoundRobinScheduler scheduler;
+  metrics::Collector collector;
+  std::vector<VmId> worker_vms;
+
+  explicit Harness(dsps::Topology topo, dsps::PlatformConfig cfg = {},
+                   int worker_vm_count = 0,
+                   cluster::VmType vm_type = cluster::VmType::D2) {
+    config = cfg;
+    platform = std::make_unique<dsps::Platform>(engine, config);
+    platform->setup_infrastructure();
+    const int slots = topo.worker_instances();
+    const int cores = cluster::cores(vm_type);
+    const int n = worker_vm_count > 0 ? worker_vm_count
+                                      : (slots + cores - 1) / cores;
+    worker_vms = platform->cluster().provision_n(vm_type, n, "w");
+    platform->deploy(std::move(topo), worker_vms, scheduler);
+    platform->set_listener(&collector);
+  }
+
+  dsps::Platform& p() { return *platform; }
+
+  void run_for(SimDuration d) { engine.run_until(engine.now() + d); }
+};
+
+/// Run a short experiment (120 s, migrate at 40 s) for fast tests.
+inline workloads::ExperimentResult quick_experiment(
+    workloads::DagKind dag, core::StrategyKind strategy,
+    workloads::ScaleKind scale, std::uint64_t seed = 42,
+    SimDuration run = time::sec(420), SimDuration migrate_at = time::sec(60)) {
+  workloads::ExperimentConfig cfg;
+  cfg.dag = dag;
+  cfg.strategy = strategy;
+  cfg.scale = scale;
+  cfg.platform.seed = seed;
+  cfg.run_duration = run;
+  cfg.migrate_at = migrate_at;
+  return workloads::run_experiment(cfg);
+}
+
+}  // namespace rill::testutil

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "workloads/dags.hpp"
+
+namespace rill::workloads {
+namespace {
+
+/// Table 1 of the paper: logical tasks and instances per DAG.
+class DagTable1 : public ::testing::TestWithParam<DagKind> {};
+
+TEST_P(DagTable1, TaskAndInstanceCountsMatchPaper) {
+  const DagKind kind = GetParam();
+  const dsps::Topology t = build_dag(kind, 8.0);
+  int worker_tasks = 0;
+  for (const auto& def : t.tasks()) {
+    if (def.kind == dsps::TaskKind::Worker) ++worker_tasks;
+  }
+  EXPECT_EQ(worker_tasks, expected_tasks(kind));
+  EXPECT_EQ(t.worker_instances(), expected_instances(kind));
+}
+
+TEST_P(DagTable1, SingleSourceSingleSink) {
+  const dsps::Topology t = build_dag(GetParam(), 8.0);
+  EXPECT_EQ(t.sources().size(), 1u);
+  EXPECT_EQ(t.sinks().size(), 1u);
+}
+
+TEST_P(DagTable1, ValidatesAndHasUnitSelectivity) {
+  const dsps::Topology t = build_dag(GetParam(), 8.0);
+  EXPECT_TRUE(t.validated());
+  for (const auto& def : t.tasks()) {
+    if (def.kind == dsps::TaskKind::Worker) {
+      EXPECT_DOUBLE_EQ(def.selectivity, 1.0);
+      EXPECT_EQ(def.service_time, time::ms(100));
+      EXPECT_TRUE(def.stateful);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDags, DagTable1, ::testing::ValuesIn(all_dags()),
+                         [](const ::testing::TestParamInfo<DagKind>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(Dags, SinkInputRatesMatchFig4) {
+  // Fig 4 annotates the cumulative input reaching each sink.
+  EXPECT_DOUBLE_EQ(expected_output_rate(build_dag(DagKind::Linear), 8.0), 8.0);
+  EXPECT_DOUBLE_EQ(expected_output_rate(build_dag(DagKind::Diamond), 8.0), 32.0);
+  EXPECT_DOUBLE_EQ(expected_output_rate(build_dag(DagKind::Star), 8.0), 32.0);
+  EXPECT_DOUBLE_EQ(expected_output_rate(build_dag(DagKind::Traffic), 8.0), 32.0);
+  EXPECT_DOUBLE_EQ(expected_output_rate(build_dag(DagKind::Grid), 8.0), 32.0);
+}
+
+TEST(Dags, SinkPathsMatchDuplication) {
+  EXPECT_EQ(sink_paths(build_dag(DagKind::Linear)), 1u);
+  EXPECT_EQ(sink_paths(build_dag(DagKind::Diamond)), 4u);
+  EXPECT_EQ(sink_paths(build_dag(DagKind::Star)), 4u);
+  EXPECT_EQ(sink_paths(build_dag(DagKind::Traffic)), 4u);
+  EXPECT_EQ(sink_paths(build_dag(DagKind::Grid)), 4u);
+}
+
+TEST(Dags, GridHotTasksAreSized) {
+  const dsps::Topology t = build_dag(DagKind::Grid, 8.0);
+  auto parallelism_of = [&](std::string_view name) {
+    for (const auto& def : t.tasks()) {
+      if (def.name == name) return def.parallelism;
+    }
+    throw std::logic_error("not found");
+  };
+  EXPECT_EQ(parallelism_of("join"), 2);     // 16 ev/s
+  EXPECT_EQ(parallelism_of("predict"), 3);  // 24 ev/s
+  EXPECT_EQ(parallelism_of("publish"), 4);  // 32 ev/s
+}
+
+TEST(Dags, TrafficAggregateIsSized) {
+  const dsps::Topology t = build_dag(DagKind::Traffic, 8.0);
+  for (const auto& def : t.tasks()) {
+    if (def.name == "aggregate") {
+      EXPECT_EQ(def.parallelism, 3);
+    }
+  }
+}
+
+TEST(Dags, LinearNScalesDepth) {
+  const dsps::Topology t = build_linear_n(50, 8.0);
+  EXPECT_EQ(t.worker_instances(), 50);
+  EXPECT_EQ(t.critical_path_length(), 52);  // source + 50 + sink
+  EXPECT_EQ(sink_paths(t), 1u);
+  EXPECT_THROW(build_linear_n(0), std::invalid_argument);
+}
+
+TEST(Dags, HigherRateIncreasesParallelism) {
+  const dsps::Topology t = build_dag(DagKind::Linear, 16.0);
+  EXPECT_EQ(t.worker_instances(), 10);  // 2 instances per task at 16 ev/s
+}
+
+TEST(Dags, CriticalPathsDifferAcrossShapes) {
+  EXPECT_EQ(build_dag(DagKind::Linear).critical_path_length(), 7);
+  EXPECT_EQ(build_dag(DagKind::Diamond).critical_path_length(), 5);
+  EXPECT_EQ(build_dag(DagKind::Star).critical_path_length(), 5);
+  EXPECT_GE(build_dag(DagKind::Grid).critical_path_length(), 7);
+}
+
+}  // namespace
+}  // namespace rill::workloads

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rill::workloads {
+namespace {
+
+TEST(Runner, ProducesCompleteResult) {
+  const auto r = testutil::quick_experiment(DagKind::Linear,
+                                            core::StrategyKind::CCR,
+                                            ScaleKind::In);
+  EXPECT_EQ(r.dag_name, "Linear");
+  EXPECT_TRUE(r.migration_succeeded);
+  EXPECT_EQ(r.worker_instances, 5);
+  EXPECT_EQ(r.sink_paths, 1u);
+  EXPECT_DOUBLE_EQ(r.expected_output_rate, 8.0);
+  EXPECT_TRUE(r.rebalance.has_value());
+  EXPECT_GT(r.collector.roots_emitted(), 100u);
+  EXPECT_GT(r.billed_cents, 0.0);
+}
+
+TEST(Runner, MigrationHappensAtConfiguredTime) {
+  const auto r = testutil::quick_experiment(DagKind::Linear,
+                                            core::StrategyKind::DCR,
+                                            ScaleKind::In);
+  EXPECT_EQ(r.phases.request_at, static_cast<SimTime>(time::sec(60)));
+  ASSERT_TRUE(r.rebalance.has_value());
+  EXPECT_GE(r.rebalance->invoked_at, r.phases.request_at);
+}
+
+TEST(Runner, ScaleInReleasesVmsAndCutsCost) {
+  // After scale-in, only the D3 targets + io + redis remain active.
+  const auto r = testutil::quick_experiment(DagKind::Diamond,
+                                            core::StrategyKind::CCR,
+                                            ScaleKind::In);
+  EXPECT_TRUE(r.migration_succeeded);
+  // 8 slots: default 4×D2 released, target 2×D3.
+  EXPECT_EQ(r.vm_plan.default_d2_vms, 4);
+  EXPECT_EQ(r.vm_plan.scale_in_d3_vms, 2);
+}
+
+TEST(Runner, CustomTopologyOverridesDag) {
+  ExperimentConfig cfg;
+  cfg.custom_topology = build_linear_n(10);
+  cfg.strategy = core::StrategyKind::DCR;
+  cfg.run_duration = time::sec(200);
+  cfg.migrate_at = time::sec(50);
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.dag_name, "Linear-10");
+  EXPECT_EQ(r.worker_instances, 10);
+}
+
+TEST(Runner, ReportFieldsConsistent) {
+  const auto r = testutil::quick_experiment(DagKind::Star,
+                                            core::StrategyKind::DCR,
+                                            ScaleKind::Out);
+  EXPECT_EQ(r.report.dag, "Star");
+  EXPECT_EQ(r.report.strategy, "DCR");
+  EXPECT_EQ(r.report.scale, "scale-out");
+  EXPECT_DOUBLE_EQ(r.report.expected_output_rate, 32.0);
+  EXPECT_GT(r.report.rebalance_sec, 5.0);
+  ASSERT_TRUE(r.report.restore_sec.has_value());
+  ASSERT_TRUE(r.report.first_init_sec.has_value());
+  EXPECT_LT(*r.report.first_init_sec, *r.report.restore_sec + 60.0);
+}
+
+}  // namespace
+}  // namespace rill::workloads

@@ -1,0 +1,121 @@
+// rill_run — command-line driver for one migration experiment.
+//
+//   rill_run [--dag linear|diamond|star|traffic|grid]
+//            [--strategy dsm|dsm-t|dcr|ccr] [--scale in|out]
+//            [--rate EV_PER_SEC] [--seed N]
+//            [--migrate-at SEC] [--duration SEC]
+//            [--linear-n TASKS]          # override DAG with Linear-N
+//            [--json] [--series]         # machine-readable output
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "metrics/json.hpp"
+#include "workloads/runner.hpp"
+
+using namespace rill;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--dag NAME] [--strategy dsm|dsm-t|dcr|ccr] "
+               "[--scale in|out] [--rate R] [--seed N] [--migrate-at S] "
+               "[--duration S] [--linear-n N] [--json] [--series]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool parse_dag(const std::string& s, workloads::DagKind& out) {
+  if (s == "linear") out = workloads::DagKind::Linear;
+  else if (s == "diamond") out = workloads::DagKind::Diamond;
+  else if (s == "star") out = workloads::DagKind::Star;
+  else if (s == "traffic") out = workloads::DagKind::Traffic;
+  else if (s == "grid") out = workloads::DagKind::Grid;
+  else return false;
+  return true;
+}
+
+bool parse_strategy(const std::string& s, core::StrategyKind& out) {
+  if (s == "dsm") out = core::StrategyKind::DSM;
+  else if (s == "dsm-t") out = core::StrategyKind::DSM_T;
+  else if (s == "dcr") out = core::StrategyKind::DCR;
+  else if (s == "ccr") out = core::StrategyKind::CCR;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workloads::ExperimentConfig cfg;
+  bool json = false;
+  bool series = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--dag") {
+      if (!parse_dag(next(), cfg.dag)) usage(argv[0]);
+    } else if (arg == "--strategy") {
+      if (!parse_strategy(next(), cfg.strategy)) usage(argv[0]);
+    } else if (arg == "--scale") {
+      const std::string v = next();
+      if (v == "in") cfg.scale = workloads::ScaleKind::In;
+      else if (v == "out") cfg.scale = workloads::ScaleKind::Out;
+      else usage(argv[0]);
+    } else if (arg == "--rate") {
+      cfg.platform.source_rate = std::atof(next().c_str());
+      if (cfg.platform.source_rate <= 0) usage(argv[0]);
+    } else if (arg == "--seed") {
+      cfg.platform.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--migrate-at") {
+      cfg.migrate_at = time::sec_f(std::atof(next().c_str()));
+    } else if (arg == "--duration") {
+      cfg.run_duration = time::sec_f(std::atof(next().c_str()));
+    } else if (arg == "--linear-n") {
+      cfg.custom_topology = workloads::build_linear_n(
+          std::atoi(next().c_str()), cfg.platform.source_rate);
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--series") {
+      series = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage(argv[0]);
+    }
+  }
+
+  const workloads::ExperimentResult r = workloads::run_experiment(cfg);
+
+  if (json) {
+    std::puts(metrics::to_json(r.report).c_str());
+  } else {
+    const metrics::MigrationReport& rep = r.report;
+    std::printf("%s migration of %s (%s), seed %llu\n", rep.strategy.c_str(),
+                rep.dag.c_str(), rep.scale.c_str(),
+                static_cast<unsigned long long>(cfg.platform.seed));
+    std::printf("  restore        %s s\n", metrics::fmt_opt(rep.restore_sec).c_str());
+    std::printf("  drain/capture  %s s\n", metrics::fmt(rep.drain_sec, 2).c_str());
+    std::printf("  rebalance      %s s\n", metrics::fmt(rep.rebalance_sec, 2).c_str());
+    std::printf("  catchup        %s s\n", metrics::fmt_opt(rep.catchup_sec).c_str());
+    std::printf("  recovery       %s s\n", metrics::fmt_opt(rep.recovery_sec).c_str());
+    std::printf("  stabilization  %s s\n",
+                metrics::fmt_opt(rep.stabilization_sec).c_str());
+    std::printf("  replayed       %llu\n",
+                static_cast<unsigned long long>(rep.replayed_messages));
+    std::printf("  lost           %llu\n",
+                static_cast<unsigned long long>(rep.lost_events));
+    std::printf("  migration %s\n", r.migration_succeeded ? "ok" : "FAILED");
+  }
+  if (series) {
+    std::puts(metrics::series_json(r.collector).c_str());
+  }
+  return r.migration_succeeded ? 0 : 1;
+}
