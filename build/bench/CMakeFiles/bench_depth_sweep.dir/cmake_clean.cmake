@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_depth_sweep.dir/bench_depth_sweep.cpp.o"
+  "CMakeFiles/bench_depth_sweep.dir/bench_depth_sweep.cpp.o.d"
+  "bench_depth_sweep"
+  "bench_depth_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_depth_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drain_time.dir/bench_drain_time.cpp.o"
+  "CMakeFiles/bench_drain_time.dir/bench_drain_time.cpp.o.d"
+  "bench_drain_time"
+  "bench_drain_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drain_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

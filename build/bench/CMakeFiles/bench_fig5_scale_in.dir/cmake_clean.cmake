@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_scale_in.dir/bench_fig5_scale_in.cpp.o"
+  "CMakeFiles/bench_fig5_scale_in.dir/bench_fig5_scale_in.cpp.o.d"
+  "bench_fig5_scale_in"
+  "bench_fig5_scale_in.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_scale_in.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

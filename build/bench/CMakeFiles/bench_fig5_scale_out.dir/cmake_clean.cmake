@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_scale_out.dir/bench_fig5_scale_out.cpp.o"
+  "CMakeFiles/bench_fig5_scale_out.dir/bench_fig5_scale_out.cpp.o.d"
+  "bench_fig5_scale_out"
+  "bench_fig5_scale_out.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_scale_out.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_replayed.dir/bench_fig6_replayed.cpp.o"
+  "CMakeFiles/bench_fig6_replayed.dir/bench_fig6_replayed.cpp.o.d"
+  "bench_fig6_replayed"
+  "bench_fig6_replayed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_replayed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rebalance_duration.dir/bench_rebalance_duration.cpp.o"
+  "CMakeFiles/bench_rebalance_duration.dir/bench_rebalance_duration.cpp.o.d"
+  "bench_rebalance_duration"
+  "bench_rebalance_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rebalance_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dag.dir/custom_dag.cpp.o"
+  "CMakeFiles/custom_dag.dir/custom_dag.cpp.o.d"
+  "custom_dag"
+  "custom_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

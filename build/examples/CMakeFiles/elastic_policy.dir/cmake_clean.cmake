@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_policy.dir/elastic_policy.cpp.o"
+  "CMakeFiles/elastic_policy.dir/elastic_policy.cpp.o.d"
+  "elastic_policy"
+  "elastic_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

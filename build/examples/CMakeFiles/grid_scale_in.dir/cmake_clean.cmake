@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_scale_in.dir/grid_scale_in.cpp.o"
+  "CMakeFiles/grid_scale_in.dir/grid_scale_in.cpp.o.d"
+  "grid_scale_in"
+  "grid_scale_in.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_scale_in.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/rill.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/rill.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/vm.cpp" "src/CMakeFiles/rill.dir/cluster/vm.cpp.o" "gcc" "src/CMakeFiles/rill.dir/cluster/vm.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/CMakeFiles/rill.dir/common/bytes.cpp.o" "gcc" "src/CMakeFiles/rill.dir/common/bytes.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/rill.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/rill.dir/common/rng.cpp.o.d"
+  "/root/repo/src/core/ccr.cpp" "src/CMakeFiles/rill.dir/core/ccr.cpp.o" "gcc" "src/CMakeFiles/rill.dir/core/ccr.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/CMakeFiles/rill.dir/core/controller.cpp.o" "gcc" "src/CMakeFiles/rill.dir/core/controller.cpp.o.d"
+  "/root/repo/src/core/dcr.cpp" "src/CMakeFiles/rill.dir/core/dcr.cpp.o" "gcc" "src/CMakeFiles/rill.dir/core/dcr.cpp.o.d"
+  "/root/repo/src/core/dsm.cpp" "src/CMakeFiles/rill.dir/core/dsm.cpp.o" "gcc" "src/CMakeFiles/rill.dir/core/dsm.cpp.o.d"
+  "/root/repo/src/core/strategy.cpp" "src/CMakeFiles/rill.dir/core/strategy.cpp.o" "gcc" "src/CMakeFiles/rill.dir/core/strategy.cpp.o.d"
+  "/root/repo/src/dsps/acker.cpp" "src/CMakeFiles/rill.dir/dsps/acker.cpp.o" "gcc" "src/CMakeFiles/rill.dir/dsps/acker.cpp.o.d"
+  "/root/repo/src/dsps/checkpoint.cpp" "src/CMakeFiles/rill.dir/dsps/checkpoint.cpp.o" "gcc" "src/CMakeFiles/rill.dir/dsps/checkpoint.cpp.o.d"
+  "/root/repo/src/dsps/executor.cpp" "src/CMakeFiles/rill.dir/dsps/executor.cpp.o" "gcc" "src/CMakeFiles/rill.dir/dsps/executor.cpp.o.d"
+  "/root/repo/src/dsps/platform.cpp" "src/CMakeFiles/rill.dir/dsps/platform.cpp.o" "gcc" "src/CMakeFiles/rill.dir/dsps/platform.cpp.o.d"
+  "/root/repo/src/dsps/rebalance.cpp" "src/CMakeFiles/rill.dir/dsps/rebalance.cpp.o" "gcc" "src/CMakeFiles/rill.dir/dsps/rebalance.cpp.o.d"
+  "/root/repo/src/dsps/scheduler.cpp" "src/CMakeFiles/rill.dir/dsps/scheduler.cpp.o" "gcc" "src/CMakeFiles/rill.dir/dsps/scheduler.cpp.o.d"
+  "/root/repo/src/dsps/spout.cpp" "src/CMakeFiles/rill.dir/dsps/spout.cpp.o" "gcc" "src/CMakeFiles/rill.dir/dsps/spout.cpp.o.d"
+  "/root/repo/src/dsps/state.cpp" "src/CMakeFiles/rill.dir/dsps/state.cpp.o" "gcc" "src/CMakeFiles/rill.dir/dsps/state.cpp.o.d"
+  "/root/repo/src/dsps/topology.cpp" "src/CMakeFiles/rill.dir/dsps/topology.cpp.o" "gcc" "src/CMakeFiles/rill.dir/dsps/topology.cpp.o.d"
+  "/root/repo/src/kvstore/store.cpp" "src/CMakeFiles/rill.dir/kvstore/store.cpp.o" "gcc" "src/CMakeFiles/rill.dir/kvstore/store.cpp.o.d"
+  "/root/repo/src/metrics/collector.cpp" "src/CMakeFiles/rill.dir/metrics/collector.cpp.o" "gcc" "src/CMakeFiles/rill.dir/metrics/collector.cpp.o.d"
+  "/root/repo/src/metrics/json.cpp" "src/CMakeFiles/rill.dir/metrics/json.cpp.o" "gcc" "src/CMakeFiles/rill.dir/metrics/json.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/rill.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/rill.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/metrics/series.cpp" "src/CMakeFiles/rill.dir/metrics/series.cpp.o" "gcc" "src/CMakeFiles/rill.dir/metrics/series.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/rill.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/rill.dir/net/network.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/rill.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/rill.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/workloads/dags.cpp" "src/CMakeFiles/rill.dir/workloads/dags.cpp.o" "gcc" "src/CMakeFiles/rill.dir/workloads/dags.cpp.o.d"
+  "/root/repo/src/workloads/runner.cpp" "src/CMakeFiles/rill.dir/workloads/runner.cpp.o" "gcc" "src/CMakeFiles/rill.dir/workloads/runner.cpp.o.d"
+  "/root/repo/src/workloads/scenario.cpp" "src/CMakeFiles/rill.dir/workloads/scenario.cpp.o" "gcc" "src/CMakeFiles/rill.dir/workloads/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

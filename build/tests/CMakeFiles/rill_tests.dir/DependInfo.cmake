@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/test_cluster.cpp" "tests/CMakeFiles/rill_tests.dir/cluster/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/cluster/test_cluster.cpp.o.d"
+  "/root/repo/tests/common/test_bytes.cpp" "tests/CMakeFiles/rill_tests.dir/common/test_bytes.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/common/test_bytes.cpp.o.d"
+  "/root/repo/tests/common/test_rng.cpp" "tests/CMakeFiles/rill_tests.dir/common/test_rng.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/common/test_rng.cpp.o.d"
+  "/root/repo/tests/common/test_time_ids.cpp" "tests/CMakeFiles/rill_tests.dir/common/test_time_ids.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/common/test_time_ids.cpp.o.d"
+  "/root/repo/tests/core/test_ccr.cpp" "tests/CMakeFiles/rill_tests.dir/core/test_ccr.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/core/test_ccr.cpp.o.d"
+  "/root/repo/tests/core/test_dcr.cpp" "tests/CMakeFiles/rill_tests.dir/core/test_dcr.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/core/test_dcr.cpp.o.d"
+  "/root/repo/tests/core/test_dsm.cpp" "tests/CMakeFiles/rill_tests.dir/core/test_dsm.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/core/test_dsm.cpp.o.d"
+  "/root/repo/tests/core/test_dsm_timeout.cpp" "tests/CMakeFiles/rill_tests.dir/core/test_dsm_timeout.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/core/test_dsm_timeout.cpp.o.d"
+  "/root/repo/tests/core/test_logic_update.cpp" "tests/CMakeFiles/rill_tests.dir/core/test_logic_update.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/core/test_logic_update.cpp.o.d"
+  "/root/repo/tests/core/test_strategy_compare.cpp" "tests/CMakeFiles/rill_tests.dir/core/test_strategy_compare.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/core/test_strategy_compare.cpp.o.d"
+  "/root/repo/tests/dsps/test_acker.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_acker.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_acker.cpp.o.d"
+  "/root/repo/tests/dsps/test_checkpoint.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/dsps/test_checkpoint_failure.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_checkpoint_failure.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_checkpoint_failure.cpp.o.d"
+  "/root/repo/tests/dsps/test_executor.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_executor.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_executor.cpp.o.d"
+  "/root/repo/tests/dsps/test_grouping.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_grouping.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_grouping.cpp.o.d"
+  "/root/repo/tests/dsps/test_locality_scheduler.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_locality_scheduler.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_locality_scheduler.cpp.o.d"
+  "/root/repo/tests/dsps/test_platform.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_platform.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_platform.cpp.o.d"
+  "/root/repo/tests/dsps/test_rebalance.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_rebalance.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_rebalance.cpp.o.d"
+  "/root/repo/tests/dsps/test_scheduler.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_scheduler.cpp.o.d"
+  "/root/repo/tests/dsps/test_spout.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_spout.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_spout.cpp.o.d"
+  "/root/repo/tests/dsps/test_state.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_state.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_state.cpp.o.d"
+  "/root/repo/tests/dsps/test_topology.cpp" "tests/CMakeFiles/rill_tests.dir/dsps/test_topology.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/dsps/test_topology.cpp.o.d"
+  "/root/repo/tests/integration/test_determinism.cpp" "tests/CMakeFiles/rill_tests.dir/integration/test_determinism.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/integration/test_determinism.cpp.o.d"
+  "/root/repo/tests/integration/test_failure_injection.cpp" "tests/CMakeFiles/rill_tests.dir/integration/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/integration/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/integration/test_multi_source.cpp" "tests/CMakeFiles/rill_tests.dir/integration/test_multi_source.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/integration/test_multi_source.cpp.o.d"
+  "/root/repo/tests/integration/test_random_dags.cpp" "tests/CMakeFiles/rill_tests.dir/integration/test_random_dags.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/integration/test_random_dags.cpp.o.d"
+  "/root/repo/tests/integration/test_reliability_properties.cpp" "tests/CMakeFiles/rill_tests.dir/integration/test_reliability_properties.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/integration/test_reliability_properties.cpp.o.d"
+  "/root/repo/tests/integration/test_state_consistency.cpp" "tests/CMakeFiles/rill_tests.dir/integration/test_state_consistency.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/integration/test_state_consistency.cpp.o.d"
+  "/root/repo/tests/kvstore/test_store.cpp" "tests/CMakeFiles/rill_tests.dir/kvstore/test_store.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/kvstore/test_store.cpp.o.d"
+  "/root/repo/tests/metrics/test_collector.cpp" "tests/CMakeFiles/rill_tests.dir/metrics/test_collector.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/metrics/test_collector.cpp.o.d"
+  "/root/repo/tests/metrics/test_json.cpp" "tests/CMakeFiles/rill_tests.dir/metrics/test_json.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/metrics/test_json.cpp.o.d"
+  "/root/repo/tests/metrics/test_report.cpp" "tests/CMakeFiles/rill_tests.dir/metrics/test_report.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/metrics/test_report.cpp.o.d"
+  "/root/repo/tests/metrics/test_series.cpp" "tests/CMakeFiles/rill_tests.dir/metrics/test_series.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/metrics/test_series.cpp.o.d"
+  "/root/repo/tests/net/test_network.cpp" "tests/CMakeFiles/rill_tests.dir/net/test_network.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/net/test_network.cpp.o.d"
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/rill_tests.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/test_main.cpp" "tests/CMakeFiles/rill_tests.dir/test_main.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/test_main.cpp.o.d"
+  "/root/repo/tests/workloads/test_dags.cpp" "tests/CMakeFiles/rill_tests.dir/workloads/test_dags.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/workloads/test_dags.cpp.o.d"
+  "/root/repo/tests/workloads/test_runner.cpp" "tests/CMakeFiles/rill_tests.dir/workloads/test_runner.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/workloads/test_runner.cpp.o.d"
+  "/root/repo/tests/workloads/test_scenario.cpp" "tests/CMakeFiles/rill_tests.dir/workloads/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/rill_tests.dir/workloads/test_scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rill.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

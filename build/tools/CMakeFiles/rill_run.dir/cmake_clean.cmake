@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rill_run.dir/rill_run.cpp.o"
+  "CMakeFiles/rill_run.dir/rill_run.cpp.o.d"
+  "rill_run"
+  "rill_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rill_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
