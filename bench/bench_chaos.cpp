@@ -1,0 +1,90 @@
+// Chaos bench: reliability of each migration strategy when the checkpoint
+// store suffers an outage of increasing length, starting the moment the
+// migration is requested.  Shows the transactional recovery machinery at
+// work: short outages are absorbed by KV retries and wave retries, medium
+// ones cost aborted attempts, and long ones drive DCR/CCR into the DSM
+// fallback — while events are never lost by the exactly-once strategies.
+#include "bench_common.hpp"
+
+using namespace rill;
+
+namespace {
+
+struct CellOut {
+  int succeeded{0};
+  int fell_back{0};
+  int attempts{0};
+  int aborted{0};
+  double abort_latency_sum{0.0};
+  int abort_latency_n{0};
+  std::uint64_t lost{0};
+  std::uint64_t replayed{0};
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header("Chaos — KV-store outage during migration",
+                      "the recovery extension; no paper counterpart");
+
+  const std::vector<std::uint64_t> seeds = {42, 7, 1001};
+  const std::vector<int> outages_sec = {0, 15, 45, 90, 150};
+
+  std::vector<std::vector<std::string>> rows;
+  for (const int outage : outages_sec) {
+    for (const core::StrategyKind strategy : bench::kStrategies) {
+      CellOut out;
+      for (const std::uint64_t seed : seeds) {
+        workloads::ExperimentConfig cfg;
+        cfg.dag = workloads::DagKind::Linear;
+        cfg.strategy = strategy;
+        cfg.scale = workloads::ScaleKind::In;
+        cfg.platform.seed = seed;
+        cfg.platform.ack_timeout = time::sec(5);
+        cfg.platform.init_deadline = time::sec(60);
+        cfg.run_duration = time::sec(480);
+        cfg.migrate_at = time::sec(60);
+        if (outage > 0) {
+          cfg.chaos.kv_outage(time::sec(60), time::sec(outage));
+        }
+        const auto r = workloads::run_experiment(cfg);
+        out.succeeded += r.migration_succeeded ? 1 : 0;
+        out.fell_back += r.recovery.fell_back ? 1 : 0;
+        out.attempts += r.recovery.attempts;
+        out.aborted += r.recovery.aborted_attempts;
+        if (r.recovery.first_abort_latency_sec.has_value()) {
+          out.abort_latency_sum += *r.recovery.first_abort_latency_sec;
+          ++out.abort_latency_n;
+        }
+        out.lost += r.report.lost_events;
+        out.replayed += r.report.replayed_messages;
+      }
+      const int n = static_cast<int>(seeds.size());
+      rows.push_back(
+          {std::to_string(outage) + " s",
+           std::string(core::to_string(strategy)),
+           std::to_string(100 * out.succeeded / n) + "%",
+           std::to_string(100 * out.fell_back / n) + "%",
+           metrics::fmt(static_cast<double>(out.attempts) / n, 1),
+           metrics::fmt(static_cast<double>(out.aborted) / n, 1),
+           out.abort_latency_n > 0
+               ? metrics::fmt(out.abort_latency_sum / out.abort_latency_n, 1)
+               : "-",
+           std::to_string(out.lost / static_cast<std::uint64_t>(n)),
+           std::to_string(out.replayed / static_cast<std::uint64_t>(n))});
+    }
+  }
+  std::fputs(metrics::render_table({"Outage", "Strategy", "Success",
+                                    "Fallback", "Attempts", "Aborted",
+                                    "Abort s", "Lost", "Replayed"},
+                                   rows)
+                 .c_str(),
+             stdout);
+  std::puts("Linear scale-in, 3 seeds per cell; outage starts at the request.");
+  std::puts("DSM needs no store to move, so outages cannot fail it (it pays");
+  std::puts("with replays and losses everywhere).  DCR/CCR ride out short");
+  std::puts("outages with KV/wave retries, abort + retry medium ones, and");
+  std::puts("degrade to DSM after 3 failed attempts — losing nothing unless");
+  std::puts("the fallback itself kills workers mid-stream.");
+  return 0;
+}

@@ -33,7 +33,8 @@ int main() {
       kvs.emplace_back("ev/" + std::to_string(i), Bytes(64, 0x5A));
     }
     SimTime done_at = 0;
-    store.put_batch(client, std::move(kvs), [&] { done_at = engine.now(); });
+    store.put_batch(client, std::move(kvs),
+                    [&](bool) { done_at = engine.now(); });
     engine.run();
     rows.push_back({std::to_string(batch),
                     metrics::fmt(time::to_ms(static_cast<SimDuration>(done_at)), 1)});

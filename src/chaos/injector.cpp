@@ -1,0 +1,159 @@
+#include "chaos/injector.hpp"
+
+#include <utility>
+
+#include "dsps/platform.hpp"
+
+namespace rill::chaos {
+
+namespace {
+/// Independent stream constant ("CHAOSinj"); the injector must not draw
+/// from any platform stream or fault-free runs would be perturbed.
+constexpr std::uint64_t kChaosStream = 0x4348'414f'5369'6e6aull;
+}  // namespace
+
+ChaosInjector::ChaosInjector(ChaosPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), rng_(seed ^ kChaosStream) {}
+
+void ChaosInjector::arm(dsps::Platform& platform) {
+  platform_ = &platform;
+  if (plan_.empty()) return;  // zero-overhead when nothing is injected
+
+  platform.network().set_fault_hook(this);
+  platform.store().set_fault_hook(this);
+  stats_.faults_armed = static_cast<int>(plan_.faults.size());
+
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind == FaultKind::WorkerCrash) {
+      platform.engine().schedule_at(f.at, [this, f] { crash_worker(f); });
+    } else if (f.kind == FaultKind::VmFailure) {
+      platform.engine().schedule_at(f.at, [this, f] { fail_vm(f); });
+    }
+    // Window faults need no scheduling: the hooks check windows on demand.
+  }
+}
+
+bool ChaosInjector::in_window(const FaultSpec& f) const {
+  const SimTime now = platform_->engine().now();
+  return now >= f.at &&
+         now < f.at + static_cast<SimTime>(f.duration > 0 ? f.duration : 0);
+}
+
+bool ChaosInjector::drop(VmId /*from*/, VmId /*to*/, net::MsgClass cls) {
+  // Store traffic is attacked through the store hook, never dropped here —
+  // a dropped reply would be indistinguishable from an outage anyway.
+  if (cls == net::MsgClass::Store) return false;
+  for (const FaultSpec& f : plan_.faults) {
+    const bool matches =
+        (f.kind == FaultKind::DropControl && cls == net::MsgClass::Control) ||
+        (f.kind == FaultKind::DropUser && cls == net::MsgClass::Data);
+    if (!matches || !in_window(f)) continue;
+    if (f.probability < 1.0 && rng_.uniform01() >= f.probability) continue;
+    if (cls == net::MsgClass::Control) {
+      ++stats_.control_dropped;
+    } else {
+      ++stats_.user_dropped;
+    }
+    return true;
+  }
+  return false;
+}
+
+SimDuration ChaosInjector::extra_delay(VmId /*from*/, VmId /*to*/,
+                                       net::MsgClass /*cls*/) {
+  SimDuration extra = 0;
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind == FaultKind::NetDelay && in_window(f)) extra += f.extra;
+  }
+  if (extra > 0) ++stats_.messages_delayed;
+  return extra;
+}
+
+bool ChaosInjector::unavailable() {
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != FaultKind::KvOutage || !in_window(f)) continue;
+    if (f.probability < 1.0 && rng_.uniform01() >= f.probability) continue;
+    ++stats_.kv_outage_hits;
+    return true;
+  }
+  return false;
+}
+
+SimDuration ChaosInjector::extra_latency() {
+  SimDuration extra = 0;
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind == FaultKind::KvLatency && in_window(f)) extra += f.extra;
+  }
+  if (extra > 0) ++stats_.kv_slowdowns;
+  return extra;
+}
+
+void ChaosInjector::crash_worker(const FaultSpec& f) {
+  const auto workers = platform_->worker_instances();
+  if (workers.empty()) return;
+  const int idx =
+      f.target >= 0
+          ? f.target % static_cast<int>(workers.size())
+          : static_cast<int>(rng_.uniform_int(0, workers.size() - 1));
+  crash_instance(idx, f.respawn, f.respawn_delay);
+}
+
+void ChaosInjector::fail_vm(const FaultSpec& f) {
+  const std::vector<VmId>& vms = platform_->worker_vms();
+  if (vms.empty()) return;
+  const VmId vm =
+      vms[f.target >= 0
+              ? static_cast<std::size_t>(f.target) % vms.size()
+              : static_cast<std::size_t>(rng_.uniform_int(0, vms.size() - 1))];
+
+  // Every worker instance hosted on the VM dies at once; they relaunch in
+  // place once the VM reboots.
+  const auto workers = platform_->worker_instances();
+  bool any = false;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    if (platform_->executor(workers[i]).life() == dsps::LifeState::Dead) {
+      continue;
+    }
+    if (platform_->vm_of_instance(workers[i]) != vm) continue;
+    crash_instance(static_cast<int>(i), f.respawn, f.respawn_delay);
+    any = true;
+  }
+  if (any) ++stats_.vms_failed;
+}
+
+void ChaosInjector::crash_instance(int worker_index, bool respawn,
+                                   SimDuration delay) {
+  const auto workers = platform_->worker_instances();
+  const dsps::InstanceRef ref = workers[static_cast<std::size_t>(worker_index)];
+  dsps::Executor& ex = platform_->executor(ref);
+  if (ex.life() == dsps::LifeState::Dead) return;
+
+  const SlotId slot = ex.slot();
+  platform_->cluster().vacate(slot);
+  ex.kill();
+  ++stats_.workers_crashed;
+  if (!respawn) return;
+
+  platform_->engine().schedule(delay, [this, ref, slot] {
+    dsps::Executor& ex2 = platform_->executor(ref);
+    // A rebalance may have revived the instance elsewhere, or handed its
+    // old slot to someone else, while the replacement was launching.
+    if (ex2.life() != dsps::LifeState::Dead) return;
+    if (platform_->cluster().slot(slot).occupant.has_value()) return;
+    if (!platform_->cluster().vm(platform_->cluster().vm_of(slot)).active()) {
+      return;
+    }
+    platform_->cluster().occupy(slot, ex2.id());
+    ex2.respawn(slot);
+    // A stateful worker relaunching while a restore session is running
+    // pends user events until INIT re-delivers its state; outside a
+    // session it resumes with fresh state (the at-least-once reality of a
+    // crash — no checkpoint scheme can save unacked in-flight tuples).
+    const bool stateful = platform_->topology().task(ref.task).stateful;
+    ex2.set_ready(/*awaiting_init=*/stateful &&
+                  platform_->coordinator().init_in_progress());
+    ++stats_.workers_respawned;
+  });
+}
+
+}  // namespace rill::chaos

@@ -1,0 +1,77 @@
+// ChaosInjector: enacts a ChaosPlan against a running platform.
+//
+// The injector implements the fault hooks the infrastructure layers expose
+// (net::Network::FaultHook for message drop/delay, kvstore::Store::FaultHook
+// for outages and latency spikes) and schedules the process-level faults
+// (worker crashes, VM failures) on the simulation engine.  All random
+// decisions come from the injector's own RNG stream, seeded from the
+// platform seed XOR a fixed constant — a (seed, plan) pair is fully
+// reproducible and an empty plan draws nothing, so fault-free runs remain
+// byte-identical to runs without a chaos layer at all (invariant 7).
+#pragma once
+
+#include "chaos/plan.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "kvstore/store.hpp"
+#include "net/network.hpp"
+
+namespace rill::dsps {
+class Platform;
+}
+
+namespace rill::chaos {
+
+struct ChaosStats {
+  std::uint64_t kv_outage_hits{0};   ///< store requests swallowed
+  std::uint64_t kv_slowdowns{0};     ///< store requests given extra latency
+  std::uint64_t control_dropped{0};
+  std::uint64_t user_dropped{0};
+  std::uint64_t messages_delayed{0};
+  int workers_crashed{0};
+  int workers_respawned{0};
+  int vms_failed{0};
+  int faults_armed{0};  ///< FaultSpecs scheduled/registered by arm()
+
+  [[nodiscard]] std::uint64_t total_hits() const noexcept {
+    return kv_outage_hits + kv_slowdowns + control_dropped + user_dropped +
+           messages_delayed + static_cast<std::uint64_t>(workers_crashed) +
+           static_cast<std::uint64_t>(vms_failed);
+  }
+};
+
+class ChaosInjector final : public net::Network::FaultHook,
+                            public kvstore::Store::FaultHook {
+ public:
+  ChaosInjector(ChaosPlan plan, std::uint64_t seed);
+
+  /// Register the hooks on the platform's network and store and schedule
+  /// the point faults.  Call after deploy(), before the engine runs.
+  void arm(dsps::Platform& platform);
+
+  // -- net::Network::FaultHook --
+  bool drop(VmId from, VmId to, net::MsgClass cls) override;
+  SimDuration extra_delay(VmId from, VmId to, net::MsgClass cls) override;
+
+  // -- kvstore::Store::FaultHook --
+  bool unavailable() override;
+  SimDuration extra_latency() override;
+
+  [[nodiscard]] const ChaosPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const ChaosStats& stats() const noexcept { return stats_; }
+
+ private:
+  [[nodiscard]] bool in_window(const FaultSpec& f) const;
+  void crash_worker(const FaultSpec& f);
+  void fail_vm(const FaultSpec& f);
+  /// Kill worker instance `worker_index` (topology order) in place and, if
+  /// requested, respawn it on its old slot after `delay`.
+  void crash_instance(int worker_index, bool respawn, SimDuration delay);
+
+  dsps::Platform* platform_{nullptr};
+  ChaosPlan plan_;
+  Rng rng_;
+  ChaosStats stats_;
+};
+
+}  // namespace rill::chaos

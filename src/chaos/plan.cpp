@@ -1,0 +1,122 @@
+#include "chaos/plan.hpp"
+
+#include <sstream>
+
+namespace rill::chaos {
+
+std::string_view to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::KvOutage: return "kv-outage";
+    case FaultKind::KvLatency: return "kv-latency";
+    case FaultKind::DropControl: return "drop-control";
+    case FaultKind::DropUser: return "drop-user";
+    case FaultKind::NetDelay: return "net-delay";
+    case FaultKind::WorkerCrash: return "worker-crash";
+    case FaultKind::VmFailure: return "vm-failure";
+  }
+  return "?";
+}
+
+ChaosPlan& ChaosPlan::kv_outage(SimTime at, SimDuration duration) {
+  FaultSpec f;
+  f.kind = FaultKind::KvOutage;
+  f.at = at;
+  f.duration = duration;
+  return add(f);
+}
+
+ChaosPlan& ChaosPlan::kv_latency(SimTime at, SimDuration duration,
+                                 SimDuration extra) {
+  FaultSpec f;
+  f.kind = FaultKind::KvLatency;
+  f.at = at;
+  f.duration = duration;
+  f.extra = extra;
+  return add(f);
+}
+
+ChaosPlan& ChaosPlan::drop_control(SimTime at, SimDuration duration,
+                                   double prob) {
+  FaultSpec f;
+  f.kind = FaultKind::DropControl;
+  f.at = at;
+  f.duration = duration;
+  f.probability = prob;
+  return add(f);
+}
+
+ChaosPlan& ChaosPlan::drop_user(SimTime at, SimDuration duration, double prob) {
+  FaultSpec f;
+  f.kind = FaultKind::DropUser;
+  f.at = at;
+  f.duration = duration;
+  f.probability = prob;
+  return add(f);
+}
+
+ChaosPlan& ChaosPlan::net_delay(SimTime at, SimDuration duration,
+                                SimDuration extra) {
+  FaultSpec f;
+  f.kind = FaultKind::NetDelay;
+  f.at = at;
+  f.duration = duration;
+  f.extra = extra;
+  return add(f);
+}
+
+ChaosPlan& ChaosPlan::crash_worker(SimTime at, int target, bool respawn) {
+  FaultSpec f;
+  f.kind = FaultKind::WorkerCrash;
+  f.at = at;
+  f.target = target;
+  f.respawn = respawn;
+  return add(f);
+}
+
+ChaosPlan& ChaosPlan::fail_vm(SimTime at, int target, SimDuration reboot) {
+  FaultSpec f;
+  f.kind = FaultKind::VmFailure;
+  f.at = at;
+  f.target = target;
+  f.respawn_delay = reboot;
+  return add(f);
+}
+
+std::string ChaosPlan::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultSpec& f = faults[i];
+    if (i) os << "; ";
+    os << to_string(f.kind) << "@" << time::at_sec(f.at) << "s";
+    if (f.duration > 0) os << "+" << time::to_sec(f.duration) << "s";
+    if (f.kind == FaultKind::DropControl || f.kind == FaultKind::DropUser) {
+      os << " p=" << f.probability;
+    }
+    if (f.extra > 0) os << " extra=" << time::to_ms(f.extra) << "ms";
+  }
+  return os.str();
+}
+
+ChaosPlan random_single_fault(Rng& rng, SimTime t0, SimTime t1,
+                              bool protocol_only) {
+  const SimTime at = static_cast<SimTime>(
+      rng.uniform_int(static_cast<std::uint64_t>(t0),
+                      static_cast<std::uint64_t>(t1 > t0 ? t1 - 1 : t0)));
+  const SimDuration dur = time::sec_f(rng.uniform(5.0, 60.0));
+
+  ChaosPlan plan;
+  const std::uint64_t pick = rng.uniform_int(0, protocol_only ? 3 : 5);
+  switch (pick) {
+    case 0: plan.kv_outage(at, dur); break;
+    case 1: plan.kv_latency(at, dur, time::ms(static_cast<std::int64_t>(
+                                         rng.uniform(10.0, 200.0)))); break;
+    case 2: plan.drop_control(at, dur, rng.uniform(0.1, 0.6)); break;
+    case 3: plan.net_delay(at, dur, time::ms(static_cast<std::int64_t>(
+                                        rng.uniform(5.0, 50.0)))); break;
+    case 4: plan.drop_user(at, dur, rng.uniform(0.05, 0.3)); break;
+    default: plan.crash_worker(at); break;
+  }
+  return plan;
+}
+
+}  // namespace rill::chaos

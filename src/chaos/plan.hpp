@@ -1,0 +1,94 @@
+// Declarative chaos plans: which faults to inject, when, and how hard.
+//
+// A ChaosPlan is a list of FaultSpecs the ChaosInjector schedules against a
+// running platform.  Every random decision (which worker to crash, whether
+// to drop a particular message) is drawn from an RNG seeded from the
+// platform seed, so a (seed, plan) pair always reproduces the same run —
+// chaos preserves determinism invariant 7 (DESIGN.md §8).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace rill::chaos {
+
+enum class FaultKind : std::uint8_t {
+  /// Key-value store answers nothing during the window (requests are
+  /// swallowed; clients time out and retry).
+  KvOutage,
+  /// Store adds `extra` latency to every request in the window.
+  KvLatency,
+  /// Control-plane messages (PREPARE/COMMIT/ROLLBACK/INIT + store traffic
+  /// replies are NOT included) dropped with `probability` in the window.
+  DropControl,
+  /// User tuples dropped with `probability` in the window.
+  DropUser,
+  /// All inter-VM messages delayed by `extra` in the window.
+  NetDelay,
+  /// One worker instance killed at `at` (respawned in place after
+  /// `respawn_delay` when `respawn` is set).
+  WorkerCrash,
+  /// One worker VM fails at `at`: every worker instance on it is killed at
+  /// once and relaunches in place when the VM reboots (`respawn_delay`).
+  VmFailure,
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind k) noexcept;
+
+/// One fault.  Window faults use [at, at + duration); point faults
+/// (WorkerCrash, VmFailure) fire once at `at`.
+struct FaultSpec {
+  FaultKind kind{FaultKind::KvOutage};
+  SimTime at{0};
+  SimDuration duration{0};
+  /// Drop probability for DropControl / DropUser.
+  double probability{1.0};
+  /// Extra latency for KvLatency / NetDelay.
+  SimDuration extra{0};
+  /// Crash target: worker-instance (or VM) index into the deterministic
+  /// platform ordering; -1 picks one from the injector's seeded RNG.
+  int target{-1};
+  /// Whether a crashed worker / failed VM comes back.
+  bool respawn{true};
+  SimDuration respawn_delay = time::sec(10);
+};
+
+struct ChaosPlan {
+  std::vector<FaultSpec> faults;
+
+  [[nodiscard]] bool empty() const noexcept { return faults.empty(); }
+
+  ChaosPlan& add(FaultSpec f) {
+    faults.push_back(f);
+    return *this;
+  }
+
+  // Fluent builders for the common faults.
+  ChaosPlan& kv_outage(SimTime at, SimDuration duration);
+  ChaosPlan& kv_latency(SimTime at, SimDuration duration, SimDuration extra);
+  ChaosPlan& drop_control(SimTime at, SimDuration duration, double prob);
+  ChaosPlan& drop_user(SimTime at, SimDuration duration, double prob);
+  ChaosPlan& net_delay(SimTime at, SimDuration duration, SimDuration extra);
+  ChaosPlan& crash_worker(SimTime at, int target = -1, bool respawn = true);
+  ChaosPlan& fail_vm(SimTime at, int target = -1,
+                     SimDuration reboot = time::sec(30));
+
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Draw one random fault with `at` uniform in [t0, t1) and a bounded
+/// window, for the chaos property tests.  `protocol_only` restricts the
+/// pool to faults that attack the migration *protocol* rather than the
+/// user data path (no user-tuple drops, no crashes): DCR/CCR promise
+/// exactly-once only while their workers live — random crashes lose
+/// unacked in-flight tuples under any checkpoint scheme, which is exactly
+/// the DSM-vs-DCR trade-off the paper studies (§2).
+[[nodiscard]] ChaosPlan random_single_fault(Rng& rng, SimTime t0, SimTime t1,
+                                            bool protocol_only);
+
+}  // namespace rill::chaos

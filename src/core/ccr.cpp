@@ -12,52 +12,12 @@ void CcrStrategy::configure(dsps::Platform& platform) {
 
 void CcrStrategy::migrate(dsps::Platform& platform, dsps::MigrationPlan plan,
                           std::function<void(bool)> done) {
-  phases_ = PhaseTimes{};
-  phases_.request_at = platform.engine().now();
-
-  // 1) Pause the sources and broadcast PREPARE straight into every task's
-  //    input queue; each task finishes its current event, snapshots state
-  //    and captures later arrivals instead of processing them.
-  platform.pause_sources();
-  phases_.checkpoint_started = platform.engine().now();
-
-  // 2) PREPARE (broadcast) + COMMIT (sequential sweep) persist user state
-  //    and the captured pending-event lists.
-  platform.coordinator().run_checkpoint(
-      dsps::CheckpointMode::Capture,
-      [this, &platform, plan = std::move(plan),
-       done = std::move(done)](bool ok) mutable {
-        if (!ok) {
-          platform.unpause_sources();
-          if (done) done(false);
-          return;
-        }
-        phases_.checkpoint_done = platform.engine().now();
-
-        // 3) Rebalance with zero timeout — in-flight events are snapshotted
-        //    in the store, nothing is lost with the killed workers.
-        phases_.rebalance_invoked = platform.engine().now();
-        platform.rebalancer().rebalance(
-            std::move(plan), /*timeout=*/0,
-            [this, &platform, done = std::move(done)]() mutable {
-              phases_.rebalance_completed = platform.engine().now();
-
-              // 4) Broadcast INIT with 1 s re-sends: each task restores its
-              //    state and locally resumes the captured events.
-              platform.coordinator().run_init(
-                  platform.coordinator().last_committed(),
-                  dsps::CheckpointMode::Capture,
-                  platform.config().init_resend_period,
-                  [this, &platform, done = std::move(done)](bool ok2) {
-                    phases_.init_complete = platform.engine().now();
-                    // 5) Unpause the sources to resume new-event flow.
-                    platform.unpause_sources();
-                    phases_.sources_unpaused = platform.engine().now();
-                    phases_.migration_done = platform.engine().now();
-                    if (done) done(ok2);
-                  });
-            });
-      });
+  // Pause → broadcast PREPARE (capture in-flight events) → COMMIT sweep
+  // persists state + pending lists → rebalance → broadcast INIT resumes the
+  // captured events → unpause.  Transactional like DCR: a failed restore
+  // re-pins the old placement and replays from the committed snapshot.
+  run_checkpointed_migration(platform, std::move(plan),
+                             dsps::CheckpointMode::Capture, std::move(done));
 }
 
 }  // namespace rill::core

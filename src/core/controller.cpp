@@ -12,13 +12,68 @@ void MigrationController::request(dsps::MigrationPlan plan,
   }
   in_flight_ = true;
   completed_ = false;
-  strategy_.migrate(platform_, std::move(plan),
-                    [this, on_done = std::move(on_done)](bool ok) {
-                      in_flight_ = false;
-                      completed_ = true;
-                      success_ = ok;
-                      if (on_done) on_done(ok);
-                    });
+  success_ = false;
+  recovery_ = RecoveryStats{};
+  active_ = strategy_;
+  plan_ = std::move(plan);
+  start_attempt(std::move(on_done));
+}
+
+void MigrationController::start_attempt(std::function<void(bool)> on_done) {
+  ++recovery_.attempts;
+  active_->migrate(platform_, plan_,
+                   [this, on_done = std::move(on_done)](bool ok) mutable {
+                     on_attempt_done(ok, std::move(on_done));
+                   });
+}
+
+void MigrationController::on_attempt_done(bool ok,
+                                          std::function<void(bool)> on_done) {
+  if (ok || active_ == fallback_.get()) {
+    // Success, or the DSM fallback finished (its verdict is final either
+    // way — there is nothing further to degrade to).
+    finish(ok, on_done);
+    return;
+  }
+
+  ++recovery_.aborted_attempts;
+  if (!recovery_.first_abort_latency_sec.has_value()) {
+    recovery_.first_abort_latency_sec = active_->phases().abort_latency_sec();
+  }
+
+  if (recovery_.attempts < config_.max_attempts) {
+    platform_.engine().schedule(
+        config_.retry_backoff, [this, on_done = std::move(on_done)]() mutable {
+          start_attempt(std::move(on_done));
+        });
+    return;
+  }
+  if (config_.fallback_to_dsm && strategy_->kind() != StrategyKind::DSM) {
+    fall_back(std::move(on_done));
+    return;
+  }
+  finish(false, on_done);
+}
+
+void MigrationController::fall_back(std::function<void(bool)> on_done) {
+  recovery_.fell_back = true;
+  recovery_.fallback_at = platform_.engine().now();
+
+  // Degrade to the baseline: re-configure the platform for always-on
+  // acking + periodic checkpoints, then rebalance immediately.  The acker
+  // replays whatever the kill loses; state restores from the last
+  // committed checkpoint (possibly the aborted attempts' JIT one).
+  fallback_ = make_strategy(StrategyKind::DSM);
+  fallback_->configure(platform_);
+  active_ = fallback_.get();
+  start_attempt(std::move(on_done));
+}
+
+void MigrationController::finish(bool ok, std::function<void(bool)>& on_done) {
+  in_flight_ = false;
+  completed_ = true;
+  success_ = ok;
+  if (on_done) on_done(ok);
 }
 
 }  // namespace rill::core

@@ -1,9 +1,18 @@
-// MigrationController: thin façade that binds a platform and a strategy,
-// enacts migration requests, and exposes completion state — the public
-// entry point applications use (see examples/quickstart.cpp).
+// MigrationController: binds a platform and a strategy, enacts migration
+// requests, and exposes completion state — the public entry point
+// applications use (see examples/quickstart.cpp).
+//
+// The controller is also the recovery supervisor for transactional
+// migrations: a DCR/CCR attempt that aborts (checkpoint exhausted its wave
+// retries, or the restore missed its init deadline and was re-pinned onto
+// the old placement) is retried after a backoff, and after `max_attempts`
+// failed attempts the controller degrades to plain DSM — always-on acking
+// plus periodic checkpoints — so the migration still completes, trading
+// the paper's zero-loss guarantee for at-least-once progress.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "core/strategy.hpp"
@@ -11,13 +20,37 @@
 
 namespace rill::core {
 
+struct ControllerConfig {
+  /// Transactional attempts (including the first) before giving up on the
+  /// requested strategy.
+  int max_attempts{3};
+  /// Pause between a rolled-back attempt and the next one.
+  SimDuration retry_backoff{time::sec(5)};
+  /// Degrade to DSM after the attempts are exhausted instead of failing.
+  bool fallback_to_dsm{true};
+};
+
+struct RecoveryStats {
+  int attempts{0};          ///< migration attempts started (incl. fallback)
+  int aborted_attempts{0};  ///< attempts that rolled back
+  bool fell_back{false};    ///< degraded to DSM after exhausting attempts
+  std::optional<SimTime> fallback_at;
+  /// Abort → sources flowing again, for the first rolled-back attempt.
+  std::optional<double> first_abort_latency_sec;
+};
+
 class MigrationController {
  public:
-  MigrationController(dsps::Platform& platform, MigrationStrategy& strategy)
-      : platform_(platform), strategy_(strategy) {}
+  MigrationController(dsps::Platform& platform, MigrationStrategy& strategy,
+                      ControllerConfig config = {})
+      : platform_(platform),
+        strategy_(&strategy),
+        active_(&strategy),
+        config_(config) {}
 
-  /// Enact the plan now.  `on_done` (optional) fires when the strategy
-  /// finishes.  One request at a time.
+  /// Enact the plan now.  `on_done` (optional) fires when the migration
+  /// finally completes — after retries and, if enabled, the DSM fallback.
+  /// One request at a time.
   void request(dsps::MigrationPlan plan,
                std::function<void(bool)> on_done = {});
 
@@ -26,13 +59,30 @@ class MigrationController {
   [[nodiscard]] bool succeeded() const noexcept {
     return completed_ && success_;
   }
+  /// Phases of the strategy that ran last (the fallback's once degraded).
   [[nodiscard]] const PhaseTimes& phases() const noexcept {
-    return strategy_.phases();
+    return active_->phases();
+  }
+  [[nodiscard]] const RecoveryStats& recovery() const noexcept {
+    return recovery_;
+  }
+  [[nodiscard]] const ControllerConfig& config() const noexcept {
+    return config_;
   }
 
  private:
+  void start_attempt(std::function<void(bool)> on_done);
+  void on_attempt_done(bool ok, std::function<void(bool)> on_done);
+  void fall_back(std::function<void(bool)> on_done);
+  void finish(bool ok, std::function<void(bool)>& on_done);
+
   dsps::Platform& platform_;
-  MigrationStrategy& strategy_;
+  MigrationStrategy* strategy_;          ///< requested strategy (borrowed)
+  MigrationStrategy* active_{nullptr};   ///< strategy currently migrating
+  std::unique_ptr<MigrationStrategy> fallback_;  ///< owned DSM, if degraded
+  ControllerConfig config_;
+  dsps::MigrationPlan plan_;  ///< kept for retries / fallback
+  RecoveryStats recovery_;
   bool in_flight_{false};
   bool completed_{false};
   bool success_{false};

@@ -12,49 +12,11 @@ void DcrStrategy::configure(dsps::Platform& platform) {
 
 void DcrStrategy::migrate(dsps::Platform& platform, dsps::MigrationPlan plan,
                           std::function<void(bool)> done) {
-  phases_ = PhaseTimes{};
-  phases_.request_at = platform.engine().now();
-
-  // 1) Pause the sources; in-flight events drain to completion as the
-  //    PREPARE rearguard sweeps the dataflow behind them.
-  platform.pause_sources();
-  phases_.checkpoint_started = platform.engine().now();
-
-  // 2) JIT checkpoint: PREPARE sweep (drain) then COMMIT persist.
-  platform.coordinator().run_checkpoint(
-      dsps::CheckpointMode::Wave,
-      [this, &platform, plan = std::move(plan),
-       done = std::move(done)](bool ok) mutable {
-        if (!ok) {
-          platform.unpause_sources();
-          if (done) done(false);
-          return;
-        }
-        phases_.checkpoint_done = platform.engine().now();
-
-        // 3) Rebalance with zero timeout — the dataflow is empty.
-        phases_.rebalance_invoked = platform.engine().now();
-        platform.rebalancer().rebalance(
-            std::move(plan), /*timeout=*/0,
-            [this, &platform, done = std::move(done)]() mutable {
-              phases_.rebalance_completed = platform.engine().now();
-
-              // 4) INIT restore with aggressive 1 s re-sends; duplicates
-              //    are ignored by already-initialised tasks.
-              platform.coordinator().run_init(
-                  platform.coordinator().last_committed(),
-                  dsps::CheckpointMode::Wave,
-                  platform.config().init_resend_period,
-                  [this, &platform, done = std::move(done)](bool ok2) {
-                    phases_.init_complete = platform.engine().now();
-                    // 5) Unpause: backlogged events refill the dataflow.
-                    platform.unpause_sources();
-                    phases_.sources_unpaused = platform.engine().now();
-                    phases_.migration_done = platform.engine().now();
-                    if (done) done(ok2);
-                  });
-            });
-      });
+  // Pause → PREPARE sweep (drain) → JIT COMMIT → rebalance → INIT with 1 s
+  // re-sends → unpause, all transactional: a failed checkpoint or restore
+  // rolls back to the old placement with zero loss.
+  run_checkpointed_migration(platform, std::move(plan),
+                             dsps::CheckpointMode::Wave, std::move(done));
 }
 
 }  // namespace rill::core

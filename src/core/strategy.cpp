@@ -1,8 +1,31 @@
 #include "core/strategy.hpp"
 
+#include <memory>
+#include <unordered_set>
+#include <utility>
+
 #include "core/strategies.hpp"
 
 namespace rill::core {
+
+namespace {
+
+/// Release every VM in `old_vms` that is not part of `target_vms` (the
+/// deferred scale-in billing benefit, applied only once the restore has
+/// committed).
+void release_vms_not_in(dsps::Platform& platform,
+                        const std::vector<VmId>& old_vms,
+                        const std::vector<VmId>& target_vms) {
+  std::unordered_set<std::uint32_t> target;
+  for (VmId v : target_vms) target.insert(v.value);
+  for (VmId v : old_vms) {
+    if (!target.contains(v.value) && platform.cluster().vm(v).active()) {
+      platform.cluster().release(v);
+    }
+  }
+}
+
+}  // namespace
 
 std::string_view to_string(StrategyKind k) noexcept {
   switch (k) {
@@ -28,6 +51,127 @@ std::unique_ptr<MigrationStrategy> make_strategy(StrategyKind k) {
 std::unique_ptr<MigrationStrategy> make_dsm_timeout_strategy(
     SimDuration timeout) {
   return std::make_unique<DsmTimeoutStrategy>(timeout);
+}
+
+void MigrationStrategy::run_checkpointed_migration(
+    dsps::Platform& platform, dsps::MigrationPlan plan,
+    dsps::CheckpointMode mode, std::function<void(bool)> done) {
+  phases_ = PhaseTimes{};
+  phases_.request_at = platform.engine().now();
+
+  // 1) Pause the sources.  Wave mode drains in-flight events behind the
+  //    PREPARE rearguard; Capture mode snapshots them into pending lists.
+  platform.pause_sources();
+  phases_.checkpoint_started = platform.engine().now();
+
+  // 2) JIT checkpoint (retried per-wave by the coordinator).
+  platform.coordinator().run_checkpoint(
+      mode, [this, &platform, mode, plan = std::move(plan),
+             done = std::move(done)](bool ok) mutable {
+        if (!ok) {
+          // Checkpoint aborted after exhausting wave retries; the
+          // coordinator already broadcast ROLLBACK.  Nothing has moved —
+          // the old placement is intact, so just resume the sources.
+          phases_.aborted = true;
+          phases_.aborted_at = platform.engine().now();
+          platform.unpause_sources();
+          phases_.sources_unpaused = platform.engine().now();
+          phases_.migration_done = platform.engine().now();
+          if (done) done(false);
+          return;
+        }
+        phases_.checkpoint_done = platform.engine().now();
+
+        // Transactional bookkeeping: snapshot the old placement before
+        // anything moves and defer the old-VM release until the restore
+        // commits, so an abort can re-pin with zero loss.
+        dsps::Placement old_placement =
+            platform.rebalancer().current_placement();
+        std::vector<VmId> old_vms = platform.worker_vms();
+        std::vector<VmId> target_vms = plan.target_vms;
+        const bool release_requested = plan.release_old_vms;
+        plan.release_old_vms = false;
+
+        // 3) Rebalance with zero timeout — the dataflow is empty (Wave) or
+        //    snapshotted (Capture).
+        phases_.rebalance_invoked = platform.engine().now();
+        platform.rebalancer().rebalance(
+            std::move(plan), /*timeout=*/0,
+            [this, &platform, mode, old_placement = std::move(old_placement),
+             old_vms = std::move(old_vms), target_vms = std::move(target_vms),
+             release_requested, done = std::move(done)]() mutable {
+              phases_.rebalance_completed = platform.engine().now();
+
+              // 4) INIT restore with aggressive 1 s re-sends, bounded by
+              //    the init deadline.
+              platform.coordinator().run_init(
+                  platform.coordinator().last_committed(), mode,
+                  platform.config().init_resend_period,
+                  [this, &platform, mode,
+                   old_placement = std::move(old_placement),
+                   old_vms = std::move(old_vms),
+                   target_vms = std::move(target_vms), release_requested,
+                   done = std::move(done)](bool ok2) mutable {
+                    if (!ok2) {
+                      abort_and_repin(platform, mode,
+                                      std::move(old_placement),
+                                      std::move(old_vms), std::move(done));
+                      return;
+                    }
+                    phases_.init_complete = platform.engine().now();
+                    // Restore committed: now the vacated VMs may go.
+                    if (release_requested) {
+                      release_vms_not_in(platform, old_vms, target_vms);
+                    }
+                    // 5) Unpause: backlogged events refill the dataflow.
+                    platform.unpause_sources();
+                    phases_.sources_unpaused = platform.engine().now();
+                    phases_.migration_done = platform.engine().now();
+                    if (done) done(true);
+                  },
+                  platform.config().init_deadline);
+            });
+      });
+}
+
+void MigrationStrategy::abort_and_repin(dsps::Platform& platform,
+                                        dsps::CheckpointMode mode,
+                                        dsps::Placement old_placement,
+                                        std::vector<VmId> old_vms,
+                                        std::function<void(bool)> done) {
+  phases_.aborted = true;
+  phases_.aborted_at = platform.engine().now();
+
+  // Discard any half-restored snapshots on the target workers.
+  platform.coordinator().broadcast_rollback(
+      platform.coordinator().last_committed());
+
+  // Re-pin every instance onto its exact old slot.  The old VMs were kept
+  // alive for exactly this case; the failed target VMs also stay
+  // provisioned so the controller can retry or fall back to DSM.
+  auto pinned =
+      std::make_shared<dsps::PinnedScheduler>(std::move(old_placement));
+  dsps::MigrationPlan repin;
+  repin.target_vms = std::move(old_vms);
+  repin.scheduler = pinned.get();
+  repin.release_old_vms = false;
+  platform.rebalancer().rebalance(
+      std::move(repin), /*timeout=*/0,
+      [this, &platform, mode, pinned, done = std::move(done)]() mutable {
+        phases_.repinned_at = platform.engine().now();
+        // Unbounded recovery INIT against the same committed checkpoint:
+        // once the fault lifts, the restore completes and only then do the
+        // sources resume — the abort itself loses no user events.
+        platform.coordinator().run_init(
+            platform.coordinator().last_committed(), mode,
+            platform.config().init_resend_period,
+            [this, &platform, done = std::move(done)](bool) mutable {
+              platform.unpause_sources();
+              phases_.sources_unpaused = platform.engine().now();
+              phases_.migration_done = platform.engine().now();
+              if (done) done(false);
+            });
+      });
 }
 
 }  // namespace rill::core

@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 #include "common/time.hpp"
 #include "dsps/platform.hpp"
@@ -43,6 +44,21 @@ struct PhaseTimes {
   std::optional<SimTime> init_complete;
   std::optional<SimTime> sources_unpaused;
   std::optional<SimTime> migration_done;
+
+  /// Transactional abort bookkeeping: the attempt was rolled back either
+  /// before anything moved (checkpoint failed) or after the rebalance
+  /// (restore failed → re-pinned onto the old placement).
+  bool aborted{false};
+  std::optional<SimTime> aborted_at;
+  std::optional<SimTime> repinned_at;
+
+  /// Abort latency (§4-style recovery metric): abort decision →
+  /// sources flowing again on the old placement.
+  [[nodiscard]] std::optional<double> abort_latency_sec() const {
+    if (!aborted_at || !sources_unpaused) return std::nullopt;
+    return time::to_sec(
+        static_cast<SimDuration>(*sources_unpaused - *aborted_at));
+  }
 
   /// Drain/Capture duration (§4 metric 2): request → rebalance invocation.
   [[nodiscard]] std::optional<double> drain_sec() const {
@@ -74,7 +90,25 @@ class MigrationStrategy {
   [[nodiscard]] const PhaseTimes& phases() const noexcept { return phases_; }
 
  protected:
+  /// Shared transactional pause → checkpoint → rebalance → restore →
+  /// unpause flow used by DCR (Wave) and CCR (Capture).  On a failed
+  /// checkpoint the migration aborts before anything moves.  On a failed
+  /// restore (init_deadline exceeded) it broadcasts ROLLBACK, re-pins every
+  /// instance onto its exact old slot and runs an unbounded recovery INIT
+  /// so the sources only resume once the old placement is restored — the
+  /// abort itself loses no user events.
+  void run_checkpointed_migration(dsps::Platform& platform,
+                                  dsps::MigrationPlan plan,
+                                  dsps::CheckpointMode mode,
+                                  std::function<void(bool)> done);
+
   PhaseTimes phases_;
+
+ private:
+  void abort_and_repin(dsps::Platform& platform, dsps::CheckpointMode mode,
+                       dsps::Placement old_placement,
+                       std::vector<VmId> old_vms,
+                       std::function<void(bool)> done);
 };
 
 /// Factory for the paper strategies.  DSM_T gets a default 10 s timeout;

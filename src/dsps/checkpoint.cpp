@@ -89,37 +89,71 @@ void CheckpointCoordinator::run_checkpoint(CheckpointMode mode, Done done) {
   checkpoint_active_ = true;
   ++stats_.waves_started;
   const std::uint64_t cid = next_checkpoint_id_++;
+  start_prepare(mode, cid, 1, std::make_shared<Done>(std::move(done)));
+}
 
-  auto shared_done = std::make_shared<Done>(std::move(done));
-  auto fail_wave = [this, cid, shared_done](RootId) {
-    ++stats_.waves_rolled_back;
-    checkpoint_active_ = false;
-    // Best-effort rollback broadcast; completion is not tracked.
-    send_wave(ControlKind::Rollback, cid, /*broadcast=*/true, [](RootId) {},
-              [](RootId) {});
-    if (*shared_done) (*shared_done)(false);
-  };
+void CheckpointCoordinator::abort_wave(std::uint64_t cid,
+                                       std::shared_ptr<Done> done) {
+  ++stats_.waves_rolled_back;
+  checkpoint_active_ = false;
+  broadcast_rollback(cid);
+  if (*done) (*done)(false);
+}
 
+void CheckpointCoordinator::broadcast_rollback(std::uint64_t checkpoint_id) {
+  // Best-effort rollback broadcast; completion is not tracked.
+  ++stats_.rollbacks_broadcast;
+  send_wave(ControlKind::Rollback, checkpoint_id, /*broadcast=*/true,
+            [](RootId) {}, [](RootId) {});
+}
+
+void CheckpointCoordinator::start_prepare(CheckpointMode mode,
+                                          std::uint64_t cid, int attempt,
+                                          std::shared_ptr<Done> done) {
   send_wave(
       ControlKind::Prepare, cid, mode == CheckpointMode::Capture,
-      [this, cid, shared_done, fail_wave](RootId) {
+      [this, mode, cid, done](RootId) {
         // All tasks prepared; COMMIT always sweeps the dataflow wiring so
         // it lands behind every in-flight user event.
-        send_wave(ControlKind::Commit, cid, /*broadcast=*/false,
-                  [this, cid, shared_done](RootId) {
-                    last_committed_ = cid;
-                    checkpoint_active_ = false;
-                    ++stats_.waves_committed;
-                    if (*shared_done) (*shared_done)(true);
-                  },
-                  fail_wave);
+        start_commit(mode, cid, 1, done);
       },
-      fail_wave);
+      [this, mode, cid, attempt, done](RootId) {
+        // A wave timed out (dropped copy, dead task, store outage).  Retry
+        // the same wave id: each retry is a fresh wave root, so executors
+        // re-align from scratch and re-snapshot idempotently.
+        if (attempt <= platform_.config().checkpoint_wave_retries) {
+          ++stats_.wave_retries;
+          start_prepare(mode, cid, attempt + 1, done);
+          return;
+        }
+        abort_wave(cid, done);
+      });
+}
+
+void CheckpointCoordinator::start_commit(CheckpointMode mode,
+                                         std::uint64_t cid, int attempt,
+                                         std::shared_ptr<Done> done) {
+  send_wave(ControlKind::Commit, cid, /*broadcast=*/false,
+            [this, cid, done](RootId) {
+              last_committed_ = cid;
+              checkpoint_active_ = false;
+              ++stats_.waves_committed;
+              if (*done) (*done)(true);
+            },
+            [this, mode, cid, attempt, done](RootId) {
+              if (attempt <= platform_.config().checkpoint_wave_retries) {
+                ++stats_.wave_retries;
+                start_commit(mode, cid, attempt + 1, done);
+                return;
+              }
+              abort_wave(cid, done);
+            });
 }
 
 void CheckpointCoordinator::run_init(std::uint64_t checkpoint_id,
                                      CheckpointMode mode,
-                                     SimDuration resend_period, Done done) {
+                                     SimDuration resend_period, Done done,
+                                     SimDuration deadline) {
   assert(!init_.active && "init session already running");
   init_.checkpoint_id = checkpoint_id;
   init_.mode = mode;
@@ -129,23 +163,37 @@ void CheckpointCoordinator::run_init(std::uint64_t checkpoint_id,
   init_.active = true;
   first_init_received_.reset();
 
+  if (deadline > 0) {
+    init_deadline_timer_ =
+        platform_.engine().schedule(deadline, [this] { fail_init_session(); });
+  }
+
   send_init_attempt();
 
-  if (resend_period > 0) {
-    // Aggressive re-send (DCR/CCR, paper: every 1 s).  Self-rescheduling so
-    // completion can cancel cleanly.
-    auto rearm = std::make_shared<std::function<void()>>();
-    *rearm = [this, rearm] {
-      if (!init_.active) return;
-      init_resend_timer_ =
-          platform_.engine().schedule(init_.resend_period, [this, rearm] {
-            if (!init_.active) return;
-            send_init_attempt();
-            (*rearm)();
-          });
-    };
-    (*rearm)();
-  }
+  // Aggressive re-send (DCR/CCR, paper: every 1 s); DSM (period 0)
+  // re-sends only on wave failure.
+  if (resend_period > 0) arm_init_resend();
+}
+
+void CheckpointCoordinator::arm_init_resend() {
+  if (!init_.active) return;
+  init_resend_timer_ =
+      platform_.engine().schedule(init_.resend_period, [this] {
+        if (!init_.active) return;
+        send_init_attempt();
+        arm_init_resend();
+      });
+}
+
+void CheckpointCoordinator::fail_init_session() {
+  if (!init_.active) return;
+  init_.active = false;
+  ++stats_.init_sessions_failed;
+  platform_.engine().cancel(init_resend_timer_);
+  for (RootId r : init_.outstanding) platform_.acker().forget(r);
+  init_.outstanding.clear();
+  Done done = std::move(init_.done);
+  if (done) done(false);
 }
 
 void CheckpointCoordinator::send_init_attempt() {
@@ -157,6 +205,7 @@ void CheckpointCoordinator::send_init_attempt() {
         if (!init_.active) return;
         init_.active = false;
         platform_.engine().cancel(init_resend_timer_);
+        platform_.engine().cancel(init_deadline_timer_);
         for (RootId r : init_.outstanding) {
           if (r != completed) platform_.acker().forget(r);
         }

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -39,6 +40,9 @@ struct CheckpointStats {
   std::uint64_t waves_rolled_back{0};
   std::uint64_t init_attempts{0};
   std::uint64_t init_completions{0};
+  std::uint64_t wave_retries{0};        ///< PREPARE/COMMIT retried in-wave
+  std::uint64_t init_sessions_failed{0};  ///< run_init hit its deadline
+  std::uint64_t rollbacks_broadcast{0};
 };
 
 class CheckpointCoordinator {
@@ -54,15 +58,27 @@ class CheckpointCoordinator {
 
   /// Run one full PREPARE→COMMIT wave now (JIT checkpoint).  `mode` decides
   /// the PREPARE wiring: Wave = sequential sweep, Capture = broadcast.
-  /// COMMIT always sweeps sequentially.  On PREPARE failure a ROLLBACK is
-  /// broadcast and done(false) fires.
+  /// COMMIT always sweeps sequentially.  A failed PREPARE or COMMIT wave is
+  /// retried up to `config().checkpoint_wave_retries` times (same wave id,
+  /// so executors re-align and re-persist idempotently); only after the
+  /// retries are exhausted is a ROLLBACK broadcast and done(false) fired.
   void run_checkpoint(CheckpointMode mode, Done done);
 
   /// Restore task state for `checkpoint_id` after a rebalance.  INIT waves
   /// are (re)sent until one completes.  `resend_period` > 0 re-sends on a
   /// timer (DCR/CCR); 0 re-sends only on ack-timeout failure (DSM).
+  /// `deadline` > 0 bounds the whole session: if no wave completes in time
+  /// the session is torn down and done(false) fires (the transactional
+  /// strategies then abort and re-pin the old placement).
   void run_init(std::uint64_t checkpoint_id, CheckpointMode mode,
-                SimDuration resend_period, Done done);
+                SimDuration resend_period, Done done,
+                SimDuration deadline = 0);
+
+  /// Broadcast a best-effort ROLLBACK for `checkpoint_id` to every worker
+  /// and sink instance (abort path of a transactional migration).
+  void broadcast_rollback(std::uint64_t checkpoint_id);
+
+  [[nodiscard]] bool init_in_progress() const noexcept { return init_.active; }
 
   /// Wave id of the last successfully committed checkpoint (0 = none).
   [[nodiscard]] std::uint64_t last_committed() const noexcept {
@@ -92,6 +108,13 @@ class CheckpointCoordinator {
 
   void on_periodic_tick();
   void send_init_attempt();
+  void arm_init_resend();
+  void start_prepare(CheckpointMode mode, std::uint64_t cid, int attempt,
+                     std::shared_ptr<Done> done);
+  void start_commit(CheckpointMode mode, std::uint64_t cid, int attempt,
+                    std::shared_ptr<Done> done);
+  void abort_wave(std::uint64_t cid, std::shared_ptr<Done> done);
+  void fail_init_session();
 
   // run_init session state.
   struct InitSession {
@@ -110,6 +133,7 @@ class CheckpointCoordinator {
   bool checkpoint_active_{false};
   InitSession init_;
   sim::TimerId init_resend_timer_{};
+  sim::TimerId init_deadline_timer_{};
   std::optional<SimTime> first_init_received_;
   CheckpointStats stats_;
 };

@@ -33,6 +33,22 @@ struct PlatformConfig {
   /// just-in-time wave instead).
   SimDuration checkpoint_interval = time::sec(30);
 
+  // ---- Fault handling / transactional migration ----
+  /// Extra attempts the coordinator gives a failed PREPARE/COMMIT wave
+  /// before broadcasting ROLLBACK (0 = fail on first timeout, the
+  /// pre-hardening behaviour).
+  int checkpoint_wave_retries = 2;
+  /// Give-up deadline for a DCR/CCR restore INIT session; on expiry the
+  /// strategy aborts the migration and re-pins the old placement.  0 keeps
+  /// re-sending forever (DSM, and the abort path's recovery INIT).
+  SimDuration init_deadline = time::sec(120);
+  /// Key-value store client hardening (see kvstore::StoreConfig).
+  SimDuration kv_request_timeout = time::ms(800);
+  int kv_max_attempts = 4;
+  SimDuration kv_backoff_base = time::ms(50);
+  SimDuration kv_backoff_cap = time::sec(1);
+  double kv_backoff_jitter = 0.25;
+
   // ---- Control-plane latencies ----
   /// Platform-logic handling time for a control event at a task.
   SimDuration control_handling = time::ms(2);

@@ -232,9 +232,9 @@ void Executor::on_commit(const Event& ev) {
   blob.checkpoint_id = ev.checkpoint_id;
   blob.state = prepared_state_.value_or(state_);
   if (capture_mode) blob.pending = pending_capture_;
-  committed_this_wave_ = true;
 
   if (!def.stateful && blob.pending.empty()) {
+    committed_this_wave_ = true;
     platform_.forward_control(*this, ev);
     platform_.acker().ack(ev.root, ev.id);
     return;
@@ -244,8 +244,13 @@ void Executor::on_commit(const Event& ev) {
   platform_.store().put(
       platform_.cluster().vm_of(slot_),
       CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica),
-      blob.serialize(), [this, ev, epoch] {
+      blob.serialize(), [this, ev, epoch](bool ok) {
         if (epoch != epoch_) return;  // killed while persisting: wave fails
+        if (!ok) return;  // store unreachable: withhold the ack so the wave
+                          // times out and the coordinator retries or aborts
+        // Only a *persisted* snapshot counts as committed — a retried
+        // COMMIT wave must re-snapshot, not trip the post-commit counter.
+        committed_this_wave_ = true;
         platform_.forward_control(*this, ev);
         platform_.acker().ack(ev.root, ev.id);
       });
@@ -287,8 +292,26 @@ void Executor::on_init(const Event& ev) {
     platform_.store().get(
         platform_.cluster().vm_of(slot_),
         CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica),
-        [this, ev, epoch](std::optional<Bytes> raw) {
+        [this, ev, epoch](bool ok, std::optional<Bytes> raw) {
           if (epoch != epoch_) return;
+          if (!ok) {
+            // Store unreachable: stay un-restored and withhold the ack so
+            // this wave fails; a later INIT wave retries the restore.
+            seen_init_roots_.erase(ev.root);
+            return;
+          }
+          if (!awaiting_init_) {
+            // A concurrent INIT root restored us while this GET was in
+            // flight (re-sent waves overlap when the store is slow to
+            // answer).  Re-applying the blob would re-inject its pending
+            // events a second time — just ack this copy.
+            ++stats_.duplicate_inits;
+            if (platform_.checkpoint_mode() == CheckpointMode::Wave) {
+              platform_.forward_control(*this, ev);
+            }
+            platform_.acker().ack(ev.root, ev.id);
+            return;
+          }
           CheckpointBlob blob;
           if (raw) blob = CheckpointBlob::deserialize(*raw);
           restore_from_blob(blob);

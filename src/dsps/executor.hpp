@@ -80,6 +80,9 @@ class Executor {
     return life_ == LifeState::Running;
   }
   [[nodiscard]] LifeState life() const noexcept { return life_; }
+  /// Incarnation counter; lets externally-scheduled lifecycle callbacks
+  /// (worker start-up timers) no-op when the worker was killed meanwhile.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
   [[nodiscard]] bool awaiting_init() const noexcept { return awaiting_init_; }
   [[nodiscard]] bool capturing() const noexcept { return capturing_; }
 

@@ -33,7 +33,18 @@ void Platform::setup_infrastructure() {
                                             net::NetworkConfig{}, rng_net_);
   io_vm_ = cluster_.provision(cluster::VmType::D3, "io");
   store_vm_ = cluster_.provision(cluster::VmType::D3, "redis");
-  store_ = std::make_unique<kvstore::Store>(engine_, *network_, store_vm_);
+  kvstore::StoreConfig store_cfg;
+  store_cfg.request_timeout = config_.kv_request_timeout;
+  store_cfg.max_attempts = config_.kv_max_attempts;
+  store_cfg.backoff_base = config_.kv_backoff_base;
+  store_cfg.backoff_cap = config_.kv_backoff_cap;
+  store_cfg.backoff_jitter = config_.kv_backoff_jitter;
+  // The store's jitter stream is seeded independently rather than forked
+  // from rng_root_, so fault-free runs draw nothing from it and the
+  // pre-existing component streams stay byte-identical.
+  store_ = std::make_unique<kvstore::Store>(
+      engine_, *network_, store_vm_, store_cfg,
+      Rng(splitmix64_once(config_.seed ^ 0x5743'4841'4f53'7276ull)));
   acker_ = std::make_unique<AckerService>(engine_, config_.ack_timeout);
   coordinator_ = std::make_unique<CheckpointCoordinator>(*this);
   rebalancer_ = std::make_unique<Rebalancer>(*this);
@@ -289,7 +300,8 @@ void Platform::forward_control(Executor& from, const Event& ev) {
 
       Executor& dst = executor(InstanceRef{e.to, r});
       network_->send(cluster_.vm_of(from.slot()), cluster_.vm_of(dst.slot()),
-                     copy.payload_size, [&dst, copy] { dst.enqueue(copy); });
+                     copy.payload_size, [&dst, copy] { dst.enqueue(copy); },
+                     net::MsgClass::Control);
     }
   }
 }
@@ -297,7 +309,7 @@ void Platform::forward_control(Executor& from, const Event& ev) {
 void Platform::send_control_from_coordinator(InstanceRef dst_ref, Event ev) {
   Executor& dst = executor(dst_ref);
   network_->send(io_vm_, cluster_.vm_of(dst.slot()), ev.payload_size,
-                 [&dst, ev] { dst.enqueue(ev); });
+                 [&dst, ev] { dst.enqueue(ev); }, net::MsgClass::Control);
 }
 
 int Platform::control_fanin(TaskId task) const {

@@ -11,6 +11,14 @@ namespace rill::dsps {
 
 Rebalancer::Rebalancer(Platform& platform) : platform_(platform) {}
 
+Placement Rebalancer::current_placement() const {
+  Placement out;
+  for (const InstanceRef& ref : platform_.worker_instances()) {
+    out.emplace_back(ref, platform_.executor(ref).slot());
+  }
+  return out;
+}
+
 void Rebalancer::rebalance(const MigrationPlan& plan, SimDuration timeout,
                            std::function<void()> on_command_complete) {
   if (in_progress_) {
@@ -64,6 +72,7 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
     std::uint64_t lost = 0;
     for (const InstanceRef& ref : migrating) {
       Executor& ex = platform_.executor(ref);
+      if (ex.life() == LifeState::Dead) continue;  // already crashed (chaos)
       const std::uint64_t before = ex.stats().lost_at_kill;
       platform_.cluster().vacate(ex.slot());
       ex.kill();
@@ -130,9 +139,14 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
             }
             Executor& ex = platform_.executor(ref);
             const bool stateful = platform_.topology().task(ref.task).stateful;
+            const std::uint64_t epoch = ex.epoch();
             platform_.engine().schedule(
-                time::sec_f(startup),
-                [&ex, stateful] { ex.set_ready(/*awaiting_init=*/stateful); });
+                time::sec_f(startup), [&ex, stateful, epoch] {
+                  // Stale once the worker is re-killed (abort re-pin, chaos
+                  // crash): the next incarnation arms its own timer.
+                  if (ex.epoch() != epoch) return;
+                  ex.set_ready(/*awaiting_init=*/stateful);
+                });
           }
 
           last_->command_completed_at = platform_.engine().now();

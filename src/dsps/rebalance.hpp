@@ -62,6 +62,10 @@ class Rebalancer {
   void rebalance(const MigrationPlan& plan, SimDuration timeout,
                  std::function<void()> on_command_complete);
 
+  /// Snapshot of where every worker instance currently lives.  Recorded
+  /// before a migration so the abort path can re-pin the old placement.
+  [[nodiscard]] Placement current_placement() const;
+
   [[nodiscard]] bool in_progress() const noexcept { return in_progress_; }
   [[nodiscard]] const std::optional<RebalanceRecord>& last() const noexcept {
     return last_;

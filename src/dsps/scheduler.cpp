@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <unordered_set>
 
 namespace rill::dsps {
 
@@ -103,6 +104,31 @@ Placement LocalityScheduler::place(const std::vector<InstanceRef>& instances,
     vm_slots.erase(vm_slots.begin());
     placed_vm[inst] = best;
     out.emplace_back(inst, slot);
+  }
+  return out;
+}
+
+PinnedScheduler::PinnedScheduler(Placement pinned) {
+  for (auto& [ref, slot] : pinned) pinned_.emplace(ref, slot);
+}
+
+Placement PinnedScheduler::place(const std::vector<InstanceRef>& instances,
+                                 const std::vector<SlotId>& slots,
+                                 const cluster::Cluster& /*cluster*/) const {
+  std::unordered_set<std::uint32_t> vacant;
+  for (SlotId s : slots) vacant.insert(s.value);
+
+  Placement out;
+  out.reserve(instances.size());
+  for (const InstanceRef& inst : instances) {
+    auto it = pinned_.find(inst);
+    if (it == pinned_.end()) {
+      throw SchedulingError("pinned placement has no slot for an instance");
+    }
+    if (!vacant.contains(it->second.value)) {
+      throw SchedulingError("pinned slot is not vacant");
+    }
+    out.emplace_back(inst, it->second);
   }
   return out;
 }

@@ -7,6 +7,7 @@
 // placement locality affects migration behaviour.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string_view>
@@ -86,6 +87,24 @@ class LocalityScheduler final : public Scheduler {
 
  private:
   const Topology* topology_;
+};
+
+/// Replays a previously-recorded placement verbatim: each instance goes
+/// back to its recorded slot.  Used by the transactional migration abort
+/// path to re-pin instances onto the exact old placement after a failed
+/// restore.  Throws SchedulingError if a recorded slot is not vacant.
+class PinnedScheduler final : public Scheduler {
+ public:
+  explicit PinnedScheduler(Placement pinned);
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "pinned";
+  }
+  [[nodiscard]] Placement place(const std::vector<InstanceRef>& instances,
+                                const std::vector<SlotId>& slots,
+                                const cluster::Cluster& cluster) const override;
+
+ private:
+  std::map<InstanceRef, SlotId> pinned_;
 };
 
 /// Error raised when there are not enough slots.

@@ -1,5 +1,6 @@
 #include "kvstore/store.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace rill::kvstore {
@@ -11,6 +12,118 @@ SimDuration Store::service_cost(std::size_t items, std::size_t bytes) const {
                                   static_cast<double>(bytes) / 1000.0);
 }
 
+SimDuration Store::backoff_delay(int attempt_no) {
+  // base × 2^(attempt-1), capped, with multiplicative jitter so colliding
+  // retries from many executors de-synchronise.
+  SimDuration d = config_.backoff_base;
+  for (int i = 1; i < attempt_no && d < config_.backoff_cap; ++i) d *= 2;
+  d = std::min(d, config_.backoff_cap);
+  return static_cast<SimDuration>(static_cast<double>(d) *
+                                  (1.0 + rng_.uniform01() *
+                                             config_.backoff_jitter));
+}
+
+void Store::apply(const Request& req, std::optional<Bytes>& value_out,
+                  std::size_t& reply_bytes) {
+  reply_bytes = 16;
+  switch (req.op) {
+    case Op::Put: {
+      stats_.puts += 1;
+      stats_.batch_items += req.kvs.size();
+      for (const auto& [k, v] : req.kvs) {
+        stats_.bytes_written += k.size() + v.size();
+        data_[k] = v;
+      }
+      break;
+    }
+    case Op::Get: {
+      ++stats_.gets;
+      if (auto it = data_.find(req.key); it != data_.end()) {
+        value_out = it->second;
+        stats_.bytes_read += value_out->size();
+        reply_bytes = value_out->size();
+      }
+      break;
+    }
+    case Op::Del: {
+      ++stats_.deletes;
+      data_.erase(req.key);
+      break;
+    }
+  }
+}
+
+void Store::attempt(VmId client, std::shared_ptr<const Request> req,
+                    int attempt_no, GetDone done) {
+  std::size_t request_bytes = 0;
+  std::size_t items = 0;
+  if (req->op == Op::Put) {
+    for (const auto& [k, v] : req->kvs) request_bytes += k.size() + v.size();
+    items = req->kvs.size();
+  } else {
+    request_bytes = req->key.size();
+    items = 1;
+  }
+
+  // One settled flag per attempt: whichever of {reply, timeout} fires
+  // first wins; the loser becomes a no-op.
+  auto settled = std::make_shared<bool>(false);
+  auto done_sp = std::make_shared<GetDone>(std::move(done));
+
+  const sim::TimerId timeout_timer = engine_.schedule(
+      config_.request_timeout,
+      [this, client, req, attempt_no, settled, done_sp] {
+        if (*settled) return;
+        *settled = true;
+        ++stats_.timeouts;
+        if (attempt_no >= config_.max_attempts) {
+          ++stats_.failed_requests;
+          (*done_sp)(false, std::nullopt);
+          return;
+        }
+        engine_.schedule(backoff_delay(attempt_no),
+                         [this, client, req, attempt_no, done_sp]() mutable {
+                           ++stats_.retries;
+                           attempt(client, req, attempt_no + 1,
+                                   std::move(*done_sp));
+                         });
+      });
+
+  // Request travels client → store VM, the store applies the batch after
+  // its service cost, then the reply travels back.
+  network_.send(
+      client, host_, request_bytes,
+      [this, client, req, items, request_bytes, settled, done_sp,
+       timeout_timer] {
+        if (fault_hook_ != nullptr && fault_hook_->unavailable()) {
+          // Outage window: the server swallows the request; the client's
+          // timeout timer is what eventually notices.
+          ++stats_.outage_drops;
+          return;
+        }
+        SimDuration cost = service_cost(items, request_bytes);
+        if (fault_hook_ != nullptr) cost += fault_hook_->extra_latency();
+        engine_.schedule(cost, [this, client, req, settled, done_sp,
+                                timeout_timer] {
+          if (*settled) return;  // client already gave up on this attempt
+          std::optional<Bytes> value;
+          std::size_t reply_bytes = 16;
+          apply(*req, value, reply_bytes);
+          network_.send(
+              host_, client, reply_bytes,
+              [this, value = std::move(value), settled, done_sp,
+               timeout_timer]() mutable {
+                if (*settled) return;
+                *settled = true;
+                engine_.cancel(timeout_timer);
+                (*done_sp)(true, std::move(value));
+              },
+              net::MsgClass::Store);
+        });
+      },
+      net::MsgClass::Store);
+}
+
 void Store::put(VmId client, std::string key, Bytes value, PutDone done) {
   std::vector<std::pair<std::string, Bytes>> kvs;
   kvs.emplace_back(std::move(key), std::move(value));
@@ -20,62 +133,30 @@ void Store::put(VmId client, std::string key, Bytes value, PutDone done) {
 void Store::put_batch(VmId client,
                       std::vector<std::pair<std::string, Bytes>> kvs,
                       PutDone done) {
-  std::size_t bytes = 0;
-  for (const auto& [k, v] : kvs) bytes += k.size() + v.size();
-
-  // Request travels client → store VM, the store applies the batch after
-  // its service cost, then the reply travels back.
-  network_.send(client, host_, bytes,
-                [this, client, kvs = std::move(kvs), bytes,
-                 done = std::move(done)]() mutable {
-                  const SimDuration cost = service_cost(kvs.size(), bytes);
-                  engine_.schedule(cost, [this, client, kvs = std::move(kvs),
-                                          bytes, done = std::move(done)]() mutable {
-                    stats_.puts += 1;
-                    stats_.batch_items += kvs.size();
-                    stats_.bytes_written += bytes;
-                    for (auto& [k, v] : kvs) data_[std::move(k)] = std::move(v);
-                    network_.send(host_, client, 16, std::move(done));
-                  });
-                });
+  auto req = std::make_shared<Request>();
+  req->op = Op::Put;
+  req->kvs = std::move(kvs);
+  attempt(client, std::move(req), 1,
+          [done = std::move(done)](bool ok, std::optional<Bytes>) {
+            if (done) done(ok);
+          });
 }
 
 void Store::get(VmId client, std::string key, GetDone done) {
-  network_.send(client, host_, key.size(),
-                [this, client, key = std::move(key),
-                 done = std::move(done)]() mutable {
-                  const SimDuration cost = service_cost(1, key.size());
-                  engine_.schedule(cost, [this, client, key = std::move(key),
-                                          done = std::move(done)]() mutable {
-                    ++stats_.gets;
-                    std::optional<Bytes> value;
-                    if (auto it = data_.find(key); it != data_.end()) {
-                      value = it->second;
-                      stats_.bytes_read += value->size();
-                    }
-                    const std::size_t reply_bytes =
-                        value ? value->size() : 16;
-                    network_.send(host_, client, reply_bytes,
-                                  [value = std::move(value),
-                                   done = std::move(done)]() mutable {
-                                    done(std::move(value));
-                                  });
-                  });
-                });
+  auto req = std::make_shared<Request>();
+  req->op = Op::Get;
+  req->key = std::move(key);
+  attempt(client, std::move(req), 1, std::move(done));
 }
 
 void Store::del(VmId client, std::string key, PutDone done) {
-  network_.send(client, host_, key.size(),
-                [this, client, key = std::move(key),
-                 done = std::move(done)]() mutable {
-                  const SimDuration cost = service_cost(1, key.size());
-                  engine_.schedule(cost, [this, client, key = std::move(key),
-                                          done = std::move(done)]() mutable {
-                    ++stats_.deletes;
-                    data_.erase(key);
-                    network_.send(host_, client, 16, std::move(done));
-                  });
-                });
+  auto req = std::make_shared<Request>();
+  req->op = Op::Del;
+  req->key = std::move(key);
+  attempt(client, std::move(req), 1,
+          [done = std::move(done)](bool ok, std::optional<Bytes>) {
+            if (done) done(ok);
+          });
 }
 
 std::optional<Bytes> Store::peek(const std::string& key) const {

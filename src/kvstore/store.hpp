@@ -7,10 +7,18 @@
 // to checkpoint 2000 events to Redis from Storm") calibrates the defaults:
 // 0.6 ms RTT + ~45 µs per pipelined item + byte transfer time ≈ 100 ms for
 // 2000 small events.
+//
+// The client half is hardened against injected faults: every operation has
+// a per-request timeout and is retried with capped exponential backoff and
+// jitter up to `max_attempts` before surfacing failure.  All operations are
+// idempotent (PUT overwrites, GET reads, DEL re-deletes), so retries are
+// safe.  A FaultHook (implemented by chaos::ChaosInjector) can make the
+// server unavailable or slow for a window.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -19,6 +27,7 @@
 #include "cluster/cluster.hpp"
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "common/rng.hpp"
 #include "common/time.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -33,6 +42,18 @@ struct StoreConfig {
   SimDuration per_item_cost = time::us(45);
   /// Store-side processing per byte of value payload.
   double ns_per_byte = 12.0;
+
+  // ---- client-side fault handling ----
+  /// Give up on one attempt this long after sending it.  Generous enough
+  /// for the biggest realistic pipelined batch (~10k items ≈ 0.5 s).
+  SimDuration request_timeout = time::ms(800);
+  /// Total attempts per operation (1 first try + N-1 retries).
+  int max_attempts = 4;
+  /// Exponential backoff between attempts: base × 2^(attempt-1), capped,
+  /// with multiplicative jitter in [1, 1 + jitter).
+  SimDuration backoff_base = time::ms(50);
+  SimDuration backoff_cap = time::sec(1);
+  double backoff_jitter = 0.25;
 };
 
 struct StoreStats {
@@ -42,20 +63,41 @@ struct StoreStats {
   std::uint64_t batch_items{0};
   std::uint64_t bytes_written{0};
   std::uint64_t bytes_read{0};
+  // Fault-handling counters.
+  std::uint64_t timeouts{0};          ///< attempts that hit request_timeout
+  std::uint64_t retries{0};           ///< attempts after the first
+  std::uint64_t failed_requests{0};   ///< operations that exhausted attempts
+  std::uint64_t outage_drops{0};      ///< requests swallowed by an outage
 };
 
-/// The server side: an in-memory map living on a dedicated VM.
+/// The server side: an in-memory map living on a dedicated VM, plus the
+/// hardened client logic (the two halves share the latency model).
 class Store {
  public:
+  /// Availability hook (implemented by chaos::ChaosInjector): consulted
+  /// when a request reaches the server VM.
+  class FaultHook {
+   public:
+    virtual ~FaultHook() = default;
+    [[nodiscard]] virtual bool unavailable() = 0;
+    [[nodiscard]] virtual SimDuration extra_latency() = 0;
+  };
+
   Store(sim::Engine& engine, net::Network& network, VmId host,
-        StoreConfig config = {})
-      : engine_(engine), network_(network), host_(host), config_(config) {}
+        StoreConfig config = {},
+        Rng rng = Rng{0x9e3779b97f4a7c15ull})
+      : engine_(engine),
+        network_(network),
+        host_(host),
+        config_(config),
+        rng_(rng) {}
 
-  using PutDone = std::function<void()>;
-  using GetDone = std::function<void(std::optional<Bytes>)>;
+  using PutDone = std::function<void(bool ok)>;
+  using GetDone = std::function<void(bool ok, std::optional<Bytes> value)>;
 
-  /// Asynchronous PUT from a client slot's VM; `done` runs on the client
-  /// side after the value is durable and the reply has crossed back.
+  /// Asynchronous PUT from a client slot's VM; `done(ok)` runs on the
+  /// client side after the value is durable and the reply has crossed
+  /// back, or with ok=false after all attempts timed out.
   void put(VmId client, std::string key, Bytes value, PutDone done);
 
   /// Pipelined multi-PUT: one request round-trip, per-item service cost.
@@ -63,25 +105,49 @@ class Store {
   void put_batch(VmId client, std::vector<std::pair<std::string, Bytes>> kvs,
                  PutDone done);
 
-  /// Asynchronous GET; delivers nullopt if the key is absent.
+  /// Asynchronous GET; delivers (true, nullopt) if the key is absent and
+  /// (false, nullopt) if the store could not be reached.
   void get(VmId client, std::string key, GetDone done);
 
-  /// Asynchronous DELETE (fire-and-forget reply).
+  /// Asynchronous DELETE.
   void del(VmId client, std::string key, PutDone done);
+
+  void set_fault_hook(FaultHook* hook) noexcept { fault_hook_ = hook; }
 
   /// Synchronous inspection for tests; bypasses the latency model.
   [[nodiscard]] std::optional<Bytes> peek(const std::string& key) const;
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] const StoreStats& stats() const noexcept { return stats_; }
   [[nodiscard]] VmId host() const noexcept { return host_; }
+  [[nodiscard]] const StoreConfig& config() const noexcept { return config_; }
 
  private:
+  /// Server-side work for one request; returns the reply payload size, or
+  /// nullopt when the request is swallowed by an outage.  GETs also return
+  /// the value through `value_out`.
+  enum class Op : std::uint8_t { Put, Get, Del };
+  struct Request {
+    Op op{Op::Put};
+    std::vector<std::pair<std::string, Bytes>> kvs;  ///< Put payload
+    std::string key;                                 ///< Get / Del key
+  };
+
+  /// Run one attempt of `req`, retrying on timeout; the terminal outcome
+  /// reaches `done` exactly once.
+  void attempt(VmId client, std::shared_ptr<const Request> req, int attempt_no,
+               GetDone done);
+  void apply(const Request& req, std::optional<Bytes>& value_out,
+             std::size_t& reply_bytes);
+
   SimDuration service_cost(std::size_t items, std::size_t bytes) const;
+  SimDuration backoff_delay(int attempt_no);
 
   sim::Engine& engine_;
   net::Network& network_;
   VmId host_;
   StoreConfig config_;
+  Rng rng_;
+  FaultHook* fault_hook_{nullptr};
   std::unordered_map<std::string, Bytes> data_;
   StoreStats stats_;
 };

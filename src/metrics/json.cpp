@@ -52,7 +52,17 @@ std::string to_json(const MigrationReport& r, int indent) {
   os << pad << "\"replayed_messages\": " << r.replayed_messages << ",\n";
   os << pad << "\"lost_events\": " << r.lost_events << ",\n";
   os << pad << "\"expected_output_rate\": " << fmt(r.expected_output_rate, 2)
-     << "\n";
+     << ",\n";
+  os << pad << "\"migration_attempts\": " << r.migration_attempts << ",\n";
+  os << pad << "\"aborted_attempts\": " << r.aborted_attempts << ",\n";
+  os << pad << "\"fell_back_to_dsm\": "
+     << (r.fell_back_to_dsm ? "true" : "false") << ",\n";
+  os << pad << "\"abort_latency_sec\": " << opt_num(r.abort_latency_sec)
+     << ",\n";
+  os << pad << "\"faults_injected\": " << r.faults_injected << ",\n";
+  os << pad << "\"fault_hits\": " << r.fault_hits << ",\n";
+  os << pad << "\"kv_retries\": " << r.kv_retries << ",\n";
+  os << pad << "\"wave_retries\": " << r.wave_retries << "\n";
   os << "}";
   return os.str();
 }

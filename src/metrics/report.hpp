@@ -39,6 +39,23 @@ struct MigrationReport {
   std::optional<double> first_init_sec;
   /// Expected steady-state output rate (ev/s) at the sinks.
   double expected_output_rate{0.0};
+
+  // ---- fault-recovery metrics (chaos layer) ----
+  /// Migration attempts started by the controller (incl. DSM fallback).
+  int migration_attempts{1};
+  /// Attempts that aborted and rolled back to the old placement.
+  int aborted_attempts{0};
+  /// The controller degraded to DSM after exhausting its attempts.
+  bool fell_back_to_dsm{false};
+  /// First abort decision → sources flowing again on the old placement.
+  std::optional<double> abort_latency_sec;
+  /// Faults the chaos injector armed, and raw fault hits (drops, outage
+  /// swallows, delays, crashes).
+  int faults_injected{0};
+  std::uint64_t fault_hits{0};
+  /// Store client retries and checkpoint wave retries absorbed.
+  std::uint64_t kv_retries{0};
+  std::uint64_t wave_retries{0};
 };
 
 /// Render a fixed-width text table.  `rows` are pre-formatted cells.

@@ -20,9 +20,16 @@ SimTime Network::fifo_arrival(VmId from, VmId to, SimTime proposed) {
   return arrival;
 }
 
-void Network::send(VmId from, VmId to, std::size_t bytes, Deliver deliver) {
+void Network::send(VmId from, VmId to, std::size_t bytes, Deliver deliver,
+                   MsgClass cls) {
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
+
+  if (fault_hook_ != nullptr && fault_hook_->drop(from, to, cls)) {
+    // The message vanishes on the wire: no delivery is ever scheduled.
+    ++stats_.dropped_by_fault;
+    return;
+  }
 
   SimDuration latency;
   if (from == to) {
@@ -38,14 +45,26 @@ void Network::send(VmId from, VmId to, std::size_t bytes, Deliver deliver) {
   latency += static_cast<SimDuration>(config_.ns_per_byte *
                                       static_cast<double>(bytes) / 1000.0);
 
+  if (fault_hook_ != nullptr) {
+    // Extra delay is applied before the FIFO clamp, so a delayed message
+    // holds back everything behind it on the same channel — exactly what a
+    // congested TCP stream does.
+    const SimDuration extra = fault_hook_->extra_delay(from, to, cls);
+    if (extra > 0) {
+      ++stats_.delayed_by_fault;
+      latency += extra;
+    }
+  }
+
   const SimTime arrival =
       fifo_arrival(from, to, engine_.now() + static_cast<SimTime>(latency));
   engine_.schedule_at(arrival, std::move(deliver));
 }
 
 void Network::send_between_slots(SlotId from, SlotId to, std::size_t bytes,
-                                 Deliver deliver) {
-  send(cluster_.vm_of(from), cluster_.vm_of(to), bytes, std::move(deliver));
+                                 Deliver deliver, MsgClass cls) {
+  send(cluster_.vm_of(from), cluster_.vm_of(to), bytes, std::move(deliver),
+       cls);
 }
 
 }  // namespace rill::net

@@ -20,6 +20,11 @@
 
 namespace rill::net {
 
+/// Coarse traffic class, used by the fault layer to target (or spare)
+/// specific kinds of messages: user tuples, checkpoint-protocol control
+/// events, and key-value store request/reply traffic.
+enum class MsgClass : std::uint8_t { Data, Control, Store };
+
 struct NetworkConfig {
   SimDuration intra_vm_latency = time::us(150);
   SimDuration inter_vm_latency = time::us(1200);
@@ -37,6 +42,8 @@ struct NetworkStats {
   std::uint64_t intra_vm{0};
   std::uint64_t inter_vm{0};
   std::uint64_t bytes_sent{0};
+  std::uint64_t dropped_by_fault{0};
+  std::uint64_t delayed_by_fault{0};
 };
 
 /// Point-to-point delivery between VMs with a latency model.  Payload
@@ -45,17 +52,33 @@ class Network {
  public:
   using Deliver = std::function<void()>;
 
+  /// Fault-injection hook (implemented by chaos::ChaosInjector).  Consulted
+  /// per message: a dropped message is simply never delivered — the layers
+  /// above must survive via timeouts, acking and wave retries.  The hook
+  /// lives below `net` in the dependency order, so the chaos layer can
+  /// depend on everything it attacks without cycles.
+  class FaultHook {
+   public:
+    virtual ~FaultHook() = default;
+    [[nodiscard]] virtual bool drop(VmId from, VmId to, MsgClass cls) = 0;
+    [[nodiscard]] virtual SimDuration extra_delay(VmId from, VmId to,
+                                                  MsgClass cls) = 0;
+  };
+
   Network(sim::Engine& engine, const cluster::Cluster& cluster,
           NetworkConfig config, Rng rng)
       : engine_(engine), cluster_(cluster), config_(config), rng_(rng) {}
 
   /// Send `bytes` worth of payload from `from` VM to `to` VM and run
   /// `deliver` on arrival.  FIFO per (from, to) pair.
-  void send(VmId from, VmId to, std::size_t bytes, Deliver deliver);
+  void send(VmId from, VmId to, std::size_t bytes, Deliver deliver,
+            MsgClass cls = MsgClass::Data);
 
   /// Convenience overload routed by slot.
   void send_between_slots(SlotId from, SlotId to, std::size_t bytes,
-                          Deliver deliver);
+                          Deliver deliver, MsgClass cls = MsgClass::Data);
+
+  void set_fault_hook(FaultHook* hook) noexcept { fault_hook_ = hook; }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
@@ -69,6 +92,7 @@ class Network {
   NetworkConfig config_;
   Rng rng_;
   NetworkStats stats_;
+  FaultHook* fault_hook_{nullptr};
   /// Last delivery time per directed VM pair, for FIFO enforcement.
   std::unordered_map<std::uint64_t, SimTime> last_arrival_;
 };

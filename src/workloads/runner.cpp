@@ -35,7 +35,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   auto strategy = core::make_strategy(config.strategy);
   strategy->configure(platform);
-  core::MigrationController controller(platform, *strategy);
+  core::MigrationController controller(platform, *strategy,
+                                       config.controller);
+
+  // Chaos: arm the fault hooks + point faults after deploy, before start.
+  chaos::ChaosInjector injector(config.chaos, config.platform.seed);
+  injector.arm(platform);
 
   platform.start();
 
@@ -67,8 +72,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.sink_paths = sink_paths(platform.topology());
   result.expected_output_rate = expected_out;
   result.migration_succeeded = controller.succeeded();
-  result.phases = strategy->phases();
+  result.phases = controller.phases();
   result.rebalance = platform.rebalancer().last();
+  result.recovery = controller.recovery();
+  result.chaos = injector.stats();
+  result.checkpoint = platform.coordinator().stats();
+  result.store = platform.store().stats();
 
   result.events_emitted = platform.stats().events_emitted;
   result.events_lost = platform.stats().events_lost;
@@ -105,8 +114,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     rep.rebalance_sec = time::to_sec(static_cast<SimDuration>(
         result.rebalance->command_completed_at - result.rebalance->invoked_at));
   }
-  rep.catchup_sec = rel_sec(collector.last_old_arrival());
-  rep.recovery_sec = rel_sec(collector.last_replayed_arrival());
+  // Catchup and recovery drain "old" events — those born before the
+  // *original* request (the collector's epoch).  phases.request_at is
+  // re-stamped per attempt, so after an abort + retry it would sit past
+  // the drain and yield negative durations.
+  auto rel_orig = [&](std::optional<SimTime> t) -> std::optional<double> {
+    if (!t.has_value() || !collector.request_time().has_value()) {
+      return rel_sec(t);
+    }
+    return time::to_sec(
+        static_cast<SimDuration>(*t - *collector.request_time()));
+  };
+  rep.catchup_sec = rel_orig(collector.last_old_arrival());
+  rep.recovery_sec = rel_orig(collector.last_replayed_arrival());
   rep.replayed_messages = collector.replayed_messages();
   rep.lost_events = collector.lost_user_events();
 
@@ -120,6 +140,15 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (platform.coordinator().first_init_received().has_value()) {
     rep.first_init_sec = rel_sec(platform.coordinator().first_init_received());
   }
+
+  rep.migration_attempts = result.recovery.attempts;
+  rep.aborted_attempts = result.recovery.aborted_attempts;
+  rep.fell_back_to_dsm = result.recovery.fell_back;
+  rep.abort_latency_sec = result.recovery.first_abort_latency_sec;
+  rep.faults_injected = result.chaos.faults_armed;
+  rep.fault_hits = result.chaos.total_hits();
+  rep.kv_retries = result.store.retries;
+  rep.wave_retries = result.checkpoint.wave_retries;
 
   result.report = std::move(rep);
   result.collector = std::move(collector);

@@ -10,10 +10,15 @@
 #include <optional>
 #include <string>
 
+#include "chaos/injector.hpp"
+#include "chaos/plan.hpp"
+#include "core/controller.hpp"
 #include "core/strategy.hpp"
+#include "dsps/checkpoint.hpp"
 #include "dsps/config.hpp"
 #include "dsps/rebalance.hpp"
 #include "dsps/topology.hpp"
+#include "kvstore/store.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/report.hpp"
 #include "workloads/dags.hpp"
@@ -35,6 +40,12 @@ struct ExperimentConfig {
   /// Override the DAG with a custom topology (e.g. Linear-50).  The Table-1
   /// VM plan is derived from it.
   std::optional<dsps::Topology> custom_topology;
+
+  /// Recovery supervision: transactional retries and the DSM fallback.
+  core::ControllerConfig controller{};
+
+  /// Faults to inject (empty = no chaos, byte-identical to the seed runs).
+  chaos::ChaosPlan chaos{};
 };
 
 struct ExperimentResult {
@@ -59,6 +70,12 @@ struct ExperimentResult {
   std::uint64_t post_commit_arrivals{0};  ///< CCR invariant, must be 0
   std::uint64_t lost_at_kill{0};          ///< 0 for DCR/CCR
   double billed_cents{0.0};
+
+  // Fault-recovery observability.
+  core::RecoveryStats recovery;
+  chaos::ChaosStats chaos;
+  dsps::CheckpointStats checkpoint;
+  kvstore::StoreStats store;
 };
 
 /// Run one experiment.  Deterministic for a fixed config (seed included).

@@ -1,6 +1,7 @@
 // Checkpoint-protocol failure paths: a dead task makes the PREPARE wave
-// time out, the coordinator rolls back, and the strategies surface the
-// failure instead of losing data silently.
+// time out, the coordinator retries the wave `checkpoint_wave_retries`
+// times, then rolls back, and the strategies surface the failure instead
+// of losing data silently.
 #include <gtest/gtest.h>
 
 #include "test_util.hpp"
@@ -17,11 +18,7 @@ struct FailureFixture : ::testing::Test {
   }();
   testutil::Harness h{testutil::mini_chain(), cfg};
 
-  void kill_first_worker() {
-    Executor& ex = h.p().executor(h.p().worker_instances()[0]);
-    h.p().cluster().vacate(ex.slot());
-    ex.kill();
-  }
+  void kill_first_worker() { testutil::kill_worker(h.p(), 0); }
 };
 
 TEST_F(FailureFixture, PrepareWaveFailsWithDeadTask) {
@@ -35,11 +32,13 @@ TEST_F(FailureFixture, PrepareWaveFailsWithDeadTask) {
     done = true;
     ok = s;
   });
-  h.run_for(time::sec(10));
+  h.run_for(time::sec(20));
   EXPECT_TRUE(done);
   EXPECT_FALSE(ok);
   EXPECT_EQ(h.p().coordinator().last_committed(), 0u);
   EXPECT_GE(h.p().coordinator().stats().waves_rolled_back, 1u);
+  // The wave was retried before the coordinator gave up.
+  EXPECT_EQ(h.p().coordinator().stats().wave_retries, 2u);
 }
 
 TEST_F(FailureFixture, CaptureRollbackResumesSurvivors) {
@@ -54,7 +53,7 @@ TEST_F(FailureFixture, CaptureRollbackResumesSurvivors) {
     done = true;
     ok = s;
   });
-  h.run_for(time::sec(10));
+  h.run_for(time::sec(20));
   ASSERT_TRUE(done);
   EXPECT_FALSE(ok);
   // The surviving worker got the broadcast ROLLBACK: capture flag off,
@@ -83,6 +82,7 @@ TEST_F(FailureFixture, DcrMigrationReportsFailureAndUnpauses) {
   h.run_for(time::sec(30));
   EXPECT_TRUE(done);
   EXPECT_FALSE(ok);  // drain cannot complete with a dead task
+  EXPECT_TRUE(strategy->phases().aborted);
   // The sources resumed — a failed migration must not wedge the dataflow.
   EXPECT_FALSE(h.p().spout(h.p().topology().sources()[0]).paused());
 }
@@ -100,7 +100,7 @@ TEST_F(FailureFixture, NextCheckpointSucceedsAfterRecovery) {
   bool first_ok = true;
   h.p().coordinator().run_checkpoint(CheckpointMode::Wave,
                                      [&](bool s) { first_ok = s; });
-  h.run_for(time::sec(10));
+  h.run_for(time::sec(20));
   ASSERT_FALSE(first_ok);
 
   // Worker comes back (fresh state); the next wave commits.

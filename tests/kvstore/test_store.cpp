@@ -30,12 +30,13 @@ struct StoreFixture : ::testing::Test {
 
 TEST_F(StoreFixture, PutThenGetRoundtrips) {
   bool put_done = false;
-  store->put(client_vm, "k1", bytes_of("value"), [&] { put_done = true; });
+  store->put(client_vm, "k1", bytes_of("value"), [&](bool ok) { put_done = ok; });
   engine.run();
   EXPECT_TRUE(put_done);
 
   std::optional<Bytes> got;
-  store->get(client_vm, "k1", [&](std::optional<Bytes> v) { got = std::move(v); });
+  store->get(client_vm, "k1",
+             [&](bool, std::optional<Bytes> v) { got = std::move(v); });
   engine.run();
   ASSERT_TRUE(got.has_value());
   EXPECT_EQ(*got, bytes_of("value"));
@@ -43,8 +44,9 @@ TEST_F(StoreFixture, PutThenGetRoundtrips) {
 
 TEST_F(StoreFixture, GetMissingYieldsNullopt) {
   bool called = false;
-  store->get(client_vm, "absent", [&](std::optional<Bytes> v) {
+  store->get(client_vm, "absent", [&](bool ok, std::optional<Bytes> v) {
     called = true;
+    EXPECT_TRUE(ok);  // reachable store, just no such key
     EXPECT_FALSE(v.has_value());
   });
   engine.run();
@@ -52,18 +54,18 @@ TEST_F(StoreFixture, GetMissingYieldsNullopt) {
 }
 
 TEST_F(StoreFixture, OverwriteReplacesValue) {
-  store->put(client_vm, "k", bytes_of("a"), [] {});
-  store->put(client_vm, "k", bytes_of("bb"), [] {});
+  store->put(client_vm, "k", bytes_of("a"), [](bool) {});
+  store->put(client_vm, "k", bytes_of("bb"), [](bool) {});
   engine.run();
   EXPECT_EQ(*store->peek("k"), bytes_of("bb"));
   EXPECT_EQ(store->size(), 1u);
 }
 
 TEST_F(StoreFixture, DeleteRemovesKey) {
-  store->put(client_vm, "k", bytes_of("v"), [] {});
+  store->put(client_vm, "k", bytes_of("v"), [](bool) {});
   engine.run();
   bool done = false;
-  store->del(client_vm, "k", [&] { done = true; });
+  store->del(client_vm, "k", [&](bool ok) { done = ok; });
   engine.run();
   EXPECT_TRUE(done);
   EXPECT_FALSE(store->peek("k").has_value());
@@ -75,7 +77,7 @@ TEST_F(StoreFixture, BatchPutStoresAll) {
     kvs.emplace_back("key" + std::to_string(i), bytes_of("v"));
   }
   bool done = false;
-  store->put_batch(client_vm, std::move(kvs), [&] { done = true; });
+  store->put_batch(client_vm, std::move(kvs), [&](bool ok) { done = ok; });
   engine.run();
   EXPECT_TRUE(done);
   EXPECT_EQ(store->size(), 50u);
@@ -93,7 +95,8 @@ TEST_F(StoreFixture, PaperMicrobenchmark2000EventsIn100ms) {
   }
   const SimTime start = engine.now();
   SimTime done_at = 0;
-  store->put_batch(client_vm, std::move(kvs), [&] { done_at = engine.now(); });
+  store->put_batch(client_vm, std::move(kvs),
+                   [&](bool) { done_at = engine.now(); });
   engine.run();
   const double ms = time::to_ms(static_cast<SimDuration>(done_at - start));
   EXPECT_GT(ms, 50.0);
@@ -108,7 +111,8 @@ TEST_F(StoreFixture, LatencyScalesWithItems) {
     }
     const SimTime start = engine.now();
     SimTime end = 0;
-    store->put_batch(client_vm, std::move(kvs), [&] { end = engine.now(); });
+    store->put_batch(client_vm, std::move(kvs),
+                     [&](bool) { end = engine.now(); });
     engine.run();
     return static_cast<SimDuration>(end - start);
   };
@@ -118,11 +122,12 @@ TEST_F(StoreFixture, LatencyScalesWithItems) {
 }
 
 TEST_F(StoreFixture, StatsTrackBytes) {
-  store->put(client_vm, "k", Bytes(100, 1), [] {});
+  store->put(client_vm, "k", Bytes(100, 1), [](bool) {});
   engine.run();
   EXPECT_EQ(store->stats().bytes_written, 101u);  // key + value bytes
   std::optional<Bytes> got;
-  store->get(client_vm, "k", [&](std::optional<Bytes> v) { got = std::move(v); });
+  store->get(client_vm, "k",
+             [&](bool, std::optional<Bytes> v) { got = std::move(v); });
   engine.run();
   EXPECT_EQ(store->stats().bytes_read, 100u);
 }

@@ -77,6 +77,16 @@ struct Harness {
   void run_for(SimDuration d) { engine.run_until(engine.now() + d); }
 };
 
+/// Kill worker instance `idx` (topology order) in place, vacating its slot
+/// first — the way a crashed worker process disappears, as opposed to the
+/// rebalancer's coordinated kill.
+inline void kill_worker(dsps::Platform& p, int idx = 0) {
+  dsps::Executor& ex =
+      p.executor(p.worker_instances()[static_cast<std::size_t>(idx)]);
+  p.cluster().vacate(ex.slot());
+  ex.kill();
+}
+
 /// Run a short experiment (120 s, migrate at 40 s) for fast tests.
 inline workloads::ExperimentResult quick_experiment(
     workloads::DagKind dag, core::StrategyKind strategy,

@@ -5,11 +5,20 @@
 //            [--rate EV_PER_SEC] [--seed N]
 //            [--migrate-at SEC] [--duration SEC]
 //            [--linear-n TASKS]          # override DAG with Linear-N
+//            [--attempts N] [--no-fallback]        # recovery supervision
+//            [--chaos-kv-outage S,D]               # fault injection
+//            [--chaos-kv-slow S,D,MS]
+//            [--chaos-drop-control S,D,P]
+//            [--chaos-drop-user S,D,P]
+//            [--chaos-delay S,D,MS]
+//            [--chaos-crash S[,IDX]]
+//            [--chaos-vm-fail S[,IDX]]
 //            [--json] [--series]         # machine-readable output
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "metrics/json.hpp"
 #include "workloads/runner.hpp"
@@ -22,7 +31,11 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--dag NAME] [--strategy dsm|dsm-t|dcr|ccr] "
                "[--scale in|out] [--rate R] [--seed N] [--migrate-at S] "
-               "[--duration S] [--linear-n N] [--json] [--series]\n",
+               "[--duration S] [--linear-n N] [--attempts N] [--no-fallback] "
+               "[--chaos-kv-outage S,D] [--chaos-kv-slow S,D,MS] "
+               "[--chaos-drop-control S,D,P] [--chaos-drop-user S,D,P] "
+               "[--chaos-delay S,D,MS] [--chaos-crash S[,IDX]] "
+               "[--chaos-vm-fail S[,IDX]] [--json] [--series]\n",
                argv0);
   std::exit(2);
 }
@@ -46,6 +59,26 @@ bool parse_strategy(const std::string& s, core::StrategyKind& out) {
   return true;
 }
 
+/// Split "a,b,c" into doubles; exits on malformed input or wrong arity.
+std::vector<double> parse_csv(const char* argv0, const std::string& s,
+                              std::size_t min_n, std::size_t max_n) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string part =
+        s.substr(pos, comma == std::string::npos ? std::string::npos
+                                                 : comma - pos);
+    char* end = nullptr;
+    out.push_back(std::strtod(part.c_str(), &end));
+    if (end == part.c_str()) usage(argv0);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.size() < min_n || out.size() > max_n) usage(argv0);
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -58,6 +91,9 @@ int main(int argc, char** argv) {
     auto next = [&]() -> std::string {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
+    };
+    auto csv = [&](std::size_t min_n, std::size_t max_n) {
+      return parse_csv(argv[0], next(), min_n, max_n);
     };
     if (arg == "--dag") {
       if (!parse_dag(next(), cfg.dag)) usage(argv[0]);
@@ -80,6 +116,36 @@ int main(int argc, char** argv) {
     } else if (arg == "--linear-n") {
       cfg.custom_topology = workloads::build_linear_n(
           std::atoi(next().c_str()), cfg.platform.source_rate);
+    } else if (arg == "--attempts") {
+      cfg.controller.max_attempts = std::atoi(next().c_str());
+      if (cfg.controller.max_attempts < 1) usage(argv[0]);
+    } else if (arg == "--no-fallback") {
+      cfg.controller.fallback_to_dsm = false;
+    } else if (arg == "--chaos-kv-outage") {
+      const auto v = csv(2, 2);
+      cfg.chaos.kv_outage(time::sec_f(v[0]), time::sec_f(v[1]));
+    } else if (arg == "--chaos-kv-slow") {
+      const auto v = csv(3, 3);
+      cfg.chaos.kv_latency(time::sec_f(v[0]), time::sec_f(v[1]),
+                           time::ms(static_cast<std::int64_t>(v[2])));
+    } else if (arg == "--chaos-drop-control") {
+      const auto v = csv(3, 3);
+      cfg.chaos.drop_control(time::sec_f(v[0]), time::sec_f(v[1]), v[2]);
+    } else if (arg == "--chaos-drop-user") {
+      const auto v = csv(3, 3);
+      cfg.chaos.drop_user(time::sec_f(v[0]), time::sec_f(v[1]), v[2]);
+    } else if (arg == "--chaos-delay") {
+      const auto v = csv(3, 3);
+      cfg.chaos.net_delay(time::sec_f(v[0]), time::sec_f(v[1]),
+                          time::ms(static_cast<std::int64_t>(v[2])));
+    } else if (arg == "--chaos-crash") {
+      const auto v = csv(1, 2);
+      cfg.chaos.crash_worker(time::sec_f(v[0]),
+                             v.size() > 1 ? static_cast<int>(v[1]) : -1);
+    } else if (arg == "--chaos-vm-fail") {
+      const auto v = csv(1, 2);
+      cfg.chaos.fail_vm(time::sec_f(v[0]),
+                        v.size() > 1 ? static_cast<int>(v[1]) : -1);
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--series") {
@@ -112,6 +178,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(rep.replayed_messages));
     std::printf("  lost           %llu\n",
                 static_cast<unsigned long long>(rep.lost_events));
+    if (!cfg.chaos.empty()) {
+      std::printf("  chaos          %s\n", cfg.chaos.describe().c_str());
+      std::printf("  fault hits     %llu\n",
+                  static_cast<unsigned long long>(rep.fault_hits));
+      std::printf("  kv retries     %llu, wave retries %llu\n",
+                  static_cast<unsigned long long>(rep.kv_retries),
+                  static_cast<unsigned long long>(rep.wave_retries));
+    }
+    if (rep.migration_attempts > 1 || rep.aborted_attempts > 0) {
+      std::printf("  attempts       %d (%d aborted%s)\n",
+                  rep.migration_attempts, rep.aborted_attempts,
+                  rep.fell_back_to_dsm ? ", fell back to DSM" : "");
+      if (rep.abort_latency_sec.has_value()) {
+        std::printf("  abort latency  %s s\n",
+                    metrics::fmt_opt(rep.abort_latency_sec).c_str());
+      }
+    }
     std::printf("  migration %s\n", r.migration_succeeded ? "ok" : "FAILED");
   }
   if (series) {
