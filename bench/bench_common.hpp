@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "metrics/report.hpp"
+#include "obs/trace.hpp"
 #include "workloads/runner.hpp"
 
 namespace rill::bench {
@@ -14,15 +15,18 @@ inline const std::vector<core::StrategyKind> kStrategies = {
     core::StrategyKind::DSM, core::StrategyKind::DCR, core::StrategyKind::CCR};
 
 /// Run one (dag, strategy, scale) cell with the default paper setup.
+/// `tracer` optionally attaches the flight recorder to the run.
 inline workloads::ExperimentResult run_cell(workloads::DagKind dag,
                                             core::StrategyKind strategy,
                                             workloads::ScaleKind scale,
-                                            std::uint64_t seed = 42) {
+                                            std::uint64_t seed = 42,
+                                            obs::Tracer* tracer = nullptr) {
   workloads::ExperimentConfig cfg;
   cfg.dag = dag;
   cfg.strategy = strategy;
   cfg.scale = scale;
   cfg.platform.seed = seed;
+  cfg.tracer = tracer;
   return workloads::run_experiment(cfg);
 }
 

@@ -8,6 +8,11 @@
 //  * DCR (7b): one input silence window (pause) followed by a single
 //    backlog spike; clean output resume.
 //  * CCR (7c): like DCR but with a shorter silence and earlier output.
+//
+// Pass a directory as argv[1] to also write one Perfetto-loadable trace
+// file per strategy (fig7_<strategy>.trace.json).
+#include <fstream>
+
 #include "bench_common.hpp"
 
 using namespace rill;
@@ -28,13 +33,25 @@ void print_series(const char* name, const metrics::RateSeries& s,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_dir = argc > 1 ? argv[1] : "";
   bench::print_header(
       "Fig 7 — throughput timeline, Grid scale-in (DSM / DCR / CCR)",
       "Figures 7a-7c");
   for (core::StrategyKind s : bench::kStrategies) {
-    const auto r = bench::run_cell(workloads::DagKind::Grid, s,
-                                   workloads::ScaleKind::In);
+    obs::Tracer tracer;
+    const auto r =
+        bench::run_cell(workloads::DagKind::Grid, s, workloads::ScaleKind::In,
+                        42, trace_dir.empty() ? nullptr : &tracer);
+    if (!trace_dir.empty()) {
+      const std::string path = trace_dir + "/fig7_" +
+                               std::string(core::to_string(s)) +
+                               ".trace.json";
+      std::ofstream out(path, std::ios::binary);
+      out << tracer.to_chrome_json();
+      std::printf("trace written to %s (open at ui.perfetto.dev)\n",
+                  path.c_str());
+    }
     const auto request_sec =
         static_cast<std::size_t>(r.phases.request_at / 1'000'000ull);
     std::printf("\n--- %s ---\n", std::string(core::to_string(s)).c_str());

@@ -25,6 +25,12 @@ int main() {
         static_cast<SimTime>(time::sec(60)), r.phases.request_at);
     std::printf("steady median latency: %s ms\n",
                 metrics::fmt_opt(stable).c_str());
+    // Whole-run percentiles: the p95/p99 tails separate DSM's replay
+    // spread from DCR/CCR's pause-bounded latency.
+    std::printf("whole-run latency: p50 %s ms, p95 %s ms, p99 %s ms\n",
+                metrics::fmt_opt(r.report.latency_p50_ms).c_str(),
+                metrics::fmt_opt(r.report.latency_p95_ms).c_str(),
+                metrics::fmt_opt(r.report.latency_p99_ms).c_str());
 
     for (const auto& [win_start, avg_ms] :
          r.collector.latency().windowed_avg_ms(10)) {

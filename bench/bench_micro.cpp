@@ -5,6 +5,8 @@
 #include "common/rng.hpp"
 #include "dsps/acker.hpp"
 #include "dsps/state.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "workloads/runner.hpp"
 
@@ -88,6 +90,27 @@ void BM_FullExperiment(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullExperiment)->Unit(benchmark::kMillisecond);
+
+void BM_FullExperimentTraced(benchmark::State& state) {
+  // Same experiment with the flight recorder attached.  Compare against
+  // BM_FullExperiment: the delta is the tracing overhead; the untraced
+  // number must not move when tracing code is merely compiled in.
+  for (auto _ : state) {
+    obs::Tracer tracer;
+    obs::MetricsRegistry registry;
+    workloads::ExperimentConfig cfg;
+    cfg.dag = workloads::DagKind::Grid;
+    cfg.strategy = core::StrategyKind::CCR;
+    cfg.run_duration = time::sec(420);
+    cfg.migrate_at = time::sec(60);
+    cfg.tracer = &tracer;
+    cfg.metrics = &registry;
+    const auto r = workloads::run_experiment(cfg);
+    benchmark::DoNotOptimize(tracer.records().size());
+    benchmark::DoNotOptimize(r.collector.sink_arrivals());
+  }
+}
+BENCHMARK(BM_FullExperimentTraced)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "dsps/platform.hpp"
+#include "obs/trace.hpp"
 
 namespace rill::chaos {
 
@@ -11,6 +12,14 @@ namespace {
 /// from any platform stream or fault-free runs would be perturbed.
 constexpr std::uint64_t kChaosStream = 0x4348'414f'5369'6e6aull;
 }  // namespace
+
+void ChaosInjector::trace_hit(const char* name,
+                              std::initializer_list<obs::Arg> args) {
+  if (platform_ == nullptr) return;
+  if (auto* tr = platform_->tracer()) {
+    tr->instant(obs::kTrackChaos, "chaos", name, args);
+  }
+}
 
 ChaosInjector::ChaosInjector(ChaosPlan plan, std::uint64_t seed)
     : plan_(std::move(plan)), rng_(seed ^ kChaosStream) {}
@@ -51,8 +60,10 @@ bool ChaosInjector::drop(VmId /*from*/, VmId /*to*/, net::MsgClass cls) {
     if (f.probability < 1.0 && rng_.uniform01() >= f.probability) continue;
     if (cls == net::MsgClass::Control) {
       ++stats_.control_dropped;
+      trace_hit("drop_control");
     } else {
       ++stats_.user_dropped;
+      trace_hit("drop_user");
     }
     return true;
   }
@@ -65,7 +76,10 @@ SimDuration ChaosInjector::extra_delay(VmId /*from*/, VmId /*to*/,
   for (const FaultSpec& f : plan_.faults) {
     if (f.kind == FaultKind::NetDelay && in_window(f)) extra += f.extra;
   }
-  if (extra > 0) ++stats_.messages_delayed;
+  if (extra > 0) {
+    ++stats_.messages_delayed;
+    trace_hit("net_delay");
+  }
   return extra;
 }
 
@@ -74,6 +88,7 @@ bool ChaosInjector::unavailable() {
     if (f.kind != FaultKind::KvOutage || !in_window(f)) continue;
     if (f.probability < 1.0 && rng_.uniform01() >= f.probability) continue;
     ++stats_.kv_outage_hits;
+    trace_hit("kv_outage");
     return true;
   }
   return false;
@@ -84,7 +99,10 @@ SimDuration ChaosInjector::extra_latency() {
   for (const FaultSpec& f : plan_.faults) {
     if (f.kind == FaultKind::KvLatency && in_window(f)) extra += f.extra;
   }
-  if (extra > 0) ++stats_.kv_slowdowns;
+  if (extra > 0) {
+    ++stats_.kv_slowdowns;
+    trace_hit("kv_slow");
+  }
   return extra;
 }
 
@@ -118,7 +136,11 @@ void ChaosInjector::fail_vm(const FaultSpec& f) {
     crash_instance(static_cast<int>(i), f.respawn, f.respawn_delay);
     any = true;
   }
-  if (any) ++stats_.vms_failed;
+  if (any) {
+    ++stats_.vms_failed;
+    trace_hit("vm_fail",
+              {obs::arg("vm", static_cast<std::uint64_t>(vm.value))});
+  }
 }
 
 void ChaosInjector::crash_instance(int worker_index, bool respawn,
@@ -132,6 +154,8 @@ void ChaosInjector::crash_instance(int worker_index, bool respawn,
   platform_->cluster().vacate(slot);
   ex.kill();
   ++stats_.workers_crashed;
+  trace_hit("worker_crash",
+            {obs::arg("instance", static_cast<std::uint64_t>(ex.id().value))});
   if (!respawn) return;
 
   platform_->engine().schedule(delay, [this, ref, slot] {
@@ -153,6 +177,9 @@ void ChaosInjector::crash_instance(int worker_index, bool respawn,
     ex2.set_ready(/*awaiting_init=*/stateful &&
                   platform_->coordinator().init_in_progress());
     ++stats_.workers_respawned;
+    trace_hit("worker_respawn",
+              {obs::arg("instance",
+                        static_cast<std::uint64_t>(ex2.id().value))});
   });
 }
 

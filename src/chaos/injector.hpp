@@ -10,6 +10,8 @@
 // byte-identical to runs without a chaos layer at all (invariant 7).
 #pragma once
 
+#include <initializer_list>
+
 #include "chaos/plan.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
@@ -18,6 +20,10 @@
 
 namespace rill::dsps {
 class Platform;
+}
+
+namespace rill::obs {
+struct Arg;
 }
 
 namespace rill::chaos {
@@ -67,6 +73,8 @@ class ChaosInjector final : public net::Network::FaultHook,
   /// Kill worker instance `worker_index` (topology order) in place and, if
   /// requested, respawn it on its old slot after `delay`.
   void crash_instance(int worker_index, bool respawn, SimDuration delay);
+  /// Flight-recorder instant on the chaos lane (no-op when tracing is off).
+  void trace_hit(const char* name, std::initializer_list<obs::Arg> args = {});
 
   dsps::Platform* platform_{nullptr};
   ChaosPlan plan_;

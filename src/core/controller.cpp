@@ -3,7 +3,20 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace rill::core {
+
+namespace {
+
+void controller_instant(dsps::Platform& platform, const char* name,
+                        std::initializer_list<obs::Arg> args = {}) {
+  if (auto* tr = platform.tracer()) {
+    tr->instant(obs::kTrackController, "controller", name, args);
+  }
+}
+
+}  // namespace
 
 void MigrationController::request(dsps::MigrationPlan plan,
                                   std::function<void(bool)> on_done) {
@@ -16,11 +29,16 @@ void MigrationController::request(dsps::MigrationPlan plan,
   recovery_ = RecoveryStats{};
   active_ = strategy_;
   plan_ = std::move(plan);
+  controller_instant(
+      platform_, "request",
+      {obs::arg("strategy", std::string(to_string(strategy_->kind())))});
   start_attempt(std::move(on_done));
 }
 
 void MigrationController::start_attempt(std::function<void(bool)> on_done) {
   ++recovery_.attempts;
+  controller_instant(platform_, "attempt",
+                     {obs::arg("n", recovery_.attempts)});
   active_->migrate(platform_, plan_,
                    [this, on_done = std::move(on_done)](bool ok) mutable {
                      on_attempt_done(ok, std::move(on_done));
@@ -40,8 +58,11 @@ void MigrationController::on_attempt_done(bool ok,
   if (!recovery_.first_abort_latency_sec.has_value()) {
     recovery_.first_abort_latency_sec = active_->phases().abort_latency_sec();
   }
+  controller_instant(platform_, "abort",
+                     {obs::arg("attempt", recovery_.attempts)});
 
   if (recovery_.attempts < config_.max_attempts) {
+    controller_instant(platform_, "retry");
     platform_.engine().schedule(
         config_.retry_backoff, [this, on_done = std::move(on_done)]() mutable {
           start_attempt(std::move(on_done));
@@ -58,6 +79,7 @@ void MigrationController::on_attempt_done(bool ok,
 void MigrationController::fall_back(std::function<void(bool)> on_done) {
   recovery_.fell_back = true;
   recovery_.fallback_at = platform_.engine().now();
+  controller_instant(platform_, "fallback");
 
   // Degrade to the baseline: re-configure the platform for always-on
   // acking + periodic checkpoints, then rebalance immediately.  The acker
@@ -73,6 +95,7 @@ void MigrationController::finish(bool ok, std::function<void(bool)>& on_done) {
   in_flight_ = false;
   completed_ = true;
   success_ = ok;
+  controller_instant(platform_, "done", {obs::arg("ok", ok)});
   if (on_done) on_done(ok);
 }
 

@@ -1,6 +1,17 @@
 #include "core/strategies.hpp"
+#include "obs/trace.hpp"
 
 namespace rill::core {
+
+namespace {
+
+void strategy_instant(dsps::Platform& platform, const char* name) {
+  if (auto* tr = platform.tracer()) {
+    tr->instant(obs::kTrackController, "strategy", name);
+  }
+}
+
+}  // namespace
 
 void DsmStrategy::configure(dsps::Platform& platform) {
   // Reliability is always-on: ack every user event, checkpoint
@@ -14,6 +25,7 @@ void DsmStrategy::migrate(dsps::Platform& platform, dsps::MigrationPlan plan,
                           std::function<void(bool)> done) {
   phases_ = PhaseTimes{};
   phases_.request_at = platform.engine().now();
+  strategy_instant(platform, "request");
 
   // No drain, no JIT checkpoint: rebalance immediately with zero timeout.
   // Sources keep emitting throughout — lost events are replayed later by
@@ -32,6 +44,7 @@ void DsmStrategy::migrate(dsps::Platform& platform, dsps::MigrationPlan plan,
             cid, dsps::CheckpointMode::Wave, /*resend_period=*/0,
             [this, &platform, done = std::move(done)](bool ok) {
               phases_.init_complete = platform.engine().now();
+              strategy_instant(platform, "init_complete");
               phases_.migration_done = platform.engine().now();
               if (done) done(ok);
             });
@@ -49,6 +62,7 @@ void DsmTimeoutStrategy::migrate(dsps::Platform& platform,
                                  std::function<void(bool)> done) {
   phases_ = PhaseTimes{};
   phases_.request_at = platform.engine().now();
+  strategy_instant(platform, "request");
 
   // Storm pauses the sources for the user-estimated timeout, lets whatever
   // happens to be in flight flow, then kills and redeploys.  The sources
@@ -63,6 +77,7 @@ void DsmTimeoutStrategy::migrate(dsps::Platform& platform,
             dsps::CheckpointMode::Wave, /*resend_period=*/0,
             [this, &platform, done = std::move(done)](bool ok) {
               phases_.init_complete = platform.engine().now();
+              strategy_instant(platform, "init_complete");
               phases_.migration_done = platform.engine().now();
               if (done) done(ok);
             });

@@ -5,8 +5,20 @@
 #include <utility>
 
 #include "core/strategies.hpp"
+#include "obs/trace.hpp"
 
 namespace rill::core {
+
+namespace {
+
+/// Control-plane instant on the controller lane (no-op when tracing is off).
+void strategy_instant(dsps::Platform& platform, const char* name) {
+  if (auto* tr = platform.tracer()) {
+    tr->instant(obs::kTrackController, "strategy", name);
+  }
+}
+
+}  // namespace
 
 namespace {
 
@@ -58,6 +70,7 @@ void MigrationStrategy::run_checkpointed_migration(
     dsps::CheckpointMode mode, std::function<void(bool)> done) {
   phases_ = PhaseTimes{};
   phases_.request_at = platform.engine().now();
+  strategy_instant(platform, "request");
 
   // 1) Pause the sources.  Wave mode drains in-flight events behind the
   //    PREPARE rearguard; Capture mode snapshots them into pending lists.
@@ -74,6 +87,7 @@ void MigrationStrategy::run_checkpointed_migration(
           // the old placement is intact, so just resume the sources.
           phases_.aborted = true;
           phases_.aborted_at = platform.engine().now();
+          strategy_instant(platform, "abort");
           platform.unpause_sources();
           phases_.sources_unpaused = platform.engine().now();
           phases_.migration_done = platform.engine().now();
@@ -81,6 +95,7 @@ void MigrationStrategy::run_checkpointed_migration(
           return;
         }
         phases_.checkpoint_done = platform.engine().now();
+        strategy_instant(platform, "checkpoint_done");
 
         // Transactional bookkeeping: snapshot the old placement before
         // anything moves and defer the old-VM release until the restore
@@ -119,6 +134,7 @@ void MigrationStrategy::run_checkpointed_migration(
                       return;
                     }
                     phases_.init_complete = platform.engine().now();
+                    strategy_instant(platform, "init_complete");
                     // Restore committed: now the vacated VMs may go.
                     if (release_requested) {
                       release_vms_not_in(platform, old_vms, target_vms);
@@ -126,6 +142,7 @@ void MigrationStrategy::run_checkpointed_migration(
                     // 5) Unpause: backlogged events refill the dataflow.
                     platform.unpause_sources();
                     phases_.sources_unpaused = platform.engine().now();
+                    strategy_instant(platform, "unpause");
                     phases_.migration_done = platform.engine().now();
                     if (done) done(true);
                   },
@@ -141,6 +158,7 @@ void MigrationStrategy::abort_and_repin(dsps::Platform& platform,
                                         std::function<void(bool)> done) {
   phases_.aborted = true;
   phases_.aborted_at = platform.engine().now();
+  strategy_instant(platform, "abort");
 
   // Discard any half-restored snapshots on the target workers.
   platform.coordinator().broadcast_rollback(
@@ -159,6 +177,7 @@ void MigrationStrategy::abort_and_repin(dsps::Platform& platform,
       std::move(repin), /*timeout=*/0,
       [this, &platform, mode, pinned, done = std::move(done)]() mutable {
         phases_.repinned_at = platform.engine().now();
+        strategy_instant(platform, "repin");
         // Unbounded recovery INIT against the same committed checkpoint:
         // once the fault lifts, the restore completes and only then do the
         // sources resume — the abort itself loses no user events.

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace rill::dsps {
 
 AckerService::AckerService(sim::Engine& engine, SimDuration ack_timeout,
@@ -69,6 +71,12 @@ void AckerService::scan() {
     if (now >= p.registered_at + static_cast<SimTime>(ack_timeout_)) {
       expired.push_back(root);
     }
+  }
+  if (tracer_ != nullptr && !expired.empty()) {
+    tracer_->instant(
+        obs::kTrackAcker, "acker", "timeout",
+        {obs::arg("expired_roots", static_cast<std::uint64_t>(expired.size())),
+         obs::arg("inflight", static_cast<std::uint64_t>(pending_.size()))});
   }
   for (RootId root : expired) fail(root);
 }

@@ -17,6 +17,10 @@
 #include "common/time.hpp"
 #include "sim/engine.hpp"
 
+namespace rill::obs {
+class Tracer;
+}
+
 namespace rill::dsps {
 
 struct AckerStats {
@@ -69,6 +73,9 @@ class AckerService {
   [[nodiscard]] SimDuration timeout() const noexcept { return ack_timeout_; }
   void set_timeout(SimDuration t) noexcept { ack_timeout_ = t; }
 
+  /// Flight recorder: timeout scans that expire roots emit an instant.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
  private:
   struct PendingRoot {
     std::uint64_t hash{0};
@@ -84,6 +91,7 @@ class AckerService {
   sim::PeriodicTimer scanner_;
   std::unordered_map<RootId, PendingRoot> pending_;
   AckerStats stats_;
+  obs::Tracer* tracer_{nullptr};
 };
 
 }  // namespace rill::dsps

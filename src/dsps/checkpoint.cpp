@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "dsps/platform.hpp"
+#include "obs/trace.hpp"
 
 namespace rill::dsps {
 
@@ -89,6 +90,14 @@ void CheckpointCoordinator::run_checkpoint(CheckpointMode mode, Done done) {
   checkpoint_active_ = true;
   ++stats_.waves_started;
   const std::uint64_t cid = next_checkpoint_id_++;
+  ckpt_span_ = obs::kNoSpan;
+  if (auto* tr = platform_.tracer()) {
+    ckpt_span_ = tr->begin(
+        obs::kTrackCoordinator, "checkpoint", "checkpoint",
+        {obs::arg("cid", cid),
+         obs::arg("mode",
+                  mode == CheckpointMode::Capture ? "capture" : "wave")});
+  }
   start_prepare(mode, cid, 1, std::make_shared<Done>(std::move(done)));
 }
 
@@ -96,6 +105,9 @@ void CheckpointCoordinator::abort_wave(std::uint64_t cid,
                                        std::shared_ptr<Done> done) {
   ++stats_.waves_rolled_back;
   checkpoint_active_ = false;
+  if (auto* tr = platform_.tracer()) {
+    tr->end(ckpt_span_, {obs::arg("committed", false)});
+  }
   broadcast_rollback(cid);
   if (*done) (*done)(false);
 }
@@ -103,6 +115,10 @@ void CheckpointCoordinator::abort_wave(std::uint64_t cid,
 void CheckpointCoordinator::broadcast_rollback(std::uint64_t checkpoint_id) {
   // Best-effort rollback broadcast; completion is not tracked.
   ++stats_.rollbacks_broadcast;
+  if (auto* tr = platform_.tracer()) {
+    tr->instant(obs::kTrackCoordinator, "checkpoint", "rollback_broadcast",
+                {obs::arg("cid", checkpoint_id)});
+  }
   send_wave(ControlKind::Rollback, checkpoint_id, /*broadcast=*/true,
             [](RootId) {}, [](RootId) {});
 }
@@ -110,14 +126,28 @@ void CheckpointCoordinator::broadcast_rollback(std::uint64_t checkpoint_id) {
 void CheckpointCoordinator::start_prepare(CheckpointMode mode,
                                           std::uint64_t cid, int attempt,
                                           std::shared_ptr<Done> done) {
+  std::uint64_t wave_span = obs::kNoSpan;
+  if (auto* tr = platform_.tracer()) {
+    wave_span = tr->begin(obs::kTrackCoordinator, "checkpoint", "prepare",
+                          {obs::arg("cid", cid), obs::arg("attempt", attempt)});
+  }
   send_wave(
       ControlKind::Prepare, cid, mode == CheckpointMode::Capture,
-      [this, mode, cid, done](RootId) {
+      [this, mode, cid, done, wave_span](RootId) {
+        if (auto* tr = platform_.tracer()) {
+          tr->end(wave_span, {obs::arg("ok", true)});
+        }
         // All tasks prepared; COMMIT always sweeps the dataflow wiring so
         // it lands behind every in-flight user event.
         start_commit(mode, cid, 1, done);
       },
-      [this, mode, cid, attempt, done](RootId) {
+      [this, mode, cid, attempt, done, wave_span](RootId) {
+        if (auto* tr = platform_.tracer()) {
+          tr->end(wave_span, {obs::arg("ok", false)});
+          tr->instant(obs::kTrackCoordinator, "checkpoint", "wave_timeout",
+                      {obs::arg("cid", cid), obs::arg("kind", "PREPARE"),
+                       obs::arg("attempt", attempt)});
+        }
         // A wave timed out (dropped copy, dead task, store outage).  Retry
         // the same wave id: each retry is a fresh wave root, so executors
         // re-align from scratch and re-snapshot idempotently.
@@ -133,14 +163,30 @@ void CheckpointCoordinator::start_prepare(CheckpointMode mode,
 void CheckpointCoordinator::start_commit(CheckpointMode mode,
                                          std::uint64_t cid, int attempt,
                                          std::shared_ptr<Done> done) {
+  std::uint64_t wave_span = obs::kNoSpan;
+  if (auto* tr = platform_.tracer()) {
+    wave_span = tr->begin(obs::kTrackCoordinator, "checkpoint", "commit",
+                          {obs::arg("cid", cid), obs::arg("attempt", attempt)});
+  }
   send_wave(ControlKind::Commit, cid, /*broadcast=*/false,
-            [this, cid, done](RootId) {
+            [this, cid, done, wave_span](RootId) {
               last_committed_ = cid;
               checkpoint_active_ = false;
               ++stats_.waves_committed;
+              if (auto* tr = platform_.tracer()) {
+                tr->end(wave_span, {obs::arg("ok", true)});
+                tr->end(ckpt_span_, {obs::arg("committed", true)});
+              }
               if (*done) (*done)(true);
             },
-            [this, mode, cid, attempt, done](RootId) {
+            [this, mode, cid, attempt, done, wave_span](RootId) {
+              if (auto* tr = platform_.tracer()) {
+                tr->end(wave_span, {obs::arg("ok", false)});
+                tr->instant(obs::kTrackCoordinator, "checkpoint",
+                            "wave_timeout",
+                            {obs::arg("cid", cid), obs::arg("kind", "COMMIT"),
+                             obs::arg("attempt", attempt)});
+              }
               if (attempt <= platform_.config().checkpoint_wave_retries) {
                 ++stats_.wave_retries;
                 start_commit(mode, cid, attempt + 1, done);
@@ -162,6 +208,14 @@ void CheckpointCoordinator::run_init(std::uint64_t checkpoint_id,
   init_.outstanding.clear();
   init_.active = true;
   first_init_received_.reset();
+
+  init_span_ = obs::kNoSpan;
+  if (auto* tr = platform_.tracer()) {
+    init_span_ = tr->begin(
+        obs::kTrackCoordinator, "checkpoint", "init",
+        {obs::arg("cid", checkpoint_id),
+         obs::arg("resend_sec", time::to_sec(resend_period))});
+  }
 
   if (deadline > 0) {
     init_deadline_timer_ =
@@ -192,12 +246,20 @@ void CheckpointCoordinator::fail_init_session() {
   platform_.engine().cancel(init_resend_timer_);
   for (RootId r : init_.outstanding) platform_.acker().forget(r);
   init_.outstanding.clear();
+  if (auto* tr = platform_.tracer()) {
+    tr->end(init_span_, {obs::arg("ok", false)});
+  }
   Done done = std::move(init_.done);
   if (done) done(false);
 }
 
 void CheckpointCoordinator::send_init_attempt() {
   ++stats_.init_attempts;
+  if (auto* tr = platform_.tracer()) {
+    tr->instant(obs::kTrackCoordinator, "checkpoint", "init_attempt",
+                {obs::arg("cid", init_.checkpoint_id),
+                 obs::arg("attempt", stats_.init_attempts)});
+  }
   const RootId root = send_wave(
       ControlKind::Init, init_.checkpoint_id,
       init_.mode == CheckpointMode::Capture,
@@ -211,6 +273,9 @@ void CheckpointCoordinator::send_init_attempt() {
         }
         init_.outstanding.clear();
         ++stats_.init_completions;
+        if (auto* tr = platform_.tracer()) {
+          tr->end(init_span_, {obs::arg("ok", true)});
+        }
         Done done = std::move(init_.done);
         if (done) done(true);
       },

@@ -136,6 +136,10 @@ class CheckpointCoordinator {
   sim::TimerId init_deadline_timer_{};
   std::optional<SimTime> first_init_received_;
   CheckpointStats stats_;
+  /// Open flight-recorder spans: the whole PREPARE→COMMIT checkpoint and
+  /// the run_init session (one of each at a time).
+  std::uint64_t ckpt_span_{~0ull};
+  std::uint64_t init_span_{~0ull};
 };
 
 }  // namespace rill::dsps

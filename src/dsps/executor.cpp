@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "dsps/platform.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace rill::dsps {
 
@@ -21,6 +23,22 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
 
 Executor::Executor(Platform& platform, InstanceId id, InstanceRef ref)
     : platform_(platform), id_(id), ref_(ref) {}
+
+void Executor::trace_end(std::uint64_t span) {
+  if (auto* tr = platform_.tracer()) tr->end(span);
+}
+
+void Executor::bind_metrics() {
+  auto* reg = platform_.metrics();
+  if (reg == nullptr || m_processed_ != nullptr) return;
+  const std::string base = "task/" +
+                           platform_.topology().task(ref_.task).name + "/" +
+                           std::to_string(ref_.replica) + "/";
+  m_process_us_ = reg->histogram(base + "process_us");
+  m_processed_ = reg->counter(base + "processed");
+  m_emitted_ = reg->counter(base + "emitted");
+  m_queue_depth_ = reg->gauge(base + "queue_depth");
+}
 
 void Executor::kill() {
   ++epoch_;
@@ -91,6 +109,10 @@ void Executor::enqueue(Event ev) {
       return;
     case LifeState::Running:
       queue_.push_back(std::move(ev));
+      if (platform_.metrics() != nullptr) {
+        bind_metrics();
+        m_queue_depth_->set(static_cast<double>(queue_.size()));
+      }
       pump();
       return;
   }
@@ -110,7 +132,13 @@ void Executor::pump() {
           platform_.config().control_handling, [this, ev, epoch] {
             if (epoch != epoch_) return;
             busy_ = false;
-            handle_control(ev);
+            std::uint64_t span = obs::kNoSpan;
+            if (auto* tr = platform_.tracer()) {
+              span = tr->begin(obs::instance_track(id_.value), "task",
+                               std::string(to_string(ev.control)),
+                               {obs::arg("cid", ev.checkpoint_id)});
+            }
+            handle_control(ev, span);
             pump();
           });
       return;
@@ -161,12 +189,22 @@ void Executor::finish_user_event(const Event& ev) {
   apply_user_logic(ev);
   ++stats_.processed;
 
+  const std::uint64_t emitted_before = stats_.emitted;
   const TaskDef& def = platform_.topology().task(ref_.task);
   if (def.kind == TaskKind::Sink) {
-    platform_.listener().on_sink_arrival(ev, platform_.engine().now());
+    const SimTime now = platform_.engine().now();
+    platform_.listener().on_sink_arrival(ev, now);
+    if (auto* tr = platform_.tracer()) tr->note_sink_arrival(now);
   } else {
     stats_.emitted +=
         static_cast<std::uint64_t>(platform_.emit_user_children(*this, ev));
+  }
+  if (platform_.metrics() != nullptr) {
+    bind_metrics();
+    // Upstream emit → processing complete: network + queue wait + service.
+    m_process_us_->record(platform_.engine().now() - ev.emitted_at);
+    m_processed_->add();
+    m_emitted_->add(stats_.emitted - emitted_before);
   }
   if (platform_.user_acking()) {
     platform_.acker().ack(ev.root, ev.id);
@@ -181,20 +219,20 @@ bool Executor::aligned(const Event& ev, int expected) {
   return true;
 }
 
-void Executor::handle_control(const Event& ev) {
+void Executor::handle_control(const Event& ev, std::uint64_t span) {
   switch (ev.control) {
-    case ControlKind::Prepare: on_prepare(ev); break;
-    case ControlKind::Commit: on_commit(ev); break;
-    case ControlKind::Rollback: on_rollback(ev); break;
+    case ControlKind::Prepare: on_prepare(ev, span); break;
+    case ControlKind::Commit: on_commit(ev, span); break;
+    case ControlKind::Rollback: on_rollback(ev, span); break;
     case ControlKind::Init:
       platform_.coordinator().note_init_received(platform_.engine().now());
-      on_init(ev);
+      on_init(ev, span);
       break;
     case ControlKind::None: assert(false && "user event in handle_control"); break;
   }
 }
 
-void Executor::on_prepare(const Event& ev) {
+void Executor::on_prepare(const Event& ev, std::uint64_t span) {
   if (platform_.checkpoint_mode() == CheckpointMode::Capture) {
     // Broadcast copy (fan-in 1): snapshot state now — everything that was
     // ahead of PREPARE in the queue has been processed — and start
@@ -204,24 +242,28 @@ void Executor::on_prepare(const Event& ev) {
     capturing_ = true;
     committed_this_wave_ = false;
     platform_.acker().ack(ev.root, ev.id);
+    trace_end(span);
     return;
   }
   // Sequential wave: PREPARE is a rearguard.  Align across all upstream
   // instances; forward only once aligned.
   if (!aligned(ev, platform_.control_fanin(ref_.task))) {
     platform_.acker().ack(ev.root, ev.id);
+    trace_end(span);
     return;
   }
   prepared_state_ = state_;
   prepared_checkpoint_ = ev.checkpoint_id;
   platform_.forward_control(*this, ev);
   platform_.acker().ack(ev.root, ev.id);
+  trace_end(span);
 }
 
-void Executor::on_commit(const Event& ev) {
+void Executor::on_commit(const Event& ev, std::uint64_t span) {
   // COMMIT always sweeps the dataflow wiring, in both modes.
   if (!aligned(ev, platform_.control_fanin(ref_.task))) {
     platform_.acker().ack(ev.root, ev.id);
+    trace_end(span);
     return;
   }
   const TaskDef& def = platform_.topology().task(ref_.task);
@@ -237,6 +279,7 @@ void Executor::on_commit(const Event& ev) {
     committed_this_wave_ = true;
     platform_.forward_control(*this, ev);
     platform_.acker().ack(ev.root, ev.id);
+    trace_end(span);
     return;
   }
 
@@ -244,19 +287,23 @@ void Executor::on_commit(const Event& ev) {
   platform_.store().put(
       platform_.cluster().vm_of(slot_),
       CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica),
-      blob.serialize(), [this, ev, epoch](bool ok) {
-        if (epoch != epoch_) return;  // killed while persisting: wave fails
-        if (!ok) return;  // store unreachable: withhold the ack so the wave
-                          // times out and the coordinator retries or aborts
+      blob.serialize(), [this, ev, epoch, span](bool ok) {
+        if (epoch != epoch_ || !ok) {
+          // Killed while persisting, or store unreachable: withhold the ack
+          // so the wave times out and the coordinator retries or aborts.
+          trace_end(span);
+          return;
+        }
         // Only a *persisted* snapshot counts as committed — a retried
         // COMMIT wave must re-snapshot, not trip the post-commit counter.
         committed_this_wave_ = true;
         platform_.forward_control(*this, ev);
         platform_.acker().ack(ev.root, ev.id);
+        trace_end(span);
       });
 }
 
-void Executor::on_rollback(const Event& ev) {
+void Executor::on_rollback(const Event& ev, std::uint64_t span) {
   prepared_state_.reset();
   prepared_checkpoint_ = 0;
   committed_this_wave_ = false;
@@ -271,9 +318,10 @@ void Executor::on_rollback(const Event& ev) {
     pending_capture_.clear();
   }
   platform_.acker().ack(ev.root, ev.id);
+  trace_end(span);
 }
 
-void Executor::on_init(const Event& ev) {
+void Executor::on_init(const Event& ev, std::uint64_t span) {
   const bool capture_mode =
       platform_.checkpoint_mode() == CheckpointMode::Capture;
 
@@ -282,6 +330,7 @@ void Executor::on_init(const Event& ev) {
     // sequential wiring).  Just ack.
     ++stats_.duplicate_inits;
     platform_.acker().ack(ev.root, ev.id);
+    trace_end(span);
     return;
   }
   seen_init_roots_.insert(ev.root);
@@ -292,12 +341,16 @@ void Executor::on_init(const Event& ev) {
     platform_.store().get(
         platform_.cluster().vm_of(slot_),
         CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica),
-        [this, ev, epoch](bool ok, std::optional<Bytes> raw) {
-          if (epoch != epoch_) return;
+        [this, ev, epoch, span](bool ok, std::optional<Bytes> raw) {
+          if (epoch != epoch_) {
+            trace_end(span);
+            return;
+          }
           if (!ok) {
             // Store unreachable: stay un-restored and withhold the ack so
             // this wave fails; a later INIT wave retries the restore.
             seen_init_roots_.erase(ev.root);
+            trace_end(span);
             return;
           }
           if (!awaiting_init_) {
@@ -310,6 +363,7 @@ void Executor::on_init(const Event& ev) {
               platform_.forward_control(*this, ev);
             }
             platform_.acker().ack(ev.root, ev.id);
+            trace_end(span);
             return;
           }
           CheckpointBlob blob;
@@ -319,6 +373,7 @@ void Executor::on_init(const Event& ev) {
             platform_.forward_control(*this, ev);
           }
           platform_.acker().ack(ev.root, ev.id);
+          trace_end(span);
         });
     return;
   }
@@ -336,6 +391,7 @@ void Executor::on_init(const Event& ev) {
     }
     if (!capture_mode) platform_.forward_control(*this, ev);
     platform_.acker().ack(ev.root, ev.id);
+    trace_end(span);
     return;
   }
 
@@ -344,6 +400,7 @@ void Executor::on_init(const Event& ev) {
   ++stats_.duplicate_inits;
   if (!capture_mode) platform_.forward_control(*this, ev);
   platform_.acker().ack(ev.root, ev.id);
+  trace_end(span);
 }
 
 void Executor::restore_from_blob(const CheckpointBlob& blob) {
@@ -352,6 +409,11 @@ void Executor::restore_from_blob(const CheckpointBlob& blob) {
   capturing_ = false;
   committed_this_wave_ = false;
   ++stats_.init_restores;
+  if (auto* tr = platform_.tracer()) {
+    tr->instant(obs::instance_track(id_.value), "task", "restored",
+                {obs::arg("pending",
+                          static_cast<std::uint64_t>(blob.pending.size()))});
+  }
 
   // Rebuild the queue front: captured in-flight events first (they were
   // logically ahead), then any tuples pended while awaiting init.

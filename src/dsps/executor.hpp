@@ -28,6 +28,12 @@
 #include "dsps/state.hpp"
 #include "dsps/topology.hpp"
 
+namespace rill::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}
+
 namespace rill::dsps {
 
 class Platform;
@@ -109,12 +115,21 @@ class Executor {
 
   void pump();
   void finish_user_event(const Event& ev);
-  void handle_control(const Event& ev);
+  /// `span` is the flight-recorder span covering this control event's
+  /// handling (obs::kNoSpan when tracing is off); each handler closes it at
+  /// its terminal point — possibly inside an async store callback.
+  void handle_control(const Event& ev, std::uint64_t span);
 
-  void on_prepare(const Event& ev);
-  void on_commit(const Event& ev);
-  void on_rollback(const Event& ev);
-  void on_init(const Event& ev);
+  void on_prepare(const Event& ev, std::uint64_t span);
+  void on_commit(const Event& ev, std::uint64_t span);
+  void on_rollback(const Event& ev, std::uint64_t span);
+  void on_init(const Event& ev, std::uint64_t span);
+
+  void trace_end(std::uint64_t span);
+  /// Lazily resolve this instance's registry instruments (first processed
+  /// event after a registry is attached); raw pointers keep the hot path
+  /// allocation-free.
+  void bind_metrics();
 
   /// Barrier alignment: true when all expected copies of this wave root
   /// have been consumed at this executor.
@@ -158,6 +173,12 @@ class Executor {
   std::uint64_t epoch_{0};
 
   int logic_version_{1};
+
+  // Registry instruments (null until bind_metrics() resolves them).
+  obs::Histogram* m_process_us_{nullptr};
+  obs::Counter* m_processed_{nullptr};
+  obs::Counter* m_emitted_{nullptr};
+  obs::Gauge* m_queue_depth_{nullptr};
 
   ExecutorStats stats_;
 };

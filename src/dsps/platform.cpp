@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace rill::dsps {
 
 namespace {
@@ -111,16 +113,68 @@ void Platform::deploy(Topology topology, std::vector<VmId> worker_vms,
   deployed_ = true;
 }
 
+void Platform::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (store_) store_->set_tracer(tracer);
+  if (acker_) acker_->set_tracer(tracer);
+  if (tracer == nullptr) return;
+  tracer->bind_clock(&engine_);
+  tracer->set_process_name(1, "control-plane");
+  tracer->set_process_name(2, "kv-store");
+  tracer->set_process_name(3, "chaos");
+  tracer->set_process_name(obs::kDataflowPid, "dataflow");
+  tracer->set_process_name(obs::kTrackSinks.pid, "sinks");
+  tracer->set_thread_name(obs::kTrackController, "controller");
+  tracer->set_thread_name(obs::kTrackCoordinator, "coordinator");
+  tracer->set_thread_name(obs::kTrackRebalancer, "rebalancer");
+  tracer->set_thread_name(obs::kTrackAcker, "acker");
+  tracer->set_thread_name(obs::kTrackKvStore, "store-client");
+  tracer->set_thread_name(obs::kTrackChaos, "injector");
+  tracer->set_thread_name(obs::kTrackSinks, "sink-arrivals");
+  for (const auto& [task, spout] : spouts_) {
+    tracer->set_thread_name(obs::instance_track(spout->id().value),
+                            topology_.task(task).name + "[src]");
+  }
+  for (const auto& [ref, ex] : executors_) {
+    tracer->set_thread_name(obs::instance_track(ex->id().value),
+                            topology_.task(ref.task).name + "[" +
+                                std::to_string(ref.replica) + "]");
+  }
+}
+
+void Platform::sample_depths() {
+  if (tracer_ == nullptr) return;
+  for (const auto& [ref, ex] : executors_) {
+    const obs::Track track = obs::instance_track(ex->id().value);
+    tracer_->counter(track, "queue_depth",
+                     static_cast<double>(ex->queue_depth()));
+    if (ex->capturing() || !ex->pending_capture().empty()) {
+      tracer_->counter(track, "capture_pending",
+                       static_cast<double>(ex->pending_capture().size()));
+    }
+  }
+  for (const auto& [task, spout] : spouts_) {
+    tracer_->counter(obs::instance_track(spout->id().value), "backlog",
+                     static_cast<double>(spout->backlog()));
+  }
+}
+
 void Platform::start() {
   if (!deployed_) throw std::logic_error("deploy a topology before start()");
   acker_->start();
   for (auto& [task, spout] : spouts_) spout->start();
+  if (tracer_ != nullptr && !trace_sampler_) {
+    trace_sampler_ = std::make_unique<sim::PeriodicTimer>(
+        engine_, time::sec(1), [this] { sample_depths(); });
+    trace_sampler_->start();
+  }
 }
 
 void Platform::stop() {
   for (auto& [task, spout] : spouts_) spout->stop();
   acker_->stop();
   coordinator_->stop_periodic();
+  if (trace_sampler_) trace_sampler_->stop();
 }
 
 void Platform::set_user_acking(bool on) { user_acking_ = on; }

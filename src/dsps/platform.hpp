@@ -36,6 +36,11 @@
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 
+namespace rill::obs {
+class Tracer;
+class MetricsRegistry;
+}
+
 namespace rill::dsps {
 
 struct PlatformStats {
@@ -96,6 +101,22 @@ class Platform {
   void set_listener(EventListener* listener) noexcept { listener_ = listener; }
   [[nodiscard]] EventListener& listener() noexcept {
     return listener_ ? *listener_ : null_listener_;
+  }
+
+  // ---- observability (flight recorder) ----
+  /// Attach a span tracer.  Call after setup_infrastructure() (ideally
+  /// after deploy(), so instance lanes get named); binds the tracer to the
+  /// sim clock, propagates it to the store and acker, and — once start()
+  /// runs — samples queue depths and backlogs once per second.  Hot paths
+  /// guard on the raw pointer: a run without a tracer pays one branch.
+  void set_tracer(obs::Tracer* tracer);
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+  /// Attach a per-task metrics registry (counters/gauges/histograms).
+  void set_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+  [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
+    return metrics_;
   }
 
   // ---- dataflow access ----
@@ -188,6 +209,14 @@ class Platform {
 
   EventListener* listener_{nullptr};
   EventListener null_listener_;
+
+  obs::Tracer* tracer_{nullptr};
+  obs::MetricsRegistry* metrics_{nullptr};
+  /// 1 Hz sampler feeding queue-depth / backlog counters into the tracer;
+  /// only ever created when a tracer is attached, so untraced runs schedule
+  /// nothing extra and stay byte-identical.
+  std::unique_ptr<sim::PeriodicTimer> trace_sampler_;
+  void sample_depths();
 
   /// Shuffle-grouping round-robin counters per (sender instance, edge).
   std::unordered_map<std::uint64_t, int> shuffle_counters_;

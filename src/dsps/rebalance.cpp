@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "dsps/platform.hpp"
+#include "obs/trace.hpp"
 
 namespace rill::dsps {
 
@@ -32,6 +33,15 @@ void Rebalancer::rebalance(const MigrationPlan& plan, SimDuration timeout,
   RebalanceRecord rec;
   rec.invoked_at = platform_.engine().now();
   last_ = rec;
+
+  trace_span_ = obs::kNoSpan;
+  if (auto* tr = platform_.tracer()) {
+    trace_span_ = tr->begin(
+        obs::kTrackRebalancer, "rebalance", "rebalance",
+        {obs::arg("target_vms",
+                  static_cast<std::uint64_t>(plan.target_vms.size())),
+         obs::arg("timeout_sec", time::to_sec(timeout))});
+  }
 
   if (timeout > 0) {
     // Storm's timeout variant: sources pause so in-flight events may flow
@@ -79,6 +89,11 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
       lost += ex.stats().lost_at_kill - before;
     }
     last_->events_lost_in_queues = lost;
+    if (auto* tr = platform_.tracer()) {
+      tr->instant(obs::kTrackRebalancer, "rebalance", "kill",
+                  {obs::arg("instances", last_->instances_migrated),
+                   obs::arg("lost_in_queues", lost)});
+    }
 
     const SimDuration remaining =
         time::sec_f(command_sec) - platform_.config().kill_delay;
@@ -151,6 +166,10 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
 
           last_->command_completed_at = platform_.engine().now();
           in_progress_ = false;
+          if (auto* tr = platform_.tracer()) {
+            tr->end(trace_span_,
+                    {obs::arg("instances", last_->instances_migrated)});
+          }
           if (done) done();
         });
   });

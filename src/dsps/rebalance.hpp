@@ -78,6 +78,8 @@ class Rebalancer {
   Platform& platform_;
   bool in_progress_{false};
   std::optional<RebalanceRecord> last_;
+  /// Open flight-recorder span for the in-progress command.
+  std::uint64_t trace_span_{~0ull};
 };
 
 }  // namespace rill::dsps

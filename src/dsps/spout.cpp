@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dsps/platform.hpp"
+#include "obs/trace.hpp"
 
 namespace rill::dsps {
 
@@ -32,11 +33,21 @@ void Spout::stop() {
 void Spout::pause() {
   paused_ = true;
   pump_timer_.stop();
+  if (auto* tr = platform_.tracer()) {
+    tr->instant(obs::instance_track(id_.value), "source", "pause",
+                {obs::arg("backlog",
+                          static_cast<std::uint64_t>(backlog_.size()))});
+  }
 }
 
 void Spout::unpause() {
   if (!paused_) return;
   paused_ = false;
+  if (auto* tr = platform_.tracer()) {
+    tr->instant(obs::instance_track(id_.value), "source", "unpause",
+                {obs::arg("backlog",
+                          static_cast<std::uint64_t>(backlog_.size()))});
+  }
   if (!backlog_.empty()) pump_timer_.start();
 }
 
@@ -104,7 +115,14 @@ void Spout::emit_root(SimTime born_at, bool replay, RootId origin) {
   }
 
   ++stats_.emitted;
-  if (replay) ++stats_.replayed_roots;
+  if (replay) {
+    ++stats_.replayed_roots;
+    if (auto* tr = platform_.tracer()) {
+      tr->instant(obs::instance_track(id_.value), "source", "replay",
+                  {obs::arg("origin", origin),
+                   obs::arg("born_at", static_cast<std::uint64_t>(born_at))});
+    }
+  }
 }
 
 void Spout::on_root_complete(RootId root) {

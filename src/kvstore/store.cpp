@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace rill::kvstore {
+
+std::uint64_t Store::begin_op_span(const char* op, std::size_t items) {
+  if (tracer_ == nullptr) return obs::kNoSpan;
+  return tracer_->begin(
+      obs::kTrackKvStore, "kv", op,
+      {obs::arg("items", static_cast<std::uint64_t>(items))});
+}
+
+void Store::end_op_span(std::uint64_t span, bool ok) {
+  if (tracer_ == nullptr) return;
+  tracer_->end(span, {obs::arg("ok", ok)});
+}
 
 SimDuration Store::service_cost(std::size_t items, std::size_t bytes) const {
   return config_.request_overhead +
@@ -76,6 +90,10 @@ void Store::attempt(VmId client, std::shared_ptr<const Request> req,
         if (*settled) return;
         *settled = true;
         ++stats_.timeouts;
+        if (tracer_ != nullptr) {
+          tracer_->instant(obs::kTrackKvStore, "kv", "attempt_timeout",
+                           {obs::arg("attempt", attempt_no)});
+        }
         if (attempt_no >= config_.max_attempts) {
           ++stats_.failed_requests;
           (*done_sp)(false, std::nullopt);
@@ -84,6 +102,11 @@ void Store::attempt(VmId client, std::shared_ptr<const Request> req,
         engine_.schedule(backoff_delay(attempt_no),
                          [this, client, req, attempt_no, done_sp]() mutable {
                            ++stats_.retries;
+                           if (tracer_ != nullptr) {
+                             tracer_->instant(obs::kTrackKvStore, "kv", "retry",
+                                              {obs::arg("attempt",
+                                                        attempt_no + 1)});
+                           }
                            attempt(client, req, attempt_no + 1,
                                    std::move(*done_sp));
                          });
@@ -136,8 +159,10 @@ void Store::put_batch(VmId client,
   auto req = std::make_shared<Request>();
   req->op = Op::Put;
   req->kvs = std::move(kvs);
+  const std::uint64_t span = begin_op_span("put", req->kvs.size());
   attempt(client, std::move(req), 1,
-          [done = std::move(done)](bool ok, std::optional<Bytes>) {
+          [this, span, done = std::move(done)](bool ok, std::optional<Bytes>) {
+            end_op_span(span, ok);
             if (done) done(ok);
           });
 }
@@ -146,15 +171,23 @@ void Store::get(VmId client, std::string key, GetDone done) {
   auto req = std::make_shared<Request>();
   req->op = Op::Get;
   req->key = std::move(key);
-  attempt(client, std::move(req), 1, std::move(done));
+  const std::uint64_t span = begin_op_span("get", 1);
+  attempt(client, std::move(req), 1,
+          [this, span, done = std::move(done)](
+              bool ok, std::optional<Bytes> value) mutable {
+            end_op_span(span, ok);
+            if (done) done(ok, std::move(value));
+          });
 }
 
 void Store::del(VmId client, std::string key, PutDone done) {
   auto req = std::make_shared<Request>();
   req->op = Op::Del;
   req->key = std::move(key);
+  const std::uint64_t span = begin_op_span("del", 1);
   attempt(client, std::move(req), 1,
-          [done = std::move(done)](bool ok, std::optional<Bytes>) {
+          [this, span, done = std::move(done)](bool ok, std::optional<Bytes>) {
+            end_op_span(span, ok);
             if (done) done(ok);
           });
 }

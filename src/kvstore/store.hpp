@@ -32,6 +32,10 @@
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 
+namespace rill::obs {
+class Tracer;
+}
+
 namespace rill::kvstore {
 
 struct StoreConfig {
@@ -114,6 +118,10 @@ class Store {
 
   void set_fault_hook(FaultHook* hook) noexcept { fault_hook_ = hook; }
 
+  /// Flight recorder: each operation becomes a span covering all attempts,
+  /// with retry/timeout instants annotating the fault handling.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   /// Synchronous inspection for tests; bypasses the latency model.
   [[nodiscard]] std::optional<Bytes> peek(const std::string& key) const;
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
@@ -136,6 +144,10 @@ class Store {
   /// reaches `done` exactly once.
   void attempt(VmId client, std::shared_ptr<const Request> req, int attempt_no,
                GetDone done);
+  /// Begin the per-operation span (kNoSpan when tracing is off) / close it
+  /// with the terminal verdict.
+  [[nodiscard]] std::uint64_t begin_op_span(const char* op, std::size_t items);
+  void end_op_span(std::uint64_t span, bool ok);
   void apply(const Request& req, std::optional<Bytes>& value_out,
              std::size_t& reply_bytes);
 
@@ -148,6 +160,7 @@ class Store {
   StoreConfig config_;
   Rng rng_;
   FaultHook* fault_hook_{nullptr};
+  rill::obs::Tracer* tracer_{nullptr};
   std::unordered_map<std::string, Bytes> data_;
   StoreStats stats_;
 };

@@ -49,6 +49,9 @@ std::string to_json(const MigrationReport& r, int indent) {
   os << pad << "\"stabilization_sec\": " << opt_num(r.stabilization_sec)
      << ",\n";
   os << pad << "\"first_init_sec\": " << opt_num(r.first_init_sec) << ",\n";
+  os << pad << "\"latency_p50_ms\": " << opt_num(r.latency_p50_ms) << ",\n";
+  os << pad << "\"latency_p95_ms\": " << opt_num(r.latency_p95_ms) << ",\n";
+  os << pad << "\"latency_p99_ms\": " << opt_num(r.latency_p99_ms) << ",\n";
   os << pad << "\"replayed_messages\": " << r.replayed_messages << ",\n";
   os << pad << "\"lost_events\": " << r.lost_events << ",\n";
   os << pad << "\"expected_output_rate\": " << fmt(r.expected_output_rate, 2)

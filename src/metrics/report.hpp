@@ -37,6 +37,11 @@ struct MigrationReport {
 
   /// Auxiliary: request → first INIT received by any task (§5.1 analysis).
   std::optional<double> first_init_sec;
+  /// End-to-end latency percentiles over the whole run (ms, nearest-rank).
+  /// The tails expose DSM's replay-induced spread where the median hides it.
+  std::optional<double> latency_p50_ms;
+  std::optional<double> latency_p95_ms;
+  std::optional<double> latency_p99_ms;
   /// Expected steady-state output rate (ev/s) at the sinks.
   double expected_output_rate{0.0};
 

@@ -1,0 +1,91 @@
+#include "obs/registry.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "metrics/json.hpp"
+
+namespace rill::obs {
+
+void Histogram::record(std::uint64_t value_us) noexcept {
+  const int bucket = value_us == 0 ? 0 : std::bit_width(value_us) - 1;
+  ++buckets_[bucket];
+  ++count_;
+  sum_ += value_us;
+  if (value_us < min_) min_ = value_us;
+  if (value_us > max_) max_ = value_us;
+}
+
+std::optional<std::uint64_t> Histogram::percentile_us(double q) const {
+  if (count_ == 0 || q <= 0.0 || q > 1.0) return std::nullopt;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b];
+    if (cumulative >= rank) {
+      // Upper bound of bucket b is 2^(b+1) - 1, clamped to the observed max.
+      const std::uint64_t hi =
+          b >= 63 ? ~0ull : ((1ull << (b + 1)) - 1);
+      return hi < max_ ? hi : max_;
+    }
+  }
+  return max_;
+}
+
+namespace {
+
+std::string num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + metrics::json_escape(name) + "\":" + std::to_string(c.value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + metrics::json_escape(name) + "\":{\"value\":" + num(g.value()) +
+           ",\"max\":" + num(g.max()) +
+           ",\"samples\":" + std::to_string(g.samples()) + '}';
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + metrics::json_escape(name) +
+           "\":{\"count\":" + std::to_string(h.count()) +
+           ",\"sum_us\":" + std::to_string(h.sum()) +
+           ",\"min_us\":" + std::to_string(h.min()) +
+           ",\"max_us\":" + std::to_string(h.max()) +
+           ",\"mean_us\":" + num(h.mean());
+    auto pct = [&](const char* key, double q) {
+      if (auto p = h.percentile_us(q)) {
+        out += ",\"";
+        out += key;
+        out += "\":" + std::to_string(*p);
+      }
+    };
+    pct("p50_us", 0.50);
+    pct("p95_us", 0.95);
+    pct("p99_us", 0.99);
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace rill::obs

@@ -1,0 +1,115 @@
+// Per-task metrics registry: counters, gauges and log-bucketed latency
+// histograms.
+//
+// The tracer (trace.hpp) records *control-plane* happenings — migrations,
+// checkpoint waves, faults — whose volume is bounded by protocol activity.
+// Data-plane measurements (per-event process/emit latency, queue depths)
+// would swamp a trace, so they aggregate here instead: every instrument is
+// a fixed-size slot that hot paths update in O(1) with no allocation after
+// the first lookup.  Instruments are owned by the registry and handed out
+// as stable pointers, so executors cache them once at deploy time.
+//
+// Histograms bucket by floor(log2(value_us)): 64 buckets cover the full
+// uint64 range, and a percentile query walks the cumulative counts and
+// returns the bucket's upper bound — coarse (within 2x) but branch-cheap
+// on the record side, which is what the hot path needs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace rill::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_ = v;
+    if (v > max_) max_ = v;
+    ++samples_;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  double value_{0.0};
+  double max_{0.0};
+  std::uint64_t samples_{0};
+};
+
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t value_us) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ ? min_ : 0; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+  }
+  /// Upper bound of the bucket holding the q-quantile observation
+  /// (nearest-rank over bucket counts).  nullopt when empty or q out of
+  /// (0, 1].
+  [[nodiscard]] std::optional<std::uint64_t> percentile_us(double q) const;
+  [[nodiscard]] const std::uint64_t* buckets() const noexcept {
+    return buckets_;
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets]{};
+  std::uint64_t count_{0};
+  std::uint64_t sum_{0};
+  std::uint64_t min_{~0ull};
+  std::uint64_t max_{0};
+};
+
+/// Named instrument store.  std::map keeps instrument addresses stable
+/// across inserts, so `counter("x")` may be cached for the whole run.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter* counter(const std::string& name) {
+    return &counters_[name];
+  }
+  [[nodiscard]] Gauge* gauge(const std::string& name) { return &gauges_[name]; }
+  [[nodiscard]] Histogram* histogram(const std::string& name) {
+    return &histograms_[name];
+  }
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  /// Histograms serialise count/sum/min/max/mean/p50/p95/p99 — the buckets
+  /// themselves stay internal.
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace rill::obs

@@ -5,6 +5,8 @@
 
 #include "core/controller.hpp"
 #include "dsps/platform.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 
 namespace rill::workloads {
@@ -32,6 +34,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   metrics::Collector collector;
   platform.set_listener(&collector);
+  if (config.tracer != nullptr) platform.set_tracer(config.tracer);
+  if (config.metrics != nullptr) platform.set_metrics(config.metrics);
 
   auto strategy = core::make_strategy(config.strategy);
   strategy->configure(platform);
@@ -140,6 +144,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (platform.coordinator().first_init_received().has_value()) {
     rep.first_init_sec = rel_sec(platform.coordinator().first_init_received());
   }
+
+  // End-to-end latency percentiles over the whole run (Fig 9 companion).
+  const auto run_end = static_cast<SimTime>(config.run_duration);
+  rep.latency_p50_ms = collector.latency().percentile_ms(0.50, 0, run_end);
+  rep.latency_p95_ms = collector.latency().percentile_ms(0.95, 0, run_end);
+  rep.latency_p99_ms = collector.latency().percentile_ms(0.99, 0, run_end);
 
   rep.migration_attempts = result.recovery.attempts;
   rep.aborted_attempts = result.recovery.aborted_attempts;

@@ -24,6 +24,11 @@
 #include "workloads/dags.hpp"
 #include "workloads/scenario.hpp"
 
+namespace rill::obs {
+class Tracer;
+class MetricsRegistry;
+}  // namespace rill::obs
+
 namespace rill::workloads {
 
 struct ExperimentConfig {
@@ -46,6 +51,12 @@ struct ExperimentConfig {
 
   /// Faults to inject (empty = no chaos, byte-identical to the seed runs).
   chaos::ChaosPlan chaos{};
+
+  /// Flight recorder: optional span tracer and per-task metrics registry,
+  /// owned by the caller.  nullptr = observability off (the default; the
+  /// simulation schedule is identical either way).
+  obs::Tracer* tracer{nullptr};
+  obs::MetricsRegistry* metrics{nullptr};
 };
 
 struct ExperimentResult {

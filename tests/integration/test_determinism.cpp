@@ -35,6 +35,33 @@ TEST(Determinism, DifferentSeedsDifferentDynamics) {
   EXPECT_NE(a.report.rebalance_sec, b.report.rebalance_sec);
 }
 
+TEST(Determinism, TraceOutputByteIdenticalAcrossRuns) {
+  // Two identically-seeded traced runs must serialize to the exact same
+  // bytes — the flight recorder is part of the deterministic surface.
+  obs::Tracer a;
+  obs::Tracer b;
+  const auto ra = testutil::traced_experiment(DagKind::Grid, StrategyKind::CCR,
+                                              ScaleKind::In, &a, nullptr, 1234);
+  const auto rb = testutil::traced_experiment(DagKind::Grid, StrategyKind::CCR,
+                                              ScaleKind::In, &b, nullptr, 1234);
+  EXPECT_EQ(a.to_chrome_json(), b.to_chrome_json());
+  EXPECT_EQ(ra.report.restore_sec, rb.report.restore_sec);
+}
+
+TEST(Determinism, AttachingTracerKeepsReportIdentical) {
+  obs::Tracer tracer;
+  const auto traced = testutil::traced_experiment(
+      DagKind::Grid, StrategyKind::DSM, ScaleKind::In, &tracer, nullptr, 1234);
+  const auto plain = testutil::quick_experiment(DagKind::Grid,
+                                                StrategyKind::DSM,
+                                                ScaleKind::In, 1234);
+  EXPECT_EQ(traced.report.restore_sec, plain.report.restore_sec);
+  EXPECT_EQ(traced.report.recovery_sec, plain.report.recovery_sec);
+  EXPECT_EQ(traced.report.replayed_messages, plain.report.replayed_messages);
+  EXPECT_EQ(traced.collector.sink_arrivals(), plain.collector.sink_arrivals());
+  EXPECT_GT(tracer.records().size(), 0u);
+}
+
 TEST(Determinism, HoldsForEveryStrategy) {
   for (StrategyKind k :
        {StrategyKind::DSM, StrategyKind::DCR, StrategyKind::CCR}) {

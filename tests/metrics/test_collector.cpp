@@ -94,6 +94,26 @@ TEST(Collector, FirstSinkArrivalAfterBinarySearch) {
   EXPECT_FALSE(c.first_sink_arrival_after(at(5)).has_value());
 }
 
+TEST(Collector, FirstSinkArrivalAfterStrictBoundary) {
+  Collector c;
+  // Duplicate timestamps: `after(t)` must skip every arrival == t.
+  c.on_sink_arrival(user_event(1, at(1), at(1)), at(2));
+  c.on_sink_arrival(user_event(2, at(1), at(1)), at(2));
+  c.on_sink_arrival(user_event(3, at(1), at(1)), at(2));
+  c.on_sink_arrival(user_event(4, at(3), at(3)), at(4));
+  EXPECT_EQ(*c.first_sink_arrival_after(at(2)), at(4));
+  // t just below the duplicates still lands on them.
+  EXPECT_EQ(*c.first_sink_arrival_after(at(2) - 1), at(2));
+  // t at the final arrival: strictly-after means nothing qualifies.
+  EXPECT_FALSE(c.first_sink_arrival_after(at(4)).has_value());
+}
+
+TEST(Collector, FirstSinkArrivalAfterEmpty) {
+  Collector c;
+  EXPECT_FALSE(c.first_sink_arrival_after(0).has_value());
+  EXPECT_FALSE(c.first_sink_arrival_after(at(100)).has_value());
+}
+
 TEST(Collector, LostEventsSplitByKind) {
   Collector c;
   c.on_lost(user_event(1, at(1), at(1)), at(1));

@@ -27,12 +27,17 @@ TEST(Json, ReportRendersAllFields) {
   r.replayed_messages = 0;
   r.lost_events = 0;
   r.expected_output_rate = 32.0;
+  r.latency_p50_ms = 120.0;
+  r.latency_p95_ms = 480.5;
 
   const std::string j = to_json(r);
   EXPECT_NE(j.find("\"dag\": \"Grid\""), std::string::npos);
   EXPECT_NE(j.find("\"restore_sec\": 7.900"), std::string::npos);
   EXPECT_NE(j.find("\"catchup_sec\": null"), std::string::npos);
   EXPECT_NE(j.find("\"recovery_sec\": null"), std::string::npos);
+  EXPECT_NE(j.find("\"latency_p50_ms\": 120.000"), std::string::npos);
+  EXPECT_NE(j.find("\"latency_p95_ms\": 480.500"), std::string::npos);
+  EXPECT_NE(j.find("\"latency_p99_ms\": null"), std::string::npos);
   EXPECT_NE(j.find("\"stabilization_sec\": 160.000"), std::string::npos);
   EXPECT_NE(j.find("\"replayed_messages\": 0"), std::string::npos);
   EXPECT_EQ(j.front(), '{');

@@ -37,6 +37,31 @@ TEST(RateSeries, SmoothedRateTrailingWindow) {
   EXPECT_DOUBLE_EQ(s.smoothed_rate(0, 3), 1.0);
 }
 
+TEST(RateSeries, SmoothedRateSecBelowWindowClipsToStart) {
+  RateSeries s;
+  // Buckets: 4, 8.  A 10-wide trailing window at sec 1 only spans [0, 1].
+  for (int k = 0; k < 4; ++k) s.add(at(0.5));
+  for (int k = 0; k < 8; ++k) s.add(at(1.5));
+  EXPECT_DOUBLE_EQ(s.smoothed_rate(1, 10), 6.0);
+  EXPECT_DOUBLE_EQ(s.smoothed_rate(0, 10), 4.0);
+}
+
+TEST(RateSeries, SmoothedRateEmptySeriesIsZero) {
+  RateSeries s;
+  EXPECT_DOUBLE_EQ(s.smoothed_rate(0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(s.smoothed_rate(100, 5), 0.0);
+  EXPECT_DOUBLE_EQ(s.smoothed_rate(3, 0), 0.0);  // zero window
+}
+
+TEST(RateSeries, SmoothedRatePastEndCountsZeros) {
+  RateSeries s;
+  for (int k = 0; k < 6; ++k) s.add(at(0.5));
+  // Window [1, 3] lies entirely past the single recorded bucket.
+  EXPECT_DOUBLE_EQ(s.smoothed_rate(3, 3), 0.0);
+  // Window [0, 2] includes the bucket plus two trailing zeros.
+  EXPECT_DOUBLE_EQ(s.smoothed_rate(2, 3), 2.0);
+}
+
 TEST(FindStabilization, DetectsWindowStart) {
   RateSeries s;
   // 0–9 s: noisy (rate 20); 10–99 s: steady 32/s.
@@ -81,6 +106,30 @@ TEST(FindStabilization, ShortSeriesReturnsNullopt) {
 TEST(FindStabilization, ZeroExpectedIsInvalid) {
   RateSeries s;
   EXPECT_FALSE(find_stabilization(s, 0.0, 0).has_value());
+  // Negative expected rates are equally meaningless.
+  EXPECT_FALSE(find_stabilization(s, -5.0, 0).has_value());
+  // Even a perfectly steady series cannot stabilize around zero.
+  RateSeries steady;
+  for (int sec = 0; sec < 100; ++sec) {
+    for (int k = 0; k < 32; ++k) steady.add(at(sec + 0.5));
+  }
+  EXPECT_FALSE(find_stabilization(steady, 0.0, 0).has_value());
+}
+
+TEST(FindStabilization, FromSecPastEndReturnsNullopt) {
+  RateSeries s;
+  for (int sec = 0; sec < 100; ++sec) {
+    for (int k = 0; k < 32; ++k) s.add(at(sec + 0.5));
+  }
+  // Scanning starts beyond the last bucket: no window can ever fill.
+  EXPECT_FALSE(find_stabilization(s, 32.0, 100, 60, 0.2, 1).has_value());
+  EXPECT_FALSE(find_stabilization(s, 32.0, 5000, 60, 0.2, 1).has_value());
+}
+
+TEST(FindStabilization, EmptySeriesReturnsNullopt) {
+  RateSeries s;
+  EXPECT_FALSE(find_stabilization(s, 32.0, 0).has_value());
+  EXPECT_FALSE(find_stabilization(s, 32.0, 0, 1, 0.2, 1).has_value());
 }
 
 TEST(LatencySeries, WindowedAverage) {

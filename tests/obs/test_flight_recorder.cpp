@@ -1,0 +1,261 @@
+// End-to-end flight-recorder tests: attach the tracer + registry to real
+// migration experiments and assert on the produced trace.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "test_util.hpp"
+
+namespace rill {
+namespace {
+
+using core::StrategyKind;
+using workloads::DagKind;
+using workloads::ScaleKind;
+
+// ---- minimal structural JSON validator (objects/arrays/strings/numbers/
+// literals; enough to prove the exporter emits well-formed JSON) ----
+
+struct JsonCursor {
+  const std::string& s;
+  std::size_t i{0};
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool value();
+  bool string() {
+    if (s[i] != '"') return false;
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\') ++i;
+      ++i;
+    }
+    if (i >= s.size()) return false;
+    ++i;
+    return true;
+  }
+  bool number() {
+    const std::size_t start = i;
+    if (i < s.size() && (s[i] == '-' || s[i] == '+')) ++i;
+    while (i < s.size() &&
+           (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.' ||
+            s[i] == 'e' || s[i] == 'E' || s[i] == '-' || s[i] == '+')) {
+      ++i;
+    }
+    return i > start;
+  }
+  bool literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (s.compare(i, n, lit) != 0) return false;
+    i += n;
+    return true;
+  }
+  bool object() {
+    if (s[i] != '{') return false;
+    ++i;
+    ws();
+    if (i < s.size() && s[i] == '}') {
+      ++i;
+      return true;
+    }
+    while (i < s.size()) {
+      ws();
+      if (!string()) return false;
+      ws();
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      if (!value()) return false;
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    if (i >= s.size() || s[i] != '}') return false;
+    ++i;
+    return true;
+  }
+  bool array() {
+    if (s[i] != '[') return false;
+    ++i;
+    ws();
+    if (i < s.size() && s[i] == ']') {
+      ++i;
+      return true;
+    }
+    while (i < s.size()) {
+      if (!value()) return false;
+      ws();
+      if (i < s.size() && s[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    if (i >= s.size() || s[i] != ']') return false;
+    ++i;
+    return true;
+  }
+};
+
+bool JsonCursor::value() {
+  ws();
+  if (i >= s.size()) return false;
+  switch (s[i]) {
+    case '{': return object();
+    case '[': return array();
+    case '"': return string();
+    case 't': return literal("true");
+    case 'f': return literal("false");
+    case 'n': return literal("null");
+    default: return number();
+  }
+}
+
+bool valid_json(const std::string& s) {
+  JsonCursor c{s};
+  if (!c.value()) return false;
+  c.ws();
+  return c.i == s.size();
+}
+
+std::size_t count_records(const obs::Tracer& tr, char ph, const char* cat,
+                          const char* name) {
+  std::size_t n = 0;
+  for (const auto& r : tr.records()) {
+    if (static_cast<char>(r.ph) == ph && std::string(r.cat) == cat &&
+        r.name == name) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+TEST(FlightRecorder, DcrTraceIsStructurallyValid) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  const auto r = testutil::traced_experiment(DagKind::Grid, StrategyKind::DCR,
+                                             ScaleKind::In, &tracer, &registry);
+  ASSERT_TRUE(r.migration_succeeded);
+
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_TRUE(valid_json(json)) << "exporter produced malformed JSON";
+  EXPECT_TRUE(valid_json(registry.to_json()));
+
+  // JSONL: every line individually valid.
+  const std::string jsonl = tracer.to_jsonl();
+  std::size_t start = 0;
+  std::size_t lines = 0;
+  while (start < jsonl.size()) {
+    const std::size_t nl = jsonl.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);
+    EXPECT_TRUE(valid_json(jsonl.substr(start, nl - start)));
+    start = nl + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, tracer.records().size());
+
+  // Control-plane narrative: request → checkpoint → rebalance → init.
+  EXPECT_GE(count_records(tracer, 'i', "strategy", "request"), 1u);
+  EXPECT_GE(count_records(tracer, 'X', "checkpoint", "prepare"), 1u);
+  EXPECT_GE(count_records(tracer, 'X', "checkpoint", "commit"), 1u);
+  EXPECT_GE(count_records(tracer, 'X', "rebalance", "rebalance"), 1u);
+  EXPECT_GE(count_records(tracer, 'X', "checkpoint", "init"), 1u);
+  EXPECT_GE(count_records(tracer, 'i', "controller", "request"), 1u);
+  EXPECT_GE(count_records(tracer, 'i', "controller", "done"), 1u);
+
+  // Per-task wave spans on the dataflow lanes (pid 4), named after the
+  // ControlKind each executor handled.
+  std::size_t task_waves = 0;
+  for (const auto& rec : tracer.records()) {
+    if (rec.track.pid == obs::kDataflowPid &&
+        std::string(rec.cat) == "task" &&
+        (rec.name == "PREPARE" || rec.name == "COMMIT" ||
+         rec.name == "INIT")) {
+      EXPECT_EQ(static_cast<char>(rec.ph), 'X');
+      ++task_waves;
+    }
+  }
+  EXPECT_GE(task_waves, static_cast<std::size_t>(r.worker_instances));
+
+  // The registry saw data-plane traffic the trace deliberately did not.
+  EXPECT_FALSE(registry.histograms().empty());
+  std::uint64_t processed = 0;
+  for (const auto& [name, c] : registry.counters()) {
+    if (name.find("/processed") != std::string::npos) processed += c.value();
+  }
+  EXPECT_GT(processed, 0u);
+}
+
+TEST(FlightRecorder, CcrWithChaosTracesFaultsAndWaves) {
+  chaos::ChaosPlan plan;
+  plan.kv_latency(time::sec(55), time::sec(30), time::ms(40));
+  plan.drop_control(time::sec(55), time::sec(20), 0.05);
+
+  obs::Tracer tracer;
+  const auto r = testutil::traced_experiment(
+      DagKind::Diamond, StrategyKind::CCR, ScaleKind::In, &tracer, nullptr,
+      42, plan);
+
+  EXPECT_TRUE(valid_json(tracer.to_chrome_json()));
+
+  // Chaos instants on the dedicated lane, consistent with injector stats.
+  std::size_t chaos_instants = 0;
+  for (const auto& rec : tracer.records()) {
+    if (rec.track == obs::kTrackChaos) {
+      EXPECT_EQ(std::string(rec.cat), "chaos");
+      ++chaos_instants;
+    }
+  }
+  EXPECT_GT(r.chaos.total_hits(), 0u);
+  EXPECT_EQ(chaos_instants, r.chaos.total_hits());
+
+  // CCR's broadcast PREPARE shows up as per-task capture spans.
+  EXPECT_GE(count_records(tracer, 'X', "checkpoint", "prepare"), 1u);
+  EXPECT_GE(count_records(tracer, 'i', "checkpoint", "init_attempt"), 1u);
+
+  // Store spans exist and carry the kv category.
+  EXPECT_GE(count_records(tracer, 'X', "kv", "put"), 1u);
+}
+
+TEST(FlightRecorder, TracingDoesNotPerturbTheRun) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  const auto traced = testutil::traced_experiment(
+      DagKind::Grid, StrategyKind::CCR, ScaleKind::In, &tracer, &registry);
+  const auto plain = testutil::quick_experiment(
+      DagKind::Grid, StrategyKind::CCR, ScaleKind::In);
+
+  // Identical seed, identical physics: attaching the recorder must not
+  // change a single observable outcome.
+  EXPECT_EQ(traced.report.restore_sec, plain.report.restore_sec);
+  EXPECT_EQ(traced.report.drain_sec, plain.report.drain_sec);
+  EXPECT_EQ(traced.report.rebalance_sec, plain.report.rebalance_sec);
+  EXPECT_EQ(traced.report.replayed_messages, plain.report.replayed_messages);
+  EXPECT_EQ(traced.report.lost_events, plain.report.lost_events);
+  EXPECT_EQ(traced.collector.sink_arrivals(), plain.collector.sink_arrivals());
+  EXPECT_EQ(traced.collector.output().buckets(),
+            plain.collector.output().buckets());
+}
+
+TEST(FlightRecorder, TraceOutputIsDeterministic) {
+  obs::Tracer a;
+  obs::Tracer b;
+  (void)testutil::traced_experiment(DagKind::Diamond, StrategyKind::DCR,
+                                    ScaleKind::Out, &a, nullptr, 99);
+  (void)testutil::traced_experiment(DagKind::Diamond, StrategyKind::DCR,
+                                    ScaleKind::Out, &b, nullptr, 99);
+  EXPECT_EQ(a.to_chrome_json(), b.to_chrome_json());
+  EXPECT_EQ(a.to_jsonl(), b.to_jsonl());
+}
+
+}  // namespace
+}  // namespace rill

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "obs/registry.hpp"
+
+namespace rill::obs {
+namespace {
+
+TEST(Counter, Accumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksMaxAndSamples) {
+  Gauge g;
+  g.set(3.0);
+  g.set(9.0);
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  EXPECT_DOUBLE_EQ(g.max(), 9.0);
+  EXPECT_EQ(g.samples(), 3u);
+}
+
+TEST(Histogram, BasicStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_FALSE(h.percentile_us(0.5).has_value());
+
+  h.record(100);
+  h.record(200);
+  h.record(300);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 600u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 300u);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(Histogram, Log2Bucketing) {
+  Histogram h;
+  h.record(0);    // bucket 0
+  h.record(1);    // bucket 0
+  h.record(2);    // bucket 1
+  h.record(3);    // bucket 1
+  h.record(4);    // bucket 2
+  h.record(~0ull);  // top bucket
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 2u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 1u);
+}
+
+TEST(Histogram, PercentileBucketUpperBound) {
+  Histogram h;
+  // 99 fast observations (~1 ms) and one slow (~1 s): the p50 stays in the
+  // fast bucket, the p995 lands in the slow one.
+  for (int i = 0; i < 99; ++i) h.record(1000);
+  h.record(1'000'000);
+  const auto p50 = h.percentile_us(0.5);
+  ASSERT_TRUE(p50.has_value());
+  EXPECT_GE(*p50, 1000u);
+  EXPECT_LT(*p50, 2048u);  // within the 2x bucket bound
+  const auto p995 = h.percentile_us(0.995);
+  ASSERT_TRUE(p995.has_value());
+  EXPECT_GE(*p995, 1'000'000u);
+  // The top observation clamps to the recorded max, not the bucket bound.
+  EXPECT_EQ(*h.percentile_us(1.0), 1'000'000u);
+  EXPECT_FALSE(h.percentile_us(0.0).has_value());
+  EXPECT_FALSE(h.percentile_us(1.5).has_value());
+}
+
+TEST(Registry, StableInstrumentPointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.counter("task/A/0/processed");
+  // Insert many more names; `a` must stay valid (std::map node stability).
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("task/filler/" + std::to_string(i))->add(1);
+    reg.gauge("gauge/" + std::to_string(i))->set(0.0);
+    reg.histogram("hist/" + std::to_string(i))->record(1);
+  }
+  a->add(5);
+  EXPECT_EQ(reg.counter("task/A/0/processed")->value(), 5u);
+  EXPECT_EQ(reg.counter("task/A/0/processed"), a);
+}
+
+TEST(Registry, ToJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("events")->add(3);
+  reg.gauge("depth")->set(7.5);
+  reg.histogram("lat_us")->record(128);
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"events\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99_us\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rill::obs

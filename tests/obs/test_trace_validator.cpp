@@ -1,0 +1,77 @@
+// TraceValidator cross-checks: the durations reconstructed from the trace
+// alone must agree with the Collector-derived MigrationReport for every
+// strategy — two independent measurement paths kept honest against each
+// other.
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+#include "obs/validate.hpp"
+#include "test_util.hpp"
+
+namespace rill {
+namespace {
+
+using core::StrategyKind;
+using workloads::DagKind;
+using workloads::ScaleKind;
+
+TEST(TraceValidator, MatchesCollectorForEveryStrategy) {
+  for (StrategyKind k :
+       {StrategyKind::DSM, StrategyKind::DCR, StrategyKind::CCR}) {
+    obs::Tracer tracer;
+    const auto r = testutil::traced_experiment(DagKind::Grid, k, ScaleKind::In,
+                                               &tracer);
+    const obs::TraceValidator validator(tracer);
+    const auto divergences = validator.check(r.report);
+    EXPECT_TRUE(divergences.empty()) << core::to_string(k) << ":\n"
+                                     << [&] {
+                                          std::string all;
+                                          for (const auto& d : divergences) {
+                                            all += "  " + d + "\n";
+                                          }
+                                          return all;
+                                        }();
+  }
+}
+
+TEST(TraceValidator, ReconstructsPlausiblePhases) {
+  obs::Tracer tracer;
+  const auto r = testutil::traced_experiment(DagKind::Grid, StrategyKind::DCR,
+                                             ScaleKind::In, &tracer);
+  const auto t = obs::TraceValidator(tracer).reconstruct();
+  ASSERT_TRUE(t.request_at_sec.has_value());
+  EXPECT_NEAR(*t.request_at_sec, 60.0, 0.5);  // traced_experiment migrates @60
+  ASSERT_TRUE(t.drain_sec.has_value());
+  EXPECT_GT(*t.drain_sec, 0.0);  // DCR drains before rebalancing
+  ASSERT_TRUE(t.rebalance_sec.has_value());
+  EXPECT_GT(*t.rebalance_sec, 1.0);
+  ASSERT_TRUE(t.restore_sec.has_value());
+  EXPECT_GT(*t.restore_sec, *t.drain_sec);
+  EXPECT_DOUBLE_EQ(r.report.drain_sec, *t.drain_sec);
+}
+
+TEST(TraceValidator, MatchesUnderChaosRetries) {
+  // A kv latency window around the migration forces store retries; the
+  // last-stamp-wins reconstruction must still agree with the report.
+  chaos::ChaosPlan plan;
+  plan.kv_latency(time::sec(58), time::sec(20), time::ms(60));
+
+  obs::Tracer tracer;
+  const auto r = testutil::traced_experiment(
+      DagKind::Diamond, StrategyKind::CCR, ScaleKind::In, &tracer, nullptr,
+      7, plan);
+  const auto divergences = obs::TraceValidator(tracer).check(r.report);
+  EXPECT_TRUE(divergences.empty()) << divergences.size() << " divergences";
+}
+
+TEST(TraceValidator, EmptyTraceReportsNothing) {
+  obs::Tracer tracer;
+  const auto t = obs::TraceValidator(tracer).reconstruct();
+  EXPECT_FALSE(t.request_at_sec.has_value());
+  EXPECT_FALSE(t.drain_sec.has_value());
+  EXPECT_FALSE(t.rebalance_sec.has_value());
+  EXPECT_FALSE(t.restore_sec.has_value());
+}
+
+}  // namespace
+}  // namespace rill

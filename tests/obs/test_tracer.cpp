@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+
+namespace rill::obs {
+namespace {
+
+TEST(Tracer, SpanLifecycle) {
+  sim::Engine engine;
+  Tracer tr;
+  tr.bind_clock(&engine);
+
+  SpanId span = kNoSpan;
+  engine.schedule(time::sec(1), [&] {
+    span = tr.begin(kTrackCoordinator, "checkpoint", "prepare",
+                    {arg("cid", std::uint64_t{7})});
+  });
+  engine.schedule(time::sec(3), [&] { tr.end(span, {arg("ok", true)}); });
+  engine.run();
+
+  ASSERT_EQ(tr.records().size(), 1u);
+  const Tracer::Record& r = tr.records()[0];
+  EXPECT_EQ(r.ph, Tracer::Phase::Span);
+  EXPECT_EQ(r.ts, static_cast<SimTime>(time::sec(1)));
+  EXPECT_EQ(r.dur, time::sec(2));
+  EXPECT_FALSE(r.open);
+  EXPECT_EQ(r.track, kTrackCoordinator);
+  ASSERT_EQ(r.args.size(), 2u);
+  EXPECT_EQ(r.args[0].key, "cid");
+  EXPECT_EQ(r.args[0].json, "7");
+  EXPECT_EQ(r.args[1].json, "true");
+}
+
+TEST(Tracer, EndOfNoSpanIsSafe) {
+  Tracer tr;
+  tr.end(kNoSpan);              // tracing was off at begin time
+  tr.end(12345);                // never-issued id
+  EXPECT_TRUE(tr.records().empty());
+}
+
+TEST(Tracer, DoubleEndIsIdempotent) {
+  Tracer tr;
+  const SpanId s = tr.begin(kTrackController, "x", "span");
+  tr.end(s, {arg("first", true)});
+  tr.end(s, {arg("second", true)});
+  ASSERT_EQ(tr.records().size(), 1u);
+  EXPECT_EQ(tr.records()[0].args.size(), 1u);
+}
+
+TEST(Tracer, InstantAndCounter) {
+  Tracer tr;
+  tr.instant(kTrackChaos, "chaos", "kv_outage");
+  tr.counter(instance_track(3), "queue_depth", 42.0);
+  ASSERT_EQ(tr.records().size(), 2u);
+  EXPECT_EQ(tr.records()[0].ph, Tracer::Phase::Instant);
+  EXPECT_EQ(tr.records()[1].ph, Tracer::Phase::Counter);
+  EXPECT_EQ(tr.records()[1].track.pid, kDataflowPid);
+  EXPECT_EQ(tr.records()[1].track.tid, 3);
+}
+
+TEST(Tracer, UnboundClockStampsZero) {
+  Tracer tr;
+  tr.instant(kTrackController, "c", "e");
+  EXPECT_EQ(tr.records()[0].ts, 0u);
+}
+
+TEST(Tracer, ChromeJsonStructure) {
+  Tracer tr;
+  tr.set_process_name(1, "control-plane");
+  tr.set_thread_name(kTrackController, "controller");
+  const SpanId s = tr.begin(kTrackController, "strategy", "migrate");
+  tr.instant(kTrackChaos, "chaos", "drop \"quoted\"");
+  tr.end(s);
+  tr.note_sink_arrival(500'000);    // sec 0
+  tr.note_sink_arrival(1'500'000);  // sec 1
+
+  const std::string json = tr.to_chrome_json();
+  EXPECT_EQ(json.substr(0, 41),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[{\"");
+  EXPECT_EQ(json.substr(json.size() - 2), "]}");
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  // Quotes in names must be escaped.
+  EXPECT_NE(json.find("drop \\\"quoted\\\""), std::string::npos);
+  // The compact sink log renders as a per-second counter series.
+  EXPECT_NE(json.find("\"sink_arrivals\""), std::string::npos);
+}
+
+TEST(Tracer, OpenSpanIsMarked) {
+  Tracer tr;
+  (void)tr.begin(kTrackRebalancer, "rebalance", "rebalance");
+  const std::string json = tr.to_chrome_json();
+  EXPECT_NE(json.find("\"open\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0"), std::string::npos);
+}
+
+TEST(Tracer, JsonlOneObjectPerLine) {
+  Tracer tr;
+  tr.instant(kTrackController, "a", "one");
+  tr.instant(kTrackController, "a", "two");
+  const std::string jsonl = tr.to_jsonl();
+  std::size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(jsonl[0], '{');
+  EXPECT_EQ(jsonl[jsonl.size() - 2], '}');
+}
+
+}  // namespace
+}  // namespace rill::obs

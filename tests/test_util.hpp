@@ -5,6 +5,8 @@
 
 #include "core/strategy.hpp"
 #include "dsps/platform.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "workloads/dags.hpp"
 #include "workloads/runner.hpp"
 #include "workloads/scenario.hpp"
@@ -99,6 +101,25 @@ inline workloads::ExperimentResult quick_experiment(
   cfg.platform.seed = seed;
   cfg.run_duration = run;
   cfg.migrate_at = migrate_at;
+  return workloads::run_experiment(cfg);
+}
+
+/// quick_experiment with the flight recorder attached (and optional chaos).
+inline workloads::ExperimentResult traced_experiment(
+    workloads::DagKind dag, core::StrategyKind strategy,
+    workloads::ScaleKind scale, obs::Tracer* tracer,
+    obs::MetricsRegistry* metrics = nullptr, std::uint64_t seed = 42,
+    chaos::ChaosPlan chaos = {}) {
+  workloads::ExperimentConfig cfg;
+  cfg.dag = dag;
+  cfg.strategy = strategy;
+  cfg.scale = scale;
+  cfg.platform.seed = seed;
+  cfg.run_duration = time::sec(420);
+  cfg.migrate_at = time::sec(60);
+  cfg.tracer = tracer;
+  cfg.metrics = metrics;
+  cfg.chaos = std::move(chaos);
   return workloads::run_experiment(cfg);
 }
 

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: RelWithDebInfo build + full test suite, then the ASan
+# preset. The TSan preset exists (`--tsan`) but is opt-in — the simulator
+# is single-threaded, so data-race coverage only matters for future work.
+#
+# Usage: tools/ci.sh [--tsan] [--skip-asan]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_tsan=0
+run_asan=1
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    --skip-asan) run_asan=0 ;;
+    *)
+      echo "ci.sh: unknown option: $arg" >&2
+      echo "usage: tools/ci.sh [--tsan] [--skip-asan]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> tier-1: configure + build (default preset)"
+cmake --preset default
+cmake --build --preset default -j "$jobs"
+
+echo "==> tier-1: ctest (default preset)"
+ctest --preset default -j "$jobs"
+
+if [ "$run_asan" = 1 ]; then
+  echo "==> asan: configure + build + ctest"
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  ctest --preset asan -j "$jobs"
+fi
+
+if [ "$run_tsan" = 1 ]; then
+  echo "==> tsan: configure + build + ctest"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  ctest --preset tsan -j "$jobs"
+fi
+
+echo "==> ci.sh: all requested suites passed"

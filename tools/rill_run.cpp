@@ -1,42 +1,71 @@
 // rill_run — command-line driver for one migration experiment.
 //
-//   rill_run [--dag linear|diamond|star|traffic|grid]
-//            [--strategy dsm|dsm-t|dcr|ccr] [--scale in|out]
-//            [--rate EV_PER_SEC] [--seed N]
-//            [--migrate-at SEC] [--duration SEC]
-//            [--linear-n TASKS]          # override DAG with Linear-N
-//            [--attempts N] [--no-fallback]        # recovery supervision
-//            [--chaos-kv-outage S,D]               # fault injection
-//            [--chaos-kv-slow S,D,MS]
-//            [--chaos-drop-control S,D,P]
-//            [--chaos-drop-user S,D,P]
-//            [--chaos-delay S,D,MS]
-//            [--chaos-crash S[,IDX]]
-//            [--chaos-vm-fail S[,IDX]]
-//            [--json] [--series]         # machine-readable output
+// Run `rill_run --help` for the full flag reference.  Unknown flags and
+// malformed values exit 2; a failed migration exits 1.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "metrics/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "workloads/runner.hpp"
 
 using namespace rill;
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--dag NAME] [--strategy dsm|dsm-t|dcr|ccr] "
-               "[--scale in|out] [--rate R] [--seed N] [--migrate-at S] "
-               "[--duration S] [--linear-n N] [--attempts N] [--no-fallback] "
-               "[--chaos-kv-outage S,D] [--chaos-kv-slow S,D,MS] "
-               "[--chaos-drop-control S,D,P] [--chaos-drop-user S,D,P] "
-               "[--chaos-delay S,D,MS] [--chaos-crash S[,IDX]] "
-               "[--chaos-vm-fail S[,IDX]] [--json] [--series]\n",
+void print_help(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s [options]\n"
+               "\n"
+               "Run one migration experiment and print its report.\n"
+               "\n"
+               "experiment:\n"
+               "  --dag NAME            linear|diamond|star|traffic|grid "
+               "(default grid)\n"
+               "  --strategy NAME       dsm|dsm-t|dcr|ccr (default ccr)\n"
+               "  --scale in|out        scale direction (default in)\n"
+               "  --rate R              source rate, events/s\n"
+               "  --seed N              RNG seed (deterministic per seed)\n"
+               "  --migrate-at S        migration request time, seconds\n"
+               "  --duration S          total run duration, seconds\n"
+               "  --linear-n N          override the DAG with Linear-N\n"
+               "\n"
+               "recovery supervision:\n"
+               "  --attempts N          max migration attempts (default 1)\n"
+               "  --no-fallback         do not degrade to DSM after aborts\n"
+               "\n"
+               "fault injection (S = start sec, D = duration sec, P = prob):\n"
+               "  --chaos-kv-outage S,D     store unavailable in the window\n"
+               "  --chaos-kv-slow S,D,MS    extra store latency, ms\n"
+               "  --chaos-drop-control S,D,P  drop control messages\n"
+               "  --chaos-drop-user S,D,P     drop user events\n"
+               "  --chaos-delay S,D,MS      extra network delay, ms\n"
+               "  --chaos-crash S[,IDX]     crash worker IDX (random if "
+               "omitted)\n"
+               "  --chaos-vm-fail S[,IDX]   fail a whole VM\n"
+               "\n"
+               "observability:\n"
+               "  --trace-out FILE      write a Chrome trace-event JSON file\n"
+               "                        (open at ui.perfetto.dev)\n"
+               "  --trace-jsonl FILE    write the trace as JSON Lines\n"
+               "  --task-metrics FILE   write the per-task metrics registry "
+               "as JSON\n"
+               "\n"
+               "output:\n"
+               "  --json                print the report as JSON\n"
+               "  --series              print throughput/latency series JSON\n"
+               "  --help, -h            this text\n",
                argv0);
+}
+
+[[noreturn]] void die(const char* argv0, const std::string& msg) {
+  std::fprintf(stderr, "%s: %s\n", argv0, msg.c_str());
+  std::fprintf(stderr, "run '%s --help' for the flag reference\n", argv0);
   std::exit(2);
 }
 
@@ -59,9 +88,40 @@ bool parse_strategy(const std::string& s, core::StrategyKind& out) {
   return true;
 }
 
-/// Split "a,b,c" into doubles; exits on malformed input or wrong arity.
-std::vector<double> parse_csv(const char* argv0, const std::string& s,
-                              std::size_t min_n, std::size_t max_n) {
+/// Whole-string double; dies on trailing garbage ("3x") or empty input.
+double parse_num(const char* argv0, const std::string& flag,
+                 const std::string& s) {
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    die(argv0, "bad value for " + flag + ": '" + s + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const char* argv0, const std::string& flag,
+                        const std::string& s) {
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    die(argv0, "bad value for " + flag + ": '" + s + "'");
+  }
+  return v;
+}
+
+int parse_int(const char* argv0, const std::string& flag,
+              const std::string& s) {
+  const double v = parse_num(argv0, flag, s);
+  if (v != static_cast<double>(static_cast<int>(v))) {
+    die(argv0, "bad value for " + flag + ": '" + s + "'");
+  }
+  return static_cast<int>(v);
+}
+
+/// Split "a,b,c" into doubles; dies on malformed input or wrong arity.
+std::vector<double> parse_csv(const char* argv0, const std::string& flag,
+                              const std::string& s, std::size_t min_n,
+                              std::size_t max_n) {
   std::vector<double> out;
   std::size_t pos = 0;
   while (pos <= s.size()) {
@@ -69,14 +129,21 @@ std::vector<double> parse_csv(const char* argv0, const std::string& s,
     const std::string part =
         s.substr(pos, comma == std::string::npos ? std::string::npos
                                                  : comma - pos);
-    char* end = nullptr;
-    out.push_back(std::strtod(part.c_str(), &end));
-    if (end == part.c_str()) usage(argv0);
+    out.push_back(parse_num(argv0, flag, part));
     if (comma == std::string::npos) break;
     pos = comma + 1;
   }
-  if (out.size() < min_n || out.size() > max_n) usage(argv0);
+  if (out.size() < min_n || out.size() > max_n) {
+    die(argv0, "wrong number of values for " + flag + ": '" + s + "'");
+  }
   return out;
+}
+
+void write_file(const char* argv0, const std::string& path,
+                const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) die(argv0, "cannot open " + path + " for writing");
+  out << content;
 }
 
 }  // namespace
@@ -85,40 +152,48 @@ int main(int argc, char** argv) {
   workloads::ExperimentConfig cfg;
   bool json = false;
   bool series = false;
+  std::string trace_out;
+  std::string trace_jsonl;
+  std::string task_metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> std::string {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) die(argv[0], "missing value for " + arg);
       return argv[++i];
     };
+    auto num = [&]() { return parse_num(argv[0], arg, next()); };
     auto csv = [&](std::size_t min_n, std::size_t max_n) {
-      return parse_csv(argv[0], next(), min_n, max_n);
+      return parse_csv(argv[0], arg, next(), min_n, max_n);
     };
     if (arg == "--dag") {
-      if (!parse_dag(next(), cfg.dag)) usage(argv[0]);
+      if (!parse_dag(next(), cfg.dag)) die(argv[0], "unknown dag");
     } else if (arg == "--strategy") {
-      if (!parse_strategy(next(), cfg.strategy)) usage(argv[0]);
+      if (!parse_strategy(next(), cfg.strategy)) {
+        die(argv[0], "unknown strategy");
+      }
     } else if (arg == "--scale") {
       const std::string v = next();
       if (v == "in") cfg.scale = workloads::ScaleKind::In;
       else if (v == "out") cfg.scale = workloads::ScaleKind::Out;
-      else usage(argv[0]);
+      else die(argv[0], "unknown scale: '" + v + "'");
     } else if (arg == "--rate") {
-      cfg.platform.source_rate = std::atof(next().c_str());
-      if (cfg.platform.source_rate <= 0) usage(argv[0]);
+      cfg.platform.source_rate = num();
+      if (cfg.platform.source_rate <= 0) die(argv[0], "--rate must be > 0");
     } else if (arg == "--seed") {
-      cfg.platform.seed = std::strtoull(next().c_str(), nullptr, 10);
+      cfg.platform.seed = parse_u64(argv[0], arg, next());
     } else if (arg == "--migrate-at") {
-      cfg.migrate_at = time::sec_f(std::atof(next().c_str()));
+      cfg.migrate_at = time::sec_f(num());
     } else if (arg == "--duration") {
-      cfg.run_duration = time::sec_f(std::atof(next().c_str()));
+      cfg.run_duration = time::sec_f(num());
     } else if (arg == "--linear-n") {
       cfg.custom_topology = workloads::build_linear_n(
-          std::atoi(next().c_str()), cfg.platform.source_rate);
+          parse_int(argv[0], arg, next()), cfg.platform.source_rate);
     } else if (arg == "--attempts") {
-      cfg.controller.max_attempts = std::atoi(next().c_str());
-      if (cfg.controller.max_attempts < 1) usage(argv[0]);
+      cfg.controller.max_attempts = parse_int(argv[0], arg, next());
+      if (cfg.controller.max_attempts < 1) {
+        die(argv[0], "--attempts must be >= 1");
+      }
     } else if (arg == "--no-fallback") {
       cfg.controller.fallback_to_dsm = false;
     } else if (arg == "--chaos-kv-outage") {
@@ -146,19 +221,41 @@ int main(int argc, char** argv) {
       const auto v = csv(1, 2);
       cfg.chaos.fail_vm(time::sec_f(v[0]),
                         v.size() > 1 ? static_cast<int>(v[1]) : -1);
+    } else if (arg == "--trace-out") {
+      trace_out = next();
+    } else if (arg == "--trace-jsonl") {
+      trace_jsonl = next();
+    } else if (arg == "--task-metrics") {
+      task_metrics_out = next();
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--series") {
       series = true;
     } else if (arg == "--help" || arg == "-h") {
-      usage(argv[0]);
+      print_help(stdout, argv[0]);
+      return 0;
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      usage(argv[0]);
+      die(argv[0], "unknown flag: " + arg);
     }
   }
 
+  // The flight recorder is only attached when an output was requested.
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  if (!trace_out.empty() || !trace_jsonl.empty()) cfg.tracer = &tracer;
+  if (!task_metrics_out.empty()) cfg.metrics = &registry;
+
   const workloads::ExperimentResult r = workloads::run_experiment(cfg);
+
+  if (!trace_out.empty()) {
+    write_file(argv[0], trace_out, tracer.to_chrome_json());
+  }
+  if (!trace_jsonl.empty()) {
+    write_file(argv[0], trace_jsonl, tracer.to_jsonl());
+  }
+  if (!task_metrics_out.empty()) {
+    write_file(argv[0], task_metrics_out, registry.to_json());
+  }
 
   if (json) {
     std::puts(metrics::to_json(r.report).c_str());
@@ -174,6 +271,10 @@ int main(int argc, char** argv) {
     std::printf("  recovery       %s s\n", metrics::fmt_opt(rep.recovery_sec).c_str());
     std::printf("  stabilization  %s s\n",
                 metrics::fmt_opt(rep.stabilization_sec).c_str());
+    std::printf("  latency p50    %s ms (p95 %s, p99 %s)\n",
+                metrics::fmt_opt(rep.latency_p50_ms).c_str(),
+                metrics::fmt_opt(rep.latency_p95_ms).c_str(),
+                metrics::fmt_opt(rep.latency_p99_ms).c_str());
     std::printf("  replayed       %llu\n",
                 static_cast<unsigned long long>(rep.replayed_messages));
     std::printf("  lost           %llu\n",
