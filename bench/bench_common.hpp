@@ -15,19 +15,32 @@ inline const std::vector<core::StrategyKind> kStrategies = {
     core::StrategyKind::DSM, core::StrategyKind::DCR, core::StrategyKind::CCR};
 
 /// Run one (dag, strategy, scale) cell with the default paper setup.
-/// `tracer` optionally attaches the flight recorder to the run.
+/// `tracer` optionally attaches the flight recorder to the run;
+/// `kv_shards` > 1 swaps in the sharded checkpoint store tier.
 inline workloads::ExperimentResult run_cell(workloads::DagKind dag,
                                             core::StrategyKind strategy,
                                             workloads::ScaleKind scale,
                                             std::uint64_t seed = 42,
-                                            obs::Tracer* tracer = nullptr) {
+                                            obs::Tracer* tracer = nullptr,
+                                            int kv_shards = 1) {
   workloads::ExperimentConfig cfg;
   cfg.dag = dag;
   cfg.strategy = strategy;
   cfg.scale = scale;
   cfg.platform.seed = seed;
+  cfg.platform.kv_shards = kv_shards;
   cfg.tracer = tracer;
   return workloads::run_experiment(cfg);
+}
+
+/// Minimal file writer for the BENCH_*.json artifacts the CI gate reads.
+inline bool write_bench_json(const std::string& path,
+                             const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  return true;
 }
 
 inline void print_header(const char* title, const char* paper_ref) {

@@ -3,33 +3,96 @@
 // The paper plots these as stacked bars (seconds since the migration
 // request).  Expected shape: CCR restore < DCR < DSM; catchup only for DSM
 // and CCR; recovery only for DSM; DSM grows with DAG size.
+//
+// A second section sweeps the checkpoint-store shard count (CCR, diamond)
+// and writes BENCH_restore_in.json; `--check` runs only the sweep and
+// exits 1 when sharding regresses restore by more than 20% or the INIT
+// prefetch serves nothing.
+#include <cstring>
+#include <sstream>
+
 #include "bench_common.hpp"
 
 using namespace rill;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool check = argc > 1 && std::strcmp(argv[1], "--check") == 0;
+
   bench::print_header("Fig 5a — performance time per strategy (SCALE-IN)",
                       "Figure 5a");
-  std::vector<std::vector<std::string>> rows;
-  for (workloads::DagKind dag : workloads::all_dags()) {
-    for (core::StrategyKind s : bench::kStrategies) {
-      const auto r = bench::run_cell(dag, s, workloads::ScaleKind::In);
-      rows.push_back({std::string(workloads::to_string(dag)),
-                      std::string(core::to_string(s)),
-                      metrics::fmt_opt(r.report.restore_sec),
-                      metrics::fmt_opt(r.report.catchup_sec),
-                      metrics::fmt_opt(r.report.recovery_sec),
-                      metrics::fmt(r.report.drain_sec, 2),
-                      metrics::fmt(r.report.rebalance_sec, 2)});
+  if (!check) {
+    std::vector<std::vector<std::string>> rows;
+    for (workloads::DagKind dag : workloads::all_dags()) {
+      for (core::StrategyKind s : bench::kStrategies) {
+        const auto r = bench::run_cell(dag, s, workloads::ScaleKind::In);
+        rows.push_back({std::string(workloads::to_string(dag)),
+                        std::string(core::to_string(s)),
+                        metrics::fmt_opt(r.report.restore_sec),
+                        metrics::fmt_opt(r.report.catchup_sec),
+                        metrics::fmt_opt(r.report.recovery_sec),
+                        metrics::fmt(r.report.drain_sec, 2),
+                        metrics::fmt(r.report.rebalance_sec, 2)});
+      }
     }
+    std::fputs(metrics::render_table({"DAG", "Strategy", "Restore(s)",
+                                      "Catchup(s)", "Recovery(s)", "Drain(s)",
+                                      "Rebalance(s)"},
+                                     rows)
+                   .c_str(),
+               stdout);
+    std::puts("Paper (Fig 5a) restore for Grid: DSM 92, DCR 41, CCR 15;"
+              " shape to check: CCR < DCR < DSM, DSM grows with DAG size.");
   }
-  std::fputs(metrics::render_table({"DAG", "Strategy", "Restore(s)",
-                                    "Catchup(s)", "Recovery(s)", "Drain(s)",
-                                    "Rebalance(s)"},
-                                   rows)
+
+  // ---- checkpoint-store shard sweep (CCR on diamond) ----
+  std::puts("\nShard sweep — sharded checkpoint store, diamond, scale-in:");
+  std::vector<std::vector<std::string>> srows;
+  std::ostringstream json;
+  json << "{\"scale\":\"in\",\"dag\":\"diamond\",\"rows\":[";
+  double restore[2] = {0.0, 0.0};
+  std::uint64_t hits[2] = {0, 0};
+  int i = 0;
+  bool first = true;
+  for (const int nshards : {1, 4}) {
+    const auto r = bench::run_cell(workloads::DagKind::Diamond,
+                                   core::StrategyKind::CCR,
+                                   workloads::ScaleKind::In, 42, nullptr,
+                                   nshards);
+    restore[i] = r.report.restore_sec.value_or(0.0);
+    hits[i] = r.checkpoint.init_prefetch_hits;
+    srows.push_back({std::to_string(nshards), metrics::fmt(restore[i], 3),
+                     std::to_string(hits[i])});
+    if (!first) json << ",";
+    first = false;
+    json << "{\"strategy\":\"ccr\",\"shards\":" << nshards
+         << ",\"restore_sec\":" << metrics::fmt(restore[i], 3)
+         << ",\"prefetch_hits\":" << hits[i] << "}";
+    ++i;
+  }
+  json << "]}\n";
+  std::fputs(metrics::render_table({"Shards", "Restore(s)", "PrefetchHits"},
+                                   srows)
                  .c_str(),
              stdout);
-  std::puts("Paper (Fig 5a) restore for Grid: DSM 92, DCR 41, CCR 15;"
-            " shape to check: CCR < DCR < DSM, DSM grows with DAG size.");
+  if (!bench::write_bench_json("BENCH_restore_in.json", json.str())) {
+    std::fprintf(stderr, "cannot write BENCH_restore_in.json\n");
+    return 2;
+  }
+  if (check) {
+    bool ok = true;
+    if (hits[1] == 0) {
+      std::fputs("CHECK FAIL: no prefetch hits at 4 shards\n", stderr);
+      ok = false;
+    }
+    if (restore[1] > restore[0] * 1.20) {
+      std::fprintf(stderr,
+                   "CHECK FAIL: restore %.3f s at 4 shards regresses >20%% "
+                   "over %.3f s at 1\n",
+                   restore[1], restore[0]);
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::puts("CHECK OK: prefetch hits, restore held.");
+  }
   return 0;
 }

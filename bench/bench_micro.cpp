@@ -1,6 +1,8 @@
 // google-benchmark micro-suite: hot paths of the simulator substrate.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "dsps/acker.hpp"
@@ -27,6 +29,42 @@ void BM_EngineScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(10000);
+
+void BM_EngineCancelHeavy(benchmark::State& state) {
+  // The ack-timeout pattern: nearly every timer is cancelled before it
+  // fires.  Guards the slot/free-list engine against regressions — the
+  // hash-map predecessor spent most of its time here in rehashing.
+  for (auto _ : state) {
+    sim::Engine engine;
+    const int n = static_cast<int>(state.range(0));
+    std::vector<sim::TimerId> timers;
+    timers.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      timers.push_back(engine.schedule(time::sec(30) + time::us(i), [] {}));
+    }
+    for (int i = 0; i < n; ++i) {
+      if (i % 16 != 0) engine.cancel(timers[static_cast<std::size_t>(i)]);
+    }
+    engine.run();
+    benchmark::DoNotOptimize(engine.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineCancelHeavy)->Arg(1000)->Arg(100000);
+
+void BM_EngineSlotReuse(benchmark::State& state) {
+  // Steady-state schedule/fire churn on one engine: slots must recycle
+  // through the free list without the slot vector growing.
+  sim::Engine engine;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      engine.schedule(time::us(1), [] {});
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EngineSlotReuse);
 
 void BM_AckerAddAck(benchmark::State& state) {
   sim::Engine engine;

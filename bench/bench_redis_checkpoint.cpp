@@ -1,48 +1,127 @@
 // §5.1 micro-benchmark: "it takes just 100 ms to checkpoint 2000 events to
-// Redis from Storm."  Sweeps the batch size on the simulated store.
+// Redis from Storm."  Sweeps the batch size on the simulated store, at one
+// shard (the paper's single Redis) and across the sharded tier.
+//
+// Writes BENCH_checkpoint.json next to the binary; `--check` exits 1 when
+// the single-shard 2000-event COMMIT regresses more than 20% against the
+// recorded model baseline, or when 4 shards fail to halve it.
 #include <cstdio>
+#include <cstring>
 #include <memory>
+#include <sstream>
 
+#include "bench_common.hpp"
 #include "common/rng.hpp"
-#include "kvstore/store.hpp"
+#include "kvstore/sharded_store.hpp"
 #include "metrics/report.hpp"
 #include "sim/engine.hpp"
 
 using namespace rill;
 
-int main() {
+namespace {
+
+/// Model-derived baseline for 2000 events on one shard (ms).  The simulator
+/// is deterministic, so any drift here is a real latency-model change.
+constexpr double kBaseline2000Ms = 96.1;
+constexpr double kRegressionTolerance = 1.20;  // ci.sh gate: >20% fails
+
+/// Wall-clock (sim) ms for one pipelined put_batch of `batch` 64-byte
+/// events against an `nshards`-way store tier.
+double checkpoint_ms(std::size_t batch, int nshards) {
+  sim::Engine engine;
+  cluster::Cluster clu(engine);
+  const VmId client = clu.provision(cluster::VmType::D2, "worker");
+  std::vector<VmId> hosts;
+  for (int s = 0; s < nshards; ++s) {
+    hosts.push_back(clu.provision(cluster::VmType::D3, "redis"));
+  }
+  net::NetworkConfig ncfg;
+  ncfg.jitter_frac = 0.0;
+  net::Network network(engine, clu, ncfg, Rng(1));
+  kvstore::ShardedStore store(engine, network, hosts, kvstore::StoreConfig{},
+                              /*rng_seed_base=*/42);
+
+  std::vector<std::pair<std::string, Bytes>> kvs;
+  kvs.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    kvs.emplace_back("ev/" + std::to_string(i), Bytes(64, 0x5A));
+  }
+  SimTime done_at = 0;
+  store.put_batch(client, std::move(kvs),
+                  [&](bool) { done_at = engine.now(); });
+  engine.run();
+  return time::to_ms(static_cast<SimDuration>(done_at));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool check = argc > 1 && std::strcmp(argv[1], "--check") == 0;
+
   std::puts("\n================================================================");
   std::puts("Redis checkpoint micro-benchmark (pipelined event batches)");
   std::puts("(reproduces the 2000-events-in-100-ms data point of §5.1)");
   std::puts("================================================================");
 
-  std::vector<std::vector<std::string>> rows;
-  for (const std::size_t batch : {100ul, 500ul, 1000ul, 2000ul, 5000ul, 10000ul}) {
-    sim::Engine engine;
-    cluster::Cluster clu(engine);
-    const VmId client = clu.provision(cluster::VmType::D2, "worker");
-    const VmId host = clu.provision(cluster::VmType::D3, "redis");
-    net::NetworkConfig ncfg;
-    ncfg.jitter_frac = 0.0;
-    net::Network network(engine, clu, ncfg, Rng(1));
-    kvstore::Store store(engine, network, host);
+  const std::vector<std::size_t> batches = {100, 500, 1000, 2000, 5000, 10000};
+  const std::vector<int> shard_counts = {1, 4};
 
-    std::vector<std::pair<std::string, Bytes>> kvs;
-    kvs.reserve(batch);
-    for (std::size_t i = 0; i < batch; ++i) {
-      kvs.emplace_back("ev/" + std::to_string(i), Bytes(64, 0x5A));
+  double ms_1shard_2000 = 0.0;
+  double ms_4shard_2000 = 0.0;
+  std::vector<std::vector<std::string>> rows;
+  std::ostringstream json;
+  json << "{\"rows\":[";
+  bool first = true;
+  for (const std::size_t batch : batches) {
+    std::vector<std::string> row{std::to_string(batch)};
+    for (const int nshards : shard_counts) {
+      const double ms = checkpoint_ms(batch, nshards);
+      row.push_back(metrics::fmt(ms, 1));
+      if (batch == 2000) {
+        (nshards == 1 ? ms_1shard_2000 : ms_4shard_2000) = ms;
+      }
+      if (!first) json << ",";
+      first = false;
+      json << "{\"events\":" << batch << ",\"shards\":" << nshards
+           << ",\"commit_ms\":" << metrics::fmt(ms, 3) << "}";
     }
-    SimTime done_at = 0;
-    store.put_batch(client, std::move(kvs),
-                    [&](bool) { done_at = engine.now(); });
-    engine.run();
-    rows.push_back({std::to_string(batch),
-                    metrics::fmt(time::to_ms(static_cast<SimDuration>(done_at)), 1)});
+    rows.push_back(std::move(row));
   }
-  std::fputs(metrics::render_table({"Events in batch", "Checkpoint time (ms)"},
+  json << "],\"baseline_2000_ms\":" << metrics::fmt(kBaseline2000Ms, 1)
+       << "}\n";
+
+  std::fputs(metrics::render_table({"Events in batch", "1 shard (ms)",
+                                    "4 shards (ms)"},
                                    rows)
                  .c_str(),
              stdout);
-  std::puts("Paper: 2000 events ≈ 100 ms.");
+  std::printf("Paper: 2000 events ~ 100 ms on one Redis; 4 shards: %.1f ms "
+              "(%.1fx).\n",
+              ms_4shard_2000, ms_1shard_2000 / ms_4shard_2000);
+
+  if (!bench::write_bench_json("BENCH_checkpoint.json", json.str())) {
+    std::fprintf(stderr, "cannot write BENCH_checkpoint.json\n");
+    return 2;
+  }
+
+  if (check) {
+    bool ok = true;
+    if (ms_1shard_2000 > kBaseline2000Ms * kRegressionTolerance) {
+      std::fprintf(stderr,
+                   "CHECK FAIL: 1-shard 2000-event commit %.1f ms exceeds "
+                   "baseline %.1f ms by >20%%\n",
+                   ms_1shard_2000, kBaseline2000Ms);
+      ok = false;
+    }
+    if (ms_4shard_2000 * 2.0 > ms_1shard_2000) {
+      std::fprintf(stderr,
+                   "CHECK FAIL: 4-shard commit %.1f ms is not >=2x faster "
+                   "than 1-shard %.1f ms\n",
+                   ms_4shard_2000, ms_1shard_2000);
+      ok = false;
+    }
+    if (!ok) return 1;
+    std::puts("CHECK OK: commit within baseline, 4 shards >=2x faster.");
+  }
   return 0;
 }

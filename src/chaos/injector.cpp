@@ -83,25 +83,28 @@ SimDuration ChaosInjector::extra_delay(VmId /*from*/, VmId /*to*/,
   return extra;
 }
 
-bool ChaosInjector::unavailable() {
+bool ChaosInjector::unavailable(int shard) {
   for (const FaultSpec& f : plan_.faults) {
     if (f.kind != FaultKind::KvOutage || !in_window(f)) continue;
+    if (f.shard >= 0 && f.shard != shard) continue;
     if (f.probability < 1.0 && rng_.uniform01() >= f.probability) continue;
     ++stats_.kv_outage_hits;
-    trace_hit("kv_outage");
+    trace_hit("kv_outage", {obs::arg("shard", shard)});
     return true;
   }
   return false;
 }
 
-SimDuration ChaosInjector::extra_latency() {
+SimDuration ChaosInjector::extra_latency(int shard) {
   SimDuration extra = 0;
   for (const FaultSpec& f : plan_.faults) {
-    if (f.kind == FaultKind::KvLatency && in_window(f)) extra += f.extra;
+    if (f.kind != FaultKind::KvLatency || !in_window(f)) continue;
+    if (f.shard >= 0 && f.shard != shard) continue;
+    extra += f.extra;
   }
   if (extra > 0) {
     ++stats_.kv_slowdowns;
-    trace_hit("kv_slow");
+    trace_hit("kv_slow", {obs::arg("shard", shard)});
   }
   return extra;
 }

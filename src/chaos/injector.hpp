@@ -60,8 +60,8 @@ class ChaosInjector final : public net::Network::FaultHook,
   SimDuration extra_delay(VmId from, VmId to, net::MsgClass cls) override;
 
   // -- kvstore::Store::FaultHook --
-  bool unavailable() override;
-  SimDuration extra_latency() override;
+  bool unavailable(int shard) override;
+  SimDuration extra_latency(int shard) override;
 
   [[nodiscard]] const ChaosPlan& plan() const noexcept { return plan_; }
   [[nodiscard]] const ChaosStats& stats() const noexcept { return stats_; }

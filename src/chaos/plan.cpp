@@ -17,21 +17,23 @@ std::string_view to_string(FaultKind k) noexcept {
   return "?";
 }
 
-ChaosPlan& ChaosPlan::kv_outage(SimTime at, SimDuration duration) {
+ChaosPlan& ChaosPlan::kv_outage(SimTime at, SimDuration duration, int shard) {
   FaultSpec f;
   f.kind = FaultKind::KvOutage;
   f.at = at;
   f.duration = duration;
+  f.shard = shard;
   return add(f);
 }
 
 ChaosPlan& ChaosPlan::kv_latency(SimTime at, SimDuration duration,
-                                 SimDuration extra) {
+                                 SimDuration extra, int shard) {
   FaultSpec f;
   f.kind = FaultKind::KvLatency;
   f.at = at;
   f.duration = duration;
   f.extra = extra;
+  f.shard = shard;
   return add(f);
 }
 
@@ -93,6 +95,7 @@ std::string ChaosPlan::describe() const {
       os << " p=" << f.probability;
     }
     if (f.extra > 0) os << " extra=" << time::to_ms(f.extra) << "ms";
+    if (f.shard >= 0) os << " shard=" << f.shard;
   }
   return os.str();
 }

@@ -53,6 +53,9 @@ struct FaultSpec {
   /// Crash target: worker-instance (or VM) index into the deterministic
   /// platform ordering; -1 picks one from the injector's seeded RNG.
   int target{-1};
+  /// Store shard a KvOutage / KvLatency attacks; -1 hits every shard (and
+  /// is the only sensible value for an unsharded store).
+  int shard{-1};
   /// Whether a crashed worker / failed VM comes back.
   bool respawn{true};
   SimDuration respawn_delay = time::sec(10);
@@ -68,9 +71,10 @@ struct ChaosPlan {
     return *this;
   }
 
-  // Fluent builders for the common faults.
-  ChaosPlan& kv_outage(SimTime at, SimDuration duration);
-  ChaosPlan& kv_latency(SimTime at, SimDuration duration, SimDuration extra);
+  // Fluent builders for the common faults.  `shard` -1 = all shards.
+  ChaosPlan& kv_outage(SimTime at, SimDuration duration, int shard = -1);
+  ChaosPlan& kv_latency(SimTime at, SimDuration duration, SimDuration extra,
+                        int shard = -1);
   ChaosPlan& drop_control(SimTime at, SimDuration duration, double prob);
   ChaosPlan& drop_user(SimTime at, SimDuration duration, double prob);
   ChaosPlan& net_delay(SimTime at, SimDuration duration, SimDuration extra);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "dsps/platform.hpp"
+#include "dsps/state.hpp"
 #include "obs/trace.hpp"
 
 namespace rill::dsps {
@@ -208,6 +209,8 @@ void CheckpointCoordinator::run_init(std::uint64_t checkpoint_id,
   init_.outstanding.clear();
   init_.active = true;
   first_init_received_.reset();
+  init_completed_at_.reset();
+  last_init_attempt_at_.reset();
 
   init_span_ = obs::kNoSpan;
   if (auto* tr = platform_.tracer()) {
@@ -222,6 +225,7 @@ void CheckpointCoordinator::run_init(std::uint64_t checkpoint_id,
         platform_.engine().schedule(deadline, [this] { fail_init_session(); });
   }
 
+  start_init_prefetch();
   send_init_attempt();
 
   // Aggressive re-send (DCR/CCR, paper: every 1 s); DSM (period 0)
@@ -239,10 +243,55 @@ void CheckpointCoordinator::arm_init_resend() {
       });
 }
 
+const std::optional<Bytes>* CheckpointCoordinator::prefetched(
+    const std::string& key) const {
+  if (!init_.active || !prefetch_ready_) return nullptr;
+  auto it = prefetch_.find(key);
+  return it == prefetch_.end() ? nullptr : &it->second;
+}
+
+void CheckpointCoordinator::clear_init_prefetch() {
+  prefetch_.clear();
+  prefetch_ready_ = false;
+}
+
+void CheckpointCoordinator::start_init_prefetch() {
+  ++init_generation_;
+  clear_init_prefetch();
+  if (platform_.store().shards() <= 1) return;  // nothing to overlap
+
+  std::vector<std::string> keys;
+  for (const InstanceRef& ref : platform_.worker_and_sink_instances()) {
+    keys.push_back(
+        CheckpointBlob::key(init_.checkpoint_id, ref.task, ref.replica));
+  }
+  const std::uint64_t generation = init_generation_;
+  platform_.store().get_batch(
+      platform_.io_vm(), keys,
+      [this, generation,
+       keys](bool ok, std::vector<std::optional<Bytes>> values) {
+        // A stale reply (session ended or a newer one started) or a failed
+        // shard read leaves the cache unset; executors fall back to their
+        // own GETs, so the prefetch is purely an optimisation.
+        if (generation != init_generation_ || !init_.active || !ok) return;
+        for (std::size_t i = 0; i < keys.size(); ++i) {
+          prefetch_.emplace(keys[i], std::move(values[i]));
+        }
+        prefetch_ready_ = true;
+        if (auto* tr = platform_.tracer()) {
+          tr->instant(obs::kTrackCoordinator, "checkpoint", "init_prefetch",
+                      {obs::arg("cid", init_.checkpoint_id),
+                       obs::arg("blobs",
+                                static_cast<std::uint64_t>(keys.size()))});
+        }
+      });
+}
+
 void CheckpointCoordinator::fail_init_session() {
   if (!init_.active) return;
   init_.active = false;
   ++stats_.init_sessions_failed;
+  clear_init_prefetch();
   platform_.engine().cancel(init_resend_timer_);
   for (RootId r : init_.outstanding) platform_.acker().forget(r);
   init_.outstanding.clear();
@@ -255,6 +304,7 @@ void CheckpointCoordinator::fail_init_session() {
 
 void CheckpointCoordinator::send_init_attempt() {
   ++stats_.init_attempts;
+  last_init_attempt_at_ = platform_.engine().now();
   if (auto* tr = platform_.tracer()) {
     tr->instant(obs::kTrackCoordinator, "checkpoint", "init_attempt",
                 {obs::arg("cid", init_.checkpoint_id),
@@ -266,6 +316,7 @@ void CheckpointCoordinator::send_init_attempt() {
       [this](RootId completed) {
         if (!init_.active) return;
         init_.active = false;
+        clear_init_prefetch();
         platform_.engine().cancel(init_resend_timer_);
         platform_.engine().cancel(init_deadline_timer_);
         for (RootId r : init_.outstanding) {
@@ -273,6 +324,7 @@ void CheckpointCoordinator::send_init_attempt() {
         }
         init_.outstanding.clear();
         ++stats_.init_completions;
+        init_completed_at_ = platform_.engine().now();
         if (auto* tr = platform_.tracer()) {
           tr->end(init_span_, {obs::arg("ok", true)});
         }

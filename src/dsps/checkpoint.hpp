@@ -22,8 +22,11 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "common/time.hpp"
 #include "dsps/config.hpp"
@@ -43,6 +46,8 @@ struct CheckpointStats {
   std::uint64_t wave_retries{0};        ///< PREPARE/COMMIT retried in-wave
   std::uint64_t init_sessions_failed{0};  ///< run_init hit its deadline
   std::uint64_t rollbacks_broadcast{0};
+  std::uint64_t init_prefetch_hits{0};  ///< restores served from the
+                                        ///< cross-shard INIT prefetch
 };
 
 class CheckpointCoordinator {
@@ -98,6 +103,28 @@ class CheckpointCoordinator {
   }
   void note_init_received(SimTime t);
 
+  /// When the last run_init session's wave completed (all INITs acked and
+  /// every restoring task re-armed) — with first_init_received() this
+  /// brackets the state-fetch segment of a restore.
+  [[nodiscard]] std::optional<SimTime> init_completed_at() const noexcept {
+    return init_completed_at_;
+  }
+  /// When the wave that completed the session was (re)sent.  The tail
+  /// init_completed_at() − last_init_attempt_at() is the protocol's final
+  /// round trip: INIT delivery, per-task state fetch, ack — the segment the
+  /// cross-shard prefetch shortens.
+  [[nodiscard]] std::optional<SimTime> last_init_attempt_at() const noexcept {
+    return last_init_attempt_at_;
+  }
+
+  /// Cross-shard INIT prefetch cache lookup: the blob fetched for `key`, or
+  /// nullptr when no prefetch result is available (unsharded store, the
+  /// pipelined MGETs still in flight, or no active session).  The pointee
+  /// is nullopt when the store holds nothing under that key.
+  [[nodiscard]] const std::optional<Bytes>* prefetched(
+      const std::string& key) const;
+  void note_prefetch_hit() noexcept { ++stats_.init_prefetch_hits; }
+
  private:
   using AckerOnDone = std::function<void(RootId)>;
 
@@ -115,6 +142,11 @@ class CheckpointCoordinator {
                     std::shared_ptr<Done> done);
   void abort_wave(std::uint64_t cid, std::shared_ptr<Done> done);
   void fail_init_session();
+  /// Sharded stores only: fire one pipelined MGET per shard covering every
+  /// restoring instance's blob, so INITs restore from the cache instead of
+  /// serial per-task GETs.
+  void start_init_prefetch();
+  void clear_init_prefetch();
 
   // run_init session state.
   struct InitSession {
@@ -135,6 +167,14 @@ class CheckpointCoordinator {
   sim::TimerId init_resend_timer_{};
   sim::TimerId init_deadline_timer_{};
   std::optional<SimTime> first_init_received_;
+  std::optional<SimTime> init_completed_at_;
+  std::optional<SimTime> last_init_attempt_at_;
+  /// INIT prefetch cache (sharded stores): blob key → fetched value.
+  /// Only consulted while the session that filled it is active.
+  std::unordered_map<std::string, std::optional<Bytes>> prefetch_;
+  bool prefetch_ready_{false};
+  /// Bumped per run_init so stale prefetch replies are discarded.
+  std::uint64_t init_generation_{0};
   CheckpointStats stats_;
   /// Open flight-recorder spans: the whole PREPARE→COMMIT checkpoint and
   /// the run_init session (one of each at a time).

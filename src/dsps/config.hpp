@@ -44,10 +44,28 @@ struct PlatformConfig {
   SimDuration init_deadline = time::sec(120);
   /// Key-value store client hardening (see kvstore::StoreConfig).
   SimDuration kv_request_timeout = time::ms(800);
+  double kv_timeout_cost_factor = 2.0;
   int kv_max_attempts = 4;
   SimDuration kv_backoff_base = time::ms(50);
   SimDuration kv_backoff_cap = time::sec(1);
   double kv_backoff_jitter = 0.25;
+
+  // ---- Checkpoint store tier ----
+  /// Number of store VMs behind the consistent-hash ShardedStore facade.
+  /// 1 (the default) reproduces the paper's single-Redis setup and keeps
+  /// every seed byte-identical to the unsharded baseline; N > 1 spreads
+  /// checkpoint traffic and enables COMMIT write coalescing and the INIT
+  /// cross-shard prefetch.
+  int kv_shards = 1;
+  /// put_pipelined linger before a coalesced per-shard COMMIT batch is
+  /// flushed (only active when kv_shards > 1).
+  SimDuration kv_pipeline_linger = time::ms(2);
+
+  /// Cap on deliveries a sender-side transport client buffers for a worker
+  /// that is still Starting (Storm's netty client write buffer).  Overflow
+  /// deliveries are dropped — counted in ExecutorStats::transport_overflow
+  /// — and recovered by the acker's replay path.
+  std::size_t max_transport_buffer = 1024;
 
   // ---- Control-plane latencies ----
   /// Platform-logic handling time for a control event at a task.

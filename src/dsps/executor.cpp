@@ -66,6 +66,7 @@ void Executor::kill() {
   prepared_state_.reset();
   prepared_checkpoint_ = 0;
   committed_this_wave_ = false;
+  committed_checkpoint_ = 0;
   capturing_ = false;
   pending_capture_.clear();  // the durable copy lives in the store
   align_count_.clear();
@@ -102,6 +103,14 @@ void Executor::enqueue(Event ev) {
         // and the coordinator re-sends (paper §5.1: "INIT events timeout
         // without acking due to the tasks not being active yet").
         ++stats_.lost_enqueue;
+        platform_.note_lost(ev);
+        return;
+      }
+      if (transport_buffer_.size() >= platform_.config().max_transport_buffer) {
+        // The sender's netty client write buffer is full: the delivery is
+        // dropped on the floor.  With acking on, the root stays unacked and
+        // the spout replays it after ack_timeout.
+        ++stats_.transport_overflow;
         platform_.note_lost(ev);
         return;
       }
@@ -283,8 +292,21 @@ void Executor::on_commit(const Event& ev, std::uint64_t span) {
     return;
   }
 
+  if (committed_checkpoint_ == ev.checkpoint_id) {
+    // This incarnation already persisted this checkpoint's blob on an
+    // earlier COMMIT attempt (the wave failed elsewhere — e.g. one shard's
+    // outage).  The prepared snapshot is frozen and sources are quiesced,
+    // so the durable blob is still exact: forward and ack without
+    // re-writing, leaving retry traffic to the tasks whose writes failed.
+    committed_this_wave_ = true;
+    platform_.forward_control(*this, ev);
+    platform_.acker().ack(ev.root, ev.id);
+    trace_end(span);
+    return;
+  }
+
   const std::uint64_t epoch = epoch_;
-  platform_.store().put(
+  platform_.store().put_pipelined(
       platform_.cluster().vm_of(slot_),
       CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica),
       blob.serialize(), [this, ev, epoch, span](bool ok) {
@@ -297,6 +319,7 @@ void Executor::on_commit(const Event& ev, std::uint64_t span) {
         // Only a *persisted* snapshot counts as committed — a retried
         // COMMIT wave must re-snapshot, not trip the post-commit counter.
         committed_this_wave_ = true;
+        committed_checkpoint_ = ev.checkpoint_id;
         platform_.forward_control(*this, ev);
         platform_.acker().ack(ev.root, ev.id);
         trace_end(span);
@@ -307,6 +330,7 @@ void Executor::on_rollback(const Event& ev, std::uint64_t span) {
   prepared_state_.reset();
   prepared_checkpoint_ = 0;
   committed_this_wave_ = false;
+  committed_checkpoint_ = 0;
   if (capturing_) {
     // Re-inject captured events at the head of the queue so processing
     // resumes exactly where capture froze it.
@@ -337,10 +361,26 @@ void Executor::on_init(const Event& ev, std::uint64_t span) {
 
   if (awaiting_init_) {
     // Respawned worker: state (and CCR pending events) come from the store.
+    const std::string key =
+        CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica);
+    if (const std::optional<Bytes>* pre =
+            platform_.coordinator().prefetched(key)) {
+      // The coordinator's cross-shard prefetch already fetched this blob in
+      // a pipelined MGET — restore without an individual store round-trip.
+      platform_.coordinator().note_prefetch_hit();
+      CheckpointBlob blob;
+      if (pre->has_value()) blob = CheckpointBlob::deserialize(**pre);
+      restore_from_blob(blob);
+      if (platform_.checkpoint_mode() == CheckpointMode::Wave) {
+        platform_.forward_control(*this, ev);
+      }
+      platform_.acker().ack(ev.root, ev.id);
+      trace_end(span);
+      return;
+    }
     const std::uint64_t epoch = epoch_;
     platform_.store().get(
-        platform_.cluster().vm_of(slot_),
-        CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica),
+        platform_.cluster().vm_of(slot_), key,
         [this, ev, epoch, span](bool ok, std::optional<Bytes> raw) {
           if (epoch != epoch_) {
             trace_end(span);
@@ -408,6 +448,7 @@ void Executor::restore_from_blob(const CheckpointBlob& blob) {
   awaiting_init_ = false;
   capturing_ = false;
   committed_this_wave_ = false;
+  committed_checkpoint_ = 0;
   ++stats_.init_restores;
   if (auto* tr = platform_.tracer()) {
     tr->instant(obs::instance_track(id_.value), "task", "restored",

@@ -45,6 +45,7 @@ struct ExecutorStats {
   std::uint64_t captured{0};
   std::uint64_t lost_enqueue{0};      ///< deliveries while dead
   std::uint64_t lost_at_kill{0};      ///< queued events dropped by kill
+  std::uint64_t transport_overflow{0};  ///< Starting-buffer cap overflows
   std::uint64_t post_commit_arrivals{0};  ///< CCR invariant: must stay 0
   std::uint64_t init_restores{0};
   std::uint64_t duplicate_inits{0};
@@ -158,6 +159,10 @@ class Executor {
   std::optional<TaskState> prepared_state_;
   std::uint64_t prepared_checkpoint_{0};
   bool committed_this_wave_{false};
+  /// Checkpoint id whose blob this incarnation has durably persisted (0 =
+  /// none).  A retried COMMIT wave skips the re-PUT when it matches, so
+  /// only the shards whose writes actually failed see retry traffic.
+  std::uint64_t committed_checkpoint_{0};
 
   // CCR capture machinery.
   bool capturing_{false};

@@ -34,19 +34,30 @@ void Platform::setup_infrastructure() {
   network_ = std::make_unique<net::Network>(engine_, cluster_,
                                             net::NetworkConfig{}, rng_net_);
   io_vm_ = cluster_.provision(cluster::VmType::D3, "io");
-  store_vm_ = cluster_.provision(cluster::VmType::D3, "redis");
+  const int nshards = std::max(1, config_.kv_shards);
+  store_vms_.clear();
+  for (int i = 0; i < nshards; ++i) {
+    // The single-shard VM keeps the historical name so existing traces and
+    // reports are unchanged; shards are numbered only when there are many.
+    const std::string name =
+        nshards == 1 ? std::string("redis") : "redis" + std::to_string(i);
+    store_vms_.push_back(cluster_.provision(cluster::VmType::D3, name));
+  }
+  store_vm_ = store_vms_.front();
   kvstore::StoreConfig store_cfg;
   store_cfg.request_timeout = config_.kv_request_timeout;
+  store_cfg.timeout_cost_factor = config_.kv_timeout_cost_factor;
   store_cfg.max_attempts = config_.kv_max_attempts;
   store_cfg.backoff_base = config_.kv_backoff_base;
   store_cfg.backoff_cap = config_.kv_backoff_cap;
   store_cfg.backoff_jitter = config_.kv_backoff_jitter;
-  // The store's jitter stream is seeded independently rather than forked
-  // from rng_root_, so fault-free runs draw nothing from it and the
-  // pre-existing component streams stay byte-identical.
-  store_ = std::make_unique<kvstore::Store>(
-      engine_, *network_, store_vm_, store_cfg,
-      Rng(splitmix64_once(config_.seed ^ 0x5743'4841'4f53'7276ull)));
+  store_cfg.pipeline_linger = config_.kv_pipeline_linger;
+  // The store tier's jitter streams are seeded independently rather than
+  // forked from rng_root_, so fault-free runs draw nothing from them and
+  // the pre-existing component streams stay byte-identical.
+  store_ = std::make_unique<kvstore::ShardedStore>(
+      engine_, *network_, store_vms_, store_cfg,
+      config_.seed ^ 0x5743'4841'4f53'7276ull);
   acker_ = std::make_unique<AckerService>(engine_, config_.ack_timeout);
   coordinator_ = std::make_unique<CheckpointCoordinator>(*this);
   rebalancer_ = std::make_unique<Rebalancer>(*this);
@@ -128,7 +139,15 @@ void Platform::set_tracer(obs::Tracer* tracer) {
   tracer->set_thread_name(obs::kTrackCoordinator, "coordinator");
   tracer->set_thread_name(obs::kTrackRebalancer, "rebalancer");
   tracer->set_thread_name(obs::kTrackAcker, "acker");
-  tracer->set_thread_name(obs::kTrackKvStore, "store-client");
+  if (store_ && store_->shards() > 1) {
+    for (int i = 0; i < store_->shards(); ++i) {
+      tracer->set_thread_name(
+          obs::Track{obs::kTrackKvStore.pid, obs::kTrackKvStore.tid + i},
+          "store-client" + std::to_string(i));
+    }
+  } else {
+    tracer->set_thread_name(obs::kTrackKvStore, "store-client");
+  }
   tracer->set_thread_name(obs::kTrackChaos, "injector");
   tracer->set_thread_name(obs::kTrackSinks, "sink-arrivals");
   for (const auto& [task, spout] : spouts_) {

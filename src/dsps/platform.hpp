@@ -32,7 +32,7 @@
 #include "dsps/scheduler.hpp"
 #include "dsps/spout.hpp"
 #include "dsps/topology.hpp"
-#include "kvstore/store.hpp"
+#include "kvstore/sharded_store.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 
@@ -78,14 +78,19 @@ class Platform {
   [[nodiscard]] PlatformConfig& config_mut() noexcept { return config_; }
   [[nodiscard]] cluster::Cluster& cluster() noexcept { return cluster_; }
   [[nodiscard]] net::Network& network() noexcept { return *network_; }
-  [[nodiscard]] kvstore::Store& store() noexcept { return *store_; }
+  [[nodiscard]] kvstore::ShardedStore& store() noexcept { return *store_; }
   [[nodiscard]] AckerService& acker() noexcept { return *acker_; }
   [[nodiscard]] CheckpointCoordinator& coordinator() noexcept { return *coordinator_; }
   [[nodiscard]] Rebalancer& rebalancer() noexcept { return *rebalancer_; }
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
 
   [[nodiscard]] VmId io_vm() const noexcept { return io_vm_; }
+  /// Shard 0's host (the only store VM when kv_shards == 1).
   [[nodiscard]] VmId store_vm() const noexcept { return store_vm_; }
+  /// Every store-tier VM, one per shard.
+  [[nodiscard]] const std::vector<VmId>& store_vms() const noexcept {
+    return store_vms_;
+  }
   [[nodiscard]] const std::vector<VmId>& worker_vms() const noexcept {
     return worker_vms_;
   }
@@ -189,7 +194,7 @@ class Platform {
   std::uint64_t id_counter_{0};
 
   std::unique_ptr<net::Network> network_;
-  std::unique_ptr<kvstore::Store> store_;
+  std::unique_ptr<kvstore::ShardedStore> store_;
   std::unique_ptr<AckerService> acker_;
   std::unique_ptr<CheckpointCoordinator> coordinator_;
   std::unique_ptr<Rebalancer> rebalancer_;
@@ -198,6 +203,7 @@ class Platform {
   bool deployed_{false};
   VmId io_vm_{};
   VmId store_vm_{};
+  std::vector<VmId> store_vms_;
   std::vector<VmId> worker_vms_;
 
   std::map<InstanceRef, std::unique_ptr<Executor>> executors_;

@@ -7,10 +7,20 @@
 
 namespace rill::kvstore {
 
+namespace {
+
+/// Shard i traces on its own lane next to the base kv-store track, so a
+/// sharded tier shows one lane per shard in Perfetto.
+obs::Track shard_track(int shard) noexcept {
+  return obs::Track{obs::kTrackKvStore.pid, obs::kTrackKvStore.tid + shard};
+}
+
+}  // namespace
+
 std::uint64_t Store::begin_op_span(const char* op, std::size_t items) {
   if (tracer_ == nullptr) return obs::kNoSpan;
   return tracer_->begin(
-      obs::kTrackKvStore, "kv", op,
+      shard_track(shard_), "kv", op,
       {obs::arg("items", static_cast<std::uint64_t>(items))});
 }
 
@@ -26,6 +36,18 @@ SimDuration Store::service_cost(std::size_t items, std::size_t bytes) const {
                                   static_cast<double>(bytes) / 1000.0);
 }
 
+SimDuration Store::attempt_timeout(std::size_t items,
+                                   std::size_t bytes) const {
+  // The floor covers the round-trip; the scaled term keeps a huge
+  // pipelined batch from exhausting max_attempts on deadlines it could
+  // never meet.  In fault-free runs this timer is always cancelled before
+  // firing, so the scaling is invisible to the deterministic schedule.
+  return config_.request_timeout +
+         static_cast<SimDuration>(
+             config_.timeout_cost_factor *
+             static_cast<double>(service_cost(items, bytes)));
+}
+
 SimDuration Store::backoff_delay(int attempt_no) {
   // base × 2^(attempt-1), capped, with multiplicative jitter so colliding
   // retries from many executors de-synchronise.
@@ -37,8 +59,7 @@ SimDuration Store::backoff_delay(int attempt_no) {
                                              config_.backoff_jitter));
 }
 
-void Store::apply(const Request& req, std::optional<Bytes>& value_out,
-                  std::size_t& reply_bytes) {
+void Store::apply(const Request& req, Reply& reply, std::size_t& reply_bytes) {
   reply_bytes = 16;
   switch (req.op) {
     case Op::Put: {
@@ -53,9 +74,24 @@ void Store::apply(const Request& req, std::optional<Bytes>& value_out,
     case Op::Get: {
       ++stats_.gets;
       if (auto it = data_.find(req.key); it != data_.end()) {
-        value_out = it->second;
-        stats_.bytes_read += value_out->size();
-        reply_bytes = value_out->size();
+        reply.value = it->second;
+        stats_.bytes_read += reply.value->size();
+        reply_bytes = reply.value->size();
+      }
+      break;
+    }
+    case Op::MGet: {
+      ++stats_.gets;
+      stats_.batch_items += req.keys.size();
+      reply.values.reserve(req.keys.size());
+      for (const std::string& k : req.keys) {
+        if (auto it = data_.find(k); it != data_.end()) {
+          stats_.bytes_read += it->second.size();
+          reply_bytes += it->second.size();
+          reply.values.push_back(it->second);
+        } else {
+          reply.values.push_back(std::nullopt);
+        }
       }
       break;
     }
@@ -68,42 +104,51 @@ void Store::apply(const Request& req, std::optional<Bytes>& value_out,
 }
 
 void Store::attempt(VmId client, std::shared_ptr<const Request> req,
-                    int attempt_no, GetDone done) {
+                    int attempt_no, AttemptDone done) {
   std::size_t request_bytes = 0;
   std::size_t items = 0;
-  if (req->op == Op::Put) {
-    for (const auto& [k, v] : req->kvs) request_bytes += k.size() + v.size();
-    items = req->kvs.size();
-  } else {
-    request_bytes = req->key.size();
-    items = 1;
+  switch (req->op) {
+    case Op::Put:
+      for (const auto& [k, v] : req->kvs) request_bytes += k.size() + v.size();
+      items = req->kvs.size();
+      break;
+    case Op::MGet:
+      for (const std::string& k : req->keys) request_bytes += k.size();
+      items = req->keys.size();
+      break;
+    case Op::Get:
+    case Op::Del:
+      request_bytes = req->key.size();
+      items = 1;
+      break;
   }
 
   // One settled flag per attempt: whichever of {reply, timeout} fires
   // first wins; the loser becomes a no-op.
   auto settled = std::make_shared<bool>(false);
-  auto done_sp = std::make_shared<GetDone>(std::move(done));
+  auto done_sp = std::make_shared<AttemptDone>(std::move(done));
 
   const sim::TimerId timeout_timer = engine_.schedule(
-      config_.request_timeout,
+      attempt_timeout(items, request_bytes),
       [this, client, req, attempt_no, settled, done_sp] {
         if (*settled) return;
         *settled = true;
         ++stats_.timeouts;
         if (tracer_ != nullptr) {
-          tracer_->instant(obs::kTrackKvStore, "kv", "attempt_timeout",
+          tracer_->instant(shard_track(shard_), "kv", "attempt_timeout",
                            {obs::arg("attempt", attempt_no)});
         }
         if (attempt_no >= config_.max_attempts) {
           ++stats_.failed_requests;
-          (*done_sp)(false, std::nullopt);
+          (*done_sp)(false, Reply{});
           return;
         }
         engine_.schedule(backoff_delay(attempt_no),
                          [this, client, req, attempt_no, done_sp]() mutable {
                            ++stats_.retries;
                            if (tracer_ != nullptr) {
-                             tracer_->instant(obs::kTrackKvStore, "kv", "retry",
+                             tracer_->instant(shard_track(shard_), "kv",
+                                              "retry",
                                               {obs::arg("attempt",
                                                         attempt_no + 1)});
                            }
@@ -118,28 +163,28 @@ void Store::attempt(VmId client, std::shared_ptr<const Request> req,
       client, host_, request_bytes,
       [this, client, req, items, request_bytes, settled, done_sp,
        timeout_timer] {
-        if (fault_hook_ != nullptr && fault_hook_->unavailable()) {
+        if (fault_hook_ != nullptr && fault_hook_->unavailable(shard_)) {
           // Outage window: the server swallows the request; the client's
           // timeout timer is what eventually notices.
           ++stats_.outage_drops;
           return;
         }
         SimDuration cost = service_cost(items, request_bytes);
-        if (fault_hook_ != nullptr) cost += fault_hook_->extra_latency();
+        if (fault_hook_ != nullptr) cost += fault_hook_->extra_latency(shard_);
         engine_.schedule(cost, [this, client, req, settled, done_sp,
                                 timeout_timer] {
           if (*settled) return;  // client already gave up on this attempt
-          std::optional<Bytes> value;
+          Reply reply;
           std::size_t reply_bytes = 16;
-          apply(*req, value, reply_bytes);
+          apply(*req, reply, reply_bytes);
           network_.send(
               host_, client, reply_bytes,
-              [this, value = std::move(value), settled, done_sp,
+              [this, reply = std::move(reply), settled, done_sp,
                timeout_timer]() mutable {
                 if (*settled) return;
                 *settled = true;
                 engine_.cancel(timeout_timer);
-                (*done_sp)(true, std::move(value));
+                (*done_sp)(true, std::move(reply));
               },
               net::MsgClass::Store);
         });
@@ -161,7 +206,7 @@ void Store::put_batch(VmId client,
   req->kvs = std::move(kvs);
   const std::uint64_t span = begin_op_span("put", req->kvs.size());
   attempt(client, std::move(req), 1,
-          [this, span, done = std::move(done)](bool ok, std::optional<Bytes>) {
+          [this, span, done = std::move(done)](bool ok, Reply) {
             end_op_span(span, ok);
             if (done) done(ok);
           });
@@ -173,10 +218,25 @@ void Store::get(VmId client, std::string key, GetDone done) {
   req->key = std::move(key);
   const std::uint64_t span = begin_op_span("get", 1);
   attempt(client, std::move(req), 1,
-          [this, span, done = std::move(done)](
-              bool ok, std::optional<Bytes> value) mutable {
+          [this, span, done = std::move(done)](bool ok, Reply reply) mutable {
             end_op_span(span, ok);
-            if (done) done(ok, std::move(value));
+            if (done) done(ok, std::move(reply.value));
+          });
+}
+
+void Store::get_batch(VmId client, std::vector<std::string> keys,
+                      MGetDone done) {
+  auto req = std::make_shared<Request>();
+  req->op = Op::MGet;
+  req->keys = std::move(keys);
+  const std::size_t n = req->keys.size();
+  const std::uint64_t span = begin_op_span("mget", n);
+  attempt(client, std::move(req), 1,
+          [this, n, span, done = std::move(done)](bool ok,
+                                                  Reply reply) mutable {
+            end_op_span(span, ok);
+            if (!ok) reply.values.assign(n, std::nullopt);
+            if (done) done(ok, std::move(reply.values));
           });
 }
 
@@ -186,7 +246,7 @@ void Store::del(VmId client, std::string key, PutDone done) {
   req->key = std::move(key);
   const std::uint64_t span = begin_op_span("del", 1);
   attempt(client, std::move(req), 1,
-          [this, span, done = std::move(done)](bool ok, std::optional<Bytes>) {
+          [this, span, done = std::move(done)](bool ok, Reply) {
             end_op_span(span, ok);
             if (done) done(ok);
           });

@@ -13,7 +13,8 @@
 // jitter up to `max_attempts` before surfacing failure.  All operations are
 // idempotent (PUT overwrites, GET reads, DEL re-deletes), so retries are
 // safe.  A FaultHook (implemented by chaos::ChaosInjector) can make the
-// server unavailable or slow for a window.
+// server unavailable or slow for a window — per shard, when the store is
+// one member of a ShardedStore.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +23,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -48,9 +50,14 @@ struct StoreConfig {
   double ns_per_byte = 12.0;
 
   // ---- client-side fault handling ----
-  /// Give up on one attempt this long after sending it.  Generous enough
-  /// for the biggest realistic pipelined batch (~10k items ≈ 0.5 s).
+  /// Fixed floor for giving up on one attempt.  The effective per-attempt
+  /// timeout scales with the request: floor + timeout_cost_factor × the
+  /// expected service cost, so an arbitrarily large pipelined batch is
+  /// never doomed to time out on every attempt.
   SimDuration request_timeout = time::ms(800);
+  /// Multiple of the expected service cost added to `request_timeout` for
+  /// each attempt's deadline.
+  double timeout_cost_factor = 2.0;
   /// Total attempts per operation (1 first try + N-1 retries).
   int max_attempts = 4;
   /// Exponential backoff between attempts: base × 2^(attempt-1), capped,
@@ -58,6 +65,11 @@ struct StoreConfig {
   SimDuration backoff_base = time::ms(50);
   SimDuration backoff_cap = time::sec(1);
   double backoff_jitter = 0.25;
+
+  /// How long ShardedStore::put_pipelined lingers collecting single PUTs
+  /// before flushing them as one per-shard batch (only applies when the
+  /// store is sharded; see sharded_store.hpp).
+  SimDuration pipeline_linger = time::ms(2);
 };
 
 struct StoreStats {
@@ -72,6 +84,20 @@ struct StoreStats {
   std::uint64_t retries{0};           ///< attempts after the first
   std::uint64_t failed_requests{0};   ///< operations that exhausted attempts
   std::uint64_t outage_drops{0};      ///< requests swallowed by an outage
+
+  StoreStats& operator+=(const StoreStats& o) noexcept {
+    puts += o.puts;
+    gets += o.gets;
+    deletes += o.deletes;
+    batch_items += o.batch_items;
+    bytes_written += o.bytes_written;
+    bytes_read += o.bytes_read;
+    timeouts += o.timeouts;
+    retries += o.retries;
+    failed_requests += o.failed_requests;
+    outage_drops += o.outage_drops;
+    return *this;
+  }
 };
 
 /// The server side: an in-memory map living on a dedicated VM, plus the
@@ -79,12 +105,14 @@ struct StoreStats {
 class Store {
  public:
   /// Availability hook (implemented by chaos::ChaosInjector): consulted
-  /// when a request reaches the server VM.
+  /// when a request reaches the server VM.  `shard` identifies which
+  /// member of a ShardedStore is asking (0 for the unsharded store), so
+  /// faults can target a single shard.
   class FaultHook {
    public:
     virtual ~FaultHook() = default;
-    [[nodiscard]] virtual bool unavailable() = 0;
-    [[nodiscard]] virtual SimDuration extra_latency() = 0;
+    [[nodiscard]] virtual bool unavailable(int shard) = 0;
+    [[nodiscard]] virtual SimDuration extra_latency(int shard) = 0;
   };
 
   Store(sim::Engine& engine, net::Network& network, VmId host,
@@ -98,6 +126,9 @@ class Store {
 
   using PutDone = std::function<void(bool ok)>;
   using GetDone = std::function<void(bool ok, std::optional<Bytes> value)>;
+  /// Pipelined multi-GET result: one slot per requested key, in order.
+  using MGetDone =
+      std::function<void(bool ok, std::vector<std::optional<Bytes>> values)>;
 
   /// Asynchronous PUT from a client slot's VM; `done(ok)` runs on the
   /// client side after the value is durable and the reply has crossed
@@ -113,6 +144,10 @@ class Store {
   /// (false, nullopt) if the store could not be reached.
   void get(VmId client, std::string key, GetDone done);
 
+  /// Pipelined multi-GET (Redis MGET): one round-trip, per-item service
+  /// cost; absent keys come back as nullopt in their slot.
+  void get_batch(VmId client, std::vector<std::string> keys, MGetDone done);
+
   /// Asynchronous DELETE.
   void del(VmId client, std::string key, PutDone done);
 
@@ -121,6 +156,12 @@ class Store {
   /// Flight recorder: each operation becomes a span covering all attempts,
   /// with retry/timeout instants annotating the fault handling.
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Which ShardedStore member this store is (0 when unsharded).  Shifts
+  /// the flight-recorder lane so each shard traces on its own track and is
+  /// passed to the FaultHook for per-shard fault targeting.
+  void set_shard(int index) noexcept { shard_ = index; }
+  [[nodiscard]] int shard() const noexcept { return shard_; }
 
   /// Synchronous inspection for tests; bypasses the latency model.
   [[nodiscard]] std::optional<Bytes> peek(const std::string& key) const;
@@ -133,25 +174,33 @@ class Store {
   /// Server-side work for one request; returns the reply payload size, or
   /// nullopt when the request is swallowed by an outage.  GETs also return
   /// the value through `value_out`.
-  enum class Op : std::uint8_t { Put, Get, Del };
+  enum class Op : std::uint8_t { Put, Get, MGet, Del };
   struct Request {
     Op op{Op::Put};
     std::vector<std::pair<std::string, Bytes>> kvs;  ///< Put payload
     std::string key;                                 ///< Get / Del key
+    std::vector<std::string> keys;                   ///< MGet keys
   };
+  /// What comes back from one applied request.
+  struct Reply {
+    std::optional<Bytes> value;                 ///< Get
+    std::vector<std::optional<Bytes>> values;   ///< MGet
+  };
+  using AttemptDone = std::function<void(bool ok, Reply reply)>;
 
   /// Run one attempt of `req`, retrying on timeout; the terminal outcome
   /// reaches `done` exactly once.
   void attempt(VmId client, std::shared_ptr<const Request> req, int attempt_no,
-               GetDone done);
+               AttemptDone done);
   /// Begin the per-operation span (kNoSpan when tracing is off) / close it
   /// with the terminal verdict.
   [[nodiscard]] std::uint64_t begin_op_span(const char* op, std::size_t items);
   void end_op_span(std::uint64_t span, bool ok);
-  void apply(const Request& req, std::optional<Bytes>& value_out,
-             std::size_t& reply_bytes);
+  void apply(const Request& req, Reply& reply, std::size_t& reply_bytes);
 
   SimDuration service_cost(std::size_t items, std::size_t bytes) const;
+  /// Per-attempt deadline for a request of this size (floor + scaled cost).
+  SimDuration attempt_timeout(std::size_t items, std::size_t bytes) const;
   SimDuration backoff_delay(int attempt_no);
 
   sim::Engine& engine_;
@@ -159,6 +208,7 @@ class Store {
   VmId host_;
   StoreConfig config_;
   Rng rng_;
+  int shard_{0};
   FaultHook* fault_hook_{nullptr};
   rill::obs::Tracer* tracer_{nullptr};
   std::unordered_map<std::string, Bytes> data_;

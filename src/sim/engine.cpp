@@ -1,7 +1,6 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
-#include <unordered_map>
 #include <utility>
 
 namespace rill::sim {
@@ -14,28 +13,51 @@ TimerId Engine::schedule(SimDuration delay, Callback cb) {
 TimerId Engine::schedule_at(SimTime when, Callback cb) {
   if (when < now_) when = now_;
   const std::uint64_t seq = next_seq_++;
-  heap_.push(Entry{when, seq, seq});
-  callbacks_.emplace(seq, std::move(cb));
-  return TimerId{seq};
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.cb = std::move(cb);
+  slot.active = true;
+  ++active_count_;
+  heap_.push(Entry{when, seq, index, slot.gen});
+  return TimerId{(static_cast<std::uint64_t>(slot.gen) << 32) | index};
+}
+
+Engine::Callback Engine::release(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  Callback cb = std::move(slot.cb);
+  slot.cb = nullptr;
+  slot.active = false;
+  ++slot.gen;  // invalidates the heap entry and any outstanding TimerId
+  free_slots_.push_back(index);
+  --active_count_;
+  return cb;
 }
 
 bool Engine::cancel(TimerId id) {
-  auto it = callbacks_.find(id.value);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id.value);
+  const auto index = static_cast<std::uint32_t>(id.value & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (index >= slots_.size()) return false;
+  const Slot& slot = slots_[index];
+  if (!slot.active || slot.gen != gen) return false;
+  release(index);  // heap entry goes stale and is lazily swept
   return true;
 }
 
 bool Engine::step() {
   while (!heap_.empty()) {
-    Entry top = heap_.top();
+    const Entry top = heap_.top();
     heap_.pop();
-    if (cancelled_.erase(top.id) > 0) continue;  // lazily swept
-    auto it = callbacks_.find(top.id);
-    assert(it != callbacks_.end());
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+    if (!live(top)) continue;  // cancelled; lazily swept
+    // Free the slot before invoking so a callback that schedules new timers
+    // (or cancels its own now-dead id) sees consistent state.
+    Callback cb = release(top.index);
     assert(top.when >= now_);
     now_ = top.when;
     ++executed_;
@@ -48,10 +70,9 @@ bool Engine::step() {
 void Engine::run_until(SimTime limit) {
   while (!heap_.empty()) {
     // Peek past cancelled entries without executing.
-    Entry top = heap_.top();
-    if (cancelled_.contains(top.id)) {
+    const Entry top = heap_.top();
+    if (!live(top)) {
       heap_.pop();
-      cancelled_.erase(top.id);
       continue;
     }
     if (top.when > limit) {

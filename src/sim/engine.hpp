@@ -10,8 +10,6 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/time.hpp"
@@ -57,22 +55,29 @@ class Engine {
   /// Execute exactly one event.  Returns false if the queue is empty.
   bool step();
 
-  /// Number of callbacks still pending (including cancelled-but-unswept).
-  [[nodiscard]] std::size_t pending() const noexcept {
-    return heap_.size() - cancelled_.size();
-  }
+  /// Number of callbacks still pending (cancelled entries excluded).
+  [[nodiscard]] std::size_t pending() const noexcept { return active_count_; }
 
   /// Total callbacks executed since construction; useful for micro-benchmarks
   /// and for detecting runaway feedback loops in tests.
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
 
  private:
+  // Callbacks live in an index-stable slot vector with a free-list, so the
+  // schedule/fire hot path never hashes.  A slot's generation counter is
+  // bumped on release, which both invalidates stale heap entries (lazy
+  // cancellation) and stale TimerIds (ABA protection on slot reuse).
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen{0};
+    bool active{false};
+  };
+
   struct Entry {
     SimTime when;
     std::uint64_t seq;
-    // Heap entries own their callbacks via index into `callbacks_` so that
-    // the heap itself stays cheap to move.
-    std::uint64_t id;
+    std::uint32_t index;
+    std::uint32_t gen;
   };
 
   struct EntryLater {
@@ -82,13 +87,22 @@ class Engine {
     }
   };
 
+  [[nodiscard]] bool live(const Entry& e) const noexcept {
+    const Slot& s = slots_[e.index];
+    return s.active && s.gen == e.gen;
+  }
+
+  // Marks the slot free and returns its callback.  The heap entry (if any)
+  // becomes stale via the generation bump.
+  Callback release(std::uint32_t index);
+
   SimTime now_{0};
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
+  std::size_t active_count_{0};
   std::priority_queue<Entry, std::vector<Entry>, EntryLater> heap_;
-  // id → callback for pending timers; erased on fire/cancel.
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 /// A periodic timer that reschedules itself until stopped.  Non-copyable;

@@ -82,6 +82,23 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.chaos = injector.stats();
   result.checkpoint = platform.coordinator().stats();
   result.store = platform.store().stats();
+  for (int s = 0; s < platform.store().shards(); ++s) {
+    result.store_shards.push_back(platform.store().shard_stats(s));
+  }
+  // Per-shard traffic counters land in the registry so `--task-metrics`
+  // surfaces the shard balance without a dedicated report field.
+  if (config.metrics != nullptr) {
+    for (int s = 0; s < platform.store().shards(); ++s) {
+      const kvstore::StoreStats& ss = result.store_shards[
+          static_cast<std::size_t>(s)];
+      const std::string prefix = "kv.shard" + std::to_string(s) + ".";
+      config.metrics->counter(prefix + "puts")->add(ss.puts);
+      config.metrics->counter(prefix + "gets")->add(ss.gets);
+      config.metrics->counter(prefix + "batch_items")->add(ss.batch_items);
+      config.metrics->counter(prefix + "retries")->add(ss.retries);
+      config.metrics->counter(prefix + "timeouts")->add(ss.timeouts);
+    }
+  }
 
   result.events_emitted = platform.stats().events_emitted;
   result.events_lost = platform.stats().events_lost;
@@ -89,6 +106,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     const dsps::ExecutorStats& s = platform.executor(ref).stats();
     result.post_commit_arrivals += s.post_commit_arrivals;
     result.lost_at_kill += s.lost_at_kill;
+    result.transport_overflow += s.transport_overflow;
   }
   result.billed_cents = platform.cluster().billed_cents();
 
@@ -144,6 +162,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (platform.coordinator().first_init_received().has_value()) {
     rep.first_init_sec = rel_sec(platform.coordinator().first_init_received());
   }
+  result.first_init_received = platform.coordinator().first_init_received();
+  result.init_completed_at = platform.coordinator().init_completed_at();
+  result.last_init_attempt_at = platform.coordinator().last_init_attempt_at();
 
   // End-to-end latency percentiles over the whole run (Fig 9 companion).
   const auto run_end = static_cast<SimTime>(config.run_duration);

@@ -9,6 +9,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "chaos/injector.hpp"
 #include "chaos/plan.hpp"
@@ -80,6 +81,7 @@ struct ExperimentResult {
   std::uint64_t events_lost{0};
   std::uint64_t post_commit_arrivals{0};  ///< CCR invariant, must be 0
   std::uint64_t lost_at_kill{0};          ///< 0 for DCR/CCR
+  std::uint64_t transport_overflow{0};    ///< Starting-buffer cap drops
   double billed_cents{0.0};
 
   // Fault-recovery observability.
@@ -87,6 +89,16 @@ struct ExperimentResult {
   chaos::ChaosStats chaos;
   dsps::CheckpointStats checkpoint;
   kvstore::StoreStats store;
+  /// Per-shard breakdown of `store` (one entry per store VM; a single
+  /// entry for the unsharded baseline).
+  std::vector<kvstore::StoreStats> store_shards;
+  /// Raw INIT-session instants (the report only carries first_init_sec).
+  /// init_completed_at − last_init_attempt_at is the final INIT round trip
+  /// (delivery + per-task state fetch + ack) — the segment the sharded
+  /// prefetch shortens.
+  std::optional<SimTime> first_init_received;
+  std::optional<SimTime> init_completed_at;
+  std::optional<SimTime> last_init_attempt_at;
 };
 
 /// Run one experiment.  Deterministic for a fixed config (seed included).

@@ -12,8 +12,8 @@ namespace {
 struct ScriptedHook : Store::FaultHook {
   bool down{false};
   SimDuration slow{0};
-  bool unavailable() override { return down; }
-  SimDuration extra_latency() override { return slow; }
+  bool unavailable(int /*shard*/) override { return down; }
+  SimDuration extra_latency(int /*shard*/) override { return slow; }
 };
 
 struct RetryFixture : ::testing::Test {

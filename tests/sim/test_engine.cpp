@@ -117,6 +117,83 @@ TEST(Engine, StepExecutesExactlyOne) {
   EXPECT_FALSE(e.step());
 }
 
+TEST(Engine, RunUntilLandingOnCancelledHead) {
+  // The queue head sits exactly at the limit but is cancelled: run_until
+  // must skip it without firing it or stalling the clock short of limit.
+  Engine e;
+  int fired = 0;
+  const TimerId head = e.schedule(time::sec(5), [&] { ++fired; });
+  e.schedule(time::sec(7), [&] { ++fired; });
+  EXPECT_TRUE(e.cancel(head));
+  e.run_until(static_cast<SimTime>(time::sec(5)));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(e.now(), static_cast<SimTime>(time::sec(5)));
+  EXPECT_EQ(e.pending(), 1u);
+}
+
+TEST(Engine, CancelledHeadDoesNotAdvanceClock) {
+  Engine e;
+  const TimerId id = e.schedule(time::sec(9), [] {});
+  SimTime fired_at = 0;
+  e.schedule(time::sec(1), [&] { fired_at = e.now(); });
+  e.cancel(id);
+  e.run();
+  // The cancelled 9 s entry must not drag the clock to 9 s.
+  EXPECT_EQ(fired_at, static_cast<SimTime>(time::sec(1)));
+  EXPECT_EQ(e.now(), static_cast<SimTime>(time::sec(1)));
+}
+
+TEST(Engine, StaleIdAfterSlotReuseIsRejected) {
+  // A slot freed by cancel is recycled by the next schedule; the old
+  // TimerId must not cancel the new occupant (generation / ABA guard).
+  Engine e;
+  const TimerId stale = e.schedule(time::ms(10), [] {});
+  EXPECT_TRUE(e.cancel(stale));
+  int fired = 0;
+  e.schedule(time::ms(20), [&] { ++fired; });  // reuses the freed slot
+  EXPECT_FALSE(e.cancel(stale));
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, StaleIdAfterFireIsRejected) {
+  Engine e;
+  const TimerId id = e.schedule(time::ms(1), [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+  int fired = 0;
+  e.schedule(time::ms(2), [&] { ++fired; });  // recycles the fired slot
+  EXPECT_FALSE(e.cancel(id));
+  e.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, PendingExcludesCancelled) {
+  Engine e;
+  const TimerId a = e.schedule(time::ms(1), [] {});
+  e.schedule(time::ms(2), [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+  e.run();
+  EXPECT_EQ(e.pending(), 0u);
+}
+
+TEST(Engine, RescheduleFromOwnCallbackReusesSlotSafely) {
+  // A callback scheduling more work while its own slot is being recycled
+  // is the acker's resend idiom; the engine must release the slot before
+  // invoking, so the nested schedule may land in it.
+  Engine e;
+  int chain = 0;
+  std::function<void()> again = [&] {
+    if (++chain < 100) e.schedule(time::us(1), again);
+  };
+  e.schedule(time::us(1), again);
+  e.run();
+  EXPECT_EQ(chain, 100);
+  EXPECT_EQ(e.executed(), 100u);
+}
+
 TEST(Engine, ExecutedCounter) {
   Engine e;
   for (int i = 0; i < 5; ++i) e.schedule(time::ms(i), [] {});

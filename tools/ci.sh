@@ -3,20 +3,27 @@
 # preset. The TSan preset exists (`--tsan`) but is opt-in — the simulator
 # is single-threaded, so data-race coverage only matters for future work.
 #
-# Usage: tools/ci.sh [--tsan] [--skip-asan]
+# A bench gate follows the default-preset tests: the checkpoint-store and
+# restore benches run their shard sweeps (shards 1 and 4) in --check mode,
+# which fails on a >20% regression of the single-shard baseline or a lost
+# sharding win. `--skip-bench` opts out.
+#
+# Usage: tools/ci.sh [--tsan] [--skip-asan] [--skip-bench]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 run_tsan=0
 run_asan=1
+run_bench=1
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
     --skip-asan) run_asan=0 ;;
+    --skip-bench) run_bench=0 ;;
     *)
       echo "ci.sh: unknown option: $arg" >&2
-      echo "usage: tools/ci.sh [--tsan] [--skip-asan]" >&2
+      echo "usage: tools/ci.sh [--tsan] [--skip-asan] [--skip-bench]" >&2
       exit 2
       ;;
   esac
@@ -30,6 +37,14 @@ cmake --build --preset default -j "$jobs"
 
 echo "==> tier-1: ctest (default preset)"
 ctest --preset default -j "$jobs"
+
+if [ "$run_bench" = 1 ]; then
+  echo "==> bench gate: checkpoint + restore shard sweeps (shards 1 and 4)"
+  ( cd build/bench &&
+    ./bench_redis_checkpoint --check &&
+    ./bench_fig5_scale_out --check &&
+    ./bench_fig5_scale_in --check )
+fi
 
 if [ "$run_asan" = 1 ]; then
   echo "==> asan: configure + build + ctest"

@@ -34,14 +34,18 @@ void print_help(std::FILE* out, const char* argv0) {
                "  --migrate-at S        migration request time, seconds\n"
                "  --duration S          total run duration, seconds\n"
                "  --linear-n N          override the DAG with Linear-N\n"
+               "  --kv-shards N         checkpoint store shards (default 1;\n"
+               "                        1 = the single-Redis baseline)\n"
                "\n"
                "recovery supervision:\n"
                "  --attempts N          max migration attempts (default 1)\n"
                "  --no-fallback         do not degrade to DSM after aborts\n"
                "\n"
                "fault injection (S = start sec, D = duration sec, P = prob):\n"
-               "  --chaos-kv-outage S,D     store unavailable in the window\n"
-               "  --chaos-kv-slow S,D,MS    extra store latency, ms\n"
+               "  --chaos-kv-outage S,D[,SHARD]   store unavailable in the\n"
+               "                        window (SHARD restricts the outage to\n"
+               "                        one shard; omitted = all shards)\n"
+               "  --chaos-kv-slow S,D,MS[,SHARD]  extra store latency, ms\n"
                "  --chaos-drop-control S,D,P  drop control messages\n"
                "  --chaos-drop-user S,D,P     drop user events\n"
                "  --chaos-delay S,D,MS      extra network delay, ms\n"
@@ -196,13 +200,18 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--no-fallback") {
       cfg.controller.fallback_to_dsm = false;
+    } else if (arg == "--kv-shards") {
+      cfg.platform.kv_shards = parse_int(argv[0], arg, next());
+      if (cfg.platform.kv_shards < 1) die(argv[0], "--kv-shards must be >= 1");
     } else if (arg == "--chaos-kv-outage") {
-      const auto v = csv(2, 2);
-      cfg.chaos.kv_outage(time::sec_f(v[0]), time::sec_f(v[1]));
+      const auto v = csv(2, 3);
+      cfg.chaos.kv_outage(time::sec_f(v[0]), time::sec_f(v[1]),
+                          v.size() > 2 ? static_cast<int>(v[2]) : -1);
     } else if (arg == "--chaos-kv-slow") {
-      const auto v = csv(3, 3);
+      const auto v = csv(3, 4);
       cfg.chaos.kv_latency(time::sec_f(v[0]), time::sec_f(v[1]),
-                           time::ms(static_cast<std::int64_t>(v[2])));
+                           time::ms(static_cast<std::int64_t>(v[2])),
+                           v.size() > 3 ? static_cast<int>(v[3]) : -1);
     } else if (arg == "--chaos-drop-control") {
       const auto v = csv(3, 3);
       cfg.chaos.drop_control(time::sec_f(v[0]), time::sec_f(v[1]), v[2]);
