@@ -21,7 +21,7 @@ void BM_EngineScheduleRun(benchmark::State& state) {
     sim::Engine engine;
     const int n = static_cast<int>(state.range(0));
     for (int i = 0; i < n; ++i) {
-      engine.schedule(time::us(i), [] {});
+      engine.schedule_detached(time::us(i), [] {});
     }
     engine.run();
     benchmark::DoNotOptimize(engine.executed());
@@ -43,7 +43,9 @@ void BM_EngineCancelHeavy(benchmark::State& state) {
       timers.push_back(engine.schedule(time::sec(30) + time::us(i), [] {}));
     }
     for (int i = 0; i < n; ++i) {
-      if (i % 16 != 0) engine.cancel(timers[static_cast<std::size_t>(i)]);
+      // lint: nodiscard-ok(benchmark measures cancel cost; verdict irrelevant)
+      if (i % 16 != 0)
+        (void)engine.cancel(timers[static_cast<std::size_t>(i)]);
     }
     engine.run();
     benchmark::DoNotOptimize(engine.executed());
@@ -58,7 +60,7 @@ void BM_EngineSlotReuse(benchmark::State& state) {
   sim::Engine engine;
   for (auto _ : state) {
     for (int i = 0; i < 64; ++i) {
-      engine.schedule(time::us(1), [] {});
+      engine.schedule_detached(time::us(1), [] {});
     }
     engine.run();
   }

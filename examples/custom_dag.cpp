@@ -84,7 +84,7 @@ int main() {
   core::MigrationController controller(platform, *strategy);
   platform.start();
 
-  engine.schedule(time::sec(120), [&] {
+  engine.schedule_detached(time::sec(120), [&] {
     collector.set_request_time(engine.now());
     const auto d3 = platform.cluster().provision_n(
         cluster::VmType::D3, plan.scale_in_d3_vms, "d3");

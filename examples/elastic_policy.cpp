@@ -38,7 +38,7 @@ int main() {
   // Policy: consolidate to D3s during the "night", spread back over D1s
   // for the "day" — two migrations in one run, exercising repeated
   // elasticity on the same dataflow.
-  engine.schedule(time::sec(240), [&] {
+  engine.schedule_detached(time::sec(240), [&] {
     const auto night_pool = platform.cluster().provision_n(
         cluster::VmType::D3, plan.scale_in_d3_vms, "night");
     dsps::MigrationPlan mplan;
@@ -54,7 +54,7 @@ int main() {
     });
   });
 
-  engine.schedule(time::sec(600), [&] {
+  engine.schedule_detached(time::sec(600), [&] {
     const auto day_pool = platform.cluster().provision_n(
         cluster::VmType::D1, plan.scale_out_d1_vms, "day2");
     dsps::MigrationPlan mplan;

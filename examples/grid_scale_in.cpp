@@ -46,7 +46,7 @@ int main() {
               platform.cluster().utilisation(d2_pool) * 100.0);
 
   // 4. At t=180 s, provision 6 D3 VMs and migrate.
-  engine.schedule(time::sec(180), [&] {
+  engine.schedule_detached(time::sec(180), [&] {
     collector.set_request_time(engine.now());
     const auto d3_pool = platform.cluster().provision_n(
         cluster::VmType::D3, plan.scale_in_d3_vms, "d3");

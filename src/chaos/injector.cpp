@@ -34,9 +34,9 @@ void ChaosInjector::arm(dsps::Platform& platform) {
 
   for (const FaultSpec& f : plan_.faults) {
     if (f.kind == FaultKind::WorkerCrash) {
-      platform.engine().schedule_at(f.at, [this, f] { crash_worker(f); });
+      platform.engine().schedule_at_detached(f.at, [this, f] { crash_worker(f); });
     } else if (f.kind == FaultKind::VmFailure) {
-      platform.engine().schedule_at(f.at, [this, f] { fail_vm(f); });
+      platform.engine().schedule_at_detached(f.at, [this, f] { fail_vm(f); });
     }
     // Window faults need no scheduling: the hooks check windows on demand.
   }
@@ -161,7 +161,7 @@ void ChaosInjector::crash_instance(int worker_index, bool respawn,
             {obs::arg("instance", static_cast<std::uint64_t>(ex.id().value))});
   if (!respawn) return;
 
-  platform_->engine().schedule(delay, [this, ref, slot] {
+  platform_->engine().schedule_detached(delay, [this, ref, slot] {
     dsps::Executor& ex2 = platform_->executor(ref);
     // A rebalance may have revived the instance elsewhere, or handed its
     // old slot to someone else, while the replacement was launching.

@@ -63,7 +63,7 @@ void MigrationController::on_attempt_done(bool ok,
 
   if (recovery_.attempts < config_.max_attempts) {
     controller_instant(platform_, "retry");
-    platform_.engine().schedule(
+    platform_.engine().schedule_detached(
         config_.retry_backoff, [this, on_done = std::move(on_done)]() mutable {
           start_attempt(std::move(on_done));
         });

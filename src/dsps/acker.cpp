@@ -1,5 +1,6 @@
 #include "dsps/acker.hpp"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -22,6 +23,7 @@ void AckerService::register_root(RootId root, OnComplete on_complete,
   PendingRoot p;
   p.hash = root;  // the root event itself is the first pending entry
   p.registered_at = engine_.now();
+  p.seq = next_seq_++;
   p.on_complete = std::move(on_complete);
   p.on_fail = std::move(on_fail);
   pending_[root] = std::move(p);
@@ -65,20 +67,26 @@ void AckerService::forget(RootId root) { pending_.erase(root); }
 void AckerService::scan() {
   // Collect first so that fail callbacks (which may register new roots,
   // e.g. replays) do not invalidate the iteration.
-  std::vector<RootId> expired;
+  std::vector<std::pair<std::uint64_t, RootId>> expired;
   const SimTime now = engine_.now();
+  // lint: unordered-iter-ok(read-only scan; expired is sorted by
+  // registration seq below before any side effect reaches fail())
   for (const auto& [root, p] : pending_) {
     if (now >= p.registered_at + static_cast<SimTime>(ack_timeout_)) {
-      expired.push_back(root);
+      expired.emplace_back(p.seq, root);
     }
   }
+  // Fail in registration order, not in hash-bucket order.  Replay
+  // scheduling and trace emission follow the fail order, so bucket order
+  // here would leak stdlib iteration order into the deterministic surface.
+  std::sort(expired.begin(), expired.end());
   if (tracer_ != nullptr && !expired.empty()) {
     tracer_->instant(
         obs::kTrackAcker, "acker", "timeout",
         {obs::arg("expired_roots", static_cast<std::uint64_t>(expired.size())),
          obs::arg("inflight", static_cast<std::uint64_t>(pending_.size()))});
   }
-  for (RootId root : expired) fail(root);
+  for (const auto& [seq, root] : expired) fail(root);
 }
 
 }  // namespace rill::dsps

@@ -80,6 +80,10 @@ class AckerService {
   struct PendingRoot {
     std::uint64_t hash{0};
     SimTime registered_at{0};
+    /// Monotone registration sequence; the timeout scan fails expired roots
+    /// in this order so replay never depends on hash-bucket order (root ids
+    /// are random 64-bit values, so sorting by id would be arbitrary).
+    std::uint64_t seq{0};
     OnComplete on_complete;
     OnFail on_fail;
   };
@@ -89,6 +93,7 @@ class AckerService {
   sim::Engine& engine_;
   SimDuration ack_timeout_;
   sim::PeriodicTimer scanner_;
+  std::uint64_t next_seq_{0};
   std::unordered_map<RootId, PendingRoot> pending_;
   AckerStats stats_;
   obs::Tracer* tracer_{nullptr};

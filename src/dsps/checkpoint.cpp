@@ -292,7 +292,8 @@ void CheckpointCoordinator::fail_init_session() {
   init_.active = false;
   ++stats_.init_sessions_failed;
   clear_init_prefetch();
-  platform_.engine().cancel(init_resend_timer_);
+  // lint: nodiscard-ok(cancel-if-pending: the resend timer may have fired)
+  static_cast<void>(platform_.engine().cancel(init_resend_timer_));
   for (RootId r : init_.outstanding) platform_.acker().forget(r);
   init_.outstanding.clear();
   if (auto* tr = platform_.tracer()) {
@@ -317,8 +318,10 @@ void CheckpointCoordinator::send_init_attempt() {
         if (!init_.active) return;
         init_.active = false;
         clear_init_prefetch();
-        platform_.engine().cancel(init_resend_timer_);
-        platform_.engine().cancel(init_deadline_timer_);
+        // lint: nodiscard-ok(cancel-if-pending: either timer may have fired)
+        static_cast<void>(platform_.engine().cancel(init_resend_timer_));
+        // lint: nodiscard-ok(cancel-if-pending: either timer may have fired)
+        static_cast<void>(platform_.engine().cancel(init_deadline_timer_));
         for (RootId r : init_.outstanding) {
           if (r != completed) platform_.acker().forget(r);
         }

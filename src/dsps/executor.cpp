@@ -137,7 +137,7 @@ void Executor::pump() {
     if (ev.is_control()) {
       busy_ = true;
       const std::uint64_t epoch = epoch_;
-      platform_.engine().schedule(
+      platform_.engine().schedule_detached(
           platform_.config().control_handling, [this, ev, epoch] {
             if (epoch != epoch_) return;
             busy_ = false;
@@ -170,7 +170,7 @@ void Executor::pump() {
     busy_ = true;
     const std::uint64_t epoch = epoch_;
     const TaskDef& def = platform_.topology().task(ref_.task);
-    platform_.engine().schedule(def.service_time, [this, ev, epoch] {
+    platform_.engine().schedule_detached(def.service_time, [this, ev, epoch] {
       if (epoch != epoch_) {
         // Killed mid-processing: the event is lost with the worker.
         platform_.note_lost(ev);
@@ -379,6 +379,8 @@ void Executor::on_init(const Event& ev, std::uint64_t span) {
       return;
     }
     const std::uint64_t epoch = epoch_;
+    // lint: nodiscard-ok(Store::get is the async void overload — the result
+    // arrives through the completion callback, not the return value)
     platform_.store().get(
         platform_.cluster().vm_of(slot_), key,
         [this, ev, epoch, span](bool ok, std::optional<Bytes> raw) {

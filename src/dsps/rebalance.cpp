@@ -47,7 +47,7 @@ void Rebalancer::rebalance(const MigrationPlan& plan, SimDuration timeout,
     // Storm's timeout variant: sources pause so in-flight events may flow
     // through before the kill; they resume when the command completes.
     platform_.pause_sources();
-    platform_.engine().schedule(timeout, [this, plan,
+    platform_.engine().schedule_detached(timeout, [this, plan,
                                           done = std::move(on_command_complete)]() mutable {
       kill_and_redeploy(plan, [this, done = std::move(done)] {
         platform_.unpause_sources();
@@ -69,7 +69,7 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
       std::max(2.0, platform_.rng_rebalance().normal(cfg.rebalance_mean_sec,
                                                      cfg.rebalance_stddev_sec));
 
-  platform_.engine().schedule(cfg.kill_delay, [this, plan, command_sec,
+  platform_.engine().schedule_detached(cfg.kill_delay, [this, plan, command_sec,
                                                done = std::move(on_command_complete)]() mutable {
     last_->killed_at = platform_.engine().now();
 
@@ -97,7 +97,7 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
 
     const SimDuration remaining =
         time::sec_f(command_sec) - platform_.config().kill_delay;
-    platform_.engine().schedule(
+    platform_.engine().schedule_detached(
         std::max<SimDuration>(remaining, 0),
         [this, plan, migrating, old_vms, done = std::move(done)]() mutable {
           const PlatformConfig& cfg2 = platform_.config();
@@ -155,7 +155,7 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
             Executor& ex = platform_.executor(ref);
             const bool stateful = platform_.topology().task(ref.task).stateful;
             const std::uint64_t epoch = ex.epoch();
-            platform_.engine().schedule(
+            platform_.engine().schedule_detached(
                 time::sec_f(startup), [&ex, stateful, epoch] {
                   // Stale once the worker is re-killed (abort re-pin, chaos
                   // crash): the next incarnation arms its own timer.

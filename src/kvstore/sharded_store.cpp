@@ -199,7 +199,7 @@ void ShardedStore::put_pipelined(VmId client, std::string key, Bytes value,
   pb.dones.push_back(std::move(done));
   if (!pb.armed) {
     pb.armed = true;
-    engine_.schedule(config().pipeline_linger,
+    engine_.schedule_detached(config().pipeline_linger,
                      [this, cv = client.value, shard] { flush(cv, shard); });
   }
 }

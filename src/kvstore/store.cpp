@@ -143,7 +143,7 @@ void Store::attempt(VmId client, std::shared_ptr<const Request> req,
           (*done_sp)(false, Reply{});
           return;
         }
-        engine_.schedule(backoff_delay(attempt_no),
+        engine_.schedule_detached(backoff_delay(attempt_no),
                          [this, client, req, attempt_no, done_sp]() mutable {
                            ++stats_.retries;
                            if (tracer_ != nullptr) {
@@ -171,7 +171,7 @@ void Store::attempt(VmId client, std::shared_ptr<const Request> req,
         }
         SimDuration cost = service_cost(items, request_bytes);
         if (fault_hook_ != nullptr) cost += fault_hook_->extra_latency(shard_);
-        engine_.schedule(cost, [this, client, req, settled, done_sp,
+        engine_.schedule_detached(cost, [this, client, req, settled, done_sp,
                                 timeout_timer] {
           if (*settled) return;  // client already gave up on this attempt
           Reply reply;
@@ -183,7 +183,9 @@ void Store::attempt(VmId client, std::shared_ptr<const Request> req,
                timeout_timer]() mutable {
                 if (*settled) return;
                 *settled = true;
-                engine_.cancel(timeout_timer);
+                // lint: nodiscard-ok(cancel-if-pending: settled flag already
+                // guards the race with the timeout)
+                static_cast<void>(engine_.cancel(timeout_timer));
                 (*done_sp)(true, std::move(reply));
               },
               net::MsgClass::Store);

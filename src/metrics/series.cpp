@@ -62,12 +62,17 @@ std::vector<std::pair<std::size_t, double>> LatencySeries::windowed_avg_ms(
   if (samples_.empty() || window_sec == 0) return out;
 
   std::size_t window_start = 0;
-  double sum = 0.0;
+  // Accumulate in integer microseconds (R3): latencies are integral and
+  // window sums stay far below 2^53, so the mean is exact and the division
+  // at the report boundary yields the same bytes regardless of add order.
+  std::uint64_t sum_us = 0;
   std::size_t n = 0;
   const auto flush = [&] {
-    if (n > 0) out.emplace_back(window_start, time::to_ms(
-                                                  static_cast<SimDuration>(
-                                                      sum / static_cast<double>(n))));
+    if (n > 0) {
+      out.emplace_back(window_start,
+                       time::to_ms(static_cast<SimDuration>(
+                           static_cast<double>(sum_us) / static_cast<double>(n))));
+    }
   };
   for (const Sample& s : samples_) {
     const std::size_t w =
@@ -76,10 +81,10 @@ std::vector<std::pair<std::size_t, double>> LatencySeries::windowed_avg_ms(
     if (w != window_start) {
       flush();
       window_start = w;
-      sum = 0.0;
+      sum_us = 0;
       n = 0;
     }
-    sum += static_cast<double>(s.latency);
+    sum_us += static_cast<std::uint64_t>(s.latency);
     ++n;
   }
   flush();

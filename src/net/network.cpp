@@ -58,7 +58,7 @@ void Network::send(VmId from, VmId to, std::size_t bytes, Deliver deliver,
 
   const SimTime arrival =
       fifo_arrival(from, to, engine_.now() + static_cast<SimTime>(latency));
-  engine_.schedule_at(arrival, std::move(deliver));
+  engine_.schedule_at_detached(arrival, std::move(deliver));
 }
 
 void Network::send_between_slots(SlotId from, SlotId to, std::size_t bytes,

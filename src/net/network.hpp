@@ -85,7 +85,7 @@ class Network {
 
  private:
   /// Smallest arrival time that keeps the (from, to) channel FIFO.
-  SimTime fifo_arrival(VmId from, VmId to, SimTime proposed);
+  [[nodiscard]] SimTime fifo_arrival(VmId from, VmId to, SimTime proposed);
 
   sim::Engine& engine_;
   const cluster::Cluster& cluster_;

@@ -24,11 +24,14 @@ namespace rill::obs {
 
 class Counter {
  public:
-  void add(std::uint64_t n = 1) noexcept { value_ += n; }
-  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+  void add(std::uint64_t n = 1) noexcept { count_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return count_; }
 
  private:
-  std::uint64_t value_{0};
+  // Named count_, not value_: Gauge::value_ below is a double, and the
+  // R3 float-accum lint keys on field names — keep integer accumulators
+  // distinguishable from floating-point ones.
+  std::uint64_t count_{0};
 };
 
 class Gauge {

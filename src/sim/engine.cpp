@@ -104,7 +104,8 @@ void PeriodicTimer::start() {
 void PeriodicTimer::stop() {
   if (!running_) return;
   running_ = false;
-  engine_.cancel(pending_);
+  // lint: nodiscard-ok(cancel-if-pending: false just means the tick already fired)
+  static_cast<void>(engine_.cancel(pending_));
 }
 
 void PeriodicTimer::arm() {

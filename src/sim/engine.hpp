@@ -35,13 +35,31 @@ class Engine {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedule `cb` to run `delay` from now.  Negative delays clamp to "now".
+  /// The returned TimerId is the only handle for cancellation; callers that
+  /// intend to never cancel must say so via schedule_detached().
+  [[nodiscard("keep the TimerId to cancel, or use schedule_detached")]]
   TimerId schedule(SimDuration delay, Callback cb);
 
   /// Schedule `cb` at an absolute instant (clamped to now if in the past).
+  [[nodiscard("keep the TimerId to cancel, or use schedule_at_detached")]]
   TimerId schedule_at(SimTime when, Callback cb);
+
+  /// Fire-and-forget variants for callbacks that are never cancelled — the
+  /// callback itself must be safe to run late (e.g. it re-checks an epoch
+  /// or a liveness flag).  Exists so discarding a TimerId is an explicit
+  /// decision rather than a silent one.
+  void schedule_detached(SimDuration delay, Callback cb) {
+    // lint: nodiscard-ok(this is the blessed discard point for detached timers)
+    static_cast<void>(schedule(delay, std::move(cb)));
+  }
+  void schedule_at_detached(SimTime when, Callback cb) {
+    // lint: nodiscard-ok(this is the blessed discard point for detached timers)
+    static_cast<void>(schedule_at(when, std::move(cb)));
+  }
 
   /// Cancel a pending callback.  Returns false if it already fired or was
   /// previously cancelled.  Cancelling is O(1); the entry is lazily skipped.
+  [[nodiscard("cancel() reports whether the callback was still pending")]]
   bool cancel(TimerId id);
 
   /// Run until the event queue is empty or `limit` is reached, whichever is

@@ -50,7 +50,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   // Enact the migration at `migrate_at`: provision the target pool, then
   // hand the plan to the strategy.
-  engine.schedule_at(
+  engine.schedule_at_detached(
       static_cast<SimTime>(config.migrate_at),
       [&platform, &collector, &controller, &scheduler, &config, plan] {
         collector.set_request_time(platform.engine().now());

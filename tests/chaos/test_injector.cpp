@@ -41,11 +41,11 @@ TEST(ChaosInjector, KvOutageWindowSwallowsStoreRequests) {
   const VmId client = h.worker_vms[0];
   bool in_window_ok = true;
   bool after_window_ok = false;
-  h.engine.schedule_at(time::sec(6), [&] {
+  h.engine.schedule_at_detached(time::sec(6), [&] {
     h.p().store().put(client, "k1", Bytes(8, 1),
                       [&](bool ok) { in_window_ok = ok; });
   });
-  h.engine.schedule_at(time::sec(20), [&] {
+  h.engine.schedule_at_detached(time::sec(20), [&] {
     h.p().store().put(client, "k2", Bytes(8, 1),
                       [&](bool ok) { after_window_ok = ok; });
   });
@@ -69,11 +69,11 @@ TEST(ChaosInjector, KvLatencyWindowSlowsRequests) {
 
   const VmId client = h.worker_vms[0];
   SimTime slow_done = 0, fast_done = 0;
-  h.engine.schedule_at(time::sec(6), [&] {
+  h.engine.schedule_at_detached(time::sec(6), [&] {
     h.p().store().put(client, "k1", Bytes(8, 1),
                       [&](bool) { slow_done = h.engine.now(); });
   });
-  h.engine.schedule_at(time::sec(20), [&] {
+  h.engine.schedule_at_detached(time::sec(20), [&] {
     h.p().store().put(client, "k2", Bytes(8, 1),
                       [&](bool) { fast_done = h.engine.now(); });
   });
@@ -127,7 +127,7 @@ TEST(ChaosInjector, WorkerCrashKillsThenRespawnsInPlace) {
   h.p().start();
 
   LifeState mid = LifeState::Running;
-  h.engine.schedule_at(time::sec(12), [&] {
+  h.engine.schedule_at_detached(time::sec(12), [&] {
     mid = h.p().executor(h.p().worker_instances()[0]).life();
   });
   h.run_for(time::sec(40));

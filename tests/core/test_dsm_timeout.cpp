@@ -33,7 +33,7 @@ workloads::ExperimentResult run_with_timeout(SimDuration timeout,
   strategy->configure(platform);
   platform.start();
 
-  engine.schedule(time::sec(60), [&] {
+  engine.schedule_detached(time::sec(60), [&] {
     collector.set_request_time(engine.now());
     const auto d3 = platform.cluster().provision_n(
         cluster::VmType::D3, plan.scale_in_d3_vms, "d3");

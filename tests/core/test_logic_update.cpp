@@ -37,7 +37,7 @@ UpdateRun run_update(StrategyKind kind) {
   UpdateRun out;
   // Request mid-service (not on a 125 ms tick boundary) so the pipeline
   // genuinely holds in-flight events for CCR to capture.
-  engine.schedule(time::sec_f(30.06), [&] {
+  engine.schedule_detached(time::sec_f(30.06), [&] {
     out.emitted_before =
         platform.spout(platform.topology().sources()[0]).stats().emitted;
     const auto d3 = platform.cluster().provision_n(cluster::VmType::D3, 2, "d3");
@@ -100,7 +100,7 @@ TEST(LogicUpdate, NoUpdateKeepsVersionOne) {
   auto strategy = make_strategy(StrategyKind::CCR);
   strategy->configure(platform);
   platform.start();
-  engine.schedule(time::sec(20), [&] {
+  engine.schedule_detached(time::sec(20), [&] {
     const auto d3 = platform.cluster().provision_n(cluster::VmType::D3, 2, "d3");
     dsps::MigrationPlan plan;
     plan.target_vms = d3;

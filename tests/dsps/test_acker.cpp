@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -41,6 +42,22 @@ TEST_F(AckerFixture, TreeCompletesOnlyWhenAllAcked) {
   acker.ack(1, 12);
   EXPECT_FALSE(acker.pending(1));
   EXPECT_EQ(completed.size(), 1u);
+}
+
+TEST_F(AckerFixture, TimeoutFailureOrderIsRootIdOrderNotBucketOrder) {
+  // All roots expire in the same scan.  Ids are drawn from an RNG so their
+  // hash-bucket order differs from their registration order; the failures
+  // must still arrive in registration order, never in unordered_map bucket
+  // order — replay scheduling and trace emission follow this callback
+  // order.
+  std::vector<RootId> ids;
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) ids.push_back(rng.next());
+  for (RootId r : ids) reg(r);
+  acker.start();
+  engine.run_until(static_cast<SimTime>(time::sec(31)));
+  ASSERT_EQ(failed.size(), ids.size());
+  EXPECT_EQ(failed, ids);  // registration order, not bucket order
 }
 
 TEST_F(AckerFixture, DeepChainCompletes) {

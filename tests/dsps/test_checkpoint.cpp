@@ -190,7 +190,7 @@ TEST(Checkpoint, InitResendsUntilWorkerReady) {
                                  init_done = h.engine.now();
                                });
   const SimTime ready_at = h.engine.now() + static_cast<SimTime>(time::sec(5));
-  h.engine.schedule(time::sec(5), [&ex] { ex.set_ready(true); });
+  h.engine.schedule_detached(time::sec(5), [&ex] { ex.set_ready(true); });
   h.run_for(time::sec(20));
   ASSERT_TRUE(inited);
   EXPECT_GE(init_done, ready_at);

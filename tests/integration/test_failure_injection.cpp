@@ -37,14 +37,14 @@ CrashRun crash_worker_under(core::StrategyKind kind) {
   const SlotId slot = victim.slot();
   h.p().cluster().vacate(slot);
   victim.kill();
-  h.engine.schedule(time::sec(3), [&h, &victim, slot] {
+  h.engine.schedule_detached(time::sec(3), [&h, &victim, slot] {
     victim.respawn(slot);
     h.p().cluster().occupy(slot, victim.id());
   });
-  h.engine.schedule(time::sec(5), [&victim] {
+  h.engine.schedule_detached(time::sec(5), [&victim] {
     victim.set_ready(/*awaiting_init=*/true);
   });
-  h.engine.schedule(time::sec(6), [&h] {
+  h.engine.schedule_detached(time::sec(6), [&h] {
     h.p().coordinator().run_init(h.p().coordinator().last_committed(),
                                  h.p().checkpoint_mode(), time::sec(1),
                                  [](bool) {});
@@ -109,11 +109,11 @@ TEST(FailureInjection, CrashDuringCcrMigrationStillRecovers) {
 
   // 12 s in: the rebalance is done, workers are Starting.  Delay one
   // worker by an extra 60 s (double crash / very slow host).
-  h.engine.schedule(time::sec(12), [&h] {
+  h.engine.schedule_detached(time::sec(12), [&h] {
     dsps::Executor& ex = h.p().executor(h.p().worker_instances()[0]);
     if (ex.life() == dsps::LifeState::Starting) {
       // Simulate a start-up crash loop: it comes up much later.
-      h.engine.schedule(time::sec(60), [&ex] {
+      h.engine.schedule_detached(time::sec(60), [&ex] {
         if (!ex.ready()) ex.set_ready(true);
       });
     }

@@ -70,7 +70,7 @@ TEST_F(RetryFixture, BackoffSpacesTheAttempts) {
 TEST_F(RetryFixture, RecoversWhenOutageLiftsMidRetry) {
   hook.down = true;
   // Server comes back after the first attempt has already timed out.
-  engine.schedule(time::ms(900), [this] { hook.down = false; });
+  engine.schedule_detached(time::ms(900), [this] { hook.down = false; });
   bool done = false, ok = false;
   store->put(client_vm, "k", Bytes(8, 1), [&](bool s) {
     done = true;
@@ -109,7 +109,7 @@ TEST_F(RetryFixture, SlowServerWithinTimeoutNeedsNoRetry) {
 
 TEST_F(RetryFixture, LatencySpikePastTimeoutRetriesIdempotently) {
   hook.slow = time::sec(1);  // beyond the 800 ms request timeout
-  engine.schedule(time::ms(900), [this] { hook.slow = 0; });
+  engine.schedule_detached(time::ms(900), [this] { hook.slow = 0; });
   bool done = false, ok = false;
   store->put(client_vm, "k", Bytes(8, 1), [&](bool s) {
     done = true;

@@ -1,0 +1,19 @@
+// Fixture: a clean file — ordered containers, consumed results, sim time.
+#include <map>
+#include <string>
+
+namespace fixture {
+
+struct Ledger {
+  std::map<std::string, long> entries_;
+
+  [[nodiscard]] long balance() const {
+    long n = 0;
+    for (const auto& [name, amount] : entries_) n += amount;
+    return n;
+  }
+};
+
+long audit(const Ledger& ledger) { return ledger.balance(); }
+
+}  // namespace fixture

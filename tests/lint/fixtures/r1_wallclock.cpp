@@ -1,0 +1,13 @@
+// Fixture: R1 violations — wall-clock and entropy outside the shim.
+#include <chrono>
+#include <cstdlib>
+
+namespace fixture {
+
+long jitter_ms() {
+  auto t = std::chrono::steady_clock::now();  // R1: steady_clock (line 8)
+  (void)t;
+  return std::rand() % 100;  // R1: rand (line 10)
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: the unordered container is declared in an included header; the
+// iteration here must still be caught (include-closure resolution).
+#include "table_fixture.hpp"
+
+namespace fixture {
+
+int sum_routes(const RouteTable& t) {
+  int n = 0;
+  for (const auto& [dst, hops] : t.routes_) n += hops;  // R2 (line 9)
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: R2 violations — iteration over unordered containers.
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Inventory {
+  std::unordered_map<std::string, int> items_;
+
+  int total() const {
+    int n = 0;
+    for (const auto& [k, v] : items_) n += v;  // R2: range-for (line 12)
+    return n;
+  }
+
+  int first() const {
+    auto it = items_.begin();  // R2: iterator (line 17)
+    return it == items_.end() ? 0 : it->second;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Fixture: R3 violation — float accumulation into a report field.  The
+// filename contains "report", putting it on the report surface.
+namespace fixture {
+
+struct LatencyReport {
+  double total_ms{0.0};
+  long count{0};
+
+  void add_sample(double ms) {
+    total_ms += ms;  // R3: float accumulation (line 10)
+    ++count;
+  }
+};
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Fixture: R4 violations — discarded [[nodiscard]] results.
+namespace fixture {
+
+struct Channel {
+  [[nodiscard]] bool try_send(int v) { return v > 0; }
+};
+
+void pump(Channel& ch) {
+  ch.try_send(1);  // R4: plain discard (line 9)
+  static_cast<void>(ch.try_send(2));  // R4: explicit, no waiver (line 10)
+  if (ch.try_send(3)) {  // consumed — no finding
+  }
+  bool ok = ch.try_send(4);  // consumed — no finding
+  (void)ok;
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture header: declares an unordered container consumed by
+// r2_closure.cpp — exercises include-closure declaration joining.
+#pragma once
+
+#include <unordered_map>
+
+namespace fixture {
+
+struct RouteTable {
+  std::unordered_map<int, int> routes_;
+};
+
+}  // namespace fixture

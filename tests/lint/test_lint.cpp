@@ -1,0 +1,159 @@
+// Golden-fixture tests for rill_lint (tools/lint).  Each violating fixture
+// asserts the exact rule id and line; the clean and waived fixtures assert
+// silence; the baseline tests round-trip the suppression file.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace rill::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(RILL_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<Finding> lint_one(const std::string& name) {
+  return run({{name, fixture(name)}});
+}
+
+bool has(const std::vector<Finding>& fs, const std::string& rule, int line) {
+  return std::any_of(fs.begin(), fs.end(), [&](const Finding& f) {
+    return f.rule == rule && f.line == line;
+  });
+}
+
+TEST(Lexer, SkipsStringsAndComments) {
+  const LexedFile lx = lex(
+      "int a = 1; // rand() in a comment\n"
+      "const char* s = \"std::rand()\"; /* time() too */\n");
+  for (const Token& t : lx.tokens) {
+    EXPECT_NE(t.text, "rand");
+    EXPECT_NE(t.text, "time");
+  }
+  ASSERT_TRUE(lx.comments.contains(1));
+  EXPECT_NE(lx.comments.at(1).find("rand()"), std::string::npos);
+}
+
+TEST(Lexer, RecordsQuotedIncludesOnly) {
+  const LexedFile lx = lex(
+      "#include <vector>\n"
+      "#include \"dsps/acker.hpp\"\n"
+      "int x;\n");
+  ASSERT_EQ(lx.quoted_includes.size(), 1u);
+  EXPECT_EQ(lx.quoted_includes[0], "dsps/acker.hpp");
+  // Directive lines emit no tokens.
+  ASSERT_FALSE(lx.tokens.empty());
+  EXPECT_EQ(lx.tokens[0].text, "int");
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const LexedFile lx = lex("ab\n  cd\n");
+  ASSERT_EQ(lx.tokens.size(), 2u);
+  EXPECT_EQ(lx.tokens[1].line, 2);
+  EXPECT_EQ(lx.tokens[1].col, 3);
+}
+
+TEST(RillLint, R1WallclockFixture) {
+  const auto fs = lint_one("r1_wallclock.cpp");
+  EXPECT_TRUE(has(fs, "R1/wallclock", 8)) << "steady_clock";
+  EXPECT_TRUE(has(fs, "R1/wallclock", 10)) << "rand";
+  EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST(RillLint, R1AllowlistSilencesTheShim) {
+  // The same content under the allowlisted prefix produces no findings.
+  const auto fs = run({{"src/common/wallclock_shim.cpp",
+                        fixture("r1_wallclock.cpp")}});
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(RillLint, R2UnorderedIterFixture) {
+  const auto fs = lint_one("r2_unordered.cpp");
+  EXPECT_TRUE(has(fs, "R2/unordered-iter", 12)) << "range-for";
+  EXPECT_TRUE(has(fs, "R2/unordered-iter", 17)) << ".begin()";
+  EXPECT_EQ(fs.size(), 2u);
+}
+
+TEST(RillLint, R2DeclarationJoinsAcrossIncludes) {
+  // routes_ is declared in table_fixture.hpp; the iteration in
+  // r2_closure.cpp is only caught if the include closure joins them.
+  const auto fs = run({{"r2_closure.cpp", fixture("r2_closure.cpp")},
+                       {"table_fixture.hpp", fixture("table_fixture.hpp")}});
+  EXPECT_TRUE(has(fs, "R2/unordered-iter", 9));
+  EXPECT_EQ(fs.size(), 1u);
+}
+
+TEST(RillLint, R3FloatAccumFixture) {
+  const auto fs = lint_one("r3_report_fields.cpp");
+  EXPECT_TRUE(has(fs, "R3/float-accum", 10));
+  EXPECT_EQ(fs.size(), 1u);
+}
+
+TEST(RillLint, R3IgnoresFilesOffTheReportSurface) {
+  // Same content, filename without report/trace/obs/metrics: no findings.
+  const auto fs = run({{"r3_elsewhere.cpp", fixture("r3_report_fields.cpp")}});
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(RillLint, R4NodiscardFixture) {
+  const auto fs = lint_one("r4_nodiscard.cpp");
+  EXPECT_TRUE(has(fs, "R4/nodiscard", 9)) << "plain discard";
+  EXPECT_TRUE(has(fs, "R4/nodiscard", 10)) << "unwaived static_cast<void>";
+  EXPECT_EQ(fs.size(), 2u) << "consumed calls must not be flagged";
+}
+
+TEST(RillLint, CleanFixtureIsClean) {
+  EXPECT_TRUE(lint_one("clean.cpp").empty());
+}
+
+TEST(RillLint, WaiversSilenceEveryRule) {
+  EXPECT_TRUE(lint_one("waived_trace.cpp").empty());
+}
+
+TEST(RillLint, WaiverWithoutReasonDoesNotCount) {
+  const auto fs = run({{"x.cpp",
+                        "void f() {\n"
+                        "  // lint: wallclock-ok()\n"
+                        "  long t = time(nullptr);\n"
+                        "  (void)t;\n"
+                        "}\n"}});
+  EXPECT_TRUE(has(fs, "R1/wallclock", 3));
+}
+
+TEST(RillLint, BaselineRoundTrip) {
+  std::vector<SourceFile> files = {
+      {"r1_wallclock.cpp", fixture("r1_wallclock.cpp")},
+      {"r2_unordered.cpp", fixture("r2_unordered.cpp")}};
+  const auto fs = run(files);
+  ASSERT_EQ(fs.size(), 4u);
+  const std::string baseline = write_baseline(fs);
+
+  // Same findings against their own baseline: fully suppressed.
+  EXPECT_TRUE(filter_baseline(fs, baseline).empty());
+
+  // A new violation elsewhere survives the old baseline.
+  files.push_back({"r4_nodiscard.cpp", fixture("r4_nodiscard.cpp")});
+  const auto fresh = filter_baseline(run(files), baseline);
+  ASSERT_EQ(fresh.size(), 2u);
+  EXPECT_EQ(fresh[0].rule, "R4/nodiscard");
+  EXPECT_EQ(fresh[1].rule, "R4/nodiscard");
+}
+
+TEST(RillLint, BaselineIsDeterministic) {
+  const auto fs = lint_one("r2_unordered.cpp");
+  EXPECT_EQ(write_baseline(fs), write_baseline(fs));
+}
+
+}  // namespace
+}  // namespace rill::lint

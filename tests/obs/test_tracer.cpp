@@ -12,11 +12,11 @@ TEST(Tracer, SpanLifecycle) {
   tr.bind_clock(&engine);
 
   SpanId span = kNoSpan;
-  engine.schedule(time::sec(1), [&] {
+  engine.schedule_detached(time::sec(1), [&] {
     span = tr.begin(kTrackCoordinator, "checkpoint", "prepare",
                     {arg("cid", std::uint64_t{7})});
   });
-  engine.schedule(time::sec(3), [&] { tr.end(span, {arg("ok", true)}); });
+  engine.schedule_detached(time::sec(3), [&] { tr.end(span, {arg("ok", true)}); });
   engine.run();
 
   ASSERT_EQ(tr.records().size(), 1u);

@@ -10,9 +10,9 @@ namespace {
 TEST(Engine, FiresInTimeOrder) {
   Engine e;
   std::vector<int> order;
-  e.schedule(time::ms(30), [&] { order.push_back(3); });
-  e.schedule(time::ms(10), [&] { order.push_back(1); });
-  e.schedule(time::ms(20), [&] { order.push_back(2); });
+  e.schedule_detached(time::ms(30), [&] { order.push_back(3); });
+  e.schedule_detached(time::ms(10), [&] { order.push_back(1); });
+  e.schedule_detached(time::ms(20), [&] { order.push_back(2); });
   e.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -21,7 +21,7 @@ TEST(Engine, SameInstantFiresInScheduleOrder) {
   Engine e;
   std::vector<int> order;
   for (int i = 0; i < 10; ++i) {
-    e.schedule(time::ms(5), [&order, i] { order.push_back(i); });
+    e.schedule_detached(time::ms(5), [&order, i] { order.push_back(i); });
   }
   e.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
@@ -30,7 +30,7 @@ TEST(Engine, SameInstantFiresInScheduleOrder) {
 TEST(Engine, ClockAdvancesToEventTime) {
   Engine e;
   SimTime seen = 0;
-  e.schedule(time::sec(5), [&] { seen = e.now(); });
+  e.schedule_detached(time::sec(5), [&] { seen = e.now(); });
   e.run();
   EXPECT_EQ(seen, static_cast<SimTime>(time::sec(5)));
   EXPECT_EQ(e.now(), static_cast<SimTime>(time::sec(5)));
@@ -39,8 +39,8 @@ TEST(Engine, ClockAdvancesToEventTime) {
 TEST(Engine, RunUntilStopsAtLimit) {
   Engine e;
   int fired = 0;
-  e.schedule(time::sec(1), [&] { ++fired; });
-  e.schedule(time::sec(10), [&] { ++fired; });
+  e.schedule_detached(time::sec(1), [&] { ++fired; });
+  e.schedule_detached(time::sec(10), [&] { ++fired; });
   e.run_until(static_cast<SimTime>(time::sec(5)));
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(e.now(), static_cast<SimTime>(time::sec(5)));
@@ -67,27 +67,27 @@ TEST(Engine, CancelFromInsideCallback) {
   Engine e;
   int fired = 0;
   const TimerId victim = e.schedule(time::ms(20), [&] { ++fired; });
-  e.schedule(time::ms(10), [&] { e.cancel(victim); });
+  e.schedule_detached(time::ms(10), [&] { (void)e.cancel(victim); });
   e.run();
   EXPECT_EQ(fired, 0);
 }
 
 TEST(Engine, NegativeDelayClampsToNow) {
   Engine e;
-  e.schedule(time::sec(1), [] {});
+  e.schedule_detached(time::sec(1), [] {});
   e.run();
   SimTime fired_at = 0;
-  e.schedule(time::ms(-50), [&] { fired_at = e.now(); });
+  e.schedule_detached(time::ms(-50), [&] { fired_at = e.now(); });
   e.run();
   EXPECT_EQ(fired_at, static_cast<SimTime>(time::sec(1)));
 }
 
 TEST(Engine, ScheduleAtInPastClampsToNow) {
   Engine e;
-  e.schedule(time::sec(2), [] {});
+  e.schedule_detached(time::sec(2), [] {});
   e.run();
   SimTime fired_at = 0;
-  e.schedule_at(static_cast<SimTime>(time::sec(1)), [&] { fired_at = e.now(); });
+  e.schedule_at_detached(static_cast<SimTime>(time::sec(1)), [&] { fired_at = e.now(); });
   e.run();
   EXPECT_EQ(fired_at, static_cast<SimTime>(time::sec(2)));
 }
@@ -95,9 +95,9 @@ TEST(Engine, ScheduleAtInPastClampsToNow) {
 TEST(Engine, NestedScheduling) {
   Engine e;
   std::vector<SimTime> times;
-  e.schedule(time::ms(10), [&] {
+  e.schedule_detached(time::ms(10), [&] {
     times.push_back(e.now());
-    e.schedule(time::ms(10), [&] { times.push_back(e.now()); });
+    e.schedule_detached(time::ms(10), [&] { times.push_back(e.now()); });
   });
   e.run();
   ASSERT_EQ(times.size(), 2u);
@@ -108,8 +108,8 @@ TEST(Engine, NestedScheduling) {
 TEST(Engine, StepExecutesExactlyOne) {
   Engine e;
   int fired = 0;
-  e.schedule(time::ms(1), [&] { ++fired; });
-  e.schedule(time::ms(2), [&] { ++fired; });
+  e.schedule_detached(time::ms(1), [&] { ++fired; });
+  e.schedule_detached(time::ms(2), [&] { ++fired; });
   EXPECT_TRUE(e.step());
   EXPECT_EQ(fired, 1);
   EXPECT_TRUE(e.step());
@@ -123,7 +123,7 @@ TEST(Engine, RunUntilLandingOnCancelledHead) {
   Engine e;
   int fired = 0;
   const TimerId head = e.schedule(time::sec(5), [&] { ++fired; });
-  e.schedule(time::sec(7), [&] { ++fired; });
+  e.schedule_detached(time::sec(7), [&] { ++fired; });
   EXPECT_TRUE(e.cancel(head));
   e.run_until(static_cast<SimTime>(time::sec(5)));
   EXPECT_EQ(fired, 0);
@@ -135,8 +135,8 @@ TEST(Engine, CancelledHeadDoesNotAdvanceClock) {
   Engine e;
   const TimerId id = e.schedule(time::sec(9), [] {});
   SimTime fired_at = 0;
-  e.schedule(time::sec(1), [&] { fired_at = e.now(); });
-  e.cancel(id);
+  e.schedule_detached(time::sec(1), [&] { fired_at = e.now(); });
+  (void)e.cancel(id);
   e.run();
   // The cancelled 9 s entry must not drag the clock to 9 s.
   EXPECT_EQ(fired_at, static_cast<SimTime>(time::sec(1)));
@@ -150,7 +150,7 @@ TEST(Engine, StaleIdAfterSlotReuseIsRejected) {
   const TimerId stale = e.schedule(time::ms(10), [] {});
   EXPECT_TRUE(e.cancel(stale));
   int fired = 0;
-  e.schedule(time::ms(20), [&] { ++fired; });  // reuses the freed slot
+  e.schedule_detached(time::ms(20), [&] { ++fired; });  // reuses the freed slot
   EXPECT_FALSE(e.cancel(stale));
   e.run();
   EXPECT_EQ(fired, 1);
@@ -162,7 +162,7 @@ TEST(Engine, StaleIdAfterFireIsRejected) {
   e.run();
   EXPECT_FALSE(e.cancel(id));
   int fired = 0;
-  e.schedule(time::ms(2), [&] { ++fired; });  // recycles the fired slot
+  e.schedule_detached(time::ms(2), [&] { ++fired; });  // recycles the fired slot
   EXPECT_FALSE(e.cancel(id));
   e.run();
   EXPECT_EQ(fired, 1);
@@ -171,9 +171,9 @@ TEST(Engine, StaleIdAfterFireIsRejected) {
 TEST(Engine, PendingExcludesCancelled) {
   Engine e;
   const TimerId a = e.schedule(time::ms(1), [] {});
-  e.schedule(time::ms(2), [] {});
+  e.schedule_detached(time::ms(2), [] {});
   EXPECT_EQ(e.pending(), 2u);
-  e.cancel(a);
+  (void)e.cancel(a);
   EXPECT_EQ(e.pending(), 1u);
   e.run();
   EXPECT_EQ(e.pending(), 0u);
@@ -186,9 +186,9 @@ TEST(Engine, RescheduleFromOwnCallbackReusesSlotSafely) {
   Engine e;
   int chain = 0;
   std::function<void()> again = [&] {
-    if (++chain < 100) e.schedule(time::us(1), again);
+    if (++chain < 100) e.schedule_detached(time::us(1), again);
   };
-  e.schedule(time::us(1), again);
+  e.schedule_detached(time::us(1), again);
   e.run();
   EXPECT_EQ(chain, 100);
   EXPECT_EQ(e.executed(), 100u);
@@ -196,7 +196,7 @@ TEST(Engine, RescheduleFromOwnCallbackReusesSlotSafely) {
 
 TEST(Engine, ExecutedCounter) {
   Engine e;
-  for (int i = 0; i < 5; ++i) e.schedule(time::ms(i), [] {});
+  for (int i = 0; i < 5; ++i) e.schedule_detached(time::ms(i), [] {});
   e.run();
   EXPECT_EQ(e.executed(), 5u);
 }

@@ -3,12 +3,27 @@
 # preset. The TSan preset exists (`--tsan`) but is opt-in — the simulator
 # is single-threaded, so data-race coverage only matters for future work.
 #
-# A bench gate follows the default-preset tests: the checkpoint-store and
+# A lint gate runs right after the default-preset tests:
+#   * rill_lint (tools/lint) enforces the determinism rules R1–R4 over
+#     src/ bench/ tools/ and must report zero findings;
+#   * clang-tidy runs the checked-in .clang-tidy profile over src/ when
+#     the binary is available (skipped with a notice otherwise — the
+#     profile needs no network, just an installed clang-tidy).
+# `--skip-lint` opts out of both.
+#
+# A determinism gate follows: each migration strategy's reference config
+# (see tests/determinism/README.md) runs twice, the two JSONL traces must
+# be byte-identical, and the first run's artifacts must match the
+# committed sha256 manifest. `--regen-determinism` rewrites the manifest
+# instead of checking it (for PRs that sanction a behavioral change).
+#
+# A bench gate follows the determinism gate: the checkpoint-store and
 # restore benches run their shard sweeps (shards 1 and 4) in --check mode,
 # which fails on a >20% regression of the single-shard baseline or a lost
 # sharding win. `--skip-bench` opts out.
 #
-# Usage: tools/ci.sh [--tsan] [--skip-asan] [--skip-bench]
+# Usage: tools/ci.sh [--tsan] [--skip-asan] [--skip-bench] [--skip-lint]
+#                    [--regen-determinism]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,14 +31,19 @@ cd "$(dirname "$0")/.."
 run_tsan=0
 run_asan=1
 run_bench=1
+run_lint=1
+regen_determinism=0
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;
     --skip-asan) run_asan=0 ;;
     --skip-bench) run_bench=0 ;;
+    --skip-lint) run_lint=0 ;;
+    --regen-determinism) regen_determinism=1 ;;
     *)
       echo "ci.sh: unknown option: $arg" >&2
-      echo "usage: tools/ci.sh [--tsan] [--skip-asan] [--skip-bench]" >&2
+      echo "usage: tools/ci.sh [--tsan] [--skip-asan] [--skip-bench]" \
+           "[--skip-lint] [--regen-determinism]" >&2
       exit 2
       ;;
   esac
@@ -37,6 +57,49 @@ cmake --build --preset default -j "$jobs"
 
 echo "==> tier-1: ctest (default preset)"
 ctest --preset default -j "$jobs"
+
+if [ "$run_lint" = 1 ]; then
+  echo "==> lint gate: rill_lint (determinism rules R1-R4)"
+  ./build/tools/lint/rill_lint --root .
+
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> lint gate: clang-tidy (.clang-tidy profile)"
+    # shellcheck disable=SC2046
+    clang-tidy -p build --quiet $(find src -name '*.cpp' | sort)
+  else
+    echo "==> lint gate: clang-tidy not installed; skipping (profile: .clang-tidy)"
+  fi
+fi
+
+echo "==> determinism gate: double-run + committed manifest (seed 1, grid)"
+det_dir="build/determinism"
+rm -rf "$det_dir" && mkdir -p "$det_dir"
+for s in dsm dcr ccr; do
+  for pass in 1 2; do
+    ./build/tools/rill_run --strategy "$s" --dag grid --scale in \
+      --seed 1 --duration 420 --migrate-at 60 \
+      --trace-jsonl "$det_dir/$s.run$pass.jsonl" --json \
+      > "$det_dir/$s.run$pass.json"
+  done
+  cmp "$det_dir/$s.run1.jsonl" "$det_dir/$s.run2.jsonl" \
+    || { echo "ci.sh: $s trace differs between identical runs" >&2; exit 1; }
+  cmp "$det_dir/$s.run1.json" "$det_dir/$s.run2.json" \
+    || { echo "ci.sh: $s report differs between identical runs" >&2; exit 1; }
+  cp "$det_dir/$s.run1.jsonl" "$det_dir/$s.jsonl"
+  cp "$det_dir/$s.run1.json" "$det_dir/$s.json"
+done
+if [ "$regen_determinism" = 1 ]; then
+  ( cd "$det_dir" &&
+    sha256sum dsm.jsonl dsm.json dcr.jsonl dcr.json ccr.jsonl ccr.json ) \
+    > tests/determinism/baseline.sha256
+  echo "==> determinism gate: manifest regenerated" \
+       "(tests/determinism/baseline.sha256) — commit it with the PR"
+else
+  ( cd "$det_dir" && sha256sum -c ../../tests/determinism/baseline.sha256 ) \
+    || { echo "ci.sh: artifacts drifted from tests/determinism/baseline.sha256;" \
+              "if the change is sanctioned, rerun with --regen-determinism" >&2
+         exit 1; }
+fi
 
 if [ "$run_bench" = 1 ]; then
   echo "==> bench gate: checkpoint + restore shard sweeps (shards 1 and 4)"

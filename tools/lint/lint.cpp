@@ -1,0 +1,739 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdlib>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rill::lint {
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+
+void append_comment(LexedFile& out, int line, std::string_view text) {
+  std::string& slot = out.comments[line];
+  if (!slot.empty()) slot += ' ';
+  slot.append(text);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------ lexer
+
+LexedFile lex(const std::string& source) {
+  LexedFile out;
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto peek = [&](std::size_t off) -> char {
+    return i + off < n ? source[i + off] : '\0';
+  };
+
+  // Multi-character punctuators, longest first.  "[[" / "]]" are kept
+  // fused so attribute detection is a two-token match.
+  static constexpr std::array<std::string_view, 27> kPuncts = {
+      "<<=", ">>=", "->*", "...", "[[", "]]", "::", "->", "<<", ">>",
+      "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
+      "%=",  "&=",  "|=",  "^=",  "++", "--", "##"};
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i;
+      while (i < n && source[i] != '\n') advance(1);
+      append_comment(out, line, std::string_view(source).substr(start, i - start));
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      advance(2);
+      std::size_t chunk_start = i;
+      int chunk_line = line;
+      while (i < n && !(source[i] == '*' && peek(1) == '/')) {
+        if (source[i] == '\n') {
+          append_comment(out, chunk_line,
+                         std::string_view(source).substr(chunk_start, i - chunk_start));
+          advance(1);
+          chunk_start = i;
+          chunk_line = line;
+        } else {
+          advance(1);
+        }
+      }
+      append_comment(out, chunk_line,
+                     std::string_view(source).substr(chunk_start, i - chunk_start));
+      advance(2);  // consume the closing */
+      continue;
+    }
+    if (c == '#' && (col == 1 || out.tokens.empty() ||
+                     out.tokens.back().line != line)) {
+      // Preprocessor directive: consume the logical line (with backslash
+      // continuations), emitting no tokens.  Quoted includes are recorded.
+      std::size_t start = i;
+      while (i < n) {
+        if (source[i] == '\\' && peek(1) == '\n') {
+          advance(2);
+          continue;
+        }
+        if (source[i] == '\n') break;
+        advance(1);
+      }
+      std::string_view directive = std::string_view(source).substr(start, i - start);
+      const std::size_t inc = directive.find("include");
+      if (inc != std::string_view::npos) {
+        const std::size_t q1 = directive.find('"', inc);
+        if (q1 != std::string_view::npos) {
+          const std::size_t q2 = directive.find('"', q1 + 1);
+          if (q2 != std::string_view::npos) {
+            out.quoted_includes.emplace_back(directive.substr(q1 + 1, q2 - q1 - 1));
+          }
+        }
+      }
+      continue;
+    }
+    if (c == 'R' && peek(1) == '"') {
+      // Raw string literal: R"delim( ... )delim"
+      const int tline = line;
+      const int tcol = col;
+      std::size_t d = i + 2;
+      while (d < n && source[d] != '(') ++d;
+      const std::string closer =
+          ")" + source.substr(i + 2, d - (i + 2)) + "\"";
+      const std::size_t end = source.find(closer, d);
+      const std::size_t stop = end == std::string::npos ? n : end + closer.size();
+      out.tokens.push_back({TokKind::String, source.substr(i, stop - i), tline, tcol});
+      advance(stop - i);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const int tline = line;
+      const int tcol = col;
+      const char quote = c;
+      const std::size_t start = i;
+      advance(1);
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\') advance(1);
+        advance(1);
+      }
+      advance(1);  // closing quote
+      out.tokens.push_back({quote == '"' ? TokKind::String : TokKind::Char,
+                            source.substr(start, i - start), tline, tcol});
+      continue;
+    }
+    if (ident_start(c)) {
+      const int tline = line;
+      const int tcol = col;
+      const std::size_t start = i;
+      while (i < n && ident_char(source[i])) advance(1);
+      out.tokens.push_back({TokKind::Ident, source.substr(start, i - start), tline, tcol});
+      continue;
+    }
+    if (c >= '0' && c <= '9') {
+      const int tline = line;
+      const int tcol = col;
+      const std::size_t start = i;
+      while (i < n) {
+        const char d = source[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          advance(1);
+        } else if ((d == '+' || d == '-') && i > start &&
+                   (source[i - 1] == 'e' || source[i - 1] == 'E' ||
+                    source[i - 1] == 'p' || source[i - 1] == 'P')) {
+          advance(1);
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::Number, source.substr(start, i - start), tline, tcol});
+      continue;
+    }
+    // Punctuator: longest match wins.
+    std::string_view rest = std::string_view(source).substr(i);
+    std::string_view matched;
+    for (const std::string_view p : kPuncts) {
+      if (rest.substr(0, p.size()) == p) {
+        matched = p;
+        break;
+      }
+    }
+    const int tline = line;
+    const int tcol = col;
+    if (matched.empty()) matched = rest.substr(0, 1);
+    out.tokens.push_back({TokKind::Punct, std::string(matched), tline, tcol});
+    advance(matched.size());
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- rule engine
+
+namespace {
+
+struct FileInfo {
+  LexedFile lexed;
+  std::vector<std::string> lines;       ///< raw source lines (1-based via index+1)
+  bool report_surface{false};           ///< R3 applies to fields declared here
+  // Pass-1 declarations, joined to use sites via the include closure.
+  // Ordered sets: the closure union iterates these, and the linter holds
+  // itself to its own R2.
+  std::set<std::string> unordered_vars;
+  std::set<std::string> unordered_accessors;
+  std::set<std::string> nodiscard_funcs;
+  std::set<std::string> float_fields;
+};
+
+std::vector<std::string> split_lines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == '\n') {
+      std::string l = s.substr(start, i - start);
+      if (!l.empty() && l.back() == '\r') l.pop_back();
+      lines.push_back(std::move(l));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t a = s.find_first_not_of(" \t");
+  if (a == std::string::npos) return "";
+  std::size_t b = s.find_last_not_of(" \t");
+  return s.substr(a, b - a + 1);
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string dirname_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+bool is_report_surface(const std::string& path) {
+  if (path.find("/obs/") != std::string::npos || path.rfind("obs/", 0) == 0)
+    return true;
+  if (path.find("/metrics/") != std::string::npos ||
+      path.rfind("metrics/", 0) == 0)
+    return true;
+  const std::string base = basename_of(path);
+  return base.find("report") != std::string::npos ||
+         base.find("trace") != std::string::npos;
+}
+
+/// Does a `// lint: <tag>-ok(<reason>)` waiver cover `line`?  The marker
+/// may sit on the statement line or up to three lines above it (waiver
+/// reasons are allowed to wrap).  A marker with an empty reason — `(` is
+/// immediately closed — does not count.
+bool waived(const LexedFile& lexed, int line, std::string_view tag) {
+  const std::string marker = std::string("lint: ") + std::string(tag) + "-ok";
+  for (int l = line - 3; l <= line; ++l) {
+    const auto it = lexed.comments.find(l);
+    if (it == lexed.comments.end()) continue;
+    const std::size_t pos = it->second.find(marker);
+    if (pos == std::string::npos) continue;
+    const std::size_t open = pos + marker.size();
+    if (open < it->second.size() && it->second[open] == '(') {
+      // Reject `()` — a reason is mandatory.  A reason continued on the
+      // next comment line leaves `(` as the final character, which is fine.
+      if (open + 1 < it->second.size() && it->second[open + 1] == ')') continue;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Token-walk helpers.  All assume well-formed (balanced) input and clamp
+// at the ends rather than throwing.
+
+std::size_t match_paren_fwd(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "(") ++depth;
+    if (t[i].text == ")" && --depth == 0) return i;
+  }
+  return t.size() - 1;
+}
+
+std::size_t match_paren_back(const std::vector<Token>& t, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (t[i].text == ")") ++depth;
+    if (t[i].text == "(" && --depth == 0) return i;
+  }
+  return 0;
+}
+
+std::size_t match_bracket_back(const std::vector<Token>& t, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (t[i].text == "]") ++depth;
+    if (t[i].text == "[" && --depth == 0) return i;
+  }
+  return 0;
+}
+
+/// From the `<` that opens a template argument list, return the index of
+/// the matching `>`.  `>>` closes two levels (the C++11 rule).
+std::size_t match_angle_fwd(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    const std::string& x = t[i].text;
+    if (x == "<") ++depth;
+    if (x == "<<") depth += 2;
+    if (x == ">") --depth;
+    if (x == ">>") depth -= 2;
+    if (depth <= 0) return i;
+  }
+  return t.size() - 1;
+}
+
+const std::unordered_set<std::string>& unordered_type_names() {
+  static const std::unordered_set<std::string> kNames = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kNames;
+}
+
+// ------------------------------------------------------------ pass 1: index
+
+void index_file(FileInfo& info) {
+  const std::vector<Token>& t = info.lexed.tokens;
+  std::unordered_set<std::string> aliases;  // using X = ...unordered_map<...>...;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+    const std::string& name = t[i].text;
+
+    // `using Alias = ... unordered_map< ... > ... ;`
+    if (name == "using" && i + 2 < t.size() && t[i + 1].kind == TokKind::Ident &&
+        t[i + 2].text == "=") {
+      for (std::size_t j = i + 3; j < t.size() && t[j].text != ";"; ++j) {
+        if (unordered_type_names().contains(t[j].text)) {
+          aliases.insert(t[i + 1].text);
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Declarations: `std::unordered_map<K, V> name ...` — record the name.
+    const bool direct = unordered_type_names().contains(name);
+    const bool via_alias = aliases.contains(name);
+    if (direct || via_alias) {
+      std::size_t k;
+      if (direct) {
+        if (i + 1 >= t.size() || t[i + 1].text != "<") continue;
+        k = match_angle_fwd(t, i + 1) + 1;
+      } else {
+        k = i + 1;
+      }
+      while (k < t.size() &&
+             (t[k].text == "&" || t[k].text == "*" || t[k].text == "const"))
+        ++k;
+      if (k >= t.size() || t[k].kind != TokKind::Ident) continue;
+      if (t[k].text == "iterator" || t[k].text == "const_iterator") continue;
+      const std::string& decl = t[k].text;
+      const std::string& after = k + 1 < t.size() ? t[k + 1].text : "";
+      if (after == "(") {
+        info.unordered_accessors.insert(decl);
+      } else if (after == ";" || after == "=" || after == "{" || after == "," ||
+                 after == ")") {
+        info.unordered_vars.insert(decl);
+      }
+      continue;
+    }
+
+    // `[[nodiscard...]]` — record the first function name it decorates.
+    if (t[i].text == "nodiscard" && i > 0 && t[i - 1].text == "[[") {
+      std::size_t j = i + 1;
+      while (j < t.size() && t[j].text != "]]") ++j;
+      ++j;
+      int angle = 0;
+      for (std::size_t steps = 0; j < t.size() && steps < 64; ++j, ++steps) {
+        const std::string& x = t[j].text;
+        if (x == ";" || x == "{" || x == "}" || x == "=") break;
+        if (x == "<") ++angle;
+        if (x == ">" && angle > 0) --angle;
+        if (angle == 0 && t[j].kind == TokKind::Ident && j + 1 < t.size() &&
+            t[j + 1].text == "(" && x != "operator" && x != "decltype" &&
+            x != "noexcept") {
+          info.nodiscard_funcs.insert(x);
+          break;
+        }
+      }
+      continue;
+    }
+
+    // float/double field declarations on the report surface (for R3).
+    if (info.report_surface && (name == "double" || name == "float") &&
+        i + 2 < t.size() && t[i + 1].kind == TokKind::Ident) {
+      const std::string& after = t[i + 2].text;
+      if (after == ";" || after == "=" || after == "{" || after == ",") {
+        info.float_fields.insert(t[i + 1].text);
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- pass 2: rules
+
+struct Scope {
+  // Union over the file's include closure (ordered: see FileInfo).
+  std::set<std::string> unordered_vars;
+  std::set<std::string> unordered_accessors;
+  std::set<std::string> nodiscard_funcs;
+  std::set<std::string> float_fields;
+};
+
+void emit(std::vector<Finding>& out, const std::string& path,
+          const FileInfo& info, const Token& at, std::string rule,
+          std::string message, std::string hint) {
+  Finding f;
+  f.file = path;
+  f.line = at.line;
+  f.col = at.col;
+  f.rule = std::move(rule);
+  f.message = std::move(message);
+  f.hint = std::move(hint);
+  if (at.line >= 1 && static_cast<std::size_t>(at.line) <= info.lines.size()) {
+    f.line_text = trim(info.lines[static_cast<std::size_t>(at.line) - 1]);
+  }
+  out.push_back(std::move(f));
+}
+
+void check_r1(const std::string& path, const FileInfo& info,
+              const Options& opts, std::vector<Finding>& out) {
+  for (const std::string& prefix : opts.wallclock_allowlist) {
+    if (path.rfind(prefix, 0) == 0) return;
+  }
+  static const std::unordered_set<std::string> kTypes = {
+      "system_clock",  "steady_clock", "high_resolution_clock",
+      "random_device", "mt19937",      "mt19937_64",
+      "minstd_rand",   "minstd_rand0", "default_random_engine"};
+  static const std::unordered_set<std::string> kFuncs = {
+      "time",       "clock",        "rand",         "srand",
+      "rand_r",     "random",       "drand48",      "lrand48",
+      "mrand48",    "srand48",      "gettimeofday", "clock_gettime",
+      "timespec_get", "localtime",  "localtime_r",  "gmtime",
+      "gmtime_r",   "mktime",       "ctime",        "asctime",
+      "strftime",   "getrandom",    "getentropy"};
+  const std::vector<Token>& t = info.lexed.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+    const std::string& name = t[i].text;
+    const bool type_hit = kTypes.contains(name);
+    const bool func_hit = !type_hit && kFuncs.contains(name) &&
+                          i + 1 < t.size() && t[i + 1].text == "(" &&
+                          (i == 0 || (t[i - 1].text != "." && t[i - 1].text != "->"));
+    if (!type_hit && !func_hit) continue;
+    if (waived(info.lexed, t[i].line, "wallclock")) continue;
+    emit(out, path, info, t[i], "R1/wallclock",
+         "wall-clock/entropy source '" + name + "' outside the allowlisted shim",
+         "use sim::Engine::now() for time and rill::Rng for randomness; or "
+         "waive with // lint: wallclock-ok(reason)");
+  }
+}
+
+void check_r2(const std::string& path, const FileInfo& info, const Scope& scope,
+              std::vector<Finding>& out) {
+  const std::vector<Token>& t = info.lexed.tokens;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Range-for whose range expression names an unordered container (or an
+    // accessor returning one).
+    if (t[i].text == "for" && i + 1 < t.size() && t[i + 1].text == "(") {
+      const std::size_t close = match_paren_fwd(t, i + 1);
+      std::size_t colon = 0;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (t[j].text == "(") ++depth;
+        if (t[j].text == ")") --depth;
+        if (t[j].text == ":" && depth == 1 && t[j - 1].text != ":" &&
+            (j + 1 >= t.size() || t[j + 1].text != ":")) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == 0) continue;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (t[j].kind != TokKind::Ident) continue;
+        const bool var = scope.unordered_vars.contains(t[j].text);
+        const bool acc = scope.unordered_accessors.contains(t[j].text) &&
+                         j + 1 < close && t[j + 1].text == "(";
+        if (!var && !acc) continue;
+        if (waived(info.lexed, t[i].line, "unordered-iter")) break;
+        emit(out, path, info, t[i], "R2/unordered-iter",
+             "range-for over unordered container '" + t[j].text +
+                 "' — bucket order is not deterministic",
+             "collect and sort keys (or switch to std::map); or waive with "
+             "// lint: unordered-iter-ok(reason)");
+        break;
+      }
+      continue;
+    }
+    // Explicit iterator loops: container.begin() / cbegin() / rbegin().
+    if (t[i].kind == TokKind::Ident && scope.unordered_vars.contains(t[i].text) &&
+        i + 3 < t.size() && (t[i + 1].text == "." || t[i + 1].text == "->")) {
+      const std::string& m = t[i + 2].text;
+      if ((m == "begin" || m == "cbegin" || m == "rbegin" || m == "crbegin") &&
+          t[i + 3].text == "(") {
+        if (waived(info.lexed, t[i].line, "unordered-iter")) continue;
+        emit(out, path, info, t[i], "R2/unordered-iter",
+             "iterator over unordered container '" + t[i].text +
+                 "' — bucket order is not deterministic",
+             "collect and sort keys (or switch to std::map); or waive with "
+             "// lint: unordered-iter-ok(reason)");
+      }
+    }
+  }
+}
+
+void check_r3(const std::string& path, const FileInfo& info, const Scope& scope,
+              std::vector<Finding>& out) {
+  if (scope.float_fields.empty()) return;
+  const std::vector<Token>& t = info.lexed.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+    const std::string& op = t[i + 1].text;
+    if (op != "+=" && op != "-=" && op != "*=" && op != "/=") continue;
+    if (!scope.float_fields.contains(t[i].text)) continue;
+    if (waived(info.lexed, t[i].line, "float-accum")) continue;
+    emit(out, path, info, t[i], "R3/float-accum",
+         "floating-point accumulation into report field '" + t[i].text + "'",
+         "accumulate in integer units (e.g. microseconds / counts) and "
+         "convert at the report boundary; or waive with "
+         "// lint: float-accum-ok(reason)");
+  }
+}
+
+void check_r4(const std::string& path, const FileInfo& info, const Scope& scope,
+              std::vector<Finding>& out) {
+  const std::vector<Token>& t = info.lexed.tokens;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident) continue;
+    if (!scope.nodiscard_funcs.contains(t[i].text)) continue;
+    if (t[i + 1].text != "(") continue;
+    // Member calls only: a receiver keeps declarations (`TimerId schedule(`)
+    // and definitions (`Engine::schedule(`) out of the match.
+    const std::string& recv = t[i - 1].text;
+    if (recv != "." && recv != "->") continue;
+
+    const std::size_t close = match_paren_fwd(t, i + 1);
+    if (close + 1 >= t.size()) continue;
+    const std::string& nxt = t[close + 1].text;
+
+    bool explicit_discard = false;
+    if (nxt == ")") {
+      // `static_cast<void>(x.f());` — the call's close is nested one level.
+      const std::size_t open = match_paren_back(t, close + 1);
+      const bool cast = open >= 4 && t[open - 1].text == ">" &&
+                        t[open - 2].text == "void" && t[open - 3].text == "<" &&
+                        t[open - 4].text == "static_cast";
+      if (!(cast && close + 2 < t.size() && t[close + 2].text == ";")) continue;
+      explicit_discard = true;
+    } else if (nxt != ";") {
+      continue;  // result feeds an expression — consumed
+    }
+
+    if (!explicit_discard) {
+      // Walk back across the receiver chain (`a.b().c[i].f`) to the token
+      // before the statement's first expression.
+      std::size_t j = i - 1;
+      bool bof = false;
+      while (t[j].text == "." || t[j].text == "->") {
+        if (j == 0) { bof = true; break; }
+        --j;
+        if (t[j].text == ")") {
+          j = match_paren_back(t, j);
+          if (j == 0) { bof = true; break; }
+          --j;
+          if (t[j].kind == TokKind::Ident) {
+            if (j == 0) { bof = true; break; }
+            --j;
+          }
+        } else if (t[j].text == "]") {
+          j = match_bracket_back(t, j);
+          if (j == 0) { bof = true; break; }
+          --j;
+          if (t[j].kind == TokKind::Ident) {
+            if (j == 0) { bof = true; break; }
+            --j;
+          }
+        } else if (t[j].kind == TokKind::Ident) {
+          if (j == 0) { bof = true; break; }
+          --j;
+        } else {
+          break;
+        }
+      }
+      const std::string prev = bof ? ";" : t[j].text;
+      if (prev == ";" || prev == "{" || prev == "}") {
+        // Plain statement-level discard.
+      } else if (prev == ")") {
+        // `(void)x.f();` is an explicit discard; any other `...) x.f();`
+        // is a control clause (`if (...) x.f();`) — still a discard.
+        explicit_discard =
+            j >= 2 && t[j - 1].text == "void" && t[j - 2].text == "(";
+      } else {
+        continue;  // assignment, return, argument, ... — consumed
+      }
+    }
+
+    if (waived(info.lexed, t[i].line, "nodiscard")) continue;
+    if (explicit_discard) {
+      emit(out, path, info, t[i], "R4/nodiscard",
+           "explicitly discarded result of [[nodiscard]] call '" + t[i].text +
+               "' without a waiver",
+           "explain the discard with // lint: nodiscard-ok(reason)");
+    } else {
+      emit(out, path, info, t[i], "R4/nodiscard",
+           "discarded result of [[nodiscard]] call '" + t[i].text + "'",
+           "consume the result, or discard explicitly with "
+           "static_cast<void>(...) plus // lint: nodiscard-ok(reason)");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> run(const std::vector<SourceFile>& files,
+                         const Options& opts) {
+  // Pass 1: lex and index every file.
+  std::map<std::string, FileInfo> infos;
+  for (const SourceFile& f : files) {
+    FileInfo info;
+    info.lexed = lex(f.content);
+    info.lines = split_lines(f.content);
+    info.report_surface = is_report_surface(f.path);
+    index_file(info);
+    infos.emplace(f.path, std::move(info));
+  }
+
+  // Include-closure edges: resolve quoted includes against src/, the scan
+  // root, and the including file's own directory.
+  std::unordered_map<std::string, std::vector<std::string>> edges;
+  for (const auto& [path, info] : infos) {
+    for (const std::string& inc : info.lexed.quoted_includes) {
+      for (const std::string& cand :
+           {std::string("src/") + inc, inc,
+            dirname_of(path).empty() ? inc : dirname_of(path) + "/" + inc}) {
+        if (cand != path && infos.contains(cand)) {
+          edges[path].push_back(cand);
+          break;
+        }
+      }
+    }
+  }
+
+  // Pass 2: per file, union declarations over its include closure (BFS),
+  // then run the rules.
+  std::vector<Finding> findings;
+  for (const auto& [path, info] : infos) {
+    Scope scope;
+    for (const std::string& seed : opts.nodiscard_seed) {
+      scope.nodiscard_funcs.insert(seed);
+    }
+    std::vector<std::string> queue{path};
+    std::unordered_set<std::string> seen{path};
+    while (!queue.empty()) {
+      const std::string cur = std::move(queue.back());
+      queue.pop_back();
+      const FileInfo& ci = infos.at(cur);
+      scope.unordered_vars.insert(ci.unordered_vars.begin(),
+                                  ci.unordered_vars.end());
+      scope.unordered_accessors.insert(ci.unordered_accessors.begin(),
+                                       ci.unordered_accessors.end());
+      scope.nodiscard_funcs.insert(ci.nodiscard_funcs.begin(),
+                                   ci.nodiscard_funcs.end());
+      scope.float_fields.insert(ci.float_fields.begin(), ci.float_fields.end());
+      const auto e = edges.find(cur);
+      if (e == edges.end()) continue;
+      for (const std::string& next : e->second) {
+        if (seen.insert(next).second) queue.push_back(next);
+      }
+    }
+    check_r1(path, info, opts, findings);
+    check_r2(path, info, scope, findings);
+    check_r3(path, info, scope, findings);
+    check_r4(path, info, scope, findings);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+// --------------------------------------------------------------- baseline
+
+namespace {
+
+std::string baseline_key(const Finding& f) {
+  return f.file + "\t" + f.rule + "\t" + f.line_text;
+}
+
+}  // namespace
+
+std::string write_baseline(const std::vector<Finding>& findings) {
+  std::map<std::string, int> counts;
+  for (const Finding& f : findings) ++counts[baseline_key(f)];
+  std::ostringstream out;
+  out << "# rill_lint baseline — regenerate with: rill_lint --write-baseline "
+         "<file>\n"
+      << "# count<TAB>file<TAB>rule<TAB>statement\n";
+  for (const auto& [key, count] : counts) out << count << '\t' << key << '\n';
+  return out.str();
+}
+
+std::vector<Finding> filter_baseline(const std::vector<Finding>& findings,
+                                     const std::string& baseline) {
+  std::map<std::string, int> budget;
+  for (const std::string& line : split_lines(baseline)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    const int count = std::atoi(line.substr(0, tab).c_str());
+    if (count > 0) budget[line.substr(tab + 1)] += count;
+  }
+  std::vector<Finding> fresh;
+  for (const Finding& f : findings) {
+    auto it = budget.find(baseline_key(f));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    fresh.push_back(f);
+  }
+  return fresh;
+}
+
+}  // namespace rill::lint

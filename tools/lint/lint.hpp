@@ -1,0 +1,121 @@
+// rill_lint — determinism & protocol-safety static analyzer.
+//
+// A lightweight tokenizer + rule engine (no libclang) that scans the Rill
+// tree for the classes of bugs that silently corrupt the repro's headline
+// guarantee — byte-identical traces and reports across runs:
+//
+//   R1 wallclock       wall-clock / entropy sources (std::chrono clocks,
+//                      rand(), std::random_device, time(), ...) anywhere
+//                      outside the allowlisted shim (src/common/ by
+//                      default).  All time must come from sim::Engine and
+//                      all randomness from rill::Rng.
+//   R2 unordered-iter  range-for / begin() iteration over
+//                      std::unordered_map / std::unordered_set.  Bucket
+//                      order is an stdlib implementation detail; anything
+//                      order-sensitive (trace emission, scheduling,
+//                      metrics rollup) must go through sorted keys or
+//                      std::map.
+//   R3 float-accum     float/double compound accumulation (+=, -=, *=, /=)
+//                      into trace/report-surface fields.  FP accumulation
+//                      is evaluation-order sensitive; reordering a loop
+//                      changes report bytes.
+//   R4 nodiscard       a call to a [[nodiscard]]-annotated API whose
+//                      result is discarded.  The nodiscard set is derived
+//                      from the scanned headers themselves, so annotating
+//                      an API is all it takes to enforce it tree-wide.
+//
+// Waivers: a statement may opt out with a comment on the same line or up
+// to three lines above it:
+//
+//   // lint: unordered-iter-ok(<reason>)
+//   // lint: wallclock-ok(<reason>)
+//   // lint: float-accum-ok(<reason>)
+//   // lint: nodiscard-ok(<reason>)
+//
+// The reason is mandatory — an empty waiver is itself a finding.
+//
+// Baseline mode: --write-baseline snapshots current findings keyed by
+// (file, rule, statement text), and --baseline suppresses exactly those,
+// so CI fails only on *new* violations while a legacy tree is paid down.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace rill::lint {
+
+// ---------------------------------------------------------------- tokens
+
+enum class TokKind : std::uint8_t { Ident, Number, Punct, String, Char };
+
+struct Token {
+  TokKind kind{TokKind::Punct};
+  std::string text;
+  int line{1};
+  int col{1};
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// Comment text per line (concatenated; both // and /* */), for waivers.
+  std::map<int, std::string> comments;
+  /// Targets of #include "..." directives (quoted form only).
+  std::vector<std::string> quoted_includes;
+};
+
+/// Tokenize C++ source: skips whitespace, comments (recorded per line),
+/// string/char literals (recorded as single tokens) and preprocessor
+/// directives (recorded when they are quoted includes).
+[[nodiscard]] LexedFile lex(const std::string& source);
+
+// -------------------------------------------------------------- findings
+
+struct Finding {
+  std::string file;
+  int line{0};
+  int col{0};
+  std::string rule;     ///< "R1/wallclock", "R2/unordered-iter", ...
+  std::string message;
+  std::string hint;
+  /// Trimmed text of the source line, used as the baseline key.
+  std::string line_text;
+};
+
+struct Options {
+  /// Path prefixes (relative, '/'-separated) exempt from R1 — the
+  /// deterministic time/rng shim lives here.
+  std::vector<std::string> wallclock_allowlist{"src/common/"};
+  /// Method names treated as [[nodiscard]] even if the annotation is not
+  /// visible in the scanned set (seed list; the scan extends it).
+  std::vector<std::string> nodiscard_seed{"schedule", "schedule_at",
+                                          "cancel"};
+};
+
+/// One input file: path is repo-relative with '/' separators.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Run all rules over `files`.  Pass every file the analysis should know
+/// about (declarations are indexed across the whole set and joined to use
+/// sites through the quoted-include graph).
+[[nodiscard]] std::vector<Finding> run(const std::vector<SourceFile>& files,
+                                       const Options& opts = {});
+
+// -------------------------------------------------------------- baseline
+
+/// Serialize findings as a baseline: one line per (file, rule, statement
+/// text) with an occurrence count, sorted, tab-separated.
+[[nodiscard]] std::string write_baseline(const std::vector<Finding>& findings);
+
+/// Filter `findings` against a baseline previously produced by
+/// write_baseline(): the first N occurrences of each baselined key are
+/// suppressed; anything beyond is returned as new.
+[[nodiscard]] std::vector<Finding> filter_baseline(
+    const std::vector<Finding>& findings, const std::string& baseline);
+
+}  // namespace rill::lint
