@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "dsps/state.hpp"
 #include "kvstore/sharded_store.hpp"
 #include "metrics/report.hpp"
 #include "sim/engine.hpp"
@@ -53,6 +54,32 @@ double checkpoint_ms(std::size_t batch, int nshards) {
   return time::to_ms(static_cast<SimDuration>(done_at));
 }
 
+/// Update-heavy incremental-checkpoint workload: `total` keyed counters of
+/// which only `hot` were touched since the last committed wave.  Returns
+/// the serialized COMMIT payloads of the full blob and the dirty-key delta
+/// against it.
+struct DeltaSizes {
+  std::size_t full_bytes{0};
+  std::size_t delta_bytes{0};
+};
+
+DeltaSizes delta_commit_bytes(std::size_t total, std::size_t hot) {
+  dsps::TaskState st;
+  for (std::size_t i = 0; i < total; ++i) {
+    st["key/" + std::to_string(i)] = static_cast<std::int64_t>(i);
+  }
+  st.clear_dirty();  // wave 1 committed the whole map
+  for (std::size_t i = 0; i < hot; ++i) {
+    st["key/" + std::to_string(i)] += 1;  // the hot set since wave 1
+  }
+  dsps::CheckpointBlob full;
+  full.checkpoint_id = 2;
+  full.state = st;
+  const dsps::CheckpointBlob delta =
+      dsps::CheckpointBlob::make_delta(2, 1, st, {});
+  return {full.serialize().size(), delta.serialize().size()};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -87,8 +114,35 @@ int main(int argc, char** argv) {
     }
     rows.push_back(std::move(row));
   }
-  json << "],\"baseline_2000_ms\":" << metrics::fmt(kBaseline2000Ms, 1)
-       << "}\n";
+  json << "],\"baseline_2000_ms\":" << metrics::fmt(kBaseline2000Ms, 1);
+
+  // ---- incremental (delta) COMMIT payloads ----
+  // 2000-key task state, sweeping the hot-set size.  The --check gate pins
+  // the update-heavy cell (5% of keys touched): the delta must stay under
+  // 40% of the full blob.
+  constexpr std::size_t kTotalKeys = 2000;
+  const std::vector<std::size_t> hot_sets = {20, 100, 400, 2000};
+  double gate_ratio = 1.0;
+  std::vector<std::vector<std::string>> delta_rows;
+  json << ",\"delta_rows\":[";
+  first = true;
+  for (const std::size_t hot : hot_sets) {
+    const DeltaSizes sz = delta_commit_bytes(kTotalKeys, hot);
+    const double ratio = static_cast<double>(sz.delta_bytes) /
+                         static_cast<double>(sz.full_bytes);
+    if (hot == 100) gate_ratio = ratio;
+    delta_rows.push_back({std::to_string(hot),
+                          std::to_string(sz.full_bytes),
+                          std::to_string(sz.delta_bytes),
+                          metrics::fmt(ratio, 3)});
+    if (!first) json << ",";
+    first = false;
+    json << "{\"total_keys\":" << kTotalKeys << ",\"hot_keys\":" << hot
+         << ",\"full_bytes\":" << sz.full_bytes
+         << ",\"delta_bytes\":" << sz.delta_bytes
+         << ",\"ratio\":" << metrics::fmt(ratio, 3) << "}";
+  }
+  json << "]}\n";
 
   std::fputs(metrics::render_table({"Events in batch", "1 shard (ms)",
                                     "4 shards (ms)"},
@@ -98,6 +152,13 @@ int main(int argc, char** argv) {
   std::printf("Paper: 2000 events ~ 100 ms on one Redis; 4 shards: %.1f ms "
               "(%.1fx).\n",
               ms_4shard_2000, ms_1shard_2000 / ms_4shard_2000);
+
+  std::puts("\nIncremental COMMIT payloads (2000-key state, hot set varied):");
+  std::fputs(metrics::render_table({"Hot keys", "Full (bytes)",
+                                    "Delta (bytes)", "Ratio"},
+                                   delta_rows)
+                 .c_str(),
+             stdout);
 
   if (!bench::write_bench_json("BENCH_checkpoint.json", json.str())) {
     std::fprintf(stderr, "cannot write BENCH_checkpoint.json\n");
@@ -120,8 +181,16 @@ int main(int argc, char** argv) {
                    ms_4shard_2000, ms_1shard_2000);
       ok = false;
     }
+    if (gate_ratio >= 0.40) {
+      std::fprintf(stderr,
+                   "CHECK FAIL: update-heavy delta commit is %.1f%% of the "
+                   "full blob (gate: <40%%)\n",
+                   gate_ratio * 100.0);
+      ok = false;
+    }
     if (!ok) return 1;
-    std::puts("CHECK OK: commit within baseline, 4 shards >=2x faster.");
+    std::puts("CHECK OK: commit within baseline, 4 shards >=2x faster, "
+              "update-heavy delta <40% of full.");
   }
   return 0;
 }

@@ -7,6 +7,9 @@ void CcrStrategy::configure(dsps::Platform& platform) {
   // wiring (coordinator → every task) and the capture flag are active.
   platform.set_user_acking(false);
   platform.set_checkpoint_mode(dsps::CheckpointMode::Capture);
+  // Delta checkpointing composes with capture: state deltas ride the same
+  // COMMIT blob, pending lists are always persisted in full.
+  platform.set_delta_checkpointing(platform.config().ckpt_delta);
   platform.coordinator().stop_periodic();
 }
 

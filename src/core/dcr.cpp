@@ -7,6 +7,9 @@ void DcrStrategy::configure(dsps::Platform& platform) {
   // checkpoints — a just-in-time wave runs at migration time instead.
   platform.set_user_acking(false);
   platform.set_checkpoint_mode(dsps::CheckpointMode::Wave);
+  // Re-affirm the configured delta-checkpointing choice (a prior strategy
+  // on the same platform may have changed it).
+  platform.set_delta_checkpointing(platform.config().ckpt_delta);
   platform.coordinator().stop_periodic();
 }
 

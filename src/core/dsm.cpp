@@ -18,6 +18,9 @@ void DsmStrategy::configure(dsps::Platform& platform) {
   // periodically (paper default: 30 s) into the store.
   platform.set_user_acking(true);
   platform.set_checkpoint_mode(dsps::CheckpointMode::Wave);
+  // Periodic checkpoints benefit most from deltas: successive 30 s waves
+  // usually touch a small fraction of the keyspace.
+  platform.set_delta_checkpointing(platform.config().ckpt_delta);
   platform.coordinator().start_periodic();
 }
 
@@ -54,6 +57,7 @@ void DsmStrategy::migrate(dsps::Platform& platform, dsps::MigrationPlan plan,
 void DsmTimeoutStrategy::configure(dsps::Platform& platform) {
   platform.set_user_acking(true);
   platform.set_checkpoint_mode(dsps::CheckpointMode::Wave);
+  platform.set_delta_checkpointing(platform.config().ckpt_delta);
   platform.coordinator().start_periodic();
 }
 

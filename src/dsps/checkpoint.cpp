@@ -1,11 +1,14 @@
 #include "dsps/checkpoint.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <memory>
+#include <unordered_set>
 #include <utility>
 
 #include "dsps/platform.hpp"
 #include "dsps/state.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
 namespace rill::dsps {
@@ -113,9 +116,34 @@ void CheckpointCoordinator::abort_wave(std::uint64_t cid,
   if (*done) (*done)(false);
 }
 
+void CheckpointCoordinator::note_commit_blob(bool delta, std::size_t bytes,
+                                             int chain_len) {
+  if (delta) {
+    ++stats_.delta_blobs;
+    stats_.delta_bytes += bytes;
+  } else {
+    ++stats_.full_blobs;
+    stats_.full_bytes += bytes;
+  }
+  stats_.max_chain_len =
+      std::max(stats_.max_chain_len, static_cast<std::uint64_t>(chain_len));
+  if (auto* reg = platform_.metrics()) {
+    reg->counter(delta ? "ckpt.delta_bytes" : "ckpt.full_bytes")
+        ->add(static_cast<std::uint64_t>(bytes));
+    reg->gauge("ckpt.chain_len")->set(static_cast<double>(chain_len));
+  }
+}
+
 void CheckpointCoordinator::broadcast_rollback(std::uint64_t checkpoint_id) {
   // Best-effort rollback broadcast; completion is not tracked.
   ++stats_.rollbacks_broadcast;
+  // A rollback invalidates whatever placement the current INIT prefetch was
+  // fetched for: an aborted migration re-pins and retries against the same
+  // checkpoint id, and serving it blobs cached for the aborted attempt
+  // would bypass the store (and its fault model).  Drop the cache and bump
+  // the generation so in-flight MGET replies are discarded too.
+  ++init_generation_;
+  clear_init_prefetch();
   if (auto* tr = platform_.tracer()) {
     tr->instant(obs::kTrackCoordinator, "checkpoint", "rollback_broadcast",
                 {obs::arg("cid", checkpoint_id)});
@@ -261,30 +289,67 @@ void CheckpointCoordinator::start_init_prefetch() {
   if (platform_.store().shards() <= 1) return;  // nothing to overlap
 
   std::vector<std::string> keys;
+  std::vector<InstanceRef> refs;
   for (const InstanceRef& ref : platform_.worker_and_sink_instances()) {
     keys.push_back(
         CheckpointBlob::key(init_.checkpoint_id, ref.task, ref.replica));
+    refs.push_back(ref);
   }
-  const std::uint64_t generation = init_generation_;
+  prefetch_round(init_generation_, std::move(keys), std::move(refs),
+                 /*round=*/1);
+}
+
+void CheckpointCoordinator::prefetch_round(std::uint64_t generation,
+                                           std::vector<std::string> keys,
+                                           std::vector<InstanceRef> refs,
+                                           int round) {
   platform_.store().get_batch(
       platform_.io_vm(), keys,
-      [this, generation,
-       keys](bool ok, std::vector<std::optional<Bytes>> values) {
-        // A stale reply (session ended or a newer one started) or a failed
-        // shard read leaves the cache unset; executors fall back to their
-        // own GETs, so the prefetch is purely an optimisation.
+      [this, generation, keys, refs = std::move(refs),
+       round](bool ok, std::vector<std::optional<Bytes>> values) {
+        // A stale reply (session ended, a newer one started, or a rollback
+        // invalidated the cache) or a failed shard read leaves the cache
+        // unset; executors fall back to their own GETs, so the prefetch is
+        // purely an optimisation.
         if (generation != init_generation_ || !init_.active || !ok) return;
+        // Deltas reference base blobs; collect the bases this round's
+        // answers point at that the cache doesn't hold yet.
+        std::vector<std::string> next_keys;
+        std::vector<InstanceRef> next_refs;
+        std::unordered_set<std::string> queued;
         for (std::size_t i = 0; i < keys.size(); ++i) {
+          if (values[i].has_value()) {
+            if (const auto base = CheckpointBlob::delta_base_of(*values[i])) {
+              const std::string base_key = CheckpointBlob::key(
+                  *base, refs[i].task, refs[i].replica);
+              if (!prefetch_.contains(base_key) &&
+                  base_key != keys[i] && queued.insert(base_key).second) {
+                next_keys.push_back(base_key);
+                next_refs.push_back(refs[i]);
+              }
+            }
+          }
           prefetch_.emplace(keys[i], std::move(values[i]));
         }
-        prefetch_ready_ = true;
-        if (auto* tr = platform_.tracer()) {
-          tr->instant(obs::kTrackCoordinator, "checkpoint", "init_prefetch",
-                      {obs::arg("cid", init_.checkpoint_id),
-                       obs::arg("blobs",
-                                static_cast<std::uint64_t>(keys.size()))});
+        // Bound the walk: chains are compacted to < ckpt_full_every links,
+        // so a deep recursion means a corrupt store — let executors fail
+        // individually instead of spinning here.
+        if (next_keys.empty() || round >= 64) {
+          finish_init_prefetch(prefetch_.size());
+          return;
         }
+        prefetch_round(generation, std::move(next_keys), std::move(next_refs),
+                       round + 1);
       });
+}
+
+void CheckpointCoordinator::finish_init_prefetch(std::size_t blobs) {
+  prefetch_ready_ = true;
+  if (auto* tr = platform_.tracer()) {
+    tr->instant(obs::kTrackCoordinator, "checkpoint", "init_prefetch",
+                {obs::arg("cid", init_.checkpoint_id),
+                 obs::arg("blobs", static_cast<std::uint64_t>(blobs))});
+  }
 }
 
 void CheckpointCoordinator::fail_init_session() {

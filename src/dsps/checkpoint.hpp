@@ -31,6 +31,7 @@
 #include "common/time.hpp"
 #include "dsps/config.hpp"
 #include "dsps/event.hpp"
+#include "dsps/scheduler.hpp"
 #include "sim/engine.hpp"
 
 namespace rill::dsps {
@@ -48,6 +49,15 @@ struct CheckpointStats {
   std::uint64_t rollbacks_broadcast{0};
   std::uint64_t init_prefetch_hits{0};  ///< restores served from the
                                         ///< cross-shard INIT prefetch
+
+  // ---- incremental (delta) checkpointing ----
+  std::uint64_t delta_blobs{0};      ///< COMMIT blobs persisted as deltas
+  std::uint64_t full_blobs{0};       ///< COMMIT blobs persisted full
+  std::uint64_t delta_bytes{0};      ///< serialized bytes of delta blobs
+  std::uint64_t full_bytes{0};       ///< serialized bytes of full blobs
+  std::uint64_t max_chain_len{0};    ///< longest delta chain persisted
+  std::uint64_t gc_deleted{0};       ///< superseded blobs garbage-collected
+  std::uint64_t init_chain_fetches{0};  ///< extra base-blob fetches on restore
 };
 
 class CheckpointCoordinator {
@@ -125,6 +135,15 @@ class CheckpointCoordinator {
       const std::string& key) const;
   void note_prefetch_hit() noexcept { ++stats_.init_prefetch_hits; }
 
+  /// Executor COMMIT-path reporting: one blob persisted (delta or full,
+  /// `chain_len` deltas since the last full).  Feeds CheckpointStats and
+  /// the ckpt.delta_bytes / ckpt.full_bytes / ckpt.chain_len instruments.
+  void note_commit_blob(bool delta, std::size_t bytes, int chain_len);
+  void note_gc(std::size_t blobs) noexcept {
+    stats_.gc_deleted += static_cast<std::uint64_t>(blobs);
+  }
+  void note_chain_fetch() noexcept { ++stats_.init_chain_fetches; }
+
  private:
   using AckerOnDone = std::function<void(RootId)>;
 
@@ -144,8 +163,13 @@ class CheckpointCoordinator {
   void fail_init_session();
   /// Sharded stores only: fire one pipelined MGET per shard covering every
   /// restoring instance's blob, so INITs restore from the cache instead of
-  /// serial per-task GETs.
+  /// serial per-task GETs.  Delta blobs reference base blobs; follow-up
+  /// rounds MGET the unseen bases until every chain bottoms out in a full
+  /// blob, and only then is the cache marked ready.
   void start_init_prefetch();
+  void prefetch_round(std::uint64_t generation, std::vector<std::string> keys,
+                      std::vector<InstanceRef> refs, int round);
+  void finish_init_prefetch(std::size_t blobs);
   void clear_init_prefetch();
 
   // run_init session state.

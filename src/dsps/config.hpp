@@ -61,6 +61,21 @@ struct PlatformConfig {
   /// flushed (only active when kv_shards > 1).
   SimDuration kv_pipeline_linger = time::ms(2);
 
+  // ---- Incremental (delta) checkpointing ----
+  /// When true, COMMIT persists a delta blob (changed/deleted keys on top
+  /// of the last committed base) whenever a valid base exists; otherwise a
+  /// full blob.  Off by default so the determinism baseline stays
+  /// byte-identical to the pre-delta wire format.
+  bool ckpt_delta = false;
+  /// Fall back to a full blob when the serialised delta exceeds this
+  /// fraction of the serialised full blob (a delta that is nearly as big
+  /// as the state just lengthens the restore chain for nothing).
+  double ckpt_delta_max_ratio = 0.5;
+  /// Compaction: every Nth persisted blob per task instance is forced full
+  /// and the superseded delta chain is garbage-collected, bounding restore
+  /// chain length even under chaos-injected wave rollbacks.
+  int ckpt_full_every = 8;
+
   /// Cap on deliveries a sender-side transport client buffers for a worker
   /// that is still Starting (Storm's netty client write buffer).  Overflow
   /// deliveries are dropped — counted in ExecutorStats::transport_overflow

@@ -1,6 +1,9 @@
 #include "dsps/executor.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <set>
+#include <utility>
 
 #include "dsps/platform.hpp"
 #include "obs/registry.hpp"
@@ -45,6 +48,15 @@ void Executor::kill() {
   life_ = LifeState::Dead;
   busy_ = false;
   awaiting_init_ = false;
+  if (user_in_flight_) {
+    // The delivery being serviced dies with the worker.  Charged here (not
+    // in the orphaned service callback) so the ledger closes even when the
+    // simulation ends before that callback's scheduled time.  Kept apart
+    // from lost_at_kill, which feeds the rebalancer's lost_in_queues trace
+    // arg and only ever meant *queued* events.
+    ++stats_.lost_mid_service;
+    user_in_flight_ = false;
+  }
   for (const Event& ev : transport_buffer_) {
     if (!ev.is_control()) ++stats_.lost_at_kill;
     platform_.note_lost(ev);
@@ -66,11 +78,36 @@ void Executor::kill() {
   prepared_state_.reset();
   prepared_checkpoint_ = 0;
   committed_this_wave_ = false;
-  committed_checkpoint_ = 0;
   capturing_ = false;
-  pending_capture_.clear();  // the durable copy lives in the store
+  // Captured events that made it into the durable blob are handed off to
+  // the store (they come back via INIT replay); any tail the commit never
+  // persisted dies with the worker.
+  const std::size_t durable =
+      committed_checkpoint_ != 0
+          ? std::min(pending_capture_.size(), persisted_pending_count_)
+          : 0;
+  committed_checkpoint_ = 0;
+  stats_.capture_handoff += durable;
+  stats_.lost_at_kill += pending_capture_.size() - durable;
+  pending_capture_.clear();
   align_count_.clear();
   seen_init_roots_.clear();
+  reset_delta_chain();
+  persisted_keys_.clear();
+  persisted_base_.clear();
+  persisted_pending_count_ = 0;
+}
+
+std::uint64_t Executor::buffered_user_events() const noexcept {
+  std::uint64_t n = pending_capture_.size() + pend_until_init_.size();
+  for (const Event& ev : queue_) {
+    if (!ev.is_control()) ++n;
+  }
+  for (const Event& ev : transport_buffer_) {
+    if (!ev.is_control()) ++n;
+  }
+  if (user_in_flight_) ++n;
+  return n;
 }
 
 void Executor::respawn(SlotId new_slot) {
@@ -91,9 +128,14 @@ void Executor::set_ready(bool awaiting_init) {
 }
 
 void Executor::enqueue(Event ev) {
+  if (!ev.is_control()) ++stats_.delivered;
   switch (life_) {
     case LifeState::Dead:
-      ++stats_.lost_enqueue;
+      if (ev.is_control()) {
+        ++stats_.lost_control_enqueue;
+      } else {
+        ++stats_.lost_enqueue;
+      }
       platform_.note_lost(ev);
       return;
     case LifeState::Starting:
@@ -102,7 +144,7 @@ void Executor::enqueue(Event ev) {
         // that is still launching cannot consume them — the wave times out
         // and the coordinator re-sends (paper §5.1: "INIT events timeout
         // without acking due to the tasks not being active yet").
-        ++stats_.lost_enqueue;
+        ++stats_.lost_control_enqueue;
         platform_.note_lost(ev);
         return;
       }
@@ -168,14 +210,18 @@ void Executor::pump() {
     }
 
     busy_ = true;
+    user_in_flight_ = true;
     const std::uint64_t epoch = epoch_;
     const TaskDef& def = platform_.topology().task(ref_.task);
     platform_.engine().schedule_detached(def.service_time, [this, ev, epoch] {
       if (epoch != epoch_) {
-        // Killed mid-processing: the event is lost with the worker.
+        // Killed mid-processing: the event is lost with the worker.  The
+        // kill already charged lost_mid_service for it (and must not be
+        // charged again here — the same delivery would count twice).
         platform_.note_lost(ev);
         return;
       }
+      user_in_flight_ = false;
       finish_user_event(ev);
       busy_ = false;
       pump();
@@ -241,13 +287,28 @@ void Executor::handle_control(const Event& ev, std::uint64_t span) {
   }
 }
 
+void Executor::snapshot_for_prepare(std::uint64_t cid) {
+  // Dirty-set custody: the snapshot copy carries every change recorded
+  // since the last blob that persisted them (clear_dirty below restarts
+  // recording for the *next* wave).  If the previous snapshot was never
+  // durably persisted (its wave failed or this is a re-PREPARE of the same
+  // wave), its recorded changes must flow back first, or a later delta
+  // would silently drop them.
+  if (prepared_state_.has_value() &&
+      committed_checkpoint_ != prepared_checkpoint_) {
+    state_.merge_dirty_from(*prepared_state_);
+  }
+  prepared_state_ = state_;
+  prepared_checkpoint_ = cid;
+  state_.clear_dirty();
+}
+
 void Executor::on_prepare(const Event& ev, std::uint64_t span) {
   if (platform_.checkpoint_mode() == CheckpointMode::Capture) {
     // Broadcast copy (fan-in 1): snapshot state now — everything that was
     // ahead of PREPARE in the queue has been processed — and start
     // capturing later arrivals.
-    prepared_state_ = state_;
-    prepared_checkpoint_ = ev.checkpoint_id;
+    snapshot_for_prepare(ev.checkpoint_id);
     capturing_ = true;
     committed_this_wave_ = false;
     platform_.acker().ack(ev.root, ev.id);
@@ -261,11 +322,165 @@ void Executor::on_prepare(const Event& ev, std::uint64_t span) {
     trace_end(span);
     return;
   }
-  prepared_state_ = state_;
-  prepared_checkpoint_ = ev.checkpoint_id;
+  snapshot_for_prepare(ev.checkpoint_id);
   platform_.forward_control(*this, ev);
   platform_.acker().ack(ev.root, ev.id);
   trace_end(span);
+}
+
+void Executor::reset_delta_chain() {
+  delta_base_cid_ = 0;
+  delta_chain_len_ = 0;
+  decided_cid_ = 0;
+  decided_base_ = 0;
+}
+
+void Executor::decide_commit_form(std::uint64_t cid) {
+  if (decided_cid_ == cid) return;  // COMMIT retry keeps the first choice
+  decided_cid_ = cid;
+  decided_base_ = 0;
+  const PlatformConfig& cfg = platform_.config();
+  if (!platform_.delta_checkpointing() || delta_base_cid_ == 0) return;
+  // Compaction: every ckpt_full_every-th blob per instance is forced full,
+  // bounding the restore chain.
+  if (cfg.ckpt_full_every > 0 && delta_chain_len_ + 1 >= cfg.ckpt_full_every) {
+    return;
+  }
+  // Size guard: a delta close to the full state only lengthens the restore
+  // chain.  Both serialisations carry the same pending list, so comparing
+  // the state payloads alone is enough (and cheaper).
+  const TaskState& snap = prepared_state_.has_value() ? *prepared_state_
+                                                      : state_;
+  const CheckpointBlob probe =
+      CheckpointBlob::make_delta(cid, delta_base_cid_, snap, {});
+  CheckpointBlob full_probe;
+  full_probe.checkpoint_id = cid;
+  full_probe.state = snap;
+  const std::size_t delta_bytes = probe.serialize().size();
+  const std::size_t full_bytes = full_probe.serialize().size();
+  if (static_cast<double>(delta_bytes) >
+      cfg.ckpt_delta_max_ratio * static_cast<double>(full_bytes)) {
+    return;
+  }
+  decided_base_ = delta_base_cid_;
+}
+
+void Executor::note_persisted(std::uint64_t cid, std::size_t bytes) {
+  const bool was_delta = decided_base_ != 0;
+  committed_checkpoint_ = cid;
+  persisted_keys_[cid] = CheckpointBlob::key(cid, ref_.task, ref_.replica);
+  persisted_base_[cid] = decided_base_;
+  delta_chain_len_ = was_delta ? delta_chain_len_ + 1 : 0;
+  delta_base_cid_ = cid;
+  platform_.coordinator().note_commit_blob(was_delta, bytes, delta_chain_len_);
+  if (platform_.delta_checkpointing()) {
+    if (auto* tr = platform_.tracer()) {
+      tr->instant(obs::instance_track(id_.value), "task", "commit_blob",
+                  {obs::arg("cid", cid),
+                   obs::arg("form", was_delta ? "delta" : "full"),
+                   obs::arg("bytes", static_cast<std::uint64_t>(bytes)),
+                   obs::arg("chain",
+                            static_cast<std::uint64_t>(delta_chain_len_))});
+    }
+    gc_superseded_blobs();
+  }
+}
+
+void Executor::gc_superseded_blobs() {
+  // Blobs older than the last *globally* committed wave that are not on
+  // the chain serving it can never be read again — neither by a restore
+  // (which targets last_committed) nor by a rollback (which re-reads the
+  // same).  The current wave's blob is durable but not yet global, so it
+  // and the chain under it must survive.
+  const std::uint64_t committed = platform_.coordinator().last_committed();
+  if (committed == 0) return;
+  std::set<std::uint64_t> live;
+  std::uint64_t cur = committed;
+  while (cur != 0 && live.insert(cur).second) {
+    auto it = persisted_base_.find(cur);
+    cur = it == persisted_base_.end() ? 0 : it->second;
+  }
+  // Everything we persisted *after* the committed wave is also still live
+  // (the in-flight wave and its chain links back to `committed`).
+  std::vector<std::string> doomed;
+  for (auto it = persisted_keys_.begin(); it != persisted_keys_.end();) {
+    if (it->first < committed && !live.contains(it->first)) {
+      doomed.push_back(it->second);
+      persisted_base_.erase(it->first);
+      it = persisted_keys_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (doomed.empty()) return;
+  platform_.coordinator().note_gc(doomed.size());
+  platform_.store().del_batch(platform_.cluster().vm_of(slot_),
+                              std::move(doomed), [](bool) {
+                                // Best-effort: a failed delete just leaves
+                                // an unreferenced blob behind.
+                              });
+}
+
+void Executor::persist_commit_blob(const Event& ev, std::uint64_t span) {
+  const bool capture_mode =
+      platform_.checkpoint_mode() == CheckpointMode::Capture;
+  decide_commit_form(ev.checkpoint_id);
+
+  CheckpointBlob blob;
+  blob.checkpoint_id = ev.checkpoint_id;
+  const TaskState& snap = prepared_state_.has_value() ? *prepared_state_
+                                                      : state_;
+  if (decided_base_ != 0) {
+    blob = CheckpointBlob::make_delta(ev.checkpoint_id, decided_base_, snap,
+                                      {});
+  } else {
+    blob.state = snap;
+  }
+  if (capture_mode) blob.pending = pending_capture_;
+  const std::size_t pending_at_serialize = pending_capture_.size();
+  Bytes raw = blob.serialize();
+  const std::size_t bytes = raw.size();
+
+  const std::uint64_t epoch = epoch_;
+  platform_.store().put_pipelined(
+      platform_.cluster().vm_of(slot_),
+      CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica),
+      std::move(raw),
+      [this, ev, epoch, span, bytes, pending_at_serialize,
+       capture_mode](bool ok) {
+        if (epoch != epoch_ || !ok) {
+          // Killed while persisting, or store unreachable: withhold the ack
+          // so the wave times out and the coordinator retries or aborts.
+          trace_end(span);
+          return;
+        }
+        if (prepared_checkpoint_ != ev.checkpoint_id) {
+          // A ROLLBACK landed while the write was in flight; the wave is
+          // abandoned and the blob will be superseded.  Don't advance the
+          // chain or ack a forgotten root.
+          trace_end(span);
+          return;
+        }
+        // Only a *persisted* snapshot counts as committed — a retried
+        // COMMIT wave must re-snapshot, not trip the post-commit counter.
+        if (committed_checkpoint_ != ev.checkpoint_id) {
+          note_persisted(ev.checkpoint_id, bytes);
+        }
+        persisted_pending_count_ = pending_at_serialize;
+        if (capture_mode && capturing_ &&
+            pending_capture_.size() != pending_at_serialize) {
+          // The capture window: events delivered while the PUT was in
+          // flight exist only in this list — if the worker is killed now,
+          // the durable blob misses them.  Re-persist (same form, same
+          // base, refreshed pending) before acking the wave.
+          persist_commit_blob(ev, span);
+          return;
+        }
+        committed_this_wave_ = true;
+        platform_.forward_control(*this, ev);
+        platform_.acker().ack(ev.root, ev.id);
+        trace_end(span);
+      });
 }
 
 void Executor::on_commit(const Event& ev, std::uint64_t span) {
@@ -279,12 +494,7 @@ void Executor::on_commit(const Event& ev, std::uint64_t span) {
   const bool capture_mode =
       platform_.checkpoint_mode() == CheckpointMode::Capture;
 
-  CheckpointBlob blob;
-  blob.checkpoint_id = ev.checkpoint_id;
-  blob.state = prepared_state_.value_or(state_);
-  if (capture_mode) blob.pending = pending_capture_;
-
-  if (!def.stateful && blob.pending.empty()) {
+  if (!def.stateful && (!capture_mode || pending_capture_.empty())) {
     committed_this_wave_ = true;
     platform_.forward_control(*this, ev);
     platform_.acker().ack(ev.root, ev.id);
@@ -292,12 +502,16 @@ void Executor::on_commit(const Event& ev, std::uint64_t span) {
     return;
   }
 
-  if (committed_checkpoint_ == ev.checkpoint_id) {
+  if (committed_checkpoint_ == ev.checkpoint_id &&
+      (!capture_mode ||
+       pending_capture_.size() == persisted_pending_count_)) {
     // This incarnation already persisted this checkpoint's blob on an
     // earlier COMMIT attempt (the wave failed elsewhere — e.g. one shard's
     // outage).  The prepared snapshot is frozen and sources are quiesced,
     // so the durable blob is still exact: forward and ack without
     // re-writing, leaving retry traffic to the tasks whose writes failed.
+    // Capture mode re-persists instead when the capture list grew past the
+    // durable copy — skipping would strand those events in memory.
     committed_this_wave_ = true;
     platform_.forward_control(*this, ev);
     platform_.acker().ack(ev.root, ev.id);
@@ -305,32 +519,22 @@ void Executor::on_commit(const Event& ev, std::uint64_t span) {
     return;
   }
 
-  const std::uint64_t epoch = epoch_;
-  platform_.store().put_pipelined(
-      platform_.cluster().vm_of(slot_),
-      CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica),
-      blob.serialize(), [this, ev, epoch, span](bool ok) {
-        if (epoch != epoch_ || !ok) {
-          // Killed while persisting, or store unreachable: withhold the ack
-          // so the wave times out and the coordinator retries or aborts.
-          trace_end(span);
-          return;
-        }
-        // Only a *persisted* snapshot counts as committed — a retried
-        // COMMIT wave must re-snapshot, not trip the post-commit counter.
-        committed_this_wave_ = true;
-        committed_checkpoint_ = ev.checkpoint_id;
-        platform_.forward_control(*this, ev);
-        platform_.acker().ack(ev.root, ev.id);
-        trace_end(span);
-      });
+  persist_commit_blob(ev, span);
 }
 
 void Executor::on_rollback(const Event& ev, std::uint64_t span) {
+  if (prepared_state_.has_value()) {
+    // The snapshot's recorded changes were never (usably) persisted; fold
+    // them back so the next wave's blob still covers them.
+    state_.merge_dirty_from(*prepared_state_);
+  }
   prepared_state_.reset();
   prepared_checkpoint_ = 0;
   committed_this_wave_ = false;
   committed_checkpoint_ = 0;
+  // A rolled-back wave may have left a durable blob that will never become
+  // the committed base; forget the chain so the next blob is forced full.
+  reset_delta_chain();
   if (capturing_) {
     // Re-inject captured events at the head of the queue so processing
     // resumes exactly where capture froze it.
@@ -360,63 +564,15 @@ void Executor::on_init(const Event& ev, std::uint64_t span) {
   seen_init_roots_.insert(ev.root);
 
   if (awaiting_init_) {
-    // Respawned worker: state (and CCR pending events) come from the store.
-    const std::string key =
-        CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica);
-    if (const std::optional<Bytes>* pre =
-            platform_.coordinator().prefetched(key)) {
-      // The coordinator's cross-shard prefetch already fetched this blob in
-      // a pipelined MGET — restore without an individual store round-trip.
-      platform_.coordinator().note_prefetch_hit();
-      CheckpointBlob blob;
-      if (pre->has_value()) blob = CheckpointBlob::deserialize(**pre);
-      restore_from_blob(blob);
-      if (platform_.checkpoint_mode() == CheckpointMode::Wave) {
-        platform_.forward_control(*this, ev);
-      }
-      platform_.acker().ack(ev.root, ev.id);
-      trace_end(span);
-      return;
-    }
-    const std::uint64_t epoch = epoch_;
-    // lint: nodiscard-ok(Store::get is the async void overload — the result
-    // arrives through the completion callback, not the return value)
-    platform_.store().get(
-        platform_.cluster().vm_of(slot_), key,
-        [this, ev, epoch, span](bool ok, std::optional<Bytes> raw) {
-          if (epoch != epoch_) {
-            trace_end(span);
-            return;
-          }
-          if (!ok) {
-            // Store unreachable: stay un-restored and withhold the ack so
-            // this wave fails; a later INIT wave retries the restore.
-            seen_init_roots_.erase(ev.root);
-            trace_end(span);
-            return;
-          }
-          if (!awaiting_init_) {
-            // A concurrent INIT root restored us while this GET was in
-            // flight (re-sent waves overlap when the store is slow to
-            // answer).  Re-applying the blob would re-inject its pending
-            // events a second time — just ack this copy.
-            ++stats_.duplicate_inits;
-            if (platform_.checkpoint_mode() == CheckpointMode::Wave) {
-              platform_.forward_control(*this, ev);
-            }
-            platform_.acker().ack(ev.root, ev.id);
-            trace_end(span);
-            return;
-          }
-          CheckpointBlob blob;
-          if (raw) blob = CheckpointBlob::deserialize(*raw);
-          restore_from_blob(blob);
-          if (platform_.checkpoint_mode() == CheckpointMode::Wave) {
-            platform_.forward_control(*this, ev);
-          }
-          platform_.acker().ack(ev.root, ev.id);
-          trace_end(span);
-        });
+    // Respawned worker: state (and CCR pending events) come from the store
+    // — possibly as a delta chain that continue_init_fetch walks down to
+    // its full base.
+    auto fetch = std::make_shared<InitFetch>();
+    fetch->ev = ev;
+    fetch->span = span;
+    continue_init_fetch(
+        std::move(fetch),
+        CheckpointBlob::key(ev.checkpoint_id, ref_.task, ref_.replica));
     return;
   }
 
@@ -445,12 +601,123 @@ void Executor::on_init(const Event& ev, std::uint64_t span) {
   trace_end(span);
 }
 
+void Executor::continue_init_fetch(std::shared_ptr<InitFetch> fetch,
+                                   std::string key) {
+  const Event ev = fetch->ev;
+  const std::uint64_t span = fetch->span;
+
+  // Shared continuation for a fetched (or known-missing) blob value.
+  auto consume = [this, fetch](const std::optional<Bytes>& raw) {
+    const Event& ev2 = fetch->ev;
+    if (!raw.has_value()) {
+      if (fetch->chain.empty()) {
+        // Nothing committed for this instance: restore empty state.
+        finish_init_restore(*fetch);
+        return;
+      }
+      // A delta references a base the store no longer holds (e.g. the
+      // aborted placement's chain was superseded).  Fail this wave so a
+      // later INIT retries against a consistent chain.
+      seen_init_roots_.erase(ev2.root);
+      trace_end(fetch->span);
+      return;
+    }
+    CheckpointBlob blob = CheckpointBlob::deserialize(*raw);
+    const bool is_delta = blob.is_delta();
+    const std::uint64_t cid = blob.checkpoint_id;
+    const std::uint64_t base = blob.base_checkpoint_id;
+    fetch->chain.push_back(std::move(blob));
+    if (!is_delta) {
+      finish_init_restore(*fetch);
+      return;
+    }
+    // Chain sanity: bases must strictly descend, or the walk could cycle
+    // on a corrupted store.
+    if (base >= cid || fetch->chain.size() > 256) {
+      seen_init_roots_.erase(ev2.root);
+      trace_end(fetch->span);
+      return;
+    }
+    platform_.coordinator().note_chain_fetch();
+    continue_init_fetch(fetch,
+                        CheckpointBlob::key(base, ref_.task, ref_.replica));
+  };
+
+  if (const std::optional<Bytes>* pre =
+          platform_.coordinator().prefetched(key)) {
+    // The coordinator's cross-shard prefetch already fetched this blob in
+    // a pipelined MGET — no individual store round-trip.
+    platform_.coordinator().note_prefetch_hit();
+    consume(*pre);
+    return;
+  }
+  const std::uint64_t epoch = epoch_;
+  // lint: nodiscard-ok(Store::get is the async void overload — the result
+  // arrives through the completion callback, not the return value)
+  platform_.store().get(
+      platform_.cluster().vm_of(slot_), key,
+      [this, ev, epoch, span, consume](bool ok, std::optional<Bytes> raw) {
+        if (epoch != epoch_) {
+          trace_end(span);
+          return;
+        }
+        if (!ok) {
+          // Store unreachable: stay un-restored and withhold the ack so
+          // this wave fails; a later INIT wave retries the restore.
+          seen_init_roots_.erase(ev.root);
+          trace_end(span);
+          return;
+        }
+        if (!awaiting_init_) {
+          // A concurrent INIT root restored us while this GET was in
+          // flight (re-sent waves overlap when the store is slow to
+          // answer).  Re-applying the blob would re-inject its pending
+          // events a second time — just ack this copy.
+          ++stats_.duplicate_inits;
+          if (platform_.checkpoint_mode() == CheckpointMode::Wave) {
+            platform_.forward_control(*this, ev);
+          }
+          platform_.acker().ack(ev.root, ev.id);
+          trace_end(span);
+          return;
+        }
+        consume(raw);
+      });
+}
+
+void Executor::finish_init_restore(InitFetch& fetch) {
+  const Event& ev = fetch.ev;
+  CheckpointBlob restored;
+  if (!fetch.chain.empty()) {
+    // chain is newest → oldest and ends in a full blob: start from that
+    // base state and replay the deltas oldest-first.
+    TaskState st = std::move(fetch.chain.back().state);
+    for (std::size_t i = fetch.chain.size() - 1; i-- > 0;) {
+      fetch.chain[i].apply_delta_to(st);
+    }
+    restored.checkpoint_id = fetch.chain.front().checkpoint_id;
+    restored.state = std::move(st);
+    restored.pending = std::move(fetch.chain.front().pending);
+  }
+  restore_from_blob(restored);
+  if (platform_.checkpoint_mode() == CheckpointMode::Wave) {
+    platform_.forward_control(*this, ev);
+  }
+  platform_.acker().ack(ev.root, ev.id);
+  trace_end(fetch.span);
+}
+
 void Executor::restore_from_blob(const CheckpointBlob& blob) {
   state_ = blob.state;
+  state_.clear_dirty();  // the restored map IS the next full baseline
   awaiting_init_ = false;
   capturing_ = false;
   committed_this_wave_ = false;
   committed_checkpoint_ = 0;
+  // Per the chain rules, the first blob after a restore is forced full —
+  // this incarnation never observed the old chain being persisted.
+  reset_delta_chain();
+  stats_.init_replays += blob.pending.size();
   ++stats_.init_restores;
   if (auto* tr = platform_.tracer()) {
     tr->instant(obs::instance_track(id_.value), "task", "restored",

@@ -15,7 +15,10 @@
 #pragma once
 
 #include <deque>
+#include <map>
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -39,13 +42,26 @@ namespace rill::dsps {
 class Platform;
 
 /// Per-executor counters for tests and invariant checks.
+///
+/// The loss counters are mutually exclusive per delivery, so user events
+/// obey the conservation ledger (checked by the chaos property sweep):
+///   delivered + init_replays ==
+///       processed + lost_enqueue + lost_at_kill + lost_mid_service
+///       + transport_overflow + capture_handoff + buffered_user_events()
 struct ExecutorStats {
+  std::uint64_t delivered{0};   ///< user events handed to enqueue()
   std::uint64_t processed{0};
   std::uint64_t emitted{0};
   std::uint64_t captured{0};
-  std::uint64_t lost_enqueue{0};      ///< deliveries while dead
-  std::uint64_t lost_at_kill{0};      ///< queued events dropped by kill
+  std::uint64_t lost_enqueue{0};  ///< user deliveries while dead
+  std::uint64_t lost_control_enqueue{0};  ///< control copies while dead/starting
+  std::uint64_t lost_at_kill{0};  ///< queued events dropped by kill
+  std::uint64_t lost_mid_service{0};  ///< the in-flight delivery killed
+                                      ///< mid-service (at most 1 per kill)
   std::uint64_t transport_overflow{0};  ///< Starting-buffer cap overflows
+  std::uint64_t capture_handoff{0};  ///< captured events whose only copy moved
+                                     ///< to the durable blob at kill
+  std::uint64_t init_replays{0};  ///< events re-injected from restored blobs
   std::uint64_t post_commit_arrivals{0};  ///< CCR invariant: must stay 0
   std::uint64_t init_restores{0};
   std::uint64_t duplicate_inits{0};
@@ -104,6 +120,10 @@ class Executor {
     return pending_capture_;
   }
   [[nodiscard]] const ExecutorStats& stats() const noexcept { return stats_; }
+  /// User events currently owned by this executor in some buffer: input
+  /// queue + pend-until-init + senders' transport buffers + the capture
+  /// list + an in-flight user delivery.  Closes the stats ledger.
+  [[nodiscard]] std::uint64_t buffered_user_events() const noexcept;
 
   /// Version of the user logic this worker runs; bumped by migrations
   /// that carry logic updates.  The user logic tags per-version counters
@@ -121,10 +141,43 @@ class Executor {
   /// its terminal point — possibly inside an async store callback.
   void handle_control(const Event& ev, std::uint64_t span);
 
+  /// Snapshot `state_` for a PREPARE of wave `cid`, keeping dirty-set
+  /// custody correct across failed waves and re-PREPAREs.
+  void snapshot_for_prepare(std::uint64_t cid);
   void on_prepare(const Event& ev, std::uint64_t span);
   void on_commit(const Event& ev, std::uint64_t span);
   void on_rollback(const Event& ev, std::uint64_t span);
   void on_init(const Event& ev, std::uint64_t span);
+
+  /// COMMIT persistence: serialises the blob for `ev.checkpoint_id` (delta
+  /// or full, per the decision recorded in `decided_*`), PUTs it, and on
+  /// success re-persists if the capture list grew while the write was in
+  /// flight (the CCR capture window), then forwards + acks.
+  void persist_commit_blob(const Event& ev, std::uint64_t span);
+  /// Chooses delta vs full for this wave and records the choice so COMMIT
+  /// retries re-serialise the same form with a refreshed pending list.
+  void decide_commit_form(std::uint64_t cid);
+  /// Post-persist bookkeeping: advance the delta chain, emit stats, and
+  /// garbage-collect blobs superseded by the last globally-committed wave.
+  void note_persisted(std::uint64_t cid, std::size_t bytes);
+  void gc_superseded_blobs();
+  /// Forget the delta chain so the next blob is forced full (after kill,
+  /// restore and rollback — the cases where the base may not survive).
+  void reset_delta_chain();
+
+  /// INIT restore bookkeeping for one blob fetch: accumulates the delta
+  /// chain (newest first) and either recurses for the base or reconstructs
+  /// the full state and restores.
+  struct InitFetch {
+    Event ev;
+    std::uint64_t span{0};
+    std::vector<CheckpointBlob> chain;  // newest → oldest
+  };
+  /// Fetches `key` (prefetch cache first, then the store) and continues the
+  /// chain walk.  On store failure the INIT root is released so a later
+  /// wave retries; on success with a full base the state is reconstructed.
+  void continue_init_fetch(std::shared_ptr<InitFetch> fetch, std::string key);
+  void finish_init_restore(InitFetch& fetch);
 
   void trace_end(std::uint64_t span);
   /// Lazily resolve this instance's registry instruments (first processed
@@ -167,6 +220,33 @@ class Executor {
   // CCR capture machinery.
   bool capturing_{false};
   std::vector<Event> pending_capture_;
+  /// True while a *user* event is in its service-time callback; the kill
+  /// path charges exactly one lost_at_kill for it (the callback itself then
+  /// no-ops on the epoch guard), keeping the loss counters exclusive.
+  bool user_in_flight_{false};
+
+  // ---- incremental (delta) checkpoint chain ----
+  /// Last durably persisted blob's checkpoint id — the base the next delta
+  /// builds on.  0 = no valid base: the next blob is forced full (first
+  /// wave, and after kill / restore / rollback).
+  std::uint64_t delta_base_cid_{0};
+  /// Deltas persisted since the last full blob (0 right after a full).
+  int delta_chain_len_{0};
+  /// COMMIT form decision for the current wave: valid while
+  /// decided_cid_ == the wave's checkpoint id.  decided_base_ == 0 = full.
+  std::uint64_t decided_cid_{0};
+  std::uint64_t decided_base_{0};
+  /// Capture-list length at the moment the durable blob for
+  /// committed_checkpoint_ was serialised; a COMMIT retry whose capture
+  /// list grew past this re-persists instead of skipping (the capture
+  /// window fix — without it those events exist only in memory and die
+  /// with the kill).
+  std::size_t persisted_pending_count_{0};
+  /// Blobs this incarnation persisted: cid → store key / base cid (0 =
+  /// full).  Feeds compaction GC; reset at kill (pre-kill keys are leaked
+  /// deliberately — see DESIGN.md).
+  std::map<std::uint64_t, std::string> persisted_keys_;
+  std::map<std::uint64_t, std::uint64_t> persisted_base_;
 
   // Barrier alignment: wave root → copies consumed so far.
   std::unordered_map<RootId, int> align_count_;

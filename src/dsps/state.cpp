@@ -2,6 +2,15 @@
 
 namespace rill::dsps {
 
+namespace {
+
+/// First u64 of a delta-form blob.  Checkpoint ids are assigned from 1
+/// upward, so the all-ones value can never be a real id and the full-form
+/// wire layout (which leads with the id) stays unambiguous.
+constexpr std::uint64_t kDeltaMagic = ~0ull;
+
+}  // namespace
+
 Bytes TaskState::serialize() const {
   BytesWriter w;
   w.put_u32(static_cast<std::uint32_t>(counters.size()));
@@ -54,9 +63,22 @@ Event deserialize_event(BytesReader& r) {
 
 Bytes CheckpointBlob::serialize() const {
   BytesWriter w;
-  w.put_u64(checkpoint_id);
-  const Bytes state_bytes = state.serialize();
-  w.put_bytes(state_bytes);
+  if (is_delta()) {
+    w.put_u64(kDeltaMagic);
+    w.put_u64(checkpoint_id);
+    w.put_u64(base_checkpoint_id);
+    w.put_u32(static_cast<std::uint32_t>(changed.size()));
+    for (const auto& [k, v] : changed) {
+      w.put_string(k);
+      w.put_i64(v);
+    }
+    w.put_u32(static_cast<std::uint32_t>(deleted.size()));
+    for (const auto& k : deleted) w.put_string(k);
+  } else {
+    w.put_u64(checkpoint_id);
+    const Bytes state_bytes = state.serialize();
+    w.put_bytes(state_bytes);
+  }
   w.put_u32(static_cast<std::uint32_t>(pending.size()));
   for (const Event& ev : pending) serialize_event(w, ev);
   return w.take();
@@ -65,14 +87,72 @@ Bytes CheckpointBlob::serialize() const {
 CheckpointBlob CheckpointBlob::deserialize(const Bytes& raw) {
   BytesReader r(raw);
   CheckpointBlob b;
-  b.checkpoint_id = r.get_u64();
-  const Bytes state_bytes = r.get_bytes();
-  BytesReader sr(state_bytes);
-  b.state = TaskState::deserialize(sr);
+  const std::uint64_t head = r.get_u64();
+  if (head == kDeltaMagic) {
+    b.checkpoint_id = r.get_u64();
+    b.base_checkpoint_id = r.get_u64();
+    if (b.base_checkpoint_id == 0) {
+      throw DeserializeError("delta blob with zero base checkpoint id");
+    }
+    const auto nc = r.get_u32();
+    for (std::uint32_t i = 0; i < nc; ++i) {
+      std::string k = r.get_string();
+      b.changed[std::move(k)] = r.get_i64();
+    }
+    const auto nd = r.get_u32();
+    b.deleted.reserve(nd);
+    for (std::uint32_t i = 0; i < nd; ++i) b.deleted.push_back(r.get_string());
+  } else {
+    b.checkpoint_id = head;
+    const Bytes state_bytes = r.get_bytes();
+    BytesReader sr(state_bytes);
+    b.state = TaskState::deserialize(sr);
+  }
   const auto n = r.get_u32();
   b.pending.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) b.pending.push_back(deserialize_event(r));
   return b;
+}
+
+CheckpointBlob CheckpointBlob::make_delta(std::uint64_t cid,
+                                          std::uint64_t base_cid,
+                                          const TaskState& state,
+                                          std::vector<Event> pending) {
+  CheckpointBlob b;
+  b.checkpoint_id = cid;
+  b.base_checkpoint_id = base_cid;
+  for (const auto& k : state.dirty_keys()) {
+    auto it = state.counters.find(k);
+    // A dirty key can be absent if user code erased it through `counters`
+    // directly; treat that as a deletion so the delta stays faithful.
+    if (it == state.counters.end()) {
+      b.deleted.push_back(k);
+    } else {
+      b.changed[k] = it->second;
+    }
+  }
+  for (const auto& k : state.deleted_keys()) b.deleted.push_back(k);
+  b.pending = std::move(pending);
+  return b;
+}
+
+void CheckpointBlob::apply_delta_to(TaskState& base) const {
+  for (const auto& [k, v] : changed) base.counters[k] = v;
+  for (const auto& k : deleted) base.counters.erase(k);
+}
+
+std::optional<std::uint64_t> CheckpointBlob::delta_base_of(
+    const Bytes& raw) noexcept {
+  try {
+    BytesReader r(raw);
+    if (r.get_u64() != kDeltaMagic) return std::nullopt;
+    r.get_u64();  // checkpoint id
+    const std::uint64_t base = r.get_u64();
+    if (base == 0) return std::nullopt;
+    return base;
+  } catch (const DeserializeError&) {
+    return std::nullopt;
+  }
 }
 
 std::string CheckpointBlob::key(std::uint64_t checkpoint_id, TaskId task,

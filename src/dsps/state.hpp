@@ -4,10 +4,20 @@
 // (the paper's example: counts of events seen, windows for aggregation).
 // A checkpoint persists the state — and, for CCR, the captured pending
 // events — to the key-value store as one serialised blob per task instance.
+//
+// Delta checkpointing: TaskState records which keys were upserted or erased
+// since the last `clear_dirty()` (i.e. since the last blob that persisted
+// them).  A CheckpointBlob can then take a *delta* form — base checkpoint id
+// plus only the changed/deleted keys — instead of the full ordered map.  The
+// CCR pending-capture list is always carried in full; only user state is
+// deltified.  Full blobs keep the pre-delta wire format byte-for-byte, so
+// runs with delta mode off are unchanged on the wire.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -17,21 +27,79 @@
 namespace rill::dsps {
 
 /// In-memory state of a stateful task instance.  An ordered map keeps
-/// serialisation deterministic.
+/// serialisation deterministic; ordered dirty/deleted sets keep delta
+/// serialisation deterministic too.
 struct TaskState {
   std::map<std::string, std::int64_t> counters;
 
-  std::int64_t& operator[](const std::string& key) { return counters[key]; }
+  /// Mutable access marks the key dirty (and revives it if it was deleted).
+  /// Direct mutation through `counters` bypasses dirty tracking and must
+  /// only be used by code that never checkpoints incrementally (tests).
+  std::int64_t& operator[](const std::string& key) {
+    dirty_.insert(key);
+    deleted_.erase(key);
+    return counters[key];
+  }
+
+  /// Removes a key, recording the deletion for the next delta.  An absent
+  /// key is still tombstoned: it may exist in the persisted base even
+  /// though it is already gone from memory.
+  void erase(const std::string& key) {
+    counters.erase(key);
+    dirty_.erase(key);
+    deleted_.insert(key);
+  }
 
   [[nodiscard]] std::int64_t get(const std::string& key) const {
     auto it = counters.find(key);
     return it == counters.end() ? 0 : it->second;
   }
 
-  friend bool operator==(const TaskState&, const TaskState&) = default;
+  /// Equality is over the user-visible map only: a deserialized state is
+  /// clean while the original may carry dirty bookkeeping.
+  friend bool operator==(const TaskState& a, const TaskState& b) {
+    return a.counters == b.counters;
+  }
+
+  [[nodiscard]] const std::set<std::string>& dirty_keys() const noexcept {
+    return dirty_;
+  }
+  [[nodiscard]] const std::set<std::string>& deleted_keys() const noexcept {
+    return deleted_;
+  }
+  [[nodiscard]] bool has_dirty() const noexcept {
+    return !dirty_.empty() || !deleted_.empty();
+  }
+
+  /// Forgets all recorded changes — called after the changes were persisted
+  /// (full or delta blob) so the next delta starts from this point.
+  void clear_dirty() {
+    dirty_.clear();
+    deleted_.clear();
+  }
+
+  /// Unions `other`'s recorded changes into ours.  Used on ROLLBACK: the
+  /// prepared snapshot's dirty set (changes that were never persisted) must
+  /// flow back into the live state so the next blob still covers them.
+  void merge_dirty_from(const TaskState& other) {
+    for (const auto& k : other.dirty_) {
+      dirty_.insert(k);
+      deleted_.erase(k);
+    }
+    for (const auto& k : other.deleted_) {
+      if (counters.find(k) == counters.end()) {
+        dirty_.erase(k);
+        deleted_.insert(k);
+      }
+    }
+  }
 
   [[nodiscard]] Bytes serialize() const;
   [[nodiscard]] static TaskState deserialize(BytesReader& r);
+
+ private:
+  std::set<std::string> dirty_;
+  std::set<std::string> deleted_;
 };
 
 /// Serialisation of a single event for the CCR pending-event list.
@@ -40,13 +108,44 @@ void serialize_event(BytesWriter& w, const Event& ev);
 
 /// What one task instance persists at COMMIT time: the user state snapshot
 /// taken at PREPARE, plus (CCR only) the captured in-flight events.
+///
+/// Two wire forms share one type:
+///   * full  (base_checkpoint_id == 0): `state` holds the whole map; the
+///     serialised bytes are identical to the pre-delta format.
+///   * delta (base_checkpoint_id != 0): `changed`/`deleted` hold only the
+///     keys touched since the base blob; `state` is unused.  The serialised
+///     form is prefixed with a magic u64 (~0) that can never collide with a
+///     real checkpoint id.
 struct CheckpointBlob {
   std::uint64_t checkpoint_id{0};
+  std::uint64_t base_checkpoint_id{0};
   TaskState state;
+  std::map<std::string, std::int64_t> changed;
+  std::vector<std::string> deleted;
   std::vector<Event> pending;
+
+  [[nodiscard]] bool is_delta() const noexcept {
+    return base_checkpoint_id != 0;
+  }
 
   [[nodiscard]] Bytes serialize() const;
   [[nodiscard]] static CheckpointBlob deserialize(const Bytes& raw);
+
+  /// Builds a delta blob carrying `state`'s dirty/deleted keys on top of
+  /// the blob committed as `base_cid`.  The pending list is always full.
+  [[nodiscard]] static CheckpointBlob make_delta(std::uint64_t cid,
+                                                 std::uint64_t base_cid,
+                                                 const TaskState& state,
+                                                 std::vector<Event> pending);
+
+  /// Applies this delta's upserts and deletions on top of `base` (which
+  /// must be the reconstructed state at `base_checkpoint_id`).
+  void apply_delta_to(TaskState& base) const;
+
+  /// Peeks the base checkpoint id of a serialised blob without a full
+  /// decode.  Returns nullopt for full blobs and for malformed buffers.
+  [[nodiscard]] static std::optional<std::uint64_t> delta_base_of(
+      const Bytes& raw) noexcept;
 
   /// Store key for a given wave / task instance.
   [[nodiscard]] static std::string key(std::uint64_t checkpoint_id,

@@ -185,6 +185,39 @@ void ShardedStore::del(VmId client, std::string key, PutDone done) {
       client, std::move(key), std::move(done));
 }
 
+void ShardedStore::del_batch(VmId client, std::vector<std::string> keys,
+                             PutDone done) {
+  if (shards_.size() == 1) {
+    shards_[0]->del_batch(client, std::move(keys), std::move(done));
+    return;
+  }
+  std::vector<std::vector<std::string>> groups(shards_.size());
+  for (auto& k : keys) {
+    groups[static_cast<std::size_t>(shard_for(k))].push_back(std::move(k));
+  }
+  struct Gather {
+    int remaining{0};
+    bool ok{true};
+    PutDone done;
+  };
+  auto gather = std::make_shared<Gather>();
+  gather->done = std::move(done);
+  for (const auto& g : groups) {
+    if (!g.empty()) ++gather->remaining;
+  }
+  if (gather->remaining == 0) {
+    shards_[0]->del_batch(client, {}, std::move(gather->done));
+    return;
+  }
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].empty()) continue;
+    shards_[i]->del_batch(client, std::move(groups[i]), [gather](bool ok) {
+      gather->ok = gather->ok && ok;
+      if (--gather->remaining == 0 && gather->done) gather->done(gather->ok);
+    });
+  }
+}
+
 void ShardedStore::put_pipelined(VmId client, std::string key, Bytes value,
                                  PutDone done) {
   if (shards_.size() == 1) {

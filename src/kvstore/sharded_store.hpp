@@ -56,6 +56,10 @@ class ShardedStore {
   void get(VmId client, std::string key, GetDone done);
   void get_batch(VmId client, std::vector<std::string> keys, MGetDone done);
   void del(VmId client, std::string key, PutDone done);
+  /// Pipelined multi-DELETE: one MDEL per owning shard, verdicts
+  /// AND-aggregated like put_batch.  Delta-checkpoint compaction uses this
+  /// to drop superseded blobs in one round-trip per shard.
+  void del_batch(VmId client, std::vector<std::string> keys, PutDone done);
 
   /// Coalescing PUT for checkpoint COMMIT traffic: lingers for
   /// `config.pipeline_linger` collecting same-(client,shard) writes, then

@@ -100,6 +100,12 @@ void Store::apply(const Request& req, Reply& reply, std::size_t& reply_bytes) {
       data_.erase(req.key);
       break;
     }
+    case Op::MDel: {
+      ++stats_.deletes;
+      stats_.batch_items += req.keys.size();
+      for (const std::string& k : req.keys) data_.erase(k);
+      break;
+    }
   }
 }
 
@@ -113,6 +119,7 @@ void Store::attempt(VmId client, std::shared_ptr<const Request> req,
       items = req->kvs.size();
       break;
     case Op::MGet:
+    case Op::MDel:
       for (const std::string& k : req->keys) request_bytes += k.size();
       items = req->keys.size();
       break;
@@ -247,6 +254,19 @@ void Store::del(VmId client, std::string key, PutDone done) {
   req->op = Op::Del;
   req->key = std::move(key);
   const std::uint64_t span = begin_op_span("del", 1);
+  attempt(client, std::move(req), 1,
+          [this, span, done = std::move(done)](bool ok, Reply) {
+            end_op_span(span, ok);
+            if (done) done(ok);
+          });
+}
+
+void Store::del_batch(VmId client, std::vector<std::string> keys,
+                      PutDone done) {
+  auto req = std::make_shared<Request>();
+  req->op = Op::MDel;
+  req->keys = std::move(keys);
+  const std::uint64_t span = begin_op_span("mdel", req->keys.size());
   attempt(client, std::move(req), 1,
           [this, span, done = std::move(done)](bool ok, Reply) {
             end_op_span(span, ok);

@@ -151,6 +151,10 @@ class Store {
   /// Asynchronous DELETE.
   void del(VmId client, std::string key, PutDone done);
 
+  /// Pipelined multi-DELETE: one round-trip, per-item service cost.  Used
+  /// by delta-checkpoint compaction to drop superseded blobs in bulk.
+  void del_batch(VmId client, std::vector<std::string> keys, PutDone done);
+
   void set_fault_hook(FaultHook* hook) noexcept { fault_hook_ = hook; }
 
   /// Flight recorder: each operation becomes a span covering all attempts,
@@ -174,12 +178,12 @@ class Store {
   /// Server-side work for one request; returns the reply payload size, or
   /// nullopt when the request is swallowed by an outage.  GETs also return
   /// the value through `value_out`.
-  enum class Op : std::uint8_t { Put, Get, MGet, Del };
+  enum class Op : std::uint8_t { Put, Get, MGet, Del, MDel };
   struct Request {
     Op op{Op::Put};
     std::vector<std::pair<std::string, Bytes>> kvs;  ///< Put payload
     std::string key;                                 ///< Get / Del key
-    std::vector<std::string> keys;                   ///< MGet keys
+    std::vector<std::string> keys;                   ///< MGet / MDel keys
   };
   /// What comes back from one applied request.
   struct Reply {

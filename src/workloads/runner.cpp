@@ -103,10 +103,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.events_emitted = platform.stats().events_emitted;
   result.events_lost = platform.stats().events_lost;
   for (const dsps::InstanceRef& ref : platform.worker_and_sink_instances()) {
-    const dsps::ExecutorStats& s = platform.executor(ref).stats();
+    const dsps::Executor& ex = platform.executor(ref);
+    const dsps::ExecutorStats& s = ex.stats();
     result.post_commit_arrivals += s.post_commit_arrivals;
     result.lost_at_kill += s.lost_at_kill;
     result.transport_overflow += s.transport_overflow;
+    result.delivered += s.delivered;
+    result.init_replays += s.init_replays;
+    result.capture_handoff += s.capture_handoff;
+    // Conservation ledger: every delivered (or replayed) user event must be
+    // in exactly one terminal bucket or still buffered at teardown.
+    const std::uint64_t in = s.delivered + s.init_replays;
+    const std::uint64_t out = s.processed + s.lost_enqueue + s.lost_at_kill +
+                              s.lost_mid_service + s.transport_overflow +
+                              s.capture_handoff + ex.buffered_user_events();
+    if (in != out) ++result.accounting_violations;
   }
   result.billed_cents = platform.cluster().billed_cents();
 

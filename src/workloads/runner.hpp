@@ -82,6 +82,16 @@ struct ExperimentResult {
   std::uint64_t post_commit_arrivals{0};  ///< CCR invariant, must be 0
   std::uint64_t lost_at_kill{0};          ///< 0 for DCR/CCR
   std::uint64_t transport_overflow{0};    ///< Starting-buffer cap drops
+  /// Executors whose conservation ledger failed to balance at teardown:
+  ///   delivered + init_replays == processed + lost_enqueue + lost_at_kill
+  ///                               + transport_overflow + capture_handoff
+  ///                               + still-buffered user events.
+  /// Every delivered user event must end in exactly one terminal bucket, so
+  /// this must be 0 in every run, chaos included.
+  std::uint64_t accounting_violations{0};
+  std::uint64_t delivered{0};             ///< user events entering enqueue()
+  std::uint64_t init_replays{0};          ///< events re-injected by restores
+  std::uint64_t capture_handoff{0};       ///< captured events durably handed off
   double billed_cents{0.0};
 
   // Fault-recovery observability.

@@ -64,6 +64,10 @@ TEST_P(ChaosSweep, ProtocolFaultsNeverBreakExactlyOnce) {
   EXPECT_EQ(r.report.replayed_messages, 0u);
   EXPECT_EQ(r.lost_at_kill, 0u);
   EXPECT_EQ(r.post_commit_arrivals, 0u);
+  // Conservation ledger: every executor must place every delivered user
+  // event in exactly one terminal bucket — the loss counters are mutually
+  // exclusive, so a double- or un-counted delivery shows up here.
+  EXPECT_EQ(r.accounting_violations, 0u);
 
   const SimTime settle = static_cast<SimTime>(kRun - time::sec(120));
   for (const auto& [origin, rec] : r.collector.roots()) {
@@ -98,6 +102,50 @@ INSTANTIATE_TEST_SUITE_P(
                       ChaosCell{DagKind::Grid, StrategyKind::CCR, 11},
                       ChaosCell{DagKind::Grid, StrategyKind::CCR, 2024}),
     cell_name);
+
+// Capture-window regression (CCR): a KV outage straddling the COMMIT put
+// forces store-level retries while captured events keep arriving between
+// the serialized snapshot and the eventual ack.  Those late captures must
+// be re-persisted before the wave acks — under the old code they lived
+// only in the dropped in-memory list and vanished at kill, surfacing as
+// lost events (or, after a rollback, as double replays).  Run with delta
+// checkpointing both off and on: the pending list always ships full.
+TEST(CaptureWindow, CommitRetryNeverDropsLateCapturedEvents) {
+  for (const bool delta : {false, true}) {
+    SCOPED_TRACE(delta ? "ckpt_delta=1" : "ckpt_delta=0");
+    workloads::ExperimentConfig cfg;
+    cfg.dag = DagKind::Grid;
+    cfg.strategy = StrategyKind::CCR;
+    cfg.scale = ScaleKind::In;
+    cfg.platform.seed = 42;
+    cfg.platform.ckpt_delta = delta;
+    cfg.run_duration = time::sec(420);
+    cfg.migrate_at = time::sec(60);
+    // The outage opens with the COMMIT puts in flight and closes inside
+    // the per-operation retry budget: the wave never re-runs, but the ack
+    // arrives seconds after the pending list was first serialized.
+    cfg.chaos.kv_outage(time::sec(60), time::sec(2), -1);
+    const auto r = workloads::run_experiment(cfg);
+
+    ASSERT_GT(r.chaos.kv_outage_hits, 0u);
+    EXPECT_GT(r.store.retries, 0u);
+    EXPECT_TRUE(r.migration_succeeded);
+    EXPECT_GT(r.capture_handoff, 0u);  // captured events did ride the blob
+    EXPECT_EQ(r.report.lost_events, 0u);
+    EXPECT_EQ(r.report.replayed_messages, 0u);
+    EXPECT_EQ(r.lost_at_kill, 0u);
+    EXPECT_EQ(r.post_commit_arrivals, 0u);
+    EXPECT_EQ(r.accounting_violations, 0u);
+    const SimTime settle = static_cast<SimTime>(time::sec(300));
+    for (const auto& [origin, rec] : r.collector.roots()) {
+      if (rec.born_at < settle) {
+        ASSERT_EQ(rec.sink_arrivals, r.sink_paths)
+            << "origin " << origin << " born at "
+            << time::at_sec(rec.born_at) << " s";
+      }
+    }
+  }
+}
 
 // Invariant 7 with chaos in the loop: the same (seed, plan) pair must
 // reproduce the run exactly — fault hits, recovery path and all series.

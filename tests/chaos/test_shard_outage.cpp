@@ -138,5 +138,47 @@ TEST(ShardOutage, FullShardOutageRollsBackWithoutTouchingOthers) {
       << "no shard owned a checkpoint key during the outage window";
 }
 
+// An outage across the whole INIT window: the first restore session blows
+// its deadline, the strategy aborts and re-pins the old placement — which
+// broadcasts ROLLBACK and must invalidate the INIT prefetch cache, so the
+// retry's restore is served from blobs fetched for the *new* placement,
+// never from the aborted one.  The second attempt must then succeed with
+// exactly-once intact.
+TEST(ShardOutage, AbortedInitInvalidatesPrefetchAndRetrySucceeds) {
+  workloads::ExperimentConfig cfg = sharded_cfg(StrategyKind::CCR);
+  cfg.platform.init_deadline = time::sec(15);
+  cfg.controller.max_attempts = 2;
+  cfg.controller.fallback_to_dsm = false;
+  // Long enough for the recovery unpause to drain its replay backlog before
+  // the retry pauses again: PREPARE is a barrier that rides in order behind
+  // queued user events, so retrying into a still-full queue (~35 s of
+  // backlog at the slowest task) times out every wave before it is served.
+  cfg.controller.retry_backoff = time::sec(50);
+  // Instant-on workers: the default 28–34 s JVM-startup draw would eat the
+  // whole 15 s INIT deadline by itself, and this test is about the *store*
+  // being dark during INIT — not about startup stragglers.
+  cfg.platform.worker_startup_min_sec = 2.0;
+  cfg.platform.worker_startup_max_sec = 4.0;
+  cfg.platform.worker_startup_per_colocated_sec = 0.25;
+  cfg.platform.worker_slow_start_prob = 0.0;
+  // COMMIT lands by ~63 s; the outage opens right after and outlives the
+  // 15 s INIT deadline, so the first session must fail and abort.
+  cfg.chaos.kv_outage(time::sec(64), time::sec(24), -1);
+  const auto r = workloads::run_experiment(cfg);
+
+  ASSERT_GT(r.chaos.kv_outage_hits, 0u);
+  EXPECT_GE(r.checkpoint.init_sessions_failed, 1u);
+  EXPECT_EQ(r.recovery.aborted_attempts, 1);
+  EXPECT_EQ(r.recovery.attempts, 2);
+  EXPECT_TRUE(r.migration_succeeded);
+  // The retry's restore ran against a fresh prefetch generation.
+  EXPECT_GT(r.checkpoint.init_prefetch_hits, 0u);
+  EXPECT_EQ(r.report.lost_events, 0u);
+  EXPECT_EQ(r.report.replayed_messages, 0u);
+  EXPECT_EQ(r.post_commit_arrivals, 0u);
+  EXPECT_EQ(r.accounting_violations, 0u);
+  expect_exactly_once(r);
+}
+
 }  // namespace
 }  // namespace rill

@@ -83,7 +83,8 @@ TEST_F(ExecutorFixture, StartingWorkerBuffersUserDropsControl) {
   init.root = init.id;
   init.control = ControlKind::Init;
   ex.enqueue(init);  // dropped: task not active yet
-  EXPECT_EQ(ex.stats().lost_enqueue, 1u);
+  EXPECT_EQ(ex.stats().lost_control_enqueue, 1u);
+  EXPECT_EQ(ex.stats().lost_enqueue, 0u);  // user delivery was buffered
 
   ex.set_ready(false);
   h.run_for(time::ms(200));

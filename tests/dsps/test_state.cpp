@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "dsps/state.hpp"
 
 namespace rill::dsps {
@@ -108,6 +109,158 @@ TEST(CheckpointBlob, KeyIsUniquePerInstance) {
 TEST(CheckpointBlob, GarbageThrows) {
   Bytes garbage{1, 2, 3};
   EXPECT_THROW(CheckpointBlob::deserialize(garbage), DeserializeError);
+}
+
+TEST(TaskState, DirtyTrackingFollowsMutations) {
+  TaskState s;
+  s["a"] = 1;
+  s["b"] = 2;
+  EXPECT_TRUE(s.has_dirty());
+  EXPECT_EQ(s.dirty_keys().size(), 2u);
+
+  s.clear_dirty();
+  EXPECT_FALSE(s.has_dirty());
+
+  s["a"] += 1;        // update marks dirty again
+  s.erase("b");       // deletion is tombstoned
+  EXPECT_EQ(s.dirty_keys().size(), 1u);
+  ASSERT_EQ(s.deleted_keys().size(), 1u);
+  EXPECT_EQ(*s.deleted_keys().begin(), "b");
+
+  s["b"] = 9;  // re-insert revives the key: tombstone must go
+  EXPECT_TRUE(s.deleted_keys().empty());
+  EXPECT_EQ(s.dirty_keys().size(), 2u);
+}
+
+TEST(TaskState, MergeDirtyRestoresUnpersistedChanges) {
+  // ROLLBACK path: the prepared snapshot's recorded changes flow back into
+  // the live state so the next blob still covers them.
+  TaskState live;
+  live["a"] = 1;
+  live["gone"] = 2;
+  live.clear_dirty();
+
+  TaskState snapshot = live;
+  snapshot["a"] += 1;
+  snapshot.erase("gone");
+  live.counters = snapshot.counters;  // live caught up, bookkeeping did not
+  live.clear_dirty();
+
+  live.merge_dirty_from(snapshot);
+  EXPECT_TRUE(live.dirty_keys().contains("a"));
+  EXPECT_TRUE(live.deleted_keys().contains("gone"));
+}
+
+TEST(CheckpointBlob, EmptyStateFullRoundtrip) {
+  CheckpointBlob blob;
+  blob.checkpoint_id = 3;
+  const CheckpointBlob back = CheckpointBlob::deserialize(blob.serialize());
+  EXPECT_EQ(back.checkpoint_id, 3u);
+  EXPECT_FALSE(back.is_delta());
+  EXPECT_TRUE(back.state.counters.empty());
+  EXPECT_TRUE(back.pending.empty());
+}
+
+TEST(CheckpointBlob, DeltaRoundtripWithDeletions) {
+  TaskState base;
+  base["keep"] = 1;
+  base["bump"] = 10;
+  base["drop"] = 99;
+  base.clear_dirty();
+
+  TaskState next = base;
+  next["bump"] += 5;
+  next["fresh"] = 7;
+  next.erase("drop");
+
+  std::vector<Event> pend;
+  pend.push_back(sample_event());
+  CheckpointBlob delta = CheckpointBlob::make_delta(8, 7, next, pend);
+  EXPECT_TRUE(delta.is_delta());
+
+  const CheckpointBlob back = CheckpointBlob::deserialize(delta.serialize());
+  EXPECT_EQ(back.checkpoint_id, 8u);
+  EXPECT_EQ(back.base_checkpoint_id, 7u);
+  ASSERT_EQ(back.pending.size(), 1u);
+
+  TaskState restored = base;
+  back.apply_delta_to(restored);
+  EXPECT_EQ(restored, next);
+  EXPECT_EQ(restored.get("drop"), 0);
+  EXPECT_EQ(restored.get("fresh"), 7);
+  EXPECT_EQ(restored.get("bump"), 15);
+}
+
+TEST(CheckpointBlob, DeltaBaseOfPeeksWithoutDecoding) {
+  CheckpointBlob full;
+  full.checkpoint_id = 4;
+  full.state["k"] = 1;
+  EXPECT_EQ(CheckpointBlob::delta_base_of(full.serialize()), std::nullopt);
+
+  TaskState st;
+  st["k"] = 2;
+  const CheckpointBlob delta = CheckpointBlob::make_delta(5, 4, st, {});
+  EXPECT_EQ(CheckpointBlob::delta_base_of(delta.serialize()), 4u);
+
+  EXPECT_EQ(CheckpointBlob::delta_base_of(Bytes{1, 2, 3}), std::nullopt);
+  EXPECT_EQ(CheckpointBlob::delta_base_of(Bytes{}), std::nullopt);
+}
+
+TEST(CheckpointBlob, TruncatedBuffersAreRejectedNotMisread) {
+  TaskState st;
+  st["alpha"] = 1;
+  st["beta"] = -2;
+  CheckpointBlob delta = CheckpointBlob::make_delta(6, 5, st, {});
+  delta.pending.push_back(sample_event());
+  const Bytes full_raw = delta.serialize();
+  // Every proper prefix must throw — never return a half-decoded blob.
+  for (std::size_t len = 0; len < full_raw.size(); ++len) {
+    Bytes cut(full_raw.begin(),
+              full_raw.begin() + static_cast<std::ptrdiff_t>(len));
+    EXPECT_THROW(CheckpointBlob::deserialize(cut), DeserializeError)
+        << "prefix of " << len << " bytes decoded without error";
+  }
+}
+
+TEST(CheckpointBlob, SeededFuzzRoundtripAndChainEquivalence) {
+  // Random mutation histories: the delta chain replayed over the first full
+  // blob must always reconstruct the exact final map.
+  Rng rng(0xC0FFEEull);
+  for (int round = 0; round < 50; ++round) {
+    TaskState live;
+    const std::uint64_t keys = 1 + rng.uniform_int(1, 12);
+    for (std::uint64_t k = 0; k < keys; ++k) {
+      live["k" + std::to_string(k)] =
+          static_cast<std::int64_t>(rng.next() % 1000);
+    }
+    // Wave 1: full blob.
+    CheckpointBlob full;
+    full.checkpoint_id = 1;
+    full.state = live;
+    TaskState restored =
+        CheckpointBlob::deserialize(full.serialize()).state;
+    live.clear_dirty();
+
+    // Waves 2..n: random upserts/deletes, one delta blob per wave.
+    const std::uint64_t waves = rng.uniform_int(1, 6);
+    for (std::uint64_t w = 0; w < waves; ++w) {
+      const std::uint64_t muts = rng.uniform_int(1, 8);
+      for (std::uint64_t m = 0; m < muts; ++m) {
+        const std::string key = "k" + std::to_string(rng.next() % (keys + 3));
+        if (rng.uniform01() < 0.25) {
+          live.erase(key);
+        } else {
+          live[key] = static_cast<std::int64_t>(rng.next() % 1000);
+        }
+      }
+      const CheckpointBlob delta =
+          CheckpointBlob::make_delta(w + 2, w + 1, live, {});
+      live.clear_dirty();
+      CheckpointBlob::deserialize(delta.serialize())
+          .apply_delta_to(restored);
+    }
+    EXPECT_EQ(restored, live) << "round " << round;
+  }
 }
 
 }  // namespace

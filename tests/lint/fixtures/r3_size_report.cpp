@@ -1,0 +1,20 @@
+// Fixture: R3 size-field violations — bytes / ratio / chain quantities
+// declared as floats on the report surface (this filename contains
+// "report").  Integer declarations of the same names and a waived float
+// stay silent.
+namespace fixture {
+
+struct DeltaReport {
+  double delta_bytes{0.0};       // R3: float bytes field (line 8)
+  float compress_ratio = 0.0f;   // R3: float ratio field (line 9)
+  double max_chain_len;          // R3: float chain field (line 10)
+
+  unsigned long long full_bytes{0};  // integer bytes: fine
+  long chain_fetches{0};             // integer chain: fine
+  double p99_ms{0.0};                // float, but not size-like: fine
+
+  // lint: float-size-field-ok(derived at the boundary for display only)
+  double display_ratio{0.0};
+};
+
+}  // namespace fixture

@@ -106,6 +106,21 @@ TEST(RillLint, R3IgnoresFilesOffTheReportSurface) {
   EXPECT_TRUE(fs.empty());
 }
 
+TEST(RillLint, R3SizeFieldFixture) {
+  const auto fs = lint_one("r3_size_report.cpp");
+  EXPECT_TRUE(has(fs, "R3/float-size-field", 8)) << "double bytes";
+  EXPECT_TRUE(has(fs, "R3/float-size-field", 9)) << "float ratio";
+  EXPECT_TRUE(has(fs, "R3/float-size-field", 10)) << "double chain";
+  EXPECT_EQ(fs.size(), 3u)
+      << "integer size fields, non-size floats and the waived field "
+         "must stay silent";
+}
+
+TEST(RillLint, R3SizeFieldIgnoredOffTheReportSurface) {
+  const auto fs = run({{"r3_elsewhere.cpp", fixture("r3_size_report.cpp")}});
+  EXPECT_TRUE(fs.empty());
+}
+
 TEST(RillLint, R4NodiscardFixture) {
   const auto fs = lint_one("r4_nodiscard.cpp");
   EXPECT_TRUE(has(fs, "R4/nodiscard", 9)) << "plain discard";

@@ -12,10 +12,13 @@
 # `--skip-lint` opts out of both.
 #
 # A determinism gate follows: each migration strategy's reference config
-# (see tests/determinism/README.md) runs twice, the two JSONL traces must
-# be byte-identical, and the first run's artifacts must match the
-# committed sha256 manifest. `--regen-determinism` rewrites the manifest
-# instead of checking it (for PRs that sanction a behavioral change).
+# (see tests/determinism/README.md) runs twice — once with delta
+# checkpointing off and once with --ckpt-delta 1 — the two JSONL traces of
+# each pair must be byte-identical, and the first run's artifacts must
+# match the committed sha256 manifests (baseline.sha256 for full blobs,
+# baseline-delta.sha256 for delta mode). `--regen-determinism` rewrites
+# both manifests instead of checking them (for PRs that sanction a
+# behavioral change).
 #
 # A bench gate follows the determinism gate: the checkpoint-store and
 # restore benches run their shard sweeps (shards 1 and 4) in --check mode,
@@ -71,32 +74,53 @@ if [ "$run_lint" = 1 ]; then
   fi
 fi
 
-echo "==> determinism gate: double-run + committed manifest (seed 1, grid)"
+echo "==> determinism gate: double-run + committed manifests (seed 1, grid)"
 det_dir="build/determinism"
 rm -rf "$det_dir" && mkdir -p "$det_dir"
-for s in dsm dcr ccr; do
-  for pass in 1 2; do
-    ./build/tools/rill_run --strategy "$s" --dag grid --scale in \
-      --seed 1 --duration 420 --migrate-at 60 \
-      --trace-jsonl "$det_dir/$s.run$pass.jsonl" --json \
-      > "$det_dir/$s.run$pass.json"
+for mode in full delta; do
+  if [ "$mode" = delta ]; then
+    delta_flag=1; tag=".delta"
+  else
+    delta_flag=0; tag=""
+  fi
+  for s in dsm dcr ccr; do
+    for pass in 1 2; do
+      ./build/tools/rill_run --strategy "$s" --dag grid --scale in \
+        --seed 1 --duration 420 --migrate-at 60 \
+        --ckpt-delta "$delta_flag" \
+        --trace-jsonl "$det_dir/$s$tag.run$pass.jsonl" --json \
+        > "$det_dir/$s$tag.run$pass.json"
+    done
+    cmp "$det_dir/$s$tag.run1.jsonl" "$det_dir/$s$tag.run2.jsonl" \
+      || { echo "ci.sh: $s ($mode) trace differs between identical runs" >&2
+           exit 1; }
+    cmp "$det_dir/$s$tag.run1.json" "$det_dir/$s$tag.run2.json" \
+      || { echo "ci.sh: $s ($mode) report differs between identical runs" >&2
+           exit 1; }
+    cp "$det_dir/$s$tag.run1.jsonl" "$det_dir/$s$tag.jsonl"
+    cp "$det_dir/$s$tag.run1.json" "$det_dir/$s$tag.json"
   done
-  cmp "$det_dir/$s.run1.jsonl" "$det_dir/$s.run2.jsonl" \
-    || { echo "ci.sh: $s trace differs between identical runs" >&2; exit 1; }
-  cmp "$det_dir/$s.run1.json" "$det_dir/$s.run2.json" \
-    || { echo "ci.sh: $s report differs between identical runs" >&2; exit 1; }
-  cp "$det_dir/$s.run1.jsonl" "$det_dir/$s.jsonl"
-  cp "$det_dir/$s.run1.json" "$det_dir/$s.json"
 done
 if [ "$regen_determinism" = 1 ]; then
   ( cd "$det_dir" &&
     sha256sum dsm.jsonl dsm.json dcr.jsonl dcr.json ccr.jsonl ccr.json ) \
     > tests/determinism/baseline.sha256
-  echo "==> determinism gate: manifest regenerated" \
-       "(tests/determinism/baseline.sha256) — commit it with the PR"
+  ( cd "$det_dir" &&
+    sha256sum dsm.delta.jsonl dsm.delta.json dcr.delta.jsonl dcr.delta.json \
+              ccr.delta.jsonl ccr.delta.json ) \
+    > tests/determinism/baseline-delta.sha256
+  echo "==> determinism gate: manifests regenerated" \
+       "(tests/determinism/baseline.sha256, baseline-delta.sha256)" \
+       "— commit them with the PR"
 else
   ( cd "$det_dir" && sha256sum -c ../../tests/determinism/baseline.sha256 ) \
     || { echo "ci.sh: artifacts drifted from tests/determinism/baseline.sha256;" \
+              "if the change is sanctioned, rerun with --regen-determinism" >&2
+         exit 1; }
+  ( cd "$det_dir" &&
+    sha256sum -c ../../tests/determinism/baseline-delta.sha256 ) \
+    || { echo "ci.sh: artifacts drifted from" \
+              "tests/determinism/baseline-delta.sha256;" \
               "if the change is sanctioned, rerun with --regen-determinism" >&2
          exit 1; }
 fi

@@ -513,10 +513,44 @@ void check_r2(const std::string& path, const FileInfo& info, const Scope& scope,
   }
 }
 
+/// Is this field name a size-like quantity that must stay integer-typed on
+/// the report surface?  Byte totals, delta-size ratios and chain lengths are
+/// exact counts — a float declaration invites lossy accumulation upstream of
+/// the report boundary (the ratio belongs to the consumer, computed from its
+/// integer numerator and denominator).
+bool is_size_like_field(const std::string& name) {
+  return name.find("bytes") != std::string::npos ||
+         name.find("ratio") != std::string::npos ||
+         name.find("chain") != std::string::npos;
+}
+
 void check_r3(const std::string& path, const FileInfo& info, const Scope& scope,
               std::vector<Finding>& out) {
-  if (scope.float_fields.empty()) return;
   const std::vector<Token>& t = info.lexed.tokens;
+
+  // Size-like fields (bytes / ratio / chain) declared float on the report
+  // surface are flagged at the declaration, whether or not anything in the
+  // include closure accumulates into them.
+  if (info.report_surface) {
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      const std::string& name = t[i].text;
+      if (name != "double" && name != "float") continue;
+      if (t[i + 1].kind != TokKind::Ident) continue;
+      const std::string& after = t[i + 2].text;
+      if (after != ";" && after != "=" && after != "{" && after != ",")
+        continue;
+      if (!is_size_like_field(t[i + 1].text)) continue;
+      if (waived(info.lexed, t[i].line, "float-size-field")) continue;
+      emit(out, path, info, t[i + 1], "R3/float-size-field",
+           "size-like report field '" + t[i + 1].text +
+               "' declared " + name,
+           "declare byte totals, delta-size ratios and chain lengths as "
+           "integers; derive any ratio at the report boundary from its "
+           "integer parts; or waive with // lint: float-size-field-ok(reason)");
+    }
+  }
+
+  if (scope.float_fields.empty()) return;
   for (std::size_t i = 0; i + 1 < t.size(); ++i) {
     if (t[i].kind != TokKind::Ident) continue;
     const std::string& op = t[i + 1].text;

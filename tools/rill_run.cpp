@@ -37,6 +37,15 @@ void print_help(std::FILE* out, const char* argv0) {
                "  --kv-shards N         checkpoint store shards (default 1;\n"
                "                        1 = the single-Redis baseline)\n"
                "\n"
+               "incremental checkpointing:\n"
+               "  --ckpt-delta 0|1      COMMIT persists dirty-key deltas when\n"
+               "                        a valid base blob exists (default 0)\n"
+               "  --ckpt-delta-max-ratio R  fall back to a full blob when the\n"
+               "                        delta exceeds R x the full size\n"
+               "                        (default 0.5)\n"
+               "  --ckpt-full-every N   force a full blob (compaction) every\n"
+               "                        N-th wave; 0 = never (default 8)\n"
+               "\n"
                "recovery supervision:\n"
                "  --attempts N          max migration attempts (default 1)\n"
                "  --no-fallback         do not degrade to DSM after aborts\n"
@@ -203,6 +212,21 @@ int main(int argc, char** argv) {
     } else if (arg == "--kv-shards") {
       cfg.platform.kv_shards = parse_int(argv[0], arg, next());
       if (cfg.platform.kv_shards < 1) die(argv[0], "--kv-shards must be >= 1");
+    } else if (arg == "--ckpt-delta") {
+      const int v = parse_int(argv[0], arg, next());
+      if (v != 0 && v != 1) die(argv[0], "--ckpt-delta must be 0 or 1");
+      cfg.platform.ckpt_delta = v == 1;
+    } else if (arg == "--ckpt-delta-max-ratio") {
+      cfg.platform.ckpt_delta_max_ratio = num();
+      if (cfg.platform.ckpt_delta_max_ratio <= 0.0 ||
+          cfg.platform.ckpt_delta_max_ratio > 1.0) {
+        die(argv[0], "--ckpt-delta-max-ratio must be in (0, 1]");
+      }
+    } else if (arg == "--ckpt-full-every") {
+      cfg.platform.ckpt_full_every = parse_int(argv[0], arg, next());
+      if (cfg.platform.ckpt_full_every < 0) {
+        die(argv[0], "--ckpt-full-every must be >= 0");
+      }
     } else if (arg == "--chaos-kv-outage") {
       const auto v = csv(2, 3);
       cfg.chaos.kv_outage(time::sec_f(v[0]), time::sec_f(v[1]),
