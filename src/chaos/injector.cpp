@@ -1,8 +1,11 @@
 #include "chaos/injector.hpp"
 
+#include <string>
 #include <utility>
 
+#include "ckpt/recovery.hpp"
 #include "dsps/platform.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
 namespace rill::chaos {
@@ -19,6 +22,35 @@ void ChaosInjector::trace_hit(const char* name,
   if (auto* tr = platform_->tracer()) {
     tr->instant(obs::kTrackChaos, "chaos", name, args);
   }
+}
+
+void ChaosInjector::note_hit(FaultKind kind) {
+  const SimTime now = platform_->engine().now();
+  KindStats& ks = kind_stats_[kind];
+  if (auto* reg = platform_->metrics()) {
+    if (ks.count == nullptr) {
+      const std::string base = "chaos." + std::string(to_string(kind)) + ".";
+      ks.count = reg->counter(base + "count");
+      ks.interarrival = reg->histogram(base + "interarrival_us");
+    }
+    ks.count->add(1);
+    if (ks.last_at.has_value()) {
+      ks.interarrival->record(static_cast<std::uint64_t>(now - *ks.last_at));
+    }
+  }
+  ks.last_at = now;
+  if (failure_listener_) failure_listener_(kind, now);
+}
+
+void ChaosInjector::note_process_failure(int instances, const char* cause) {
+  auto* rec = platform_->recovery();
+  if (rec == nullptr) return;
+  const SimTime now = platform_->engine().now();
+  // Staleness: how far back the last committed checkpoint sits — the replay
+  // window a restore (or a fresh-state resume) rolls back over.
+  const SimTime committed_at = platform_->coordinator().last_committed_at();
+  rec->on_failure(now, instances,
+                  static_cast<SimDuration>(now - committed_at), cause);
 }
 
 ChaosInjector::ChaosInjector(ChaosPlan plan, std::uint64_t seed)
@@ -61,9 +93,11 @@ bool ChaosInjector::drop(VmId /*from*/, VmId /*to*/, net::MsgClass cls) {
     if (cls == net::MsgClass::Control) {
       ++stats_.control_dropped;
       trace_hit("drop_control");
+      note_hit(FaultKind::DropControl);
     } else {
       ++stats_.user_dropped;
       trace_hit("drop_user");
+      note_hit(FaultKind::DropUser);
     }
     return true;
   }
@@ -79,6 +113,7 @@ SimDuration ChaosInjector::extra_delay(VmId /*from*/, VmId /*to*/,
   if (extra > 0) {
     ++stats_.messages_delayed;
     trace_hit("net_delay");
+    note_hit(FaultKind::NetDelay);
   }
   return extra;
 }
@@ -90,6 +125,7 @@ bool ChaosInjector::unavailable(int shard) {
     if (f.probability < 1.0 && rng_.uniform01() >= f.probability) continue;
     ++stats_.kv_outage_hits;
     trace_hit("kv_outage", {obs::arg("shard", shard)});
+    note_hit(FaultKind::KvOutage);
     return true;
   }
   return false;
@@ -105,6 +141,7 @@ SimDuration ChaosInjector::extra_latency(int shard) {
   if (extra > 0) {
     ++stats_.kv_slowdowns;
     trace_hit("kv_slow", {obs::arg("shard", shard)});
+    note_hit(FaultKind::KvLatency);
   }
   return extra;
 }
@@ -116,7 +153,10 @@ void ChaosInjector::crash_worker(const FaultSpec& f) {
       f.target >= 0
           ? f.target % static_cast<int>(workers.size())
           : static_cast<int>(rng_.uniform_int(0, workers.size() - 1));
-  crash_instance(idx, f.respawn, f.respawn_delay);
+  if (crash_instance(idx, f.respawn, f.respawn_delay)) {
+    note_hit(FaultKind::WorkerCrash);
+    note_process_failure(1, "worker_crash");
+  }
 }
 
 void ChaosInjector::fail_vm(const FaultSpec& f) {
@@ -130,28 +170,31 @@ void ChaosInjector::fail_vm(const FaultSpec& f) {
   // Every worker instance hosted on the VM dies at once; they relaunch in
   // place once the VM reboots.
   const auto workers = platform_->worker_instances();
-  bool any = false;
+  int killed = 0;
   for (std::size_t i = 0; i < workers.size(); ++i) {
     if (platform_->executor(workers[i]).life() == dsps::LifeState::Dead) {
       continue;
     }
     if (platform_->vm_of_instance(workers[i]) != vm) continue;
-    crash_instance(static_cast<int>(i), f.respawn, f.respawn_delay);
-    any = true;
+    if (crash_instance(static_cast<int>(i), f.respawn, f.respawn_delay)) {
+      ++killed;
+    }
   }
-  if (any) {
+  if (killed > 0) {
     ++stats_.vms_failed;
     trace_hit("vm_fail",
               {obs::arg("vm", static_cast<std::uint64_t>(vm.value))});
+    note_hit(FaultKind::VmFailure);
+    note_process_failure(killed, "vm_fail");
   }
 }
 
-void ChaosInjector::crash_instance(int worker_index, bool respawn,
+bool ChaosInjector::crash_instance(int worker_index, bool respawn,
                                    SimDuration delay) {
   const auto workers = platform_->worker_instances();
   const dsps::InstanceRef ref = workers[static_cast<std::size_t>(worker_index)];
   dsps::Executor& ex = platform_->executor(ref);
-  if (ex.life() == dsps::LifeState::Dead) return;
+  if (ex.life() == dsps::LifeState::Dead) return false;
 
   const SlotId slot = ex.slot();
   platform_->cluster().vacate(slot);
@@ -159,7 +202,7 @@ void ChaosInjector::crash_instance(int worker_index, bool respawn,
   ++stats_.workers_crashed;
   trace_hit("worker_crash",
             {obs::arg("instance", static_cast<std::uint64_t>(ex.id().value))});
-  if (!respawn) return;
+  if (!respawn) return true;
 
   platform_->engine().schedule_detached(delay, [this, ref, slot] {
     dsps::Executor& ex2 = platform_->executor(ref);
@@ -176,14 +219,33 @@ void ChaosInjector::crash_instance(int worker_index, bool respawn,
     // pends user events until INIT re-delivers its state; outside a
     // session it resumes with fresh state (the at-least-once reality of a
     // crash — no checkpoint scheme can save unacked in-flight tuples).
+    // With config.respawn_restore on, a lone respawn instead starts its
+    // own recovery INIT session from the last committed checkpoint —
+    // Storm's StatefulBoltExecutor behaviour — provided no wave, session
+    // or rebalance is already in flight (those paths restore it anyway or
+    // are about to re-kill it).
+    dsps::CheckpointCoordinator& coord = platform_->coordinator();
     const bool stateful = platform_->topology().task(ref.task).stateful;
-    ex2.set_ready(/*awaiting_init=*/stateful &&
-                  platform_->coordinator().init_in_progress());
+    bool await = stateful && coord.init_in_progress();
+    bool recovery_init = false;
+    if (stateful && !await && platform_->config().respawn_restore &&
+        coord.last_committed() > 0 && !coord.checkpoint_in_progress() &&
+        !platform_->rebalancer().in_progress()) {
+      await = true;
+      recovery_init = true;
+    }
+    ex2.set_ready(/*awaiting_init=*/await);
     ++stats_.workers_respawned;
     trace_hit("worker_respawn",
               {obs::arg("instance",
                         static_cast<std::uint64_t>(ex2.id().value))});
+    if (recovery_init) {
+      trace_hit("respawn_restore", {obs::arg("cid", coord.last_committed())});
+      coord.run_init(coord.last_committed(), platform_->checkpoint_mode(),
+                     platform_->config().init_resend_period, [](bool) {});
+    }
   });
+  return true;
 }
 
 }  // namespace rill::chaos

@@ -10,7 +10,10 @@
 // byte-identical to runs without a chaos layer at all (invariant 7).
 #pragma once
 
+#include <functional>
 #include <initializer_list>
+#include <map>
+#include <optional>
 
 #include "chaos/plan.hpp"
 #include "common/rng.hpp"
@@ -24,6 +27,8 @@ class Platform;
 
 namespace rill::obs {
 struct Arg;
+class Counter;
+class Histogram;
 }
 
 namespace rill::chaos {
@@ -55,6 +60,15 @@ class ChaosInjector final : public net::Network::FaultHook,
   /// the point faults.  Call after deploy(), before the engine runs.
   void arm(dsps::Platform& platform);
 
+  /// Failure-event notification: called once per fault hit with the kind
+  /// and the sim time (process kinds fire once per crash_worker / fail_vm
+  /// event, not per killed instance).  Feeds the adaptive checkpoint
+  /// policy's MTTF estimator.  Pure observation — the callback must not
+  /// schedule anything if byte-identical traces are expected.
+  void set_failure_listener(std::function<void(FaultKind, SimTime)> fn) {
+    failure_listener_ = std::move(fn);
+  }
+
   // -- net::Network::FaultHook --
   bool drop(VmId from, VmId to, net::MsgClass cls) override;
   SimDuration extra_delay(VmId from, VmId to, net::MsgClass cls) override;
@@ -71,15 +85,31 @@ class ChaosInjector final : public net::Network::FaultHook,
   void crash_worker(const FaultSpec& f);
   void fail_vm(const FaultSpec& f);
   /// Kill worker instance `worker_index` (topology order) in place and, if
-  /// requested, respawn it on its old slot after `delay`.
-  void crash_instance(int worker_index, bool respawn, SimDuration delay);
+  /// requested, respawn it on its old slot after `delay`.  Returns whether
+  /// the instance was actually alive to kill.
+  bool crash_instance(int worker_index, bool respawn, SimDuration delay);
   /// Flight-recorder instant on the chaos lane (no-op when tracing is off).
   void trace_hit(const char* name, std::initializer_list<obs::Arg> args = {});
+  /// Per-kind failure statistics: bumps `chaos.<kind>.count`, records the
+  /// inter-failure gap into `chaos.<kind>.interarrival_us` (second hit
+  /// onward) and fires the failure listener.
+  void note_hit(FaultKind kind);
+  /// Kill/failure-detection edge for the recovery tracker, with the
+  /// checkpoint staleness at this instant.
+  void note_process_failure(int instances, const char* cause);
 
   dsps::Platform* platform_{nullptr};
   ChaosPlan plan_;
   Rng rng_;
   ChaosStats stats_;
+  std::function<void(FaultKind, SimTime)> failure_listener_;
+  /// Last hit per kind (interarrival anchor) + cached registry instruments.
+  struct KindStats {
+    std::optional<SimTime> last_at;
+    obs::Counter* count{nullptr};
+    obs::Histogram* interarrival{nullptr};
+  };
+  std::map<FaultKind, KindStats> kind_stats_;
 };
 
 }  // namespace rill::chaos

@@ -1,0 +1,55 @@
+#include "ckpt/estimators.hpp"
+
+#include <cmath>
+
+namespace rill::ckpt {
+
+void MttfEstimator::note_failure(chaos::FaultKind kind, SimTime at) {
+  ++failures_;
+  KindTrack& t = kinds_[kind];
+  if (t.count > 0) {
+    const SimDuration gap =
+        at >= t.last_at ? static_cast<SimDuration>(at - t.last_at) : 0;
+    const auto gap_us = static_cast<double>(gap);
+    t.ewma_us = t.count == 1 ? gap_us
+                             : alpha_ * gap_us + (1.0 - alpha_) * t.ewma_us;
+  }
+  t.last_at = at;
+  ++t.count;
+}
+
+std::optional<SimDuration> MttfEstimator::kind_mttf(
+    chaos::FaultKind kind) const {
+  const auto it = kinds_.find(kind);
+  if (it == kinds_.end() || it->second.count < 2) return std::nullopt;
+  return static_cast<SimDuration>(std::llround(it->second.ewma_us));
+}
+
+std::optional<SimDuration> MttfEstimator::combined_mttf() const {
+  double rate = 0.0;  // failures per microsecond, summed across kinds
+  for (const auto& [kind, t] : kinds_) {
+    if (t.count < 2 || t.ewma_us <= 0.0) continue;
+    rate += 1.0 / t.ewma_us;
+  }
+  if (rate <= 0.0) return std::nullopt;
+  return static_cast<SimDuration>(std::llround(1.0 / rate));
+}
+
+std::uint64_t MttfEstimator::kind_count(chaos::FaultKind kind) const {
+  const auto it = kinds_.find(kind);
+  return it == kinds_.end() ? 0 : it->second.count;
+}
+
+void MttrEstimator::note_recovery(SimDuration downtime) {
+  const auto us = static_cast<double>(downtime);
+  ewma_us_ = count_ == 0 ? us : alpha_ * us + (1.0 - alpha_) * ewma_us_;
+  ++count_;
+  if (downtime > max_) max_ = downtime;
+}
+
+std::optional<SimDuration> MttrEstimator::estimate() const {
+  if (count_ == 0) return std::nullopt;
+  return static_cast<SimDuration>(std::llround(ewma_us_));
+}
+
+}  // namespace rill::ckpt

@@ -1,0 +1,79 @@
+#include "ckpt/recovery.hpp"
+
+#include <algorithm>
+
+#include "obs/registry.hpp"
+
+namespace rill::ckpt {
+
+void RecoveryTracker::on_failure(SimTime at, int instances,
+                                 SimDuration staleness, const char* cause) {
+  if (!open_) {
+    open_ = true;
+    failed_at_ = at;
+    staleness_ = staleness;
+    instances_ = 0;
+    down_ = 0;
+    init_pending_ = false;
+    init_active_ = false;
+    span_ = obs::kNoSpan;
+    if (tracer_ != nullptr) {
+      span_ = tracer_->begin(
+          obs::kTrackCoordinator, "checkpoint", "recovery",
+          {obs::arg("cause", cause), obs::arg("instances", instances),
+           obs::arg("staleness_ms", time::to_ms(staleness))});
+    }
+  }
+  instances_ += instances;
+  down_ += instances;
+}
+
+void RecoveryTracker::on_worker_ready(SimTime at, bool awaiting_init) {
+  if (!open_) return;
+  down_ = std::max(0, down_ - 1);
+  if (awaiting_init) init_pending_ = true;
+  maybe_close(at);
+}
+
+void RecoveryTracker::on_init_start(SimTime /*at*/) {
+  if (!open_) return;
+  init_active_ = true;
+  init_pending_ = false;
+}
+
+void RecoveryTracker::on_init_complete(SimTime at, bool ok) {
+  if (!open_) return;
+  init_active_ = false;
+  // A failed session (deadline hit) leaves the window open: the abort path
+  // re-pins and runs a recovery INIT, and only that completion closes it.
+  if (!ok) return;
+  init_pending_ = false;
+  maybe_close(at);
+}
+
+void RecoveryTracker::maybe_close(SimTime at) {
+  if (!open_ || down_ > 0 || init_active_ || init_pending_) return;
+  open_ = false;
+  RecoveryRecord rec;
+  rec.failed_at = failed_at_;
+  rec.downtime = at >= failed_at_ ? static_cast<SimDuration>(at - failed_at_) : 0;
+  rec.staleness = staleness_;
+  rec.instances = instances_;
+  records_.push_back(rec);
+  if (tracer_ != nullptr) {
+    tracer_->end(span_, {obs::arg("downtime_ms", time::to_ms(rec.downtime)),
+                         obs::arg("total_ms", time::to_ms(rec.total()))});
+    span_ = obs::kNoSpan;
+  }
+  if (metrics_ != nullptr) {
+    metrics_->histogram("ckpt.recovery_ms")
+        ->record(static_cast<std::uint64_t>(
+            std::max<SimDuration>(0, rec.downtime / 1000)));
+    metrics_->histogram("ckpt.recovery_total_ms")
+        ->record(static_cast<std::uint64_t>(
+            std::max<SimDuration>(0, rec.total() / 1000)));
+  }
+  if (sink_) sink_(rec);
+}
+
+}  // namespace rill::ckpt

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "ckpt/recovery.hpp"
 #include "dsps/platform.hpp"
 #include "dsps/state.hpp"
 #include "obs/registry.hpp"
@@ -14,15 +15,48 @@
 namespace rill::dsps {
 
 CheckpointCoordinator::CheckpointCoordinator(Platform& platform)
-    : platform_(platform),
-      periodic_(platform.engine(), platform.config().checkpoint_interval,
-                [this] { on_periodic_tick(); }) {}
+    : platform_(platform) {}
 
-void CheckpointCoordinator::start_periodic() { periodic_.start(); }
-void CheckpointCoordinator::stop_periodic() { periodic_.stop(); }
+CheckpointCoordinator::~CheckpointCoordinator() { stop_periodic(); }
+
+void CheckpointCoordinator::start_periodic() {
+  if (periodic_running_) return;
+  periodic_running_ = true;
+  arm_periodic();
+}
+
+void CheckpointCoordinator::stop_periodic() {
+  if (!periodic_running_) return;
+  periodic_running_ = false;
+  // lint: nodiscard-ok(cancel-if-pending: false just means the tick already fired)
+  static_cast<void>(platform_.engine().cancel(periodic_timer_));
+}
 
 bool CheckpointCoordinator::periodic_running() const noexcept {
-  return periodic_.running();
+  return periodic_running_;
+}
+
+void CheckpointCoordinator::arm_periodic() {
+  // Re-read the interval on every arm: a config_mut() edit (or a policy
+  // retune via apply_interval) takes effect on the next wave instead of
+  // being latched at start_periodic() time.
+  periodic_timer_ =
+      platform_.engine().schedule(platform_.config().checkpoint_interval,
+                                  [this] {
+                                    if (!periodic_running_) return;
+                                    // Re-arm first so a tick that calls
+                                    // stop_periodic() cancels cleanly.
+                                    arm_periodic();
+                                    on_periodic_tick();
+                                  });
+}
+
+void CheckpointCoordinator::apply_interval(SimDuration interval) {
+  platform_.config_mut().checkpoint_interval = interval;
+  if (!periodic_running_) return;
+  // lint: nodiscard-ok(cancel-if-pending: false just means the tick already fired)
+  static_cast<void>(platform_.engine().cancel(periodic_timer_));
+  arm_periodic();
 }
 
 void CheckpointCoordinator::on_periodic_tick() {
@@ -31,6 +65,16 @@ void CheckpointCoordinator::on_periodic_tick() {
   if (checkpoint_active_ || init_.active ||
       platform_.rebalancer().in_progress()) {
     return;
+  }
+  // A wave that includes a dead or INIT-awaiting worker cannot commit; it
+  // would just hang until the ack timeout and block the scheduler for the
+  // whole retry budget.  Defer to the next arm instead.
+  for (const InstanceRef& ref : platform_.worker_and_sink_instances()) {
+    const Executor& ex = platform_.executor(ref);
+    if (ex.life() != LifeState::Running || ex.awaiting_init()) {
+      ++stats_.waves_deferred;
+      return;
+    }
   }
   run_checkpoint(platform_.checkpoint_mode(), [](bool) {});
 }
@@ -92,7 +136,9 @@ void CheckpointCoordinator::run_checkpoint(CheckpointMode mode, Done done) {
     return;
   }
   checkpoint_active_ = true;
+  wave_doomed_ = false;
   ++stats_.waves_started;
+  wave_started_at_ = platform_.engine().now();
   const std::uint64_t cid = next_checkpoint_id_++;
   ckpt_span_ = obs::kNoSpan;
   if (auto* tr = platform_.tracer()) {
@@ -105,10 +151,25 @@ void CheckpointCoordinator::run_checkpoint(CheckpointMode mode, Done done) {
   start_prepare(mode, cid, 1, std::make_shared<Done>(std::move(done)));
 }
 
+void CheckpointCoordinator::on_worker_down() {
+  if (!checkpoint_active_ || wave_doomed_) return;
+  wave_doomed_ = true;
+  ++stats_.waves_aborted_on_death;
+  if (auto* tr = platform_.tracer()) {
+    tr->instant(obs::kTrackCoordinator, "checkpoint", "wave_abort_on_death",
+                {});
+  }
+  // Fires the phase's failure handler synchronously; wave_doomed_ makes it
+  // abort (rollback + fresh wave at the next periodic arm) without retries.
+  platform_.acker().fail(wave_root_);
+}
+
 void CheckpointCoordinator::abort_wave(std::uint64_t cid,
                                        std::shared_ptr<Done> done) {
   ++stats_.waves_rolled_back;
   checkpoint_active_ = false;
+  wave_doomed_ = false;
+  wave_root_ = 0;
   if (auto* tr = platform_.tracer()) {
     tr->end(ckpt_span_, {obs::arg("committed", false)});
   }
@@ -160,7 +221,7 @@ void CheckpointCoordinator::start_prepare(CheckpointMode mode,
     wave_span = tr->begin(obs::kTrackCoordinator, "checkpoint", "prepare",
                           {obs::arg("cid", cid), obs::arg("attempt", attempt)});
   }
-  send_wave(
+  wave_root_ = send_wave(
       ControlKind::Prepare, cid, mode == CheckpointMode::Capture,
       [this, mode, cid, done, wave_span](RootId) {
         if (auto* tr = platform_.tracer()) {
@@ -179,8 +240,11 @@ void CheckpointCoordinator::start_prepare(CheckpointMode mode,
         }
         // A wave timed out (dropped copy, dead task, store outage).  Retry
         // the same wave id: each retry is a fresh wave root, so executors
-        // re-align from scratch and re-snapshot idempotently.
-        if (attempt <= platform_.config().checkpoint_wave_retries) {
+        // re-align from scratch and re-snapshot idempotently.  A doomed
+        // wave (participant died under it) skips the retries — no retry
+        // can commit once a prepared snapshot died with its process.
+        if (!wave_doomed_ &&
+            attempt <= platform_.config().checkpoint_wave_retries) {
           ++stats_.wave_retries;
           start_prepare(mode, cid, attempt + 1, done);
           return;
@@ -197,11 +261,22 @@ void CheckpointCoordinator::start_commit(CheckpointMode mode,
     wave_span = tr->begin(obs::kTrackCoordinator, "checkpoint", "commit",
                           {obs::arg("cid", cid), obs::arg("attempt", attempt)});
   }
-  send_wave(ControlKind::Commit, cid, /*broadcast=*/false,
+  wave_root_ = send_wave(
+      ControlKind::Commit, cid, /*broadcast=*/false,
             [this, cid, done, wave_span](RootId) {
               last_committed_ = cid;
+              last_committed_at_ = platform_.engine().now();
               checkpoint_active_ = false;
+              wave_root_ = 0;
               ++stats_.waves_committed;
+              // Measured wave cost (PREPARE start → COMMIT cleared): the C
+              // term of the adaptive policy's Young/Daly solve.
+              const auto cost_us = static_cast<double>(
+                  last_committed_at_ - wave_started_at_);
+              wave_cost_ewma_us_ = stats_.waves_committed == 1
+                                       ? cost_us
+                                       : 0.3 * cost_us +
+                                             0.7 * wave_cost_ewma_us_;
               if (auto* tr = platform_.tracer()) {
                 tr->end(wave_span, {obs::arg("ok", true)});
                 tr->end(ckpt_span_, {obs::arg("committed", true)});
@@ -216,7 +291,8 @@ void CheckpointCoordinator::start_commit(CheckpointMode mode,
                             {obs::arg("cid", cid), obs::arg("kind", "COMMIT"),
                              obs::arg("attempt", attempt)});
               }
-              if (attempt <= platform_.config().checkpoint_wave_retries) {
+              if (!wave_doomed_ &&
+                  attempt <= platform_.config().checkpoint_wave_retries) {
                 ++stats_.wave_retries;
                 start_commit(mode, cid, attempt + 1, done);
                 return;
@@ -246,6 +322,9 @@ void CheckpointCoordinator::run_init(std::uint64_t checkpoint_id,
         obs::kTrackCoordinator, "checkpoint", "init",
         {obs::arg("cid", checkpoint_id),
          obs::arg("resend_sec", time::to_sec(resend_period))});
+  }
+  if (auto* rec = platform_.recovery()) {
+    rec->on_init_start(platform_.engine().now());
   }
 
   if (deadline > 0) {
@@ -364,6 +443,9 @@ void CheckpointCoordinator::fail_init_session() {
   if (auto* tr = platform_.tracer()) {
     tr->end(init_span_, {obs::arg("ok", false)});
   }
+  if (auto* rec = platform_.recovery()) {
+    rec->on_init_complete(platform_.engine().now(), /*ok=*/false);
+  }
   Done done = std::move(init_.done);
   if (done) done(false);
 }
@@ -395,6 +477,9 @@ void CheckpointCoordinator::send_init_attempt() {
         init_completed_at_ = platform_.engine().now();
         if (auto* tr = platform_.tracer()) {
           tr->end(init_span_, {obs::arg("ok", true)});
+        }
+        if (auto* rec = platform_.recovery()) {
+          rec->on_init_complete(platform_.engine().now(), /*ok=*/true);
         }
         Done done = std::move(init_.done);
         if (done) done(true);

@@ -49,6 +49,10 @@ struct CheckpointStats {
   std::uint64_t rollbacks_broadcast{0};
   std::uint64_t init_prefetch_hits{0};  ///< restores served from the
                                         ///< cross-shard INIT prefetch
+  std::uint64_t waves_deferred{0};  ///< periodic ticks skipped because a
+                                    ///< worker was down or awaiting INIT
+  std::uint64_t waves_aborted_on_death{0};  ///< in-flight waves aborted
+                                            ///< early by a worker death
 
   // ---- incremental (delta) checkpointing ----
   std::uint64_t delta_blobs{0};      ///< COMMIT blobs persisted as deltas
@@ -65,11 +69,23 @@ class CheckpointCoordinator {
   using Done = std::function<void(bool success)>;
 
   explicit CheckpointCoordinator(Platform& platform);
+  ~CheckpointCoordinator();
+
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
 
   /// Periodic checkpointing (DSM normal operation, paper default 30 s).
+  /// The configured interval is re-read from config() on every arm, so a
+  /// config_mut() edit takes effect on the next wave — it is not latched
+  /// at start (see apply_interval for an immediate re-arm).
   void start_periodic();
   void stop_periodic();
   [[nodiscard]] bool periodic_running() const noexcept;
+
+  /// Set config().checkpoint_interval and, if the periodic scheduler is
+  /// running, re-arm the pending tick so the new cadence holds immediately
+  /// (the adaptive policy's epoch-boundary push).
+  void apply_interval(SimDuration interval);
 
   /// Run one full PREPARE→COMMIT wave now (JIT checkpoint).  `mode` decides
   /// the PREPARE wiring: Wave = sequential sweep, Capture = broadcast.
@@ -99,10 +115,26 @@ class CheckpointCoordinator {
   [[nodiscard]] std::uint64_t last_committed() const noexcept {
     return last_committed_;
   }
+  /// When that wave committed (0 = none) — now() − last_committed_at() is
+  /// the checkpoint staleness a failure right now would roll back over.
+  [[nodiscard]] SimTime last_committed_at() const noexcept {
+    return last_committed_at_;
+  }
+  /// EWMA of measured PREPARE→COMMIT wave durations (0 until the first
+  /// commit) — the cost term C in the adaptive policy's Young/Daly solve.
+  [[nodiscard]] SimDuration wave_cost_ewma() const noexcept {
+    return static_cast<SimDuration>(wave_cost_ewma_us_);
+  }
 
   [[nodiscard]] bool checkpoint_in_progress() const noexcept {
     return checkpoint_active_;
   }
+
+  /// A worker process died.  If a PREPARE/COMMIT wave is in flight it can
+  /// no longer commit — the dead participant's snapshot (or its queued
+  /// control copy) is gone, and a respawned process never saw PREPARE — so
+  /// abort it now instead of burning the ack-timeout retry budget.
+  void on_worker_down();
   [[nodiscard]] const CheckpointStats& stats() const noexcept { return stats_; }
 
   /// First time any task received an INIT of the current run_init session —
@@ -153,6 +185,7 @@ class CheckpointCoordinator {
                    AckerOnDone on_fail);
 
   void on_periodic_tick();
+  void arm_periodic();
   void send_init_attempt();
   void arm_init_resend();
   void start_prepare(CheckpointMode mode, std::uint64_t cid, int attempt,
@@ -183,10 +216,22 @@ class CheckpointCoordinator {
   };
 
   Platform& platform_;
-  sim::PeriodicTimer periodic_;
+  /// Periodic wave scheduling: a raw timer re-armed per wave (instead of a
+  /// fixed-period PeriodicTimer) so every arm re-reads the configured
+  /// interval — the knob stays runtime-retunable.
+  bool periodic_running_{false};
+  sim::TimerId periodic_timer_{};
   std::uint64_t next_checkpoint_id_{1};
   std::uint64_t last_committed_{0};
+  SimTime last_committed_at_{0};
+  SimTime wave_started_at_{0};
+  double wave_cost_ewma_us_{0.0};
   bool checkpoint_active_{false};
+  /// Outstanding control root of the in-flight wave phase, and whether a
+  /// participant died under it (on_worker_down fails the root; the phase
+  /// failure handler then aborts instead of retrying).
+  RootId wave_root_{0};
+  bool wave_doomed_{false};
   InitSession init_;
   sim::TimerId init_resend_timer_{};
   sim::TimerId init_deadline_timer_{};

@@ -30,8 +30,15 @@ struct PlatformConfig {
   /// Ack timeout for user events and for un-acked checkpoint waves.
   SimDuration ack_timeout = time::sec(30);
   /// Periodic checkpoint interval (DSM keeps this running; DCR/CCR do a
-  /// just-in-time wave instead).
+  /// just-in-time wave instead).  Runtime-retunable: the wave scheduler
+  /// re-reads it on every arm (see CheckpointCoordinator::apply_interval).
   SimDuration checkpoint_interval = time::sec(30);
+  /// When a chaos-crashed stateful worker respawns outside an INIT session
+  /// and a committed checkpoint exists, start a recovery INIT session for
+  /// it instead of resuming with fresh state.  Off by default: the
+  /// pre-existing at-least-once behaviour (fresh state on lone respawns)
+  /// is what the chaos suite pins down.
+  bool respawn_restore = false;
 
   // ---- Fault handling / transactional migration ----
   /// Extra attempts the coordinator gives a failed PREPARE/COMMIT wave

@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "ckpt/recovery.hpp"
 #include "dsps/platform.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -96,6 +97,10 @@ void Executor::kill() {
   persisted_keys_.clear();
   persisted_base_.clear();
   persisted_pending_count_ = 0;
+  // Last, with this executor fully torn down: a PREPARE/COMMIT wave that
+  // counted on this process can never commit — let the coordinator abort
+  // it now instead of burning the ack-timeout retry budget.
+  platform_.coordinator().on_worker_down();
 }
 
 std::uint64_t Executor::buffered_user_events() const noexcept {
@@ -119,6 +124,11 @@ void Executor::respawn(SlotId new_slot) {
 void Executor::set_ready(bool awaiting_init) {
   life_ = LifeState::Running;
   awaiting_init_ = awaiting_init;
+  // Recovery-window edge: this worker is back up (the tracker ignores the
+  // call when no failure window is open, e.g. at initial deploy).
+  if (auto* rec = platform_.recovery()) {
+    rec->on_worker_ready(platform_.engine().now(), awaiting_init);
+  }
   // Senders' transport clients flush once the worker connection is up.
   while (!transport_buffer_.empty()) {
     queue_.push_back(std::move(transport_buffer_.front()));

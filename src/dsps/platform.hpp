@@ -41,6 +41,10 @@ class Tracer;
 class MetricsRegistry;
 }
 
+namespace rill::ckpt {
+class RecoveryTracker;
+}
+
 namespace rill::dsps {
 
 struct PlatformStats {
@@ -130,6 +134,16 @@ class Platform {
   }
   [[nodiscard]] obs::MetricsRegistry* metrics() const noexcept {
     return metrics_;
+  }
+  /// Attach the end-to-end recovery tracker (ckpt/recovery.hpp).  Purely
+  /// passive — it schedules nothing — so attaching it never perturbs the
+  /// event schedule; the rebalancer, executors and coordinator feed it
+  /// failure / ready / INIT-completion edges when present.
+  void set_recovery_tracker(ckpt::RecoveryTracker* tracker) noexcept {
+    recovery_ = tracker;
+  }
+  [[nodiscard]] ckpt::RecoveryTracker* recovery() const noexcept {
+    return recovery_;
   }
 
   // ---- dataflow access ----
@@ -227,6 +241,7 @@ class Platform {
 
   obs::Tracer* tracer_{nullptr};
   obs::MetricsRegistry* metrics_{nullptr};
+  ckpt::RecoveryTracker* recovery_{nullptr};
   /// 1 Hz sampler feeding queue-depth / backlog counters into the tracer;
   /// only ever created when a tracer is attached, so untraced runs schedule
   /// nothing extra and stay byte-identical.

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "ckpt/recovery.hpp"
 #include "dsps/platform.hpp"
 #include "obs/trace.hpp"
 
@@ -93,6 +94,16 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
       tr->instant(obs::kTrackRebalancer, "rebalance", "kill",
                   {obs::arg("instances", last_->instances_migrated),
                    obs::arg("lost_in_queues", lost)});
+    }
+    if (auto* rec = platform_.recovery()) {
+      // The coordinated kill opens the recovery window; the INIT session
+      // the strategy runs afterwards closes it.
+      const SimTime now = platform_.engine().now();
+      const SimTime committed_at =
+          platform_.coordinator().last_committed_at();
+      rec->on_failure(now, last_->instances_migrated,
+                      static_cast<SimDuration>(now - committed_at),
+                      "rebalance");
     }
 
     const SimDuration remaining =

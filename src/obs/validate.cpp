@@ -74,6 +74,16 @@ ReconstructedTimes TraceValidator::reconstruct() const {
   return out;
 }
 
+std::vector<double> TraceValidator::recovery_spans_sec() const {
+  std::vector<double> out;
+  for (const auto& r : tracer_.records()) {
+    if (is(r, Tracer::Phase::Span, "checkpoint", "recovery") && !r.open) {
+      out.push_back(time::to_sec(r.dur));
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> TraceValidator::check(
     const metrics::MigrationReport& report, double tolerance_sec) const {
   const ReconstructedTimes t = reconstruct();

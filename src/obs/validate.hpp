@@ -54,6 +54,13 @@ class TraceValidator {
       const metrics::MigrationReport& report,
       double tolerance_sec = 0.5) const;
 
+  /// Durations (seconds, record order) of the closed kill→restore
+  /// "recovery" spans the RecoveryTracker emits on the checkpoint lane.
+  /// Tests cross-check these against the tracker's own RecoveryRecords —
+  /// the trace and the in-memory records are independent witnesses of the
+  /// same windows.
+  [[nodiscard]] std::vector<double> recovery_spans_sec() const;
+
  private:
   const Tracer& tracer_;
 };

@@ -37,6 +37,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   if (config.tracer != nullptr) platform.set_tracer(config.tracer);
   if (config.metrics != nullptr) platform.set_metrics(config.metrics);
 
+  // Recovery tracker: passive kill→restore window bookkeeping, always on
+  // (it schedules nothing, so fault-free traces are unchanged).
+  ckpt::RecoveryTracker recovery_tracker;
+  recovery_tracker.set_tracer(config.tracer);
+  recovery_tracker.set_metrics(config.metrics);
+  platform.set_recovery_tracker(&recovery_tracker);
+
   auto strategy = core::make_strategy(config.strategy);
   strategy->configure(platform);
   core::MigrationController controller(platform, *strategy,
@@ -45,6 +52,18 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // Chaos: arm the fault hooks + point faults after deploy, before start.
   chaos::ChaosInjector injector(config.chaos, config.platform.seed);
   injector.arm(platform);
+
+  // Adaptive checkpoint policy: fed failure events by the injector and
+  // closed recovery windows by the tracker; retunes at epoch boundaries.
+  ckpt::CkptPolicy policy(platform, config.ckpt_policy);
+  injector.set_failure_listener(
+      [&policy](chaos::FaultKind kind, SimTime at) {
+        policy.on_failure(kind, at);
+      });
+  recovery_tracker.set_sink([&policy](const ckpt::RecoveryRecord& rec) {
+    policy.on_recovery(rec);
+  });
+  policy.start();
 
   platform.start();
 
@@ -64,6 +83,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       });
 
   engine.run_until(static_cast<SimTime>(config.run_duration));
+  policy.stop();
   platform.stop();
 
   // ---- distil results ----
@@ -80,6 +100,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.rebalance = platform.rebalancer().last();
   result.recovery = controller.recovery();
   result.chaos = injector.stats();
+  result.ckpt_policy = policy.stats();
+  result.recoveries = recovery_tracker.recoveries();
   result.checkpoint = platform.coordinator().stats();
   result.store = platform.store().stats();
   for (int s = 0; s < platform.store().shards(); ++s) {

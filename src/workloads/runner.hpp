@@ -13,6 +13,8 @@
 
 #include "chaos/injector.hpp"
 #include "chaos/plan.hpp"
+#include "ckpt/policy.hpp"
+#include "ckpt/recovery.hpp"
 #include "core/controller.hpp"
 #include "core/strategy.hpp"
 #include "dsps/checkpoint.hpp"
@@ -52,6 +54,12 @@ struct ExperimentConfig {
 
   /// Faults to inject (empty = no chaos, byte-identical to the seed runs).
   chaos::ChaosPlan chaos{};
+
+  /// Adaptive checkpoint policy (tentpole): disabled by default so the
+  /// static-interval baseline stays byte-identical.  When enabled the
+  /// policy retunes checkpoint_interval / ckpt_full_every /
+  /// ckpt_delta_max_ratio at epoch boundaries from measured MTTF/MTTR.
+  ckpt::PolicyConfig ckpt_policy{};
 
   /// Flight recorder: optional span tracer and per-task metrics registry,
   /// owned by the caller.  nullptr = observability off (the default; the
@@ -97,6 +105,10 @@ struct ExperimentResult {
   // Fault-recovery observability.
   core::RecoveryStats recovery;
   chaos::ChaosStats chaos;
+  /// Adaptive-policy decisions (zeros when the policy is disabled).
+  ckpt::PolicyStats ckpt_policy;
+  /// Closed recovery windows (kill → last INIT-restore completion).
+  std::vector<ckpt::RecoveryRecord> recoveries;
   dsps::CheckpointStats checkpoint;
   kvstore::StoreStats store;
   /// Per-shard breakdown of `store` (one entry per store VM; a single

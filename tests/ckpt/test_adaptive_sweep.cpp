@@ -1,0 +1,76 @@
+// Satellite sweep: a seeded chaos storm of worker/VM kills with the
+// adaptive checkpoint policy ON must never corrupt the conservation ledger,
+// for every migration strategy.  Crashes lose unacked in-flight tuples by
+// design (the paper's DSM-vs-DCR trade-off), but every delivered event must
+// still land in exactly one terminal bucket — adaptive retuning, recovery
+// INIT sessions and compaction-cadence changes included.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace rill {
+namespace {
+
+using core::StrategyKind;
+using workloads::DagKind;
+using workloads::ScaleKind;
+
+workloads::ExperimentConfig sweep_cfg(StrategyKind strategy,
+                                      std::uint64_t seed) {
+  workloads::ExperimentConfig cfg;
+  cfg.dag = DagKind::Grid;
+  cfg.strategy = strategy;
+  cfg.scale = ScaleKind::In;
+  cfg.platform.seed = seed;
+  cfg.platform.respawn_restore = true;
+  cfg.run_duration = time::sec(480);
+  cfg.migrate_at = time::sec(60);
+  cfg.ckpt_policy.enabled = true;
+  cfg.ckpt_policy.rto = time::sec(60);
+  cfg.ckpt_policy.retune_epoch = time::sec(20);
+  // Kills start once the migration has settled and keep coming: four
+  // worker crashes 40 s apart plus one whole-VM failure.
+  for (int i = 0; i < 4; ++i) {
+    cfg.chaos.crash_worker(time::sec(160) +
+                           static_cast<SimTime>(i) * time::sec(40));
+  }
+  cfg.chaos.fail_vm(time::sec(340));
+  return cfg;
+}
+
+class AdaptiveSweep : public ::testing::TestWithParam<StrategyKind> {};
+
+TEST_P(AdaptiveSweep, ConservationHoldsUnderAdaptiveChaos) {
+  for (const std::uint64_t seed : {11ull, 42ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const auto r =
+        workloads::run_experiment(sweep_cfg(GetParam(), seed));
+
+    // The ledger: every delivered or replayed user event accounted for in
+    // exactly one terminal bucket on every executor, chaos included.
+    EXPECT_EQ(r.accounting_violations, 0u);
+    // The storm actually happened and the policy actually ran.
+    EXPECT_GE(r.chaos.workers_crashed, 4);
+    EXPECT_GE(r.ckpt_policy.failures_seen, 4u);
+    EXPECT_GT(r.ckpt_policy.retunes, 0u);
+    EXPECT_FALSE(r.recoveries.empty());
+    // Recovery windows are well-formed: non-negative, bounded by the run.
+    for (const auto& rec : r.recoveries) {
+      EXPECT_GE(rec.downtime, 0);
+      EXPECT_GE(rec.staleness, 0);
+      EXPECT_LE(rec.downtime, time::sec(480));
+      EXPECT_GT(rec.instances, 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, AdaptiveSweep,
+                         ::testing::Values(StrategyKind::DSM,
+                                           StrategyKind::DCR,
+                                           StrategyKind::CCR),
+                         [](const ::testing::TestParamInfo<StrategyKind>& i) {
+                           return std::string(core::to_string(i.param));
+                         });
+
+}  // namespace
+}  // namespace rill

@@ -1,0 +1,181 @@
+// Adaptive checkpoint policy, end to end: the interval-plumbing regression
+// (config_mut edits and apply_interval take effect on the running wave
+// scheduler), the recovery-window instrumentation cross-checked against the
+// trace, and the policy's retune loop driving measured decisions
+// deterministically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckpt/policy.hpp"
+#include "ckpt/recovery.hpp"
+#include "obs/validate.hpp"
+#include "test_util.hpp"
+
+namespace rill {
+namespace {
+
+using core::StrategyKind;
+using testutil::Harness;
+using workloads::DagKind;
+using workloads::ScaleKind;
+
+// Regression for the latched-interval bug: the coordinator used to copy
+// config().checkpoint_interval into a fixed-period timer at start_periodic()
+// time, so mid-run edits were ignored until a restart.  The scheduler must
+// re-read the config on every arm.
+TEST(CkptPolicy, MidRunIntervalChangeTakesEffectOnNextArm) {
+  Harness h(testutil::mini_chain());
+  h.p().set_user_acking(true);
+  h.p().coordinator().start_periodic();
+  h.p().start();
+
+  h.run_for(time::sec(65));  // default 30 s cadence: ticks at 30, 60
+  const std::uint64_t before = h.p().coordinator().stats().waves_started;
+  EXPECT_EQ(before, 2u);
+
+  // Edit the config only: the tick already armed at 60 s (for 90 s) still
+  // fires on the old cadence, every arm after it reads the new value.
+  h.p().config_mut().checkpoint_interval = time::sec(5);
+  h.run_for(time::sec(31));  // to 96 s: ticks at 90 (old arm) and 95
+  EXPECT_EQ(h.p().coordinator().stats().waves_started, before + 2);
+  h.run_for(time::sec(20));  // to 116 s: ticks at 100, 105, 110, 115
+  EXPECT_EQ(h.p().coordinator().stats().waves_started, before + 6);
+  h.p().coordinator().stop_periodic();
+}
+
+TEST(CkptPolicy, ApplyIntervalReArmsThePendingTick) {
+  Harness h(testutil::mini_chain());
+  h.p().set_user_acking(true);
+  h.p().coordinator().start_periodic();
+  h.p().start();
+  h.run_for(time::sec(65));  // ticks at 30, 60; next pending at 90
+  ASSERT_EQ(h.p().coordinator().stats().waves_started, 2u);
+
+  // apply_interval cancels the pending 90 s tick and re-arms from now, so
+  // the new cadence holds from this instant (the policy's epoch push).
+  h.p().coordinator().apply_interval(time::sec(5));
+  EXPECT_EQ(h.p().config().checkpoint_interval, time::sec(5));
+  h.run_for(time::sec(6));  // to 71 s: tick at 70
+  EXPECT_EQ(h.p().coordinator().stats().waves_started, 3u);
+  h.p().coordinator().stop_periodic();
+}
+
+// Satellite 2: the RecoveryTracker's records, the `recovery` trace spans
+// and the ckpt.recovery_ms histogram are three witnesses of the same
+// kill→restore windows — they must agree.
+TEST(CkptPolicy, RecoverySpansMatchTrackerAndMetrics) {
+  obs::Tracer tracer;
+  obs::MetricsRegistry registry;
+  chaos::ChaosPlan plan;
+  plan.crash_worker(time::sec(200));
+  plan.crash_worker(time::sec(260));
+  const auto r = testutil::traced_experiment(
+      DagKind::Linear, StrategyKind::DSM, ScaleKind::In, &tracer, &registry,
+      /*seed=*/42, plan);
+
+  // One window per chaos crash plus one for the coordinated rebalance kill.
+  ASSERT_GE(r.recoveries.size(), 3u);
+
+  const obs::TraceValidator validator(tracer);
+  const std::vector<double> spans = validator.recovery_spans_sec();
+  ASSERT_EQ(spans.size(), r.recoveries.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_NEAR(spans[i], time::to_sec(r.recoveries[i].downtime), 1e-6)
+        << "recovery window " << i;
+  }
+
+  const auto& hist = registry.histograms();
+  ASSERT_TRUE(hist.contains("ckpt.recovery_ms"));
+  EXPECT_EQ(hist.at("ckpt.recovery_ms").count(), r.recoveries.size());
+  ASSERT_TRUE(hist.contains("ckpt.recovery_total_ms"));
+  EXPECT_EQ(hist.at("ckpt.recovery_total_ms").count(), r.recoveries.size());
+
+  // Satellite 1: per-kind chaos counters + inter-failure histograms.
+  const auto& counters = registry.counters();
+  ASSERT_TRUE(counters.contains("chaos.worker-crash.count"));
+  EXPECT_EQ(counters.at("chaos.worker-crash.count").value(), 2u);
+  ASSERT_TRUE(hist.contains("chaos.worker-crash.interarrival_us"));
+  EXPECT_EQ(hist.at("chaos.worker-crash.interarrival_us").count(), 1u);
+  EXPECT_EQ(hist.at("chaos.worker-crash.interarrival_us").max(),
+            static_cast<std::uint64_t>(time::sec(60)));
+}
+
+workloads::ExperimentConfig adaptive_cfg(std::uint64_t seed) {
+  workloads::ExperimentConfig cfg;
+  cfg.dag = DagKind::Linear;
+  cfg.strategy = StrategyKind::DSM;
+  cfg.scale = ScaleKind::In;
+  cfg.platform.seed = seed;
+  cfg.platform.respawn_restore = true;
+  cfg.run_duration = time::sec(480);
+  cfg.migrate_at = time::sec(60);
+  cfg.ckpt_policy.enabled = true;
+  cfg.ckpt_policy.rto = time::sec(45);
+  cfg.ckpt_policy.retune_epoch = time::sec(20);
+  // Frequent kills: 30 s apart, starting after the migration settles.
+  for (int i = 0; i < 6; ++i) {
+    cfg.chaos.crash_worker(time::sec(150) +
+                           static_cast<SimTime>(i) * time::sec(30));
+  }
+  return cfg;
+}
+
+TEST(CkptPolicy, RetunesFromMeasuredMttfAndMttr) {
+  const auto r = workloads::run_experiment(adaptive_cfg(11));
+
+  EXPECT_GT(r.ckpt_policy.retunes, 0u);
+  EXPECT_GE(r.ckpt_policy.failures_seen, 4u);
+  EXPECT_GE(r.ckpt_policy.recoveries_seen, 3u);
+  // With both estimates measured the solve moved off the 30 s static
+  // default at least once, and the last decision is a real interval.
+  EXPECT_GE(r.ckpt_policy.interval_changes, 1u);
+  EXPECT_GT(r.ckpt_policy.last_interval, 0);
+  EXPECT_NE(r.ckpt_policy.last_interval, time::sec(30));
+  EXPECT_GT(r.ckpt_policy.last_mttf, 0);
+  EXPECT_GT(r.ckpt_policy.last_mttr, 0);
+  EXPECT_GT(r.ckpt_policy.last_wave_cost, 0);
+  EXPECT_GE(r.ckpt_policy.last_full_every, 2);
+  EXPECT_LE(r.ckpt_policy.last_full_every, 16);
+  // Nothing the policy did broke the conservation ledger.
+  EXPECT_EQ(r.accounting_violations, 0u);
+}
+
+TEST(CkptPolicy, DisabledPolicyNeverRetunes) {
+  workloads::ExperimentConfig cfg = adaptive_cfg(11);
+  cfg.ckpt_policy.enabled = false;
+  const auto r = workloads::run_experiment(cfg);
+  EXPECT_EQ(r.ckpt_policy.retunes, 0u);
+  EXPECT_EQ(r.ckpt_policy.interval_changes, 0u);
+  // Failure/recovery hooks still count (they are passive observation).
+  EXPECT_GT(r.ckpt_policy.failures_seen, 0u);
+}
+
+// Invariant 7 with the policy in the loop: identical seeds retune
+// identically, down to every decision and every recovery window.
+TEST(CkptPolicy, AdaptiveRunsAreDeterministic) {
+  const auto a = workloads::run_experiment(adaptive_cfg(11));
+  const auto b = workloads::run_experiment(adaptive_cfg(11));
+
+  EXPECT_EQ(a.ckpt_policy.retunes, b.ckpt_policy.retunes);
+  EXPECT_EQ(a.ckpt_policy.interval_changes, b.ckpt_policy.interval_changes);
+  EXPECT_EQ(a.ckpt_policy.failures_seen, b.ckpt_policy.failures_seen);
+  EXPECT_EQ(a.ckpt_policy.recoveries_seen, b.ckpt_policy.recoveries_seen);
+  EXPECT_EQ(a.ckpt_policy.last_interval, b.ckpt_policy.last_interval);
+  EXPECT_EQ(a.ckpt_policy.last_mttf, b.ckpt_policy.last_mttf);
+  EXPECT_EQ(a.ckpt_policy.last_mttr, b.ckpt_policy.last_mttr);
+  EXPECT_EQ(a.ckpt_policy.last_full_every, b.ckpt_policy.last_full_every);
+  ASSERT_EQ(a.recoveries.size(), b.recoveries.size());
+  for (std::size_t i = 0; i < a.recoveries.size(); ++i) {
+    EXPECT_EQ(a.recoveries[i].failed_at, b.recoveries[i].failed_at);
+    EXPECT_EQ(a.recoveries[i].downtime, b.recoveries[i].downtime);
+    EXPECT_EQ(a.recoveries[i].staleness, b.recoveries[i].staleness);
+  }
+  EXPECT_EQ(a.checkpoint.waves_committed, b.checkpoint.waves_committed);
+  EXPECT_EQ(a.collector.roots_emitted(), b.collector.roots_emitted());
+  EXPECT_EQ(a.collector.sink_arrivals(), b.collector.sink_arrivals());
+  EXPECT_EQ(a.collector.output().buckets(), b.collector.output().buckets());
+}
+
+}  // namespace
+}  // namespace rill

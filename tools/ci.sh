@@ -12,18 +12,21 @@
 # `--skip-lint` opts out of both.
 #
 # A determinism gate follows: each migration strategy's reference config
-# (see tests/determinism/README.md) runs twice — once with delta
-# checkpointing off and once with --ckpt-delta 1 — the two JSONL traces of
-# each pair must be byte-identical, and the first run's artifacts must
-# match the committed sha256 manifests (baseline.sha256 for full blobs,
-# baseline-delta.sha256 for delta mode). `--regen-determinism` rewrites
-# both manifests instead of checking them (for PRs that sanction a
-# behavioral change).
+# (see tests/determinism/README.md) runs twice in each of three modes —
+# full blobs, --ckpt-delta 1, and --ckpt-adaptive 1 (delta on, RTO 45 s) —
+# the two JSONL traces of each pair must be byte-identical, and the first
+# run's artifacts must match the committed sha256 manifests
+# (baseline.sha256 for full blobs, baseline-delta.sha256 for delta mode,
+# baseline-adaptive.sha256 for the adaptive checkpoint policy).
+# `--regen-determinism` rewrites all three manifests instead of checking
+# them (for PRs that sanction a behavioral change).
 #
 # A bench gate follows the determinism gate: the checkpoint-store and
 # restore benches run their shard sweeps (shards 1 and 4) in --check mode,
 # which fails on a >20% regression of the single-shard baseline or a lost
-# sharding win. `--skip-bench` opts out.
+# sharding win, and bench_ckpt_policy --check asserts the adaptive policy
+# meets its RTO at p95 without writing more checkpoint bytes than the
+# static RTO-tuned baseline. `--skip-bench` opts out.
 #
 # Usage: tools/ci.sh [--tsan] [--skip-asan] [--skip-bench] [--skip-lint]
 #                    [--regen-determinism]
@@ -77,17 +80,19 @@ fi
 echo "==> determinism gate: double-run + committed manifests (seed 1, grid)"
 det_dir="build/determinism"
 rm -rf "$det_dir" && mkdir -p "$det_dir"
-for mode in full delta; do
-  if [ "$mode" = delta ]; then
-    delta_flag=1; tag=".delta"
-  else
-    delta_flag=0; tag=""
-  fi
+for mode in full delta adaptive; do
+  case "$mode" in
+    delta)    extra_flags="--ckpt-delta 1"; tag=".delta" ;;
+    adaptive) extra_flags="--ckpt-delta 1 --ckpt-adaptive 1 --ckpt-rto-ms 45000"
+              tag=".adaptive" ;;
+    *)        extra_flags="--ckpt-delta 0"; tag="" ;;
+  esac
   for s in dsm dcr ccr; do
     for pass in 1 2; do
+      # shellcheck disable=SC2086
       ./build/tools/rill_run --strategy "$s" --dag grid --scale in \
         --seed 1 --duration 420 --migrate-at 60 \
-        --ckpt-delta "$delta_flag" \
+        $extra_flags \
         --trace-jsonl "$det_dir/$s$tag.run$pass.jsonl" --json \
         > "$det_dir/$s$tag.run$pass.json"
     done
@@ -109,9 +114,14 @@ if [ "$regen_determinism" = 1 ]; then
     sha256sum dsm.delta.jsonl dsm.delta.json dcr.delta.jsonl dcr.delta.json \
               ccr.delta.jsonl ccr.delta.json ) \
     > tests/determinism/baseline-delta.sha256
+  ( cd "$det_dir" &&
+    sha256sum dsm.adaptive.jsonl dsm.adaptive.json \
+              dcr.adaptive.jsonl dcr.adaptive.json \
+              ccr.adaptive.jsonl ccr.adaptive.json ) \
+    > tests/determinism/baseline-adaptive.sha256
   echo "==> determinism gate: manifests regenerated" \
-       "(tests/determinism/baseline.sha256, baseline-delta.sha256)" \
-       "— commit them with the PR"
+       "(tests/determinism/baseline.sha256, baseline-delta.sha256," \
+       "baseline-adaptive.sha256) — commit them with the PR"
 else
   ( cd "$det_dir" && sha256sum -c ../../tests/determinism/baseline.sha256 ) \
     || { echo "ci.sh: artifacts drifted from tests/determinism/baseline.sha256;" \
@@ -123,6 +133,12 @@ else
               "tests/determinism/baseline-delta.sha256;" \
               "if the change is sanctioned, rerun with --regen-determinism" >&2
          exit 1; }
+  ( cd "$det_dir" &&
+    sha256sum -c ../../tests/determinism/baseline-adaptive.sha256 ) \
+    || { echo "ci.sh: artifacts drifted from" \
+              "tests/determinism/baseline-adaptive.sha256;" \
+              "if the change is sanctioned, rerun with --regen-determinism" >&2
+         exit 1; }
 fi
 
 if [ "$run_bench" = 1 ]; then
@@ -130,7 +146,8 @@ if [ "$run_bench" = 1 ]; then
   ( cd build/bench &&
     ./bench_redis_checkpoint --check &&
     ./bench_fig5_scale_out --check &&
-    ./bench_fig5_scale_in --check )
+    ./bench_fig5_scale_in --check &&
+    ./bench_ckpt_policy --check )
 fi
 
 if [ "$run_asan" = 1 ]; then

@@ -46,6 +46,19 @@ void print_help(std::FILE* out, const char* argv0) {
                "  --ckpt-full-every N   force a full blob (compaction) every\n"
                "                        N-th wave; 0 = never (default 8)\n"
                "\n"
+               "adaptive checkpoint policy:\n"
+               "  --ckpt-adaptive 0|1   retune checkpoint interval, compaction\n"
+               "                        cadence and delta ratio from measured\n"
+               "                        MTTF/MTTR at epoch boundaries "
+               "(default 0)\n"
+               "  --ckpt-rto-ms N       recovery-time objective the policy\n"
+               "                        solves against, ms (default 60000)\n"
+               "  --ckpt-retune-ms N    policy retune epoch, ms "
+               "(default 30000)\n"
+               "  --ckpt-respawn-restore 0|1  chaos-respawned stateful workers\n"
+               "                        start a recovery INIT from the last\n"
+               "                        committed checkpoint (default 0)\n"
+               "\n"
                "recovery supervision:\n"
                "  --attempts N          max migration attempts (default 1)\n"
                "  --no-fallback         do not degrade to DSM after aborts\n"
@@ -227,6 +240,24 @@ int main(int argc, char** argv) {
       if (cfg.platform.ckpt_full_every < 0) {
         die(argv[0], "--ckpt-full-every must be >= 0");
       }
+    } else if (arg == "--ckpt-adaptive") {
+      const int v = parse_int(argv[0], arg, next());
+      if (v != 0 && v != 1) die(argv[0], "--ckpt-adaptive must be 0 or 1");
+      cfg.ckpt_policy.enabled = v == 1;
+    } else if (arg == "--ckpt-rto-ms") {
+      const int v = parse_int(argv[0], arg, next());
+      if (v <= 0) die(argv[0], "--ckpt-rto-ms must be > 0");
+      cfg.ckpt_policy.rto = time::ms(v);
+    } else if (arg == "--ckpt-retune-ms") {
+      const int v = parse_int(argv[0], arg, next());
+      if (v <= 0) die(argv[0], "--ckpt-retune-ms must be > 0");
+      cfg.ckpt_policy.retune_epoch = time::ms(v);
+    } else if (arg == "--ckpt-respawn-restore") {
+      const int v = parse_int(argv[0], arg, next());
+      if (v != 0 && v != 1) {
+        die(argv[0], "--ckpt-respawn-restore must be 0 or 1");
+      }
+      cfg.platform.respawn_restore = v == 1;
     } else if (arg == "--chaos-kv-outage") {
       const auto v = csv(2, 3);
       cfg.chaos.kv_outage(time::sec_f(v[0]), time::sec_f(v[1]),
