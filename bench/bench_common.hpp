@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "metrics/report.hpp"
+#include "obs/attribution.hpp"
 #include "obs/trace.hpp"
 #include "workloads/runner.hpp"
 
@@ -16,13 +17,13 @@ inline const std::vector<core::StrategyKind> kStrategies = {
 
 /// Run one (dag, strategy, scale) cell with the default paper setup.
 /// `tracer` optionally attaches the flight recorder to the run;
-/// `kv_shards` > 1 swaps in the sharded checkpoint store tier.
-inline workloads::ExperimentResult run_cell(workloads::DagKind dag,
-                                            core::StrategyKind strategy,
-                                            workloads::ScaleKind scale,
-                                            std::uint64_t seed = 42,
-                                            obs::Tracer* tracer = nullptr,
-                                            int kv_shards = 1) {
+/// `kv_shards` > 1 swaps in the sharded checkpoint store tier;
+/// `attributor` optionally attaches the per-tuple latency sampler.
+inline workloads::ExperimentResult run_cell(
+    workloads::DagKind dag, core::StrategyKind strategy,
+    workloads::ScaleKind scale, std::uint64_t seed = 42,
+    obs::Tracer* tracer = nullptr, int kv_shards = 1,
+    obs::LatencyAttributor* attributor = nullptr) {
   workloads::ExperimentConfig cfg;
   cfg.dag = dag;
   cfg.strategy = strategy;
@@ -30,6 +31,7 @@ inline workloads::ExperimentResult run_cell(workloads::DagKind dag,
   cfg.platform.seed = seed;
   cfg.platform.kv_shards = kv_shards;
   cfg.tracer = tracer;
+  cfg.attributor = attributor;
   return workloads::run_experiment(cfg);
 }
 

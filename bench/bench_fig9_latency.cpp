@@ -9,8 +9,10 @@ int main() {
   bench::print_header(
       "Fig 9 — avg latency over 10 s windows, Grid scale-in", "Figure 9");
   for (core::StrategyKind s : bench::kStrategies) {
-    const auto r = bench::run_cell(workloads::DagKind::Grid, s,
-                                   workloads::ScaleKind::In);
+    obs::LatencyAttributor attributor(16);
+    const auto r =
+        bench::run_cell(workloads::DagKind::Grid, s, workloads::ScaleKind::In,
+                        42, nullptr, 1, &attributor);
     const double req = time::at_sec(r.phases.request_at);
     std::printf("\n--- %s ---\n", std::string(core::to_string(s)).c_str());
     std::printf("markers (s since request): A=0 request, B=%s restore, "
@@ -31,6 +33,19 @@ int main() {
                 metrics::fmt_opt(r.report.latency_p50_ms).c_str(),
                 metrics::fmt_opt(r.report.latency_p95_ms).c_str(),
                 metrics::fmt_opt(r.report.latency_p99_ms).c_str());
+    // Where the tail goes: per-cause attribution over the sampled tuples.
+    std::printf("attribution (%llu sampled tuples, 1 in %llu):\n",
+                static_cast<unsigned long long>(r.report.sampled_tuples),
+                static_cast<unsigned long long>(attributor.sample_every()));
+    std::printf("  %-8s %10s %10s %10s %14s\n", "cause", "p50 us", "p95 us",
+                "p99 us", "total us");
+    for (const auto& cb : r.report.attribution) {
+      std::printf("  %-8s %10llu %10llu %10llu %14llu\n", cb.cause.c_str(),
+                  static_cast<unsigned long long>(cb.p50_us),
+                  static_cast<unsigned long long>(cb.p95_us),
+                  static_cast<unsigned long long>(cb.p99_us),
+                  static_cast<unsigned long long>(cb.total_us));
+    }
 
     for (const auto& [win_start, avg_ms] :
          r.collector.latency().windowed_avg_ms(10)) {

@@ -1,12 +1,18 @@
 // google-benchmark micro-suite: hot paths of the simulator substrate.
+//
+// `bench_micro --check` skips the suite and runs the observability
+// overhead gate instead (see run_overhead_check below) — exit 0/1 for CI.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "dsps/acker.hpp"
 #include "dsps/state.hpp"
+#include "obs/attribution.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
@@ -152,6 +158,151 @@ void BM_FullExperimentTraced(benchmark::State& state) {
 }
 BENCHMARK(BM_FullExperimentTraced)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------- --check
+
+/// One CCR grid scale-in experiment; the run_experiment schedule is fully
+/// deterministic, so every variant sees identical simulated work.
+workloads::ExperimentResult check_run(obs::Tracer* tracer,
+                                      obs::MetricsRegistry* metrics,
+                                      obs::LatencyAttributor* attributor) {
+  workloads::ExperimentConfig cfg;
+  cfg.dag = workloads::DagKind::Grid;
+  cfg.strategy = core::StrategyKind::CCR;
+  cfg.run_duration = time::sec(420);
+  cfg.migrate_at = time::sec(60);
+  cfg.tracer = tracer;
+  cfg.metrics = metrics;
+  cfg.attributor = attributor;
+  return workloads::run_experiment(cfg);
+}
+
+/// Best-of-3 wall-clock for one configuration, milliseconds.
+template <typename F>
+double best_of_3_ms(F&& body) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    // lint: wallclock-ok(overhead gate measures real elapsed time; the
+    // measured simulation itself draws no wall clock)
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    // lint: wallclock-ok(see above)
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Observability overhead gate:
+///   1. correctness — attaching a 1-in-64 attributor must not perturb the
+///      run (zero-cost contract): sink-arrival count and latency
+///      percentiles are identical with and without it;
+///   2. disabled cost — tracer+sampler compiled in but not attached stays
+///      within noise of the plain run;
+///   3. sampling cost — tracing + 1-in-64 attribution costs < 5% over
+///      tracing alone (plus fixed slack to ride out scheduler noise).
+int run_overhead_check() {
+  int failures = 0;
+
+  // 1. Zero-perturbation: identical simulated outcomes.
+  const workloads::ExperimentResult plain = check_run(nullptr, nullptr, nullptr);
+  {
+    obs::LatencyAttributor at(64);
+    const workloads::ExperimentResult attr = check_run(nullptr, nullptr, &at);
+    const bool same_arrivals = plain.collector.sink_arrivals() ==
+                               attr.collector.sink_arrivals();
+    const bool same_p99 =
+        plain.report.latency_p99_ms == attr.report.latency_p99_ms;
+    if (!same_arrivals || !same_p99) {
+      std::printf("FAIL: attaching the attributor perturbed the run "
+                  "(arrivals %s, p99 %s)\n",
+                  same_arrivals ? "ok" : "DIFFER", same_p99 ? "ok" : "DIFFER");
+      ++failures;
+    } else {
+      std::printf("ok: attributor attach is schedule-neutral "
+                  "(%llu arrivals, %llu sampled tuples)\n",
+                  static_cast<unsigned long long>(
+                      plain.collector.sink_arrivals()),
+                  static_cast<unsigned long long>(at.tuples().size()));
+    }
+    if (at.tuples().empty()) {
+      std::printf("FAIL: 1-in-64 sampling produced no tuples\n");
+      ++failures;
+    }
+  }
+
+  // 2/3. Timing.  Fixed slack absorbs machine noise on small absolute
+  // numbers; the ratio is the contract.
+  const double base_ms = best_of_3_ms([] {
+    const auto r = check_run(nullptr, nullptr, nullptr);
+    benchmark::DoNotOptimize(r.collector.sink_arrivals());
+  });
+  const double traced_ms = best_of_3_ms([] {
+    obs::Tracer tracer;
+    obs::MetricsRegistry registry;
+    const auto r = check_run(&tracer, &registry, nullptr);
+    benchmark::DoNotOptimize(r.collector.sink_arrivals());
+    benchmark::DoNotOptimize(tracer.records().size());
+  });
+  const double sampled_ms = best_of_3_ms([] {
+    obs::Tracer tracer;
+    obs::MetricsRegistry registry;
+    obs::LatencyAttributor at(64);
+    const auto r = check_run(&tracer, &registry, &at);
+    benchmark::DoNotOptimize(r.collector.sink_arrivals());
+    benchmark::DoNotOptimize(at.tuples().size());
+  });
+  std::printf("timing (best of 3): plain %.1f ms, traced %.1f ms, "
+              "traced+1/64-sampled %.1f ms\n",
+              base_ms, traced_ms, sampled_ms);
+
+  // Disabled observability within noise of plain: 10% + 20 ms slack.
+  if (base_ms > 0 && traced_ms > 0) {
+    const double disabled_ms = best_of_3_ms([] {
+      // Tracer and registry constructed but NOT attached: the data plane
+      // pays only its nullptr guards.
+      obs::Tracer tracer;
+      obs::MetricsRegistry registry;
+      const auto r = check_run(nullptr, nullptr, nullptr);
+      benchmark::DoNotOptimize(r.collector.sink_arrivals());
+    });
+    if (disabled_ms > base_ms * 1.10 + 20.0) {
+      std::printf("FAIL: disabled observability costs %.1f ms vs plain "
+                  "%.1f ms (> 10%% + 20 ms)\n",
+                  disabled_ms, base_ms);
+      ++failures;
+    } else {
+      std::printf("ok: disabled observability within noise of plain "
+                  "(%.1f ms vs %.1f ms)\n", disabled_ms, base_ms);
+    }
+  }
+
+  // 1-in-64 sampling < 5% over tracing alone (+10 ms slack).
+  if (sampled_ms > traced_ms * 1.05 + 10.0) {
+    std::printf("FAIL: 1-in-64 attribution costs %.1f ms vs traced "
+                "%.1f ms (> 5%% + 10 ms)\n",
+                sampled_ms, traced_ms);
+    ++failures;
+  } else {
+    std::printf("ok: 1-in-64 attribution within 5%% of traced "
+                "(%.1f ms vs %.1f ms)\n", sampled_ms, traced_ms);
+  }
+
+  std::printf("%s\n", failures == 0 ? "OVERHEAD CHECK PASSED"
+                                    : "OVERHEAD CHECK FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) return run_overhead_check();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 
 #include "ckpt/recovery.hpp"
 #include "dsps/platform.hpp"
+#include "obs/names.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -29,9 +30,10 @@ void ChaosInjector::note_hit(FaultKind kind) {
   KindStats& ks = kind_stats_[kind];
   if (auto* reg = platform_->metrics()) {
     if (ks.count == nullptr) {
-      const std::string base = "chaos." + std::string(to_string(kind)) + ".";
-      ks.count = reg->counter(base + "count");
-      ks.interarrival = reg->histogram(base + "interarrival_us");
+      ks.count = reg->counter(obs::names::chaos_metric(to_string(kind),
+                                                       "count"));
+      ks.interarrival = reg->histogram(
+          obs::names::chaos_metric(to_string(kind), "interarrival_us"));
     }
     ks.count->add(1);
     if (ks.last_at.has_value()) {

@@ -61,6 +61,14 @@ struct Event {
   std::uint64_t key{0};
   /// Approximate serialised size, for the network/store cost models.
   std::uint32_t payload_size{64};
+  /// Latency-attribution taint: this event descends from a sampled root
+  /// and every lifecycle edge reports a stamp to the attributor.  Only
+  /// ever true when an attributor is attached.  Deliberately NOT
+  /// serialized into checkpoint blobs (blob bytes feed the network and
+  /// store cost models, so carrying it would perturb unsampled runs);
+  /// events restored from a durable blob lose the taint and their paths
+  /// are counted as abandoned.
+  bool sampled{false};
 
   [[nodiscard]] bool is_control() const noexcept {
     return control != ControlKind::None;

@@ -7,6 +7,8 @@
 
 #include "ckpt/recovery.hpp"
 #include "dsps/platform.hpp"
+#include "obs/attribution.hpp"
+#include "obs/names.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 
@@ -35,13 +37,27 @@ void Executor::trace_end(std::uint64_t span) {
 void Executor::bind_metrics() {
   auto* reg = platform_.metrics();
   if (reg == nullptr || m_processed_ != nullptr) return;
-  const std::string base = "task/" +
-                           platform_.topology().task(ref_.task).name + "/" +
-                           std::to_string(ref_.replica) + "/";
-  m_process_us_ = reg->histogram(base + "process_us");
-  m_processed_ = reg->counter(base + "processed");
-  m_emitted_ = reg->counter(base + "emitted");
-  m_queue_depth_ = reg->gauge(base + "queue_depth");
+  const std::string& task = platform_.topology().task(ref_.task).name;
+  m_process_us_ =
+      reg->histogram(obs::names::task_metric(task, ref_.replica, "process_us"));
+  m_processed_ =
+      reg->counter(obs::names::task_metric(task, ref_.replica, "processed"));
+  m_emitted_ =
+      reg->counter(obs::names::task_metric(task, ref_.replica, "emitted"));
+  m_queue_depth_ =
+      reg->gauge(obs::names::task_metric(task, ref_.replica, "queue_depth"));
+}
+
+obs::LatencyAttributor* Executor::attributor_for(const Event& ev) const {
+  return ev.sampled ? platform_.attributor() : nullptr;
+}
+
+const std::string& Executor::attr_label() {
+  if (attr_label_.empty()) {
+    attr_label_ = obs::names::task_label(
+        platform_.topology().task(ref_.task).name, ref_.replica);
+  }
+  return attr_label_;
 }
 
 void Executor::kill() {
@@ -131,7 +147,10 @@ void Executor::set_ready(bool awaiting_init) {
   }
   // Senders' transport clients flush once the worker connection is up.
   while (!transport_buffer_.empty()) {
-    queue_.push_back(std::move(transport_buffer_.front()));
+    Event& ev = transport_buffer_.front();
+    if (auto* at = attributor_for(ev))
+      at->on_release(ev.id, platform_.engine().now());
+    queue_.push_back(std::move(ev));
     transport_buffer_.pop_front();
   }
   pump();
@@ -166,9 +185,13 @@ void Executor::enqueue(Event ev) {
         platform_.note_lost(ev);
         return;
       }
+      if (auto* at = attributor_for(ev))
+        at->on_enqueue(ev.id, platform_.engine().now());
       transport_buffer_.push_back(std::move(ev));
       return;
     case LifeState::Running:
+      if (auto* at = attributor_for(ev))
+        at->on_enqueue(ev.id, platform_.engine().now());
       queue_.push_back(std::move(ev));
       if (platform_.metrics() != nullptr) {
         bind_metrics();
@@ -221,6 +244,8 @@ void Executor::pump() {
 
     busy_ = true;
     user_in_flight_ = true;
+    if (auto* at = attributor_for(ev))
+      at->on_service_start(ev.id, platform_.engine().now(), attr_label());
     const std::uint64_t epoch = epoch_;
     const TaskDef& def = platform_.topology().task(ref_.task);
     platform_.engine().schedule_detached(def.service_time, [this, ev, epoch] {
@@ -260,9 +285,13 @@ void Executor::finish_user_event(const Event& ev) {
     const SimTime now = platform_.engine().now();
     platform_.listener().on_sink_arrival(ev, now);
     if (auto* tr = platform_.tracer()) tr->note_sink_arrival(now);
+    if (auto* at = attributor_for(ev)) at->on_sink(ev.id, now);
   } else {
     stats_.emitted +=
         static_cast<std::uint64_t>(platform_.emit_user_children(*this, ev));
+    // Children (if any) each carried the path forward via fork(); the
+    // parent's ledger entry is done either way.
+    if (auto* at = attributor_for(ev)) at->retire(ev.id);
   }
   if (platform_.metrics() != nullptr) {
     bind_metrics();
@@ -551,6 +580,8 @@ void Executor::on_rollback(const Event& ev, std::uint64_t span) {
     capturing_ = false;
     for (auto it = pending_capture_.rbegin(); it != pending_capture_.rend();
          ++it) {
+      if (auto* at = attributor_for(*it))
+        at->on_release(it->id, platform_.engine().now());
       queue_.push_front(std::move(*it));
     }
     pending_capture_.clear();
@@ -595,6 +626,8 @@ void Executor::on_init(const Event& ev, std::uint64_t span) {
     std::vector<Event> pend = std::move(pending_capture_);
     pending_capture_.clear();
     for (auto it = pend.rbegin(); it != pend.rend(); ++it) {
+      if (auto* at = attributor_for(*it))
+        at->on_release(it->id, platform_.engine().now());
       queue_.push_front(std::move(*it));
     }
     if (!capture_mode) platform_.forward_control(*this, ev);
@@ -736,9 +769,13 @@ void Executor::restore_from_blob(const CheckpointBlob& blob) {
   }
 
   // Rebuild the queue front: captured in-flight events first (they were
-  // logically ahead), then any tuples pended while awaiting init.
+  // logically ahead), then any tuples pended while awaiting init.  (Events
+  // from blob.pending never carry the sampled taint — it is not
+  // serialized — so only the pended tuples get release stamps.)
   for (auto it = pend_until_init_.rbegin(); it != pend_until_init_.rend();
        ++it) {
+    if (auto* at = attributor_for(*it))
+      at->on_release(it->id, platform_.engine().now());
     queue_.push_front(std::move(*it));
   }
   pend_until_init_.clear();

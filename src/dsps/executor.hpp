@@ -35,6 +35,7 @@ namespace rill::obs {
 class Counter;
 class Gauge;
 class Histogram;
+class LatencyAttributor;
 }
 
 namespace rill::dsps {
@@ -185,6 +186,12 @@ class Executor {
   /// allocation-free.
   void bind_metrics();
 
+  /// The latency attributor iff `ev` carries the sampled taint; null
+  /// otherwise, so every stamp site is one branch on the common path.
+  [[nodiscard]] obs::LatencyAttributor* attributor_for(const Event& ev) const;
+  /// Cached "task/replica" label for attribution hops.
+  [[nodiscard]] const std::string& attr_label();
+
   /// Barrier alignment: true when all expected copies of this wave root
   /// have been consumed at this executor.
   bool aligned(const Event& ev, int expected);
@@ -264,6 +271,9 @@ class Executor {
   obs::Counter* m_processed_{nullptr};
   obs::Counter* m_emitted_{nullptr};
   obs::Gauge* m_queue_depth_{nullptr};
+
+  /// Lazily-built "task/replica" label for attribution hops.
+  std::string attr_label_;
 
   ExecutorStats stats_;
 };

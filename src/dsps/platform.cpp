@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/attribution.hpp"
 #include "obs/trace.hpp"
 
 namespace rill::dsps {
@@ -319,6 +320,7 @@ int Platform::emit_user_children(Executor& from, const Event& parent) {
       child.replayed = parent.replayed;
       child.key = parent.key;
       child.payload_size = parent.payload_size;
+      child.sampled = parent.sampled;
 
       const int replica =
           route_replica(from.id(), e, child, dst_def.parallelism);
@@ -329,9 +331,17 @@ int Platform::emit_user_children(Executor& from, const Event& parent) {
       if (child.replayed) ++stats_.replayed_emissions;
       listener().on_emit(child);
 
-      network_->send(cluster_.vm_of(from.slot()), cluster_.vm_of(dst.slot()),
-                     child.payload_size,
-                     [&dst, child] { dst.enqueue(child); });
+      if (child.sampled && attributor_ != nullptr)
+        attributor_->fork(parent.id, child.id, engine_.now());
+      const net::SendOutcome sent = network_->send(
+          cluster_.vm_of(from.slot()), cluster_.vm_of(dst.slot()),
+          child.payload_size, [&dst, child] { dst.enqueue(child); });
+      if (child.sampled && attributor_ != nullptr) {
+        if (sent.dropped)
+          attributor_->on_drop(child.id);
+        else if (sent.chaos_delay_us > 0)
+          attributor_->on_send(child.id, sent.chaos_delay_us);
+      }
       ++emitted;
     }
   }
@@ -357,8 +367,18 @@ void Platform::emit_from_source(Spout& spout, const Event& root_copy_template,
     if (copy.replayed) ++stats_.replayed_emissions;
     listener().on_emit(copy);
 
-    network_->send(cluster_.vm_of(spout.slot()), cluster_.vm_of(dst.slot()),
-                   copy.payload_size, [&dst, copy] { dst.enqueue(copy); });
+    if (copy.sampled && attributor_ != nullptr)
+      attributor_->on_root_copy(copy.id, copy.root, copy.origin, copy.born_at,
+                                engine_.now());
+    const net::SendOutcome sent = network_->send(
+        cluster_.vm_of(spout.slot()), cluster_.vm_of(dst.slot()),
+        copy.payload_size, [&dst, copy] { dst.enqueue(copy); });
+    if (copy.sampled && attributor_ != nullptr) {
+      if (sent.dropped)
+        attributor_->on_drop(copy.id);
+      else if (sent.chaos_delay_us > 0)
+        attributor_->on_send(copy.id, sent.chaos_delay_us);
+    }
   }
 }
 
@@ -413,6 +433,7 @@ std::vector<TaskId> Platform::entry_tasks() const {
 
 void Platform::note_lost(const Event& ev) {
   ++stats_.events_lost;
+  if (ev.sampled && attributor_ != nullptr) attributor_->on_drop(ev.id);
   listener().on_lost(ev, engine_.now());
 }
 

@@ -39,6 +39,7 @@
 namespace rill::obs {
 class Tracer;
 class MetricsRegistry;
+class LatencyAttributor;
 }
 
 namespace rill::ckpt {
@@ -145,6 +146,17 @@ class Platform {
   [[nodiscard]] ckpt::RecoveryTracker* recovery() const noexcept {
     return recovery_;
   }
+  /// Attach the per-tuple latency attributor (obs/attribution.hpp).  Like
+  /// the recovery tracker it is purely passive — it schedules nothing and
+  /// draws no RNG — but unlike the tracer it also gates the spout-side
+  /// sampling decision: with no attributor attached, no event is ever
+  /// tainted `sampled` and every hot-path stamp stays one branch.
+  void set_attributor(obs::LatencyAttributor* attributor) noexcept {
+    attributor_ = attributor;
+  }
+  [[nodiscard]] obs::LatencyAttributor* attributor() const noexcept {
+    return attributor_;
+  }
 
   // ---- dataflow access ----
   [[nodiscard]] Executor& executor(InstanceRef ref);
@@ -242,6 +254,7 @@ class Platform {
   obs::Tracer* tracer_{nullptr};
   obs::MetricsRegistry* metrics_{nullptr};
   ckpt::RecoveryTracker* recovery_{nullptr};
+  obs::LatencyAttributor* attributor_{nullptr};
   /// 1 Hz sampler feeding queue-depth / backlog counters into the tracer;
   /// only ever created when a tracer is attached, so untraced runs schedule
   /// nothing extra and stay byte-identical.

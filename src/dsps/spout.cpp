@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dsps/platform.hpp"
+#include "obs/attribution.hpp"
 #include "obs/trace.hpp"
 
 namespace rill::dsps {
@@ -106,6 +107,10 @@ void Spout::emit_root(SimTime born_at, bool replay, RootId origin) {
   tmpl.born_at = born_at;
   tmpl.emitted_at = platform_.engine().now();
   tmpl.replayed = replay;
+  // Structural 1-in-N sampling for latency attribution.  The counter lives
+  // in the attributor and only advances when one is attached, so unsampled
+  // runs (the determinism gate) take the same branch pattern every time.
+  if (auto* at = platform_.attributor()) tmpl.sampled = at->sample_next_root();
 
   platform_.emit_from_source(*this, tmpl, replay);
 

@@ -65,8 +65,24 @@ std::string to_json(const MigrationReport& r, int indent) {
   os << pad << "\"faults_injected\": " << r.faults_injected << ",\n";
   os << pad << "\"fault_hits\": " << r.fault_hits << ",\n";
   os << pad << "\"kv_retries\": " << r.kv_retries << ",\n";
-  os << pad << "\"wave_retries\": " << r.wave_retries << "\n";
-  os << "}";
+  os << pad << "\"wave_retries\": " << r.wave_retries;
+  // Attribution block only when an attributor ran: reports from unsampled
+  // runs (the determinism gate) must stay byte-identical.
+  if (!r.attribution.empty()) {
+    os << ",\n";
+    os << pad << "\"sampled_tuples\": " << r.sampled_tuples << ",\n";
+    os << pad << "\"attribution\": {";
+    for (std::size_t i = 0; i < r.attribution.size(); ++i) {
+      const MigrationReport::CauseBreakdown& cb = r.attribution[i];
+      if (i != 0) os << ",";
+      os << "\n" << pad << "  \"" << json_escape(cb.cause)
+         << "\": {\"p50_us\": " << cb.p50_us << ", \"p95_us\": " << cb.p95_us
+         << ", \"p99_us\": " << cb.p99_us << ", \"total_us\": " << cb.total_us
+         << "}";
+    }
+    os << "\n" << pad << "}";
+  }
+  os << "\n}";
   return os.str();
 }
 

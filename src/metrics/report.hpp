@@ -61,6 +61,23 @@ struct MigrationReport {
   /// Store client retries and checkpoint wave retries absorbed.
   std::uint64_t kv_retries{0};
   std::uint64_t wave_retries{0};
+
+  // ---- per-tuple latency attribution (obs::LatencyAttributor) ----
+  /// One row per cause (queue / service / network / pause / chaos):
+  /// nearest-rank percentiles over the sampled tuples' per-cause totals.
+  /// Integer µs throughout (R3: no float accumulation in reports).  Empty
+  /// when no attributor was attached — the JSON then renders byte-identical
+  /// to pre-attribution reports.
+  struct CauseBreakdown {
+    std::string cause;
+    std::uint64_t p50_us{0};
+    std::uint64_t p95_us{0};
+    std::uint64_t p99_us{0};
+    std::uint64_t total_us{0};
+  };
+  std::vector<CauseBreakdown> attribution;
+  /// Sampled tuples that completed (reached a sink).
+  std::uint64_t sampled_tuples{0};
 };
 
 /// Render a fixed-width text table.  `rows` are pre-formatted cells.

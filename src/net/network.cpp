@@ -20,15 +20,17 @@ SimTime Network::fifo_arrival(VmId from, VmId to, SimTime proposed) {
   return arrival;
 }
 
-void Network::send(VmId from, VmId to, std::size_t bytes, Deliver deliver,
-                   MsgClass cls) {
+SendOutcome Network::send(VmId from, VmId to, std::size_t bytes,
+                          Deliver deliver, MsgClass cls) {
   ++stats_.messages_sent;
   stats_.bytes_sent += bytes;
 
+  SendOutcome outcome;
   if (fault_hook_ != nullptr && fault_hook_->drop(from, to, cls)) {
     // The message vanishes on the wire: no delivery is ever scheduled.
     ++stats_.dropped_by_fault;
-    return;
+    outcome.dropped = true;
+    return outcome;
   }
 
   SimDuration latency;
@@ -53,18 +55,21 @@ void Network::send(VmId from, VmId to, std::size_t bytes, Deliver deliver,
     if (extra > 0) {
       ++stats_.delayed_by_fault;
       latency += extra;
+      outcome.chaos_delay_us = static_cast<std::uint64_t>(extra);
     }
   }
 
   const SimTime arrival =
       fifo_arrival(from, to, engine_.now() + static_cast<SimTime>(latency));
   engine_.schedule_at_detached(arrival, std::move(deliver));
+  return outcome;
 }
 
-void Network::send_between_slots(SlotId from, SlotId to, std::size_t bytes,
-                                 Deliver deliver, MsgClass cls) {
-  send(cluster_.vm_of(from), cluster_.vm_of(to), bytes, std::move(deliver),
-       cls);
+SendOutcome Network::send_between_slots(SlotId from, SlotId to,
+                                        std::size_t bytes, Deliver deliver,
+                                        MsgClass cls) {
+  return send(cluster_.vm_of(from), cluster_.vm_of(to), bytes,
+              std::move(deliver), cls);
 }
 
 }  // namespace rill::net

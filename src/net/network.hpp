@@ -36,6 +36,15 @@ struct NetworkConfig {
   double jitter_frac = 0.25;
 };
 
+/// Per-message send fate, reported back to the caller so the latency
+/// attributor can distinguish baseline wire transit from chaos-injected
+/// delay (and account for drops).  Callers that don't sample ignore it.
+struct SendOutcome {
+  bool dropped{false};
+  /// Fault-hook extra delay folded into this message's latency, µs.
+  std::uint64_t chaos_delay_us{0};
+};
+
 /// Counters for tests and reporting.
 struct NetworkStats {
   std::uint64_t messages_sent{0};
@@ -71,12 +80,12 @@ class Network {
 
   /// Send `bytes` worth of payload from `from` VM to `to` VM and run
   /// `deliver` on arrival.  FIFO per (from, to) pair.
-  void send(VmId from, VmId to, std::size_t bytes, Deliver deliver,
-            MsgClass cls = MsgClass::Data);
+  SendOutcome send(VmId from, VmId to, std::size_t bytes, Deliver deliver,
+                   MsgClass cls = MsgClass::Data);
 
   /// Convenience overload routed by slot.
-  void send_between_slots(SlotId from, SlotId to, std::size_t bytes,
-                          Deliver deliver, MsgClass cls = MsgClass::Data);
+  SendOutcome send_between_slots(SlotId from, SlotId to, std::size_t bytes,
+                                 Deliver deliver, MsgClass cls = MsgClass::Data);
 
   void set_fault_hook(FaultHook* hook) noexcept { fault_hook_ = hook; }
 

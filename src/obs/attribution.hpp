@@ -1,0 +1,173 @@
+// Per-tuple latency attribution: a deterministic 1-in-N sampler plus a
+// passive ledger that decomposes each sampled tuple's end-to-end latency
+// into per-cause components (paper Figs 7/9: *where* does the p99 go
+// during elasticity?).
+//
+// The data plane stamps sampled events at each lifecycle edge — spout
+// emit, network send, queue enqueue, pause release, service start/end,
+// sink arrival — and the attributor folds the stamps into five causes:
+//
+//   queue    time runnable in an executor's input queue
+//   service  time being processed by task logic
+//   network  wire transit (baseline latency model, minus chaos extra)
+//   pause    migration/backlog stalls: source backpressure + replay wait
+//            (born → first emit) and transport/capture/init buffering
+//   chaos    injected extra wire delay (fault campaigns)
+//
+// Children are emitted at the exact instant their parent's service ends,
+// so the components telescope: their sum equals (sink arrival − born)
+// *exactly*, in integer µs.  rill_trace --check asserts this.
+//
+// Sampling is structural, not random: root number k is sampled iff
+// k % N == 0.  The counter lives here and only advances when an
+// attributor is attached, so runs without one (the determinism gate)
+// execute byte-identical schedules — the attributor schedules nothing
+// and draws no RNG either way, it only observes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace rill::obs {
+
+class Tracer;
+class MetricsRegistry;
+class Histogram;
+
+/// Trace lane for sampled end-to-end tuple spans: pid 6, tid = root % 256
+/// (spreading tuples over lanes keeps concurrent spans from stacking into
+/// one unreadable Perfetto row).
+inline constexpr std::int32_t kTuplesPid = 6;
+inline constexpr std::int32_t kTupleLanes = 256;
+
+enum class Cause : std::uint8_t { Queue, Service, Network, Pause, Chaos };
+inline constexpr int kCauseCount = 5;
+
+[[nodiscard]] constexpr const char* to_string(Cause c) noexcept {
+  switch (c) {
+    case Cause::Queue: return "queue";
+    case Cause::Service: return "service";
+    case Cause::Network: return "network";
+    case Cause::Pause: return "pause";
+    case Cause::Chaos: return "chaos";
+  }
+  return "?";
+}
+
+/// One network→queue→service traversal of a single executor.
+struct HopRecord {
+  std::string label;    ///< "task/replica" of the servicing instance
+  SimTime emitted{0};   ///< producer handed the event to the network
+  SimTime enqueued{0};  ///< arrived at the executor
+  SimTime released{0};  ///< left any pause buffer (== enqueued when none)
+  SimTime svc_start{0};
+  SimTime svc_end{0};
+  std::uint64_t chaos_us{0};  ///< injected extra wire delay on this hop
+};
+
+/// A completed sampled tuple: one spout root's path to a sink.
+struct TupleRecord {
+  RootId root{0};
+  RootId origin{0};
+  SimTime born{0};
+  SimTime done{0};
+  std::uint64_t cause_us[kCauseCount]{};
+  std::vector<HopRecord> hops;
+
+  [[nodiscard]] std::uint64_t latency_us() const noexcept {
+    return done - born;
+  }
+};
+
+/// Per-cause nearest-rank percentiles over completed tuples, integer µs.
+struct CauseSummary {
+  Cause cause{Cause::Queue};
+  std::uint64_t p50_us{0};
+  std::uint64_t p95_us{0};
+  std::uint64_t p99_us{0};
+  std::uint64_t total_us{0};
+};
+
+class LatencyAttributor {
+ public:
+  /// Sample one root in every `sample_every` (>= 1; 1 samples everything).
+  explicit LatencyAttributor(std::uint64_t sample_every);
+
+  /// Optional sinks: tuple/hop spans onto the tracer's pid-6 track, and
+  /// per-task per-cause histograms into the registry (at hop close).
+  void set_tracer(Tracer* tracer);
+  void set_metrics(MetricsRegistry* metrics) noexcept { metrics_ = metrics; }
+
+  /// Spout-side decision for the next root.  Deterministic counter; the
+  /// spout only calls this when an attributor is attached.
+  [[nodiscard]] bool sample_next_root() noexcept {
+    return (root_seq_++ % sample_every_) == 0;
+  }
+
+  // ---- lifecycle stamps (no-ops for ids that are not tracked) ----
+  /// A per-edge copy of a sampled root enters the network.  Charges
+  /// (now − born) — source backpressure / replay wait — to Pause.
+  void on_root_copy(EventId id, RootId root, RootId origin, SimTime born,
+                    SimTime now);
+  /// The wire added `chaos_us` of injected delay to this event.
+  void on_send(EventId id, std::uint64_t chaos_us);
+  /// The event was dropped (chaos) or its executor is dead.
+  void on_drop(EventId id);
+  /// Arrived at the destination executor (any state).
+  void on_enqueue(EventId id, SimTime now);
+  /// Left a pause buffer (transport / capture / await-init re-injection).
+  void on_release(EventId id, SimTime now);
+  /// Task logic starts; `label` is the instance's "task/replica" name.
+  void on_service_start(EventId id, SimTime now, const std::string& label);
+  /// A child of `parent` is emitted (service just ended: closes the
+  /// parent's open hop on first call, then extends the path to `child`).
+  void fork(EventId parent, EventId child, SimTime now);
+  /// Parent finished emitting children; drop its ledger entry.
+  void retire(EventId parent);
+  /// The event reached a sink: finalize the tuple, emit trace spans,
+  /// record histograms.
+  void on_sink(EventId id, SimTime now);
+
+  // ---- results ----
+  [[nodiscard]] const std::vector<TupleRecord>& tuples() const noexcept {
+    return done_;
+  }
+  [[nodiscard]] std::uint64_t sample_every() const noexcept {
+    return sample_every_;
+  }
+  [[nodiscard]] std::uint64_t roots_seen() const noexcept { return root_seq_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  /// Paths still live (e.g. events whose sampled taint was lost across a
+  /// durable CCR blob handoff, or in-flight at shutdown).
+  [[nodiscard]] std::size_t abandoned() const noexcept { return live_.size(); }
+  [[nodiscard]] std::vector<CauseSummary> summarize() const;
+
+ private:
+  struct Path {
+    RootId root{0};
+    RootId origin{0};
+    SimTime born{0};
+    std::uint64_t cause_us[kCauseCount]{};
+    std::vector<HopRecord> hops;
+    HopRecord cur;
+    bool open{false};
+  };
+
+  void close_hop(Path& path, SimTime now);
+  void emit_trace(const TupleRecord& rec) const;
+
+  std::uint64_t sample_every_;
+  std::uint64_t root_seq_{0};
+  std::map<EventId, Path> live_;  // ordered: deterministic iteration
+  std::vector<TupleRecord> done_;
+  std::uint64_t dropped_{0};
+  Tracer* tracer_{nullptr};
+  MetricsRegistry* metrics_{nullptr};
+};
+
+}  // namespace rill::obs

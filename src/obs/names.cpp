@@ -1,0 +1,54 @@
+#include "obs/names.hpp"
+
+namespace rill::obs::names {
+
+std::string task_metric(std::string_view task, int replica,
+                        std::string_view field) {
+  std::string out = "task/";
+  out += task;
+  out += '/';
+  out += std::to_string(replica);
+  out += '/';
+  out += field;
+  return out;
+}
+
+std::string task_label(std::string_view task, int replica) {
+  std::string out(task);
+  out += '/';
+  out += std::to_string(replica);
+  return out;
+}
+
+std::string attr_metric(std::string_view task_label, std::string_view cause) {
+  std::string out = "task/";
+  out += task_label;
+  out += "/attr/";
+  out += cause;
+  out += "_us";
+  return out;
+}
+
+std::string kv_shard_metric(int shard, std::string_view field) {
+  std::string out = "kv.shard";
+  out += std::to_string(shard);
+  out += '.';
+  out += field;
+  return out;
+}
+
+std::string chaos_metric(std::string_view kind, std::string_view field) {
+  std::string out = "chaos.";
+  out += kind;
+  out += '.';
+  out += field;
+  return out;
+}
+
+std::string slo_metric(std::string_view field) {
+  std::string out = "slo.";
+  out += field;
+  return out;
+}
+
+}  // namespace rill::obs::names

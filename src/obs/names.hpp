@@ -1,0 +1,41 @@
+// Single naming helper for every metric / span name composed from parts.
+//
+// rill_lint rule R5 enforces two properties over src/ bench/ tools/:
+//   * name literals passed to instruments match [a-z0-9_.]+ (stable,
+//     grep-able, shell-safe keys);
+//   * names are never assembled with ad-hoc `+` concatenation at the call
+//     site — composition goes through these helpers, so the name grammar
+//     lives in exactly one place and a rename is one edit.
+//
+// The helper directory (src/obs/names.*) is allowlisted from R5; every
+// other call site must pass either a clean literal or a helper result.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace rill::obs::names {
+
+/// "task/<task>/<replica>/<field>" — per-instance dataflow instruments.
+[[nodiscard]] std::string task_metric(std::string_view task, int replica,
+                                      std::string_view field);
+
+/// "<task>/<replica>" — the instance label used by attribution hops.
+[[nodiscard]] std::string task_label(std::string_view task, int replica);
+
+/// "task/<label>/attr/<cause>_us" — per-cause latency attribution
+/// histograms, where <label> is a task_label().
+[[nodiscard]] std::string attr_metric(std::string_view task_label,
+                                      std::string_view cause);
+
+/// "kv.shard<N>.<field>" — per-shard checkpoint-store traffic counters.
+[[nodiscard]] std::string kv_shard_metric(int shard, std::string_view field);
+
+/// "chaos.<kind>.<field>" — per-fault-kind injector instruments.
+[[nodiscard]] std::string chaos_metric(std::string_view kind,
+                                       std::string_view field);
+
+/// "slo.<field>" — windowed SLO monitor exports.
+[[nodiscard]] std::string slo_metric(std::string_view field);
+
+}  // namespace rill::obs::names

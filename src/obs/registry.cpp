@@ -8,9 +8,22 @@
 
 namespace rill::obs {
 
+namespace {
+
+/// Width of one linear sub-bucket inside log2 bucket b.  Buckets holding
+/// fewer than kSubBuckets distinct values get width 1 (exact).
+constexpr std::uint64_t sub_width(int b) noexcept {
+  return b < 4 ? 1ull : 1ull << (b - 4);
+}
+
+}  // namespace
+
 void Histogram::record(std::uint64_t value_us) noexcept {
   const int bucket = value_us == 0 ? 0 : std::bit_width(value_us) - 1;
+  const std::uint64_t offset = value_us == 0 ? 0 : value_us - (1ull << bucket);
   ++buckets_[bucket];
+  ++sub_[bucket * kSubBuckets +
+         static_cast<int>(offset / sub_width(bucket))];
   ++count_;
   sum_ += value_us;
   if (value_us < min_) min_ = value_us;
@@ -23,12 +36,17 @@ std::optional<std::uint64_t> Histogram::percentile_us(double q) const {
       std::ceil(q * static_cast<double>(count_)));
   std::uint64_t cumulative = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    cumulative += buckets_[b];
-    if (cumulative >= rank) {
-      // Upper bound of bucket b is 2^(b+1) - 1, clamped to the observed max.
-      const std::uint64_t hi =
-          b >= 63 ? ~0ull : ((1ull << (b + 1)) - 1);
-      return hi < max_ ? hi : max_;
+    if (buckets_[b] == 0) continue;  // sub-slots of an empty bucket are empty
+    for (int s = 0; s < kSubBuckets; ++s) {
+      cumulative += sub_[b * kSubBuckets + s];
+      if (cumulative >= rank) {
+        // Upper bound of sub-bucket (b, s), clamped to the observed max.
+        // At b=63, s=15 the sum wraps to exactly 2^64-1, which is right.
+        const std::uint64_t hi =
+            (1ull << b) +
+            static_cast<std::uint64_t>(s + 1) * sub_width(b) - 1;
+        return hi < max_ ? hi : max_;
+      }
     }
   }
   return max_;

@@ -1,0 +1,87 @@
+// Windowed SLO monitor over the sink-arrival latency log.
+//
+// Buckets sink arrivals into fixed sim-time windows (default 10 s) and
+// computes nearest-rank p50/p95/p99 per window, flags windows whose p99
+// exceeds the target, merges consecutive violated windows into violation
+// runs, and reports an integer burn rate (violated windows per mille).
+//
+// Empty windows *between* the first and last arrival are counted as
+// violated when a target is set: a migration that silences the sinks for
+// 30 s is an SLO breach even though no sample exceeded the target.
+//
+// This is the exact signal the ROADMAP item-2 autoscale controller will
+// subscribe to; until then it is exported into --task-metrics JSON
+// (slo.* instruments) and reused offline by rill_trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rill::obs {
+
+class MetricsRegistry;
+
+struct SloConfig {
+  /// p99 target per window, µs.  0 disables violation flagging (the
+  /// window series is still computed).
+  std::uint64_t target_p99_us{0};
+  /// Window width, seconds of sim time.
+  std::uint64_t window_sec{10};
+};
+
+struct SloWindow {
+  std::uint64_t start_sec{0};  ///< window start, seconds from sim start
+  std::uint64_t count{0};
+  std::uint64_t p50_us{0};
+  std::uint64_t p95_us{0};
+  std::uint64_t p99_us{0};
+  bool violated{false};
+};
+
+/// A maximal run of consecutive violated windows, [start_sec, end_sec).
+struct SloViolation {
+  std::uint64_t start_sec{0};
+  std::uint64_t end_sec{0};
+};
+
+class SloMonitor {
+ public:
+  explicit SloMonitor(SloConfig config);
+
+  /// Feed one sink arrival.  Arrivals may come in any order.
+  void record(SimTime arrival, std::uint64_t latency_us);
+
+  /// Build the window series + violation runs.  Call once after feeding.
+  void finalize();
+
+  [[nodiscard]] const SloConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::vector<SloWindow>& windows() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] const std::vector<SloViolation>& violations() const noexcept {
+    return violations_;
+  }
+  [[nodiscard]] std::uint64_t violated_windows() const noexcept;
+  /// violated windows / total windows, per mille (integer; R3-clean).
+  [[nodiscard]] std::uint64_t burn_per_mille() const noexcept;
+
+  /// Export slo.* instruments (counters + per-window percentile
+  /// histograms) into the registry.
+  void export_to(MetricsRegistry& reg) const;
+
+ private:
+  struct RawSample {
+    SimTime arrival{0};
+    std::uint64_t latency_us{0};
+  };
+
+  SloConfig config_;
+  std::vector<RawSample> samples_;
+  std::vector<SloWindow> windows_;
+  std::vector<SloViolation> violations_;
+  bool finalized_{false};
+};
+
+}  // namespace rill::obs

@@ -80,6 +80,19 @@ void Tracer::instant(Track track, const char* cat, std::string name,
   records_.push_back(std::move(r));
 }
 
+void Tracer::span_at(Track track, const char* cat, std::string name,
+                     SimTime ts, SimDuration dur, std::vector<Arg> args) {
+  Record r;
+  r.ph = Phase::Span;
+  r.ts = ts;
+  r.dur = dur;
+  r.track = track;
+  r.cat = cat;
+  r.name = std::move(name);
+  r.args = std::move(args);
+  records_.push_back(std::move(r));
+}
+
 void Tracer::counter(Track track, std::string name, double value) {
   Record r;
   r.ph = Phase::Counter;

@@ -102,6 +102,12 @@ class Tracer {
   void end(SpanId id, std::vector<Arg> extra = {});
   void instant(Track track, const char* cat, std::string name,
                std::vector<Arg> args = {});
+  /// Record a complete span retrospectively, with an explicit start and
+  /// duration instead of the current clock.  Used by the latency
+  /// attributor, which only learns a tuple's full path when it reaches a
+  /// sink and then back-fills the tuple/hop spans.
+  void span_at(Track track, const char* cat, std::string name, SimTime ts,
+               SimDuration dur, std::vector<Arg> args = {});
   void counter(Track track, std::string name, double value);
 
   /// Compact sink-arrival channel (see header comment).

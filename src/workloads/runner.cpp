@@ -5,6 +5,8 @@
 
 #include "core/controller.hpp"
 #include "dsps/platform.hpp"
+#include "obs/attribution.hpp"
+#include "obs/names.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
@@ -36,6 +38,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   platform.set_listener(&collector);
   if (config.tracer != nullptr) platform.set_tracer(config.tracer);
   if (config.metrics != nullptr) platform.set_metrics(config.metrics);
+  if (config.attributor != nullptr) {
+    platform.set_attributor(config.attributor);
+    config.attributor->set_tracer(config.tracer);
+    config.attributor->set_metrics(config.metrics);
+  }
 
   // Recovery tracker: passive kill→restore window bookkeeping, always on
   // (it schedules nothing, so fault-free traces are unchanged).
@@ -113,12 +120,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     for (int s = 0; s < platform.store().shards(); ++s) {
       const kvstore::StoreStats& ss = result.store_shards[
           static_cast<std::size_t>(s)];
-      const std::string prefix = "kv.shard" + std::to_string(s) + ".";
-      config.metrics->counter(prefix + "puts")->add(ss.puts);
-      config.metrics->counter(prefix + "gets")->add(ss.gets);
-      config.metrics->counter(prefix + "batch_items")->add(ss.batch_items);
-      config.metrics->counter(prefix + "retries")->add(ss.retries);
-      config.metrics->counter(prefix + "timeouts")->add(ss.timeouts);
+      config.metrics->counter(obs::names::kv_shard_metric(s, "puts"))
+          ->add(ss.puts);
+      config.metrics->counter(obs::names::kv_shard_metric(s, "gets"))
+          ->add(ss.gets);
+      config.metrics->counter(obs::names::kv_shard_metric(s, "batch_items"))
+          ->add(ss.batch_items);
+      config.metrics->counter(obs::names::kv_shard_metric(s, "retries"))
+          ->add(ss.retries);
+      config.metrics->counter(obs::names::kv_shard_metric(s, "timeouts"))
+          ->add(ss.timeouts);
     }
   }
 
@@ -213,6 +224,35 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   rep.fault_hits = result.chaos.total_hits();
   rep.kv_retries = result.store.retries;
   rep.wave_retries = result.checkpoint.wave_retries;
+
+  // Per-cause latency attribution (integer µs, nearest-rank over the
+  // sampled tuples).  Only present when an attributor was attached, so
+  // unsampled runs render byte-identical reports.
+  if (config.attributor != nullptr) {
+    rep.sampled_tuples = config.attributor->tuples().size();
+    for (const obs::CauseSummary& cs : config.attributor->summarize()) {
+      metrics::MigrationReport::CauseBreakdown cb;
+      cb.cause = obs::to_string(cs.cause);
+      cb.p50_us = cs.p50_us;
+      cb.p95_us = cs.p95_us;
+      cb.p99_us = cs.p99_us;
+      cb.total_us = cs.total_us;
+      rep.attribution.push_back(std::move(cb));
+    }
+  }
+
+  // Windowed SLO series over the sink-arrival log, exported as slo.*
+  // instruments (the autoscaler's future subscription feed).
+  if (config.metrics != nullptr) {
+    obs::SloMonitor slo(config.slo);
+    for (const metrics::LatencySeries::Sample& s :
+         collector.latency().samples()) {
+      slo.record(s.arrival, static_cast<std::uint64_t>(
+                                s.latency > 0 ? s.latency : 0));
+    }
+    slo.finalize();
+    slo.export_to(*config.metrics);
+  }
 
   result.report = std::move(rep);
   result.collector = std::move(collector);

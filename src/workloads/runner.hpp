@@ -24,12 +24,14 @@
 #include "kvstore/store.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/report.hpp"
+#include "obs/slo.hpp"
 #include "workloads/dags.hpp"
 #include "workloads/scenario.hpp"
 
 namespace rill::obs {
 class Tracer;
 class MetricsRegistry;
+class LatencyAttributor;
 }  // namespace rill::obs
 
 namespace rill::workloads {
@@ -66,6 +68,16 @@ struct ExperimentConfig {
   /// simulation schedule is identical either way).
   obs::Tracer* tracer{nullptr};
   obs::MetricsRegistry* metrics{nullptr};
+
+  /// Per-tuple latency attribution: optional 1-in-N sampler + ledger,
+  /// owned by the caller.  Passive (schedules nothing, draws no RNG), so
+  /// the event schedule is identical with or without it; the report gains
+  /// the per-cause breakdown when attached.
+  obs::LatencyAttributor* attributor{nullptr};
+
+  /// Windowed SLO monitoring over the sink-arrival log; computed post-run
+  /// and exported as slo.* instruments when `metrics` is attached.
+  obs::SloConfig slo{};
 };
 
 struct ExperimentResult {

@@ -1,0 +1,17 @@
+// R5 fixture: instrument-name hygiene at recording call sites.
+struct Reg {
+  int* counter(const char*);
+  int* histogram(const char*);
+};
+void f(Reg* reg, const char* part) {
+  reg->counter("ok.lower_case.name");                 // clean
+  reg->counter("Bad-Name");                           // line 8: R5/metric-name
+  reg->histogram("spaced out");                       // line 9: R5/metric-name
+  reg->counter("chaos." + std::string(part));         // line 10: R5/name-concat
+  reg->histogram(std::string(part) + ".count");       // line 11: R5/name-concat
+  // lint: metric-name-ok(legacy dashboard key, renamed next quarter)
+  reg->counter("Legacy-Key");                         // waived
+  // lint: name-concat-ok(helper result suffixed in a test fixture)
+  reg->counter("pre." + std::string(part));           // waived
+  reg->counter(part);                                 // non-literal: not R5's job
+}

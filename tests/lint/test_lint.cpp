@@ -128,6 +128,34 @@ TEST(RillLint, R4NodiscardFixture) {
   EXPECT_EQ(fs.size(), 2u) << "consumed calls must not be flagged";
 }
 
+TEST(RillLint, R5NamesFixture) {
+  const auto fs = lint_one("r5_names.cpp");
+  EXPECT_TRUE(has(fs, "R5/metric-name", 8)) << "uppercase + dash";
+  EXPECT_TRUE(has(fs, "R5/metric-name", 9)) << "embedded space";
+  EXPECT_TRUE(has(fs, "R5/name-concat", 10)) << "literal + expr";
+  EXPECT_TRUE(has(fs, "R5/name-concat", 11)) << "expr + literal";
+  EXPECT_EQ(fs.size(), 4u)
+      << "clean literals, waived lines and non-literal names must stay "
+         "silent";
+}
+
+TEST(RillLint, R5AllowlistSilencesTheNamingHelper) {
+  // The same content under the helper prefix produces no findings.
+  const auto fs = run({{"src/obs/names.cpp", fixture("r5_names.cpp")}});
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(RillLint, R5IgnoresArgKeysAtDepthTwo) {
+  // Keys of nested arg("Key", ...) pairs sit at paren depth 2 and are not
+  // instrument names.
+  const auto fs = run({{"x.cpp",
+                        "void f(T* tr) {\n"
+                        "  tr->instant(track, \"cat\", \"name\",\n"
+                        "              {arg(\"CamelKey\", 1)});\n"
+                        "}\n"}});
+  EXPECT_TRUE(fs.empty());
+}
+
 TEST(RillLint, CleanFixtureIsClean) {
   EXPECT_TRUE(lint_one("clean.cpp").empty());
 }

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/attribution.hpp"
+#include "obs/names.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "workloads/runner.hpp"
+
+namespace rill::obs {
+namespace {
+
+TEST(LatencyAttributor, SamplerIsStructuralOneInN) {
+  LatencyAttributor at(4);
+  for (int k = 0; k < 12; ++k) {
+    EXPECT_EQ(at.sample_next_root(), k % 4 == 0) << "root " << k;
+  }
+  EXPECT_EQ(at.roots_seen(), 12u);
+  EXPECT_EQ(at.sample_every(), 4u);
+}
+
+TEST(LatencyAttributor, SampleEveryZeroClampsToSampleEverything) {
+  LatencyAttributor at(0);
+  EXPECT_EQ(at.sample_every(), 1u);
+  EXPECT_TRUE(at.sample_next_root());
+  EXPECT_TRUE(at.sample_next_root());
+}
+
+// Hand-drive one sampled root through two hops with every kind of delay
+// and assert the per-cause split telescopes to (done − born) *exactly*.
+TEST(LatencyAttributor, TelescopingSplitIsExactInIntegerMicros) {
+  LatencyAttributor at(1);
+  at.on_root_copy(/*id=*/10, /*root=*/1, /*origin=*/1, /*born=*/100,
+                  /*now=*/250);               // source pause: 150
+  at.on_send(10, 30);                         // 30 µs injected wire delay
+  at.on_enqueue(10, 400);                     // wire 150 = chaos 30 + net 120
+  at.on_release(10, 700);                     // pause buffer: 300
+  at.on_service_start(10, 900, "map/0");      // queue: 200
+  at.fork(10, 11, 1000);                      // service: 100; child emitted
+  at.retire(10);
+  at.on_enqueue(11, 1200);                    // wire 200, no chaos
+  at.on_service_start(11, 1250, "sink/0");    // queue: 50
+  at.on_sink(11, 1300);                       // service: 50 → done
+
+  ASSERT_EQ(at.tuples().size(), 1u);
+  const TupleRecord& t = at.tuples()[0];
+  EXPECT_EQ(t.root, 1u);
+  EXPECT_EQ(t.born, 100u);
+  EXPECT_EQ(t.done, 1300u);
+  EXPECT_EQ(t.latency_us(), 1200u);
+  EXPECT_EQ(t.cause_us[static_cast<int>(Cause::Pause)], 150u + 300u);
+  EXPECT_EQ(t.cause_us[static_cast<int>(Cause::Chaos)], 30u);
+  EXPECT_EQ(t.cause_us[static_cast<int>(Cause::Network)], 120u + 200u);
+  EXPECT_EQ(t.cause_us[static_cast<int>(Cause::Queue)], 200u + 50u);
+  EXPECT_EQ(t.cause_us[static_cast<int>(Cause::Service)], 100u + 50u);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : t.cause_us) sum += c;
+  EXPECT_EQ(sum, t.latency_us());
+
+  ASSERT_EQ(t.hops.size(), 2u);
+  EXPECT_EQ(t.hops[0].label, "map/0");
+  EXPECT_EQ(t.hops[1].label, "sink/0");
+  EXPECT_EQ(at.abandoned(), 0u);
+}
+
+TEST(LatencyAttributor, ForkSharesParentHistoryAcrossSiblings) {
+  LatencyAttributor at(1);
+  at.on_root_copy(1, 7, 7, 0, 0);
+  at.on_enqueue(1, 100);
+  at.on_service_start(1, 100, "split/0");
+  at.fork(1, 2, 150);  // closes the parent hop (service 50)
+  at.fork(1, 3, 150);  // second child copies the already-closed history
+  at.retire(1);
+
+  at.on_enqueue(2, 200);
+  at.on_service_start(2, 200, "sink/0");
+  at.on_sink(2, 210);
+  at.on_enqueue(3, 300);
+  at.on_service_start(3, 320, "sink/1");
+  at.on_sink(3, 330);
+
+  ASSERT_EQ(at.tuples().size(), 2u);
+  for (const TupleRecord& t : at.tuples()) {
+    ASSERT_EQ(t.hops.size(), 2u);
+    EXPECT_EQ(t.hops[0].label, "split/0");
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : t.cause_us) sum += c;
+    EXPECT_EQ(sum, t.latency_us());
+  }
+  EXPECT_EQ(at.tuples()[0].done, 210u);
+  EXPECT_EQ(at.tuples()[1].done, 330u);
+}
+
+TEST(LatencyAttributor, DropRetireAndUnknownIdsAreSafe) {
+  LatencyAttributor at(1);
+  at.on_root_copy(1, 5, 5, 0, 10);
+  at.on_drop(1);
+  EXPECT_EQ(at.dropped(), 1u);
+  EXPECT_EQ(at.abandoned(), 0u);
+
+  at.on_drop(99);  // never tracked: not a drop
+  EXPECT_EQ(at.dropped(), 1u);
+
+  // Stamps on unknown ids are no-ops, not crashes.
+  at.on_send(99, 5);
+  at.on_enqueue(99, 1);
+  at.on_release(99, 2);
+  at.on_service_start(99, 3, "x/0");
+  at.on_sink(99, 4);
+  at.fork(99, 100, 5);
+  EXPECT_TRUE(at.tuples().empty());
+
+  // retire() abandons silently (parent done emitting), no dropped count.
+  at.on_root_copy(2, 6, 6, 0, 10);
+  at.retire(2);
+  EXPECT_EQ(at.dropped(), 1u);
+  EXPECT_EQ(at.abandoned(), 0u);
+
+  // A path left live counts as abandoned.
+  at.on_root_copy(3, 8, 8, 0, 10);
+  EXPECT_EQ(at.abandoned(), 1u);
+}
+
+TEST(LatencyAttributor, ChaosDelayIsClampedToTheWire) {
+  // A chaos stamp larger than the observed wire time must not underflow
+  // the network component.
+  LatencyAttributor at(1);
+  at.on_root_copy(1, 2, 2, 0, 0);
+  at.on_send(1, 500);      // claims 500 µs of injected delay...
+  at.on_enqueue(1, 200);   // ...but the wire only took 200
+  at.on_service_start(1, 200, "sink/0");
+  at.on_sink(1, 250);
+
+  ASSERT_EQ(at.tuples().size(), 1u);
+  const TupleRecord& t = at.tuples()[0];
+  EXPECT_EQ(t.cause_us[static_cast<int>(Cause::Chaos)], 200u);
+  EXPECT_EQ(t.cause_us[static_cast<int>(Cause::Network)], 0u);
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : t.cause_us) sum += c;
+  EXPECT_EQ(sum, t.latency_us());
+}
+
+TEST(LatencyAttributor, HopCloseRecordsPerTaskCauseHistograms) {
+  MetricsRegistry reg;
+  LatencyAttributor at(1);
+  at.set_metrics(&reg);
+  at.on_root_copy(1, 3, 3, 0, 0);
+  at.on_enqueue(1, 120);
+  at.on_service_start(1, 170, "map/2");
+  at.on_sink(1, 190);
+
+  const Histogram& queue =
+      *reg.histogram(names::attr_metric("map/2", "queue"));
+  const Histogram& net =
+      *reg.histogram(names::attr_metric("map/2", "network"));
+  const Histogram& svc =
+      *reg.histogram(names::attr_metric("map/2", "service"));
+  EXPECT_EQ(queue.count(), 1u);
+  EXPECT_EQ(queue.sum(), 50u);
+  EXPECT_EQ(net.sum(), 120u);
+  EXPECT_EQ(svc.sum(), 20u);
+}
+
+TEST(LatencyAttributor, EmitsTupleAndHopSpansOnTheTupleLane) {
+  Tracer tr;
+  LatencyAttributor at(1);
+  at.set_tracer(&tr);
+  const RootId root = 1000;  // lane = 1000 % 256
+  at.on_root_copy(1, root, root, 50, 60);
+  at.on_enqueue(1, 100);
+  at.on_service_start(1, 110, "sink/0");
+  at.on_sink(1, 130);
+
+  ASSERT_EQ(tr.records().size(), 2u);  // tuple span + one hop span
+  const Tracer::Record& tuple = tr.records()[0];
+  EXPECT_EQ(tuple.track.pid, kTuplesPid);
+  EXPECT_EQ(tuple.track.tid, static_cast<std::int32_t>(root % kTupleLanes));
+  EXPECT_STREQ(tuple.cat, "tuple");
+  EXPECT_EQ(tuple.name, "tuple");
+  EXPECT_EQ(tuple.ts, 50u);
+  EXPECT_EQ(tuple.dur, 80);
+  const Tracer::Record& hop = tr.records()[1];
+  EXPECT_EQ(hop.name, "hop");
+  EXPECT_EQ(hop.ts, 60u);
+  EXPECT_EQ(hop.dur, 70);
+
+  const std::string jsonl = tr.to_jsonl();
+  EXPECT_NE(jsonl.find("\"pause_us\":10"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"hops\":1"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"task\":\"sink/0\""), std::string::npos);
+  // set_tracer names the tuple process for the Chrome viewer export.
+  EXPECT_NE(tr.to_chrome_json().find("\"tuples\""), std::string::npos);
+}
+
+TEST(LatencyAttributor, SummarizeFoldsNearestRankPercentiles) {
+  LatencyAttributor at(1);
+  // Three one-hop tuples, service-only latencies 10/20/30.
+  for (EventId id = 1; id <= 3; ++id) {
+    const SimTime base = id * 1000;
+    at.on_root_copy(id, id, id, base, base);
+    at.on_enqueue(id, base);
+    at.on_service_start(id, base, "sink/0");
+    at.on_sink(id, base + 10 * id);
+  }
+  const std::vector<CauseSummary> summary = at.summarize();
+  ASSERT_EQ(summary.size(), static_cast<std::size_t>(kCauseCount));
+  const CauseSummary& svc = summary[static_cast<int>(Cause::Service)];
+  EXPECT_EQ(svc.cause, Cause::Service);
+  EXPECT_EQ(svc.p50_us, 20u);
+  EXPECT_EQ(svc.p99_us, 30u);
+  EXPECT_EQ(svc.total_us, 60u);
+  EXPECT_EQ(summary[static_cast<int>(Cause::Chaos)].total_us, 0u);
+}
+
+// End-to-end: a real migration experiment with the attributor attached.
+// Every sampled tuple's components must sum to its latency exactly, and
+// attaching the attributor must not perturb the simulated schedule.
+TEST(LatencyAttributor, ExperimentTuplesTelescopeExactlyAndScheduleIsNeutral) {
+  workloads::ExperimentConfig cfg;
+  cfg.dag = workloads::DagKind::Grid;
+  cfg.strategy = core::StrategyKind::CCR;
+  cfg.run_duration = time::sec(240);
+  cfg.migrate_at = time::sec(60);
+  const workloads::ExperimentResult plain = workloads::run_experiment(cfg);
+
+  LatencyAttributor at(8);
+  cfg.attributor = &at;
+  const workloads::ExperimentResult attr = workloads::run_experiment(cfg);
+
+  EXPECT_EQ(plain.collector.sink_arrivals(), attr.collector.sink_arrivals());
+  EXPECT_EQ(plain.report.latency_p99_ms, attr.report.latency_p99_ms);
+  const auto& ps = plain.collector.latency().samples();
+  const auto& as = attr.collector.latency().samples();
+  ASSERT_EQ(ps.size(), as.size());
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    ASSERT_EQ(ps[i].arrival, as[i].arrival) << "sample " << i;
+    ASSERT_EQ(ps[i].latency, as[i].latency) << "sample " << i;
+  }
+
+  ASSERT_FALSE(at.tuples().empty());
+  for (const TupleRecord& t : at.tuples()) {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t c : t.cause_us) sum += c;
+    ASSERT_EQ(sum, t.latency_us()) << "root " << t.root;
+    ASSERT_FALSE(t.hops.empty());
+  }
+  // The report gains the per-cause breakdown when the attributor rides.
+  ASSERT_EQ(attr.report.attribution.size(),
+            static_cast<std::size_t>(kCauseCount));
+  EXPECT_EQ(attr.report.sampled_tuples, at.tuples().size());
+  EXPECT_TRUE(plain.report.attribution.empty());
+}
+
+}  // namespace
+}  // namespace rill::obs

@@ -72,6 +72,29 @@ TEST(Histogram, PercentileBucketUpperBound) {
   EXPECT_FALSE(h.percentile_us(1.5).has_value());
 }
 
+TEST(Histogram, SubBucketsBoundPercentileErrorAtOneSixteenth) {
+  Histogram h;
+  // Both land in log2 bucket [512, 1024) but in different linear
+  // sub-buckets (width 32): a pure log2 histogram would report 1023 for
+  // the median; the sub-bucket answer is within 1/16 of the true 520.
+  h.record(520);
+  h.record(1000);
+  EXPECT_EQ(h.buckets()[9], 2u);
+  EXPECT_EQ(*h.percentile_us(0.5), 543u);   // upper bound of [512, 544)
+  EXPECT_EQ(*h.percentile_us(1.0), 1000u);  // clamped to the observed max
+}
+
+TEST(Histogram, SmallValuesResolveExactly) {
+  Histogram h;
+  for (std::uint64_t v = 0; v < 16; ++v) h.record(v);
+  // Below 16 each sub-bucket has width 1 (0 and 1 share the first slot),
+  // so nearest-rank percentiles come back exact.
+  EXPECT_EQ(*h.percentile_us(0.0625), 1u);  // the {0, 1} slot's bound
+  EXPECT_EQ(*h.percentile_us(0.5), 7u);
+  EXPECT_EQ(*h.percentile_us(0.75), 11u);
+  EXPECT_EQ(*h.percentile_us(1.0), 15u);
+}
+
 TEST(Registry, StableInstrumentPointers) {
   MetricsRegistry reg;
   Counter* a = reg.counter("task/A/0/processed");

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/names.hpp"
+#include "obs/registry.hpp"
+#include "obs/slo.hpp"
+
+namespace rill::obs {
+namespace {
+
+constexpr std::uint64_t kSec = 1'000'000;
+
+TEST(SloMonitor, NoSamplesYieldsNoWindows) {
+  SloMonitor slo(SloConfig{/*target_p99_us=*/1000, /*window_sec=*/10});
+  slo.finalize();
+  EXPECT_TRUE(slo.windows().empty());
+  EXPECT_TRUE(slo.violations().empty());
+  EXPECT_EQ(slo.violated_windows(), 0u);
+  EXPECT_EQ(slo.burn_per_mille(), 0u);
+}
+
+TEST(SloMonitor, BucketsByArrivalWindowAndComputesNearestRank) {
+  SloMonitor slo(SloConfig{/*target_p99_us=*/0, /*window_sec=*/10});
+  // Window [0,10): latencies 10, 20, 30.  Window [10,20): latency 500.
+  slo.record(1 * kSec, 30);
+  slo.record(2 * kSec, 10);
+  slo.record(9 * kSec, 20);
+  slo.record(15 * kSec, 500);
+  slo.finalize();
+
+  ASSERT_EQ(slo.windows().size(), 2u);
+  const SloWindow& w0 = slo.windows()[0];
+  EXPECT_EQ(w0.start_sec, 0u);
+  EXPECT_EQ(w0.count, 3u);
+  EXPECT_EQ(w0.p50_us, 20u);
+  EXPECT_EQ(w0.p99_us, 30u);
+  EXPECT_FALSE(w0.violated);  // target 0 = flagging disabled
+  const SloWindow& w1 = slo.windows()[1];
+  EXPECT_EQ(w1.start_sec, 10u);
+  EXPECT_EQ(w1.count, 1u);
+  EXPECT_EQ(w1.p99_us, 500u);
+  EXPECT_FALSE(w1.violated);
+  EXPECT_TRUE(slo.violations().empty());
+}
+
+TEST(SloMonitor, WindowSeriesStartsAtFirstArrivalWindow) {
+  SloMonitor slo(SloConfig{0, 10});
+  slo.record(95 * kSec, 1);
+  slo.finalize();
+  ASSERT_EQ(slo.windows().size(), 1u);
+  EXPECT_EQ(slo.windows()[0].start_sec, 90u);
+}
+
+TEST(SloMonitor, EmptyInteriorWindowIsViolatedWhenTargetSet) {
+  // Arrivals at [0,10) and [30,40); windows [10,20) and [20,30) are silent
+  // — a migration pause — and must be flagged even though no sample
+  // exceeded the target.
+  SloMonitor slo(SloConfig{/*target_p99_us=*/1000, /*window_sec=*/10});
+  slo.record(5 * kSec, 100);
+  slo.record(35 * kSec, 100);
+  slo.finalize();
+
+  ASSERT_EQ(slo.windows().size(), 4u);
+  EXPECT_FALSE(slo.windows()[0].violated);
+  EXPECT_TRUE(slo.windows()[1].violated);
+  EXPECT_TRUE(slo.windows()[2].violated);
+  EXPECT_FALSE(slo.windows()[3].violated);
+  EXPECT_EQ(slo.violated_windows(), 2u);
+
+  // The two consecutive violated windows merge into one run [10, 30).
+  ASSERT_EQ(slo.violations().size(), 1u);
+  EXPECT_EQ(slo.violations()[0].start_sec, 10u);
+  EXPECT_EQ(slo.violations()[0].end_sec, 30u);
+
+  // 2 of 4 windows violated → 500 per mille.
+  EXPECT_EQ(slo.burn_per_mille(), 500u);
+}
+
+TEST(SloMonitor, EmptyInteriorWindowIsFineWithoutTarget) {
+  SloMonitor slo(SloConfig{/*target_p99_us=*/0, /*window_sec=*/10});
+  slo.record(5 * kSec, 100);
+  slo.record(25 * kSec, 100);
+  slo.finalize();
+  ASSERT_EQ(slo.windows().size(), 3u);
+  EXPECT_EQ(slo.violated_windows(), 0u);
+}
+
+TEST(SloMonitor, SeparateViolationRunsStaySeparate) {
+  SloMonitor slo(SloConfig{/*target_p99_us=*/50, /*window_sec=*/10});
+  slo.record(5 * kSec, 100);    // violated
+  slo.record(15 * kSec, 10);    // fine
+  slo.record(25 * kSec, 200);   // violated
+  slo.finalize();
+  ASSERT_EQ(slo.violations().size(), 2u);
+  EXPECT_EQ(slo.violations()[0].start_sec, 0u);
+  EXPECT_EQ(slo.violations()[0].end_sec, 10u);
+  EXPECT_EQ(slo.violations()[1].start_sec, 20u);
+  EXPECT_EQ(slo.violations()[1].end_sec, 30u);
+}
+
+TEST(SloMonitor, RecordAfterFinalizeRebuildsOnNextFinalize) {
+  SloMonitor slo(SloConfig{/*target_p99_us=*/50, /*window_sec=*/10});
+  slo.record(5 * kSec, 10);
+  slo.finalize();
+  EXPECT_EQ(slo.violated_windows(), 0u);
+  slo.record(6 * kSec, 999);
+  slo.finalize();
+  ASSERT_EQ(slo.windows().size(), 1u);
+  EXPECT_EQ(slo.windows()[0].count, 2u);
+  EXPECT_TRUE(slo.windows()[0].violated);
+}
+
+TEST(SloMonitor, ZeroWindowWidthClampsToOneSecond) {
+  SloMonitor slo(SloConfig{/*target_p99_us=*/0, /*window_sec=*/0});
+  EXPECT_EQ(slo.config().window_sec, 1u);
+  slo.record(0, 5);
+  slo.record(1 * kSec + 1, 7);
+  slo.finalize();
+  EXPECT_EQ(slo.windows().size(), 2u);
+}
+
+TEST(SloMonitor, ExportToWritesSloInstruments) {
+  SloMonitor slo(SloConfig{/*target_p99_us=*/50, /*window_sec=*/10});
+  slo.record(5 * kSec, 100);   // violated
+  slo.record(15 * kSec, 10);   // fine
+  slo.finalize();
+
+  MetricsRegistry reg;
+  slo.export_to(reg);
+  EXPECT_EQ(reg.counter(names::slo_metric("windows"))->value(), 2u);
+  EXPECT_EQ(reg.counter(names::slo_metric("violated_windows"))->value(), 1u);
+  EXPECT_EQ(reg.counter(names::slo_metric("violations"))->value(), 1u);
+  EXPECT_EQ(reg.counter(names::slo_metric("burn_per_mille"))->value(), 500u);
+  EXPECT_EQ(reg.counter(names::slo_metric("target_p99_us"))->value(), 50u);
+  const Histogram& p99 = *reg.histogram(names::slo_metric("window_p99_us"));
+  EXPECT_EQ(p99.count(), 2u);  // one sample per non-empty window
+  EXPECT_EQ(p99.max(), 100u);
+}
+
+}  // namespace
+}  // namespace rill::obs

@@ -110,5 +110,55 @@ TEST(Tracer, JsonlOneObjectPerLine) {
   EXPECT_EQ(jsonl[jsonl.size() - 2], '}');
 }
 
+TEST(Tracer, JsonlEmptyTraceIsEmptyString) {
+  Tracer tr;
+  EXPECT_EQ(tr.to_jsonl(), "");
+}
+
+TEST(Tracer, JsonlOpenSpanCarriesMarkerAndZeroDur) {
+  // A run stopped mid-span must still export well-formed JSONL: the open
+  // span renders with dur 0 and an explicit "open":true arg.
+  Tracer tr;
+  (void)tr.begin(kTrackRebalancer, "rebalance", "rebalance");
+  const std::string jsonl = tr.to_jsonl();
+  EXPECT_NE(jsonl.find("\"open\":true"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"dur\":0"), std::string::npos);
+  EXPECT_EQ(jsonl.back(), '\n');
+}
+
+TEST(Tracer, JsonlEscapesQuotesAndBackslashesInArgs) {
+  Tracer tr;
+  tr.instant(kTrackChaos, "chaos", "note",
+             {arg("detail", std::string("say \"hi\" \\ back"))});
+  const std::string jsonl = tr.to_jsonl();
+  EXPECT_NE(jsonl.find("say \\\"hi\\\" \\\\ back"), std::string::npos);
+  // The raw (unescaped) forms must not leak through.
+  EXPECT_EQ(jsonl.find("say \"hi\""), std::string::npos);
+}
+
+TEST(Tracer, SpanAtRecordsRetrospectively) {
+  sim::Engine engine;
+  Tracer tr;
+  tr.bind_clock(&engine);
+  engine.schedule_detached(time::sec(5), [&] {
+    // Back-fill a span that started long before "now".
+    tr.span_at(Track{6, 3}, "tuple", "tuple", static_cast<SimTime>(time::sec(1)),
+               time::sec(2), {arg("root", std::uint64_t{9})});
+  });
+  engine.run();
+  ASSERT_EQ(tr.records().size(), 1u);
+  const Tracer::Record& r = tr.records()[0];
+  EXPECT_EQ(r.ph, Tracer::Phase::Span);
+  EXPECT_EQ(r.ts, static_cast<SimTime>(time::sec(1)));
+  EXPECT_EQ(r.dur, time::sec(2));
+  EXPECT_FALSE(r.open);
+  EXPECT_EQ(r.track.pid, 6);
+  EXPECT_EQ(r.track.tid, 3);
+  const std::string jsonl = tr.to_jsonl();
+  EXPECT_NE(jsonl.find("\"ts\":1000000"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"dur\":2000000"), std::string::npos);
+  EXPECT_EQ(jsonl.find("\"open\""), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rill::obs

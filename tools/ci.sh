@@ -4,8 +4,9 @@
 # is single-threaded, so data-race coverage only matters for future work.
 #
 # A lint gate runs right after the default-preset tests:
-#   * rill_lint (tools/lint) enforces the determinism rules R1–R4 over
-#     src/ bench/ tools/ and must report zero findings;
+#   * rill_lint (tools/lint) enforces the determinism rules R1–R4 and the
+#     metric-name grammar R5 over src/ bench/ tools/ and must report zero
+#     findings;
 #   * clang-tidy runs the checked-in .clang-tidy profile over src/ when
 #     the binary is available (skipped with a notice otherwise — the
 #     profile needs no network, just an installed clang-tidy).
@@ -21,12 +22,22 @@
 # `--regen-determinism` rewrites all three manifests instead of checking
 # them (for PRs that sanction a behavioral change).
 #
-# A bench gate follows the determinism gate: the checkpoint-store and
+# An attribution gate follows: each strategy's reference config reruns
+# with 1-in-4 tuple sampling and rill_trace --check asserts the sampled
+# per-cause components sum to each tuple's end-to-end latency and that
+# the post-request slow tail is pause-dominated. The committed golden
+# trace (tests/obs/data/small_trace.jsonl) is checked too. Sampling runs
+# write into separate files, so the determinism manifests above never see
+# an attribution record.
+#
+# A bench gate follows the attribution gate: the checkpoint-store and
 # restore benches run their shard sweeps (shards 1 and 4) in --check mode,
 # which fails on a >20% regression of the single-shard baseline or a lost
-# sharding win, and bench_ckpt_policy --check asserts the adaptive policy
+# sharding win, bench_ckpt_policy --check asserts the adaptive policy
 # meets its RTO at p95 without writing more checkpoint bytes than the
-# static RTO-tuned baseline. `--skip-bench` opts out.
+# static RTO-tuned baseline, and bench_micro --check asserts the
+# observability layer's zero-cost-when-disabled and <5%-when-sampling
+# overhead contracts. `--skip-bench` opts out.
 #
 # Usage: tools/ci.sh [--tsan] [--skip-asan] [--skip-bench] [--skip-lint]
 #                    [--regen-determinism]
@@ -141,13 +152,28 @@ else
          exit 1; }
 fi
 
+echo "==> attribution gate: 1-in-4 sampled runs + rill_trace --check"
+for s in dsm dcr ccr; do
+  ./build/tools/rill_run --strategy "$s" --dag grid --scale in \
+    --seed 1 --duration 420 --migrate-at 60 --ckpt-delta 0 \
+    --attr-sample 4 --slo-p99-ms 1000 \
+    --trace-jsonl "$det_dir/$s.attr.jsonl" --json \
+    > "$det_dir/$s.attr.json"
+  ./build/tools/rill_trace "$det_dir/$s.attr.jsonl" --check \
+    || { echo "ci.sh: rill_trace --check failed for $s" >&2; exit 1; }
+done
+./build/tools/rill_trace tests/obs/data/small_trace.jsonl --check \
+  || { echo "ci.sh: rill_trace --check failed on the golden trace" >&2
+       exit 1; }
+
 if [ "$run_bench" = 1 ]; then
   echo "==> bench gate: checkpoint + restore shard sweeps (shards 1 and 4)"
   ( cd build/bench &&
     ./bench_redis_checkpoint --check &&
     ./bench_fig5_scale_out --check &&
     ./bench_fig5_scale_in --check &&
-    ./bench_ckpt_policy --check )
+    ./bench_ckpt_policy --check &&
+    ./bench_micro --check )
 fi
 
 if [ "$run_asan" = 1 ]; then

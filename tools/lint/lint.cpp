@@ -653,6 +653,74 @@ void check_r4(const std::string& path, const FileInfo& info, const Scope& scope,
   }
 }
 
+/// R5: instrument names.  At a member call to one of the recording APIs
+/// (counter / gauge / histogram / instant / begin / span_at), every string
+/// literal at argument depth 1 must match [a-z0-9_.]+ and must not be an
+/// operand of `+` — composed names go through the obs::names helper.
+/// Depth-1-only keeps nested arg("key", ...) pairs out of scope.
+bool clean_metric_name(std::string_view body) {
+  if (body.empty()) return false;
+  for (const char c : body) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void check_r5(const std::string& path, const FileInfo& info,
+              const Options& opts, std::vector<Finding>& out) {
+  for (const std::string& prefix : opts.name_helper_allowlist) {
+    if (path.rfind(prefix, 0) == 0) return;
+  }
+  static const std::unordered_set<std::string> kInstruments = {
+      "counter", "gauge", "histogram", "instant", "begin", "span_at"};
+  const std::vector<Token>& t = info.lexed.tokens;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident || !kInstruments.contains(t[i].text))
+      continue;
+    if (t[i + 1].text != "(") continue;
+    // Member calls only — `vec.begin()` never carries a depth-1 string
+    // literal, but requiring a receiver keeps declarations out too.
+    const std::string& recv = t[i - 1].text;
+    if (recv != "." && recv != "->") continue;
+
+    const std::size_t close = match_paren_fwd(t, i + 1);
+    int depth = 0;
+    for (std::size_t j = i + 1; j <= close; ++j) {
+      if (t[j].text == "(") {
+        ++depth;
+        continue;
+      }
+      if (t[j].text == ")") {
+        --depth;
+        continue;
+      }
+      if (depth != 1 || t[j].kind != TokKind::String) continue;
+      const std::string& lit = t[j].text;
+      if (lit.size() < 2 || lit.front() != '"') continue;  // raw/char forms
+      const bool concat = t[j - 1].text == "+" ||
+                          (j + 1 <= close && t[j + 1].text == "+");
+      if (concat) {
+        if (waived(info.lexed, t[j].line, "name-concat")) continue;
+        emit(out, path, info, t[j], "R5/name-concat",
+             "instrument name assembled with '+' at the '" + t[i].text +
+                 "' call site",
+             "compose instrument names through the obs::names helper; or "
+             "waive with // lint: name-concat-ok(reason)");
+        continue;
+      }
+      const std::string body = lit.substr(1, lit.size() - 2);
+      if (clean_metric_name(body)) continue;
+      if (waived(info.lexed, t[j].line, "metric-name")) continue;
+      emit(out, path, info, t[j], "R5/metric-name",
+           "instrument name " + lit + " does not match [a-z0-9_.]+",
+           "use lowercase dot/underscore-separated names (stable, grep-able, "
+           "shell-safe); or waive with // lint: metric-name-ok(reason)");
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<Finding> run(const std::vector<SourceFile>& files,
@@ -715,6 +783,7 @@ std::vector<Finding> run(const std::vector<SourceFile>& files,
     check_r2(path, info, scope, findings);
     check_r3(path, info, scope, findings);
     check_r4(path, info, scope, findings);
+    check_r5(path, info, opts, findings);
   }
 
   std::sort(findings.begin(), findings.end(),

@@ -23,6 +23,13 @@
 //                      result is discarded.  The nodiscard set is derived
 //                      from the scanned headers themselves, so annotating
 //                      an API is all it takes to enforce it tree-wide.
+//   R5 metric-name     instrument name literals (counter / gauge /
+//                      histogram / instant / begin / span_at call sites)
+//                      must match [a-z0-9_.]+, and names must never be
+//                      assembled with ad-hoc `+` concatenation — composed
+//                      names go through the obs::names helper (the
+//                      allowlisted src/obs/names.* files), so the name
+//                      grammar lives in one place.
 //
 // Waivers: a statement may opt out with a comment on the same line or up
 // to three lines above it:
@@ -31,6 +38,8 @@
 //   // lint: wallclock-ok(<reason>)
 //   // lint: float-accum-ok(<reason>)
 //   // lint: nodiscard-ok(<reason>)
+//   // lint: metric-name-ok(<reason>)
+//   // lint: name-concat-ok(<reason>)
 //
 // The reason is mandatory — an empty waiver is itself a finding.
 //
@@ -92,6 +101,9 @@ struct Options {
   /// visible in the scanned set (seed list; the scan extends it).
   std::vector<std::string> nodiscard_seed{"schedule", "schedule_at",
                                           "cancel"};
+  /// Path prefixes exempt from R5 — the single naming helper lives here
+  /// and is allowed to concatenate name parts.
+  std::vector<std::string> name_helper_allowlist{"src/obs/names"};
 };
 
 /// One input file: path is repo-relative with '/' separators.

@@ -6,10 +6,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "metrics/json.hpp"
+#include "obs/attribution.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "workloads/runner.hpp"
@@ -81,6 +83,15 @@ void print_help(std::FILE* out, const char* argv0) {
                "  --trace-jsonl FILE    write the trace as JSON Lines\n"
                "  --task-metrics FILE   write the per-task metrics registry "
                "as JSON\n"
+               "  --attr-sample N       sample 1-in-N spout roots for per-cause\n"
+               "                        latency attribution (0 = off, default).\n"
+               "                        Sampled tuples land on a 'tuples' trace\n"
+               "                        track and in the report's attribution\n"
+               "                        table; analyze with rill_trace\n"
+               "  --slo-p99-ms N        windowed SLO target: flag 10 s windows\n"
+               "                        whose p99 exceeds N ms (0 = track\n"
+               "                        percentiles only, default).  Exported\n"
+               "                        as slo.* in --task-metrics\n"
                "\n"
                "output:\n"
                "  --json                print the report as JSON\n"
@@ -181,6 +192,7 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string trace_jsonl;
   std::string task_metrics_out;
+  std::uint64_t attr_sample = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -291,6 +303,12 @@ int main(int argc, char** argv) {
       trace_jsonl = next();
     } else if (arg == "--task-metrics") {
       task_metrics_out = next();
+    } else if (arg == "--attr-sample") {
+      attr_sample = parse_u64(argv[0], arg, next());
+    } else if (arg == "--slo-p99-ms") {
+      const int v = parse_int(argv[0], arg, next());
+      if (v < 0) die(argv[0], "--slo-p99-ms must be >= 0");
+      cfg.slo.target_p99_us = static_cast<std::uint64_t>(v) * 1000ull;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--series") {
@@ -308,6 +326,11 @@ int main(int argc, char** argv) {
   obs::MetricsRegistry registry;
   if (!trace_out.empty() || !trace_jsonl.empty()) cfg.tracer = &tracer;
   if (!task_metrics_out.empty()) cfg.metrics = &registry;
+  std::optional<obs::LatencyAttributor> attributor;
+  if (attr_sample > 0) {
+    attributor.emplace(attr_sample);
+    cfg.attributor = &*attributor;
+  }
 
   const workloads::ExperimentResult r = workloads::run_experiment(cfg);
 
@@ -358,6 +381,21 @@ int main(int argc, char** argv) {
       if (rep.abort_latency_sec.has_value()) {
         std::printf("  abort latency  %s s\n",
                     metrics::fmt_opt(rep.abort_latency_sec).c_str());
+      }
+    }
+    if (!rep.attribution.empty()) {
+      std::printf("  attribution    %llu sampled tuples (1 in %llu)\n",
+                  static_cast<unsigned long long>(rep.sampled_tuples),
+                  static_cast<unsigned long long>(attr_sample));
+      std::printf("    %-8s %10s %10s %10s %14s\n", "cause", "p50 us",
+                  "p95 us", "p99 us", "total us");
+      for (const auto& cb : rep.attribution) {
+        std::printf("    %-8s %10llu %10llu %10llu %14llu\n",
+                    cb.cause.c_str(),
+                    static_cast<unsigned long long>(cb.p50_us),
+                    static_cast<unsigned long long>(cb.p95_us),
+                    static_cast<unsigned long long>(cb.p99_us),
+                    static_cast<unsigned long long>(cb.total_us));
       }
     }
     std::printf("  migration %s\n", r.migration_succeeded ? "ok" : "FAILED");

@@ -1,0 +1,243 @@
+// rill_trace — offline analysis of a rill_run --trace-jsonl export.
+//
+// Default mode prints three reports: the migration phase breakdown
+// (paper Fig 7), the top-K slowest sampled tuples with per-hop latency
+// attribution, and a windowed SLO report over the sampled tuples.
+//
+// --check runs the CI assertions instead (per-cause components sum to the
+// end-to-end latency within 1%; the post-request slow tail is dominated by
+// migration pause) and exits 0/1; IO or parse failures exit 2.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "obs/slo.hpp"
+
+using namespace rill;
+namespace analysis = obs::analysis;
+
+namespace {
+
+void print_help(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
+               "usage: %s TRACE.jsonl [options]\n"
+               "\n"
+               "Analyze a rill_run --trace-jsonl export.\n"
+               "\n"
+               "  --top K         slowest sampled tuples to detail "
+               "(default 10)\n"
+               "  --slo-p99-ms N  flag windows whose p99 exceeds N ms\n"
+               "                  (default 0 = report percentiles only)\n"
+               "  --slo-window-s W  SLO window width, seconds (default 10)\n"
+               "  --check         run the CI assertions (components sum to\n"
+               "                  end-to-end within 1%%; post-request slow\n"
+               "                  tail is pause-dominated); exit 1 on\n"
+               "                  failure, 2 on IO/parse errors\n"
+               "  --help, -h      this text\n",
+               argv0);
+}
+
+[[noreturn]] void die(const char* argv0, const std::string& msg) {
+  std::fprintf(stderr, "%s: %s\n", argv0, msg.c_str());
+  std::exit(2);
+}
+
+double sec(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+std::uint64_t pct(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size()) + 0.999999);
+  if (rank == 0) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
+
+void print_phases(const analysis::MigrationPhases& p) {
+  std::printf("migration phases\n");
+  if (!p.request.has_value()) {
+    std::printf("  (no migration request in this trace)\n");
+    return;
+  }
+  const SimTime req = *p.request;
+  std::printf("  request              at %10.3f s\n", sec(req));
+  auto rel = [req](SimTime t, const char* label) {
+    std::printf("  %-20s +%9.3f s\n", label,
+                static_cast<double>(t - req) / 1e6);
+  };
+  if (p.checkpoint_done.has_value()) {
+    rel(*p.checkpoint_done, "capture/checkpoint");
+  }
+  if (p.rebalance_start.has_value()) {
+    std::printf("  %-20s +%9.3f s  (took %.3f s)\n", "rebalance",
+                static_cast<double>(*p.rebalance_start - req) / 1e6,
+                static_cast<double>(p.rebalance_dur_us.value_or(0)) / 1e6);
+  }
+  if (p.killed_at.has_value()) rel(*p.killed_at, "workers killed");
+  if (p.first_restored.has_value()) {
+    rel(*p.first_restored, "first state restore");
+  }
+  if (p.init_complete.has_value()) rel(*p.init_complete, "init complete");
+  if (p.unpause.has_value()) rel(*p.unpause, "sources unpaused");
+}
+
+void print_slowest(const analysis::Analysis& a, std::size_t top_k) {
+  std::printf("\nslowest sampled tuples (%zu of %zu)\n",
+              std::min(top_k, a.tuples.size()), a.tuples.size());
+  if (a.tuples.empty()) {
+    std::printf("  (no sampled tuples — run rill_run with --attr-sample)\n");
+    return;
+  }
+  std::printf("  %18s %10s %10s  %9s %9s %9s %9s %9s\n", "root", "born s",
+              "e2e ms", "queue", "service", "network", "pause", "chaos");
+  for (const std::size_t i : analysis::slowest_tuples(a, top_k)) {
+    const analysis::TupleView& t = a.tuples[i];
+    std::printf("  %18llu %10.3f %10.3f  %9llu %9llu %9llu %9llu %9llu\n",
+                static_cast<unsigned long long>(t.root), sec(t.born),
+                static_cast<double>(t.latency_us) / 1e3,
+                static_cast<unsigned long long>(t.cause_us[0]),
+                static_cast<unsigned long long>(t.cause_us[1]),
+                static_cast<unsigned long long>(t.cause_us[2]),
+                static_cast<unsigned long long>(t.cause_us[3]),
+                static_cast<unsigned long long>(t.cause_us[4]));
+    for (const analysis::HopView* h : analysis::hops_of(a, t.root)) {
+      std::printf("  %18s %10.3f %10.3f  %9llu %9llu %9llu %9llu %9llu  %s\n",
+                  "hop", sec(h->start),
+                  static_cast<double>(h->dur_us) / 1e3,
+                  static_cast<unsigned long long>(h->cause_us[0]),
+                  static_cast<unsigned long long>(h->cause_us[1]),
+                  static_cast<unsigned long long>(h->cause_us[2]),
+                  static_cast<unsigned long long>(h->cause_us[3]),
+                  static_cast<unsigned long long>(h->cause_us[4]),
+                  h->task.c_str());
+    }
+  }
+}
+
+void print_slo(const analysis::Analysis& a, const obs::SloConfig& cfg) {
+  std::printf("\nSLO report (%llu s windows over sampled tuples",
+              static_cast<unsigned long long>(cfg.window_sec));
+  if (cfg.target_p99_us > 0) {
+    std::printf(", target p99 %.1f ms", static_cast<double>(cfg.target_p99_us) / 1e3);
+  }
+  std::printf(")\n");
+  if (a.tuples.empty()) {
+    std::printf("  (no sampled tuples)\n");
+    return;
+  }
+  std::vector<std::uint64_t> lat;
+  lat.reserve(a.tuples.size());
+  obs::SloMonitor slo(cfg);
+  for (const analysis::TupleView& t : a.tuples) {
+    slo.record(t.done(), t.latency_us);
+    lat.push_back(t.latency_us);
+  }
+  slo.finalize();
+  std::sort(lat.begin(), lat.end());
+  std::printf("  overall      p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+              static_cast<double>(pct(lat, 0.50)) / 1e3,
+              static_cast<double>(pct(lat, 0.95)) / 1e3,
+              static_cast<double>(pct(lat, 0.99)) / 1e3);
+  std::printf("  windows      %zu (%llu violated, burn %llu/1000)\n",
+              slo.windows().size(),
+              static_cast<unsigned long long>(slo.violated_windows()),
+              static_cast<unsigned long long>(slo.burn_per_mille()));
+  for (const obs::SloViolation& v : slo.violations()) {
+    std::printf("  violation    [%llu s, %llu s)\n",
+                static_cast<unsigned long long>(v.start_sec),
+                static_cast<unsigned long long>(v.end_sec));
+  }
+  if (cfg.target_p99_us > 0 && slo.violations().empty()) {
+    std::printf("  no violation windows\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top_k = 10;
+  bool run_check = false;
+  obs::SloConfig slo_cfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) die(argv[0], "missing value for " + arg);
+      return argv[++i];
+    };
+    auto u64 = [&](const std::string& s) -> std::uint64_t {
+      char* end = nullptr;
+      const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+      if (end == s.c_str() || *end != '\0') {
+        die(argv[0], "bad value for " + arg + ": '" + s + "'");
+      }
+      return v;
+    };
+    if (arg == "--top") {
+      top_k = static_cast<std::size_t>(u64(next()));
+    } else if (arg == "--slo-p99-ms") {
+      slo_cfg.target_p99_us = u64(next()) * 1000ull;
+    } else if (arg == "--slo-window-s") {
+      slo_cfg.window_sec = u64(next());
+      if (slo_cfg.window_sec == 0) die(argv[0], "--slo-window-s must be > 0");
+    } else if (arg == "--check") {
+      run_check = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_help(stdout, argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      die(argv[0], "unknown flag: " + arg);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      die(argv[0], "more than one input file: " + arg);
+    }
+  }
+  if (path.empty()) {
+    print_help(stderr, argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) die(argv[0], "cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  analysis::ParseStats stats;
+  const std::vector<analysis::TraceEvent> events =
+      analysis::parse_jsonl(buf.str(), &stats);
+  if (!stats.errors.empty()) {
+    for (const std::string& e : stats.errors) {
+      std::fprintf(stderr, "%s: %s: %s\n", argv[0], path.c_str(), e.c_str());
+    }
+    return 2;
+  }
+  const analysis::Analysis a = analysis::analyze(events);
+
+  if (run_check) {
+    const analysis::CheckResult res = analysis::check(a);
+    if (!res.ok) {
+      for (const std::string& f : res.failures) {
+        std::fprintf(stderr, "%s: CHECK FAILED: %s\n", argv[0], f.c_str());
+      }
+      return 1;
+    }
+    std::printf("%s: OK — %zu tuples checked, %zu events, %zu hops\n",
+                argv[0], res.tuples_checked, a.events, a.hops.size());
+    return 0;
+  }
+
+  std::printf("%s: %zu events, %zu sampled tuples, %zu hops\n\n",
+              path.c_str(), a.events, a.tuples.size(), a.hops.size());
+  print_phases(a.phases);
+  print_slowest(a, top_k);
+  print_slo(a, slo_cfg);
+  return 0;
+}
