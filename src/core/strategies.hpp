@@ -60,4 +60,30 @@ class CcrStrategy final : public MigrationStrategy {
                std::function<void(bool)> done) override;
 };
 
+/// Fluid key-batched migration (Megaphone-style): no pause, no kill.
+/// Shadow workers warm up on the target VMs while the old placement keeps
+/// processing; keyed state then moves one key-range batch at a time through
+/// the checkpoint store.  Tuples for moved ranges route to the shadow
+/// slots, tuples for the one in-flight range wait in a divert buffer
+/// (charged to the `migration` attribution cause).  A failed transfer
+/// aborts instantly — unmoved ranges never left their old slots — and a
+/// retry resumes from the ranges still unmoved.
+class FgmStrategy final : public MigrationStrategy {
+ public:
+  [[nodiscard]] StrategyKind kind() const noexcept override {
+    return StrategyKind::FGM;
+  }
+  void configure(dsps::Platform& platform) override;
+  void migrate(dsps::Platform& platform, dsps::MigrationPlan plan,
+               std::function<void(bool)> done) override;
+
+ private:
+  struct FluidCtx;
+  /// Move batches for one instance until AllMoved or Failed; each parked
+  /// chain decrements the shared attempt counter.
+  void run_chain(dsps::Platform& platform, std::shared_ptr<FluidCtx> ctx,
+                 dsps::InstanceRef ref);
+  void finish_attempt(dsps::Platform& platform, std::shared_ptr<FluidCtx> ctx);
+};
+
 }  // namespace rill::core

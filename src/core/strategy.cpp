@@ -45,6 +45,7 @@ std::string_view to_string(StrategyKind k) noexcept {
     case StrategyKind::DSM_T: return "DSM-T";
     case StrategyKind::DCR: return "DCR";
     case StrategyKind::CCR: return "CCR";
+    case StrategyKind::FGM: return "FGM";
   }
   return "?";
 }
@@ -56,6 +57,7 @@ std::unique_ptr<MigrationStrategy> make_strategy(StrategyKind k) {
       return std::make_unique<DsmTimeoutStrategy>(time::sec(10));
     case StrategyKind::DCR: return std::make_unique<DcrStrategy>();
     case StrategyKind::CCR: return std::make_unique<CcrStrategy>();
+    case StrategyKind::FGM: return std::make_unique<FgmStrategy>();
   }
   return nullptr;
 }
@@ -164,15 +166,27 @@ void MigrationStrategy::abort_and_repin(dsps::Platform& platform,
   platform.coordinator().broadcast_rollback(
       platform.coordinator().last_committed());
 
-  // Re-pin every instance onto its exact old slot.  The old VMs were kept
-  // alive for exactly this case; the failed target VMs also stay
+  // Re-pin only the placements whose restore actually failed — workers
+  // still launching or still awaiting INIT.  Workers that are up and
+  // initialised hold restored state on the target; re-killing them (the
+  // old behaviour) threw that away and re-fetched it for nothing, and
+  // under a partial store outage could push a healthy instance's second
+  // restore into the same dead shard.  Their VMs stay in the worker pool
+  // (the rebalancer unions them in for a scoped plan).  The old VMs were
+  // kept alive for exactly this case; the failed target VMs also stay
   // provisioned so the controller can retry or fall back to DSM.
+  std::vector<dsps::InstanceRef> failed;
+  for (const auto& [ref, slot] : old_placement) {
+    const dsps::Executor& ex = platform.executor(ref);
+    if (!ex.ready() || ex.awaiting_init()) failed.push_back(ref);
+  }
   auto pinned =
       std::make_shared<dsps::PinnedScheduler>(std::move(old_placement));
   dsps::MigrationPlan repin;
   repin.target_vms = std::move(old_vms);
   repin.scheduler = pinned.get();
   repin.release_old_vms = false;
+  repin.instances = std::move(failed);
   platform.rebalancer().rebalance(
       std::move(repin), /*timeout=*/0,
       [this, &platform, mode, pinned, done = std::move(done)]() mutable {

@@ -30,6 +30,7 @@ enum class StrategyKind : std::uint8_t {
   DSM_T,  ///< Storm migration with a user-estimated rebalance timeout (§2)
   DCR,
   CCR,
+  FGM,  ///< fluid key-batched migration: no pause, no kill (Megaphone-style)
 };
 
 [[nodiscard]] std::string_view to_string(StrategyKind k) noexcept;

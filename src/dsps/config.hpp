@@ -83,6 +83,14 @@ struct PlatformConfig {
   /// chain length even under chaos-injected wave rollbacks.
   int ckpt_full_every = 8;
 
+  // ---- Fluid (FGM) migration ----
+  /// Key-range partitions an FGM migration moves one at a time.  Each batch
+  /// covers ~key_cardinality / fgm_batch_keys distinct keys; the non-keyed
+  /// counters ride in one extra reserved batch moved last.  Smaller batches
+  /// mean shorter divert windows (lower per-tuple ripple) but more store
+  /// round trips.  Only read by StrategyKind::FGM.
+  int fgm_batch_keys = 8;
+
   /// Cap on deliveries a sender-side transport client buffers for a worker
   /// that is still Starting (Storm's netty client write buffer).  Overflow
   /// deliveries are dropped — counted in ExecutorStats::transport_overflow

@@ -91,6 +91,22 @@ void Executor::kill() {
     platform_.note_lost(ev);
   }
   pend_until_init_.clear();
+  for (const Event& ev : fgm_buffer_) {
+    ++stats_.lost_at_kill;
+    platform_.note_lost(ev);
+  }
+  fgm_buffer_.clear();
+  if (fgm_active_) {
+    // The shadow slot is this executor's private booking (the rebalancer
+    // and chaos injector only know about slot()); free it here or the
+    // target VM leaks a phantom occupant.
+    platform_.cluster().vacate(fgm_shadow_slot_);
+    fgm_active_ = false;
+    fgm_shadow_ready_ = false;
+    fgm_partitions_ = 0;
+    fgm_moved_.clear();
+    fgm_in_flight_ = -1;
+  }
   state_ = TaskState{};
   prepared_state_.reset();
   prepared_checkpoint_ = 0;
@@ -119,8 +135,37 @@ void Executor::kill() {
   platform_.coordinator().on_worker_down();
 }
 
+std::vector<Event> Executor::drain_unprocessed_for_requeue() {
+  std::vector<Event> out;
+  const auto take = [&out](std::deque<Event>& q) {
+    std::deque<Event> keep;
+    for (Event& ev : q) {
+      if (ev.is_control()) {
+        // Control events stay behind: their wave or INIT session dies with
+        // this process and the coordinator re-sends as needed.
+        keep.push_back(std::move(ev));
+      } else {
+        out.push_back(std::move(ev));
+      }
+    }
+    q = std::move(keep);
+  };
+  take(transport_buffer_);
+  take(queue_);
+  take(pend_until_init_);
+  return out;
+}
+
+void Executor::requeue(std::vector<Event> events) {
+  for (Event& ev : events) queue_.push_back(std::move(ev));
+  // No-op while Starting; set_ready()/restore will pump the queue once the
+  // respawned worker is accepting work again.
+  pump();
+}
+
 std::uint64_t Executor::buffered_user_events() const noexcept {
-  std::uint64_t n = pending_capture_.size() + pend_until_init_.size();
+  std::uint64_t n =
+      pending_capture_.size() + pend_until_init_.size() + fgm_buffer_.size();
   for (const Event& ev : queue_) {
     if (!ev.is_control()) ++n;
   }
@@ -226,6 +271,14 @@ void Executor::pump() {
             pump();
           });
       return;
+    }
+
+    if (fgm_in_flight_ >= 0 && fgm_diverts(ev)) {
+      // FGM: this tuple's key range is mid-transfer — hold it until the
+      // batch commits (or aborts) so the moving partition stays quiescent.
+      ++stats_.fgm_diverted;
+      fgm_buffer_.push_back(std::move(ev));
+      continue;
     }
 
     if (capturing_) {
@@ -782,6 +835,158 @@ void Executor::restore_from_blob(const CheckpointBlob& blob) {
   for (auto it = blob.pending.rbegin(); it != blob.pending.rend(); ++it) {
     queue_.push_front(*it);
   }
+  pump();
+}
+
+// ---- FGM fluid migration ----
+
+void Executor::fgm_begin(SlotId shadow_slot, int partitions) {
+  fgm_active_ = true;
+  fgm_shadow_ready_ = false;
+  fgm_shadow_slot_ = shadow_slot;
+  fgm_partitions_ = partitions < 1 ? 1 : partitions;
+  // One trailing entry for the reserved (non-keyed) bucket, moved last.
+  fgm_moved_.assign(static_cast<std::size_t>(fgm_partitions_) + 1, false);
+  fgm_in_flight_ = -1;
+}
+
+int Executor::fgm_unmoved() const noexcept {
+  int n = 0;
+  for (const bool moved : fgm_moved_) {
+    if (!moved) ++n;
+  }
+  return n;
+}
+
+int Executor::fgm_partition_of(const Event& ev) const {
+  if (!platform_.topology().task(ref_.task).keyed_state) {
+    return fgm_partitions_;
+  }
+  return StatePartitionMap(fgm_partitions_).partition_of_key(ev.key);
+}
+
+bool Executor::fgm_diverts(const Event& ev) const {
+  if (fgm_in_flight_ < 0) return false;
+  // The reserved bucket holds the non-keyed counters, which every event
+  // mutates — while it is in flight, everything waits.
+  if (fgm_in_flight_ == fgm_partitions_) return true;
+  return platform_.topology().task(ref_.task).keyed_state &&
+         fgm_partition_of(ev) == fgm_in_flight_;
+}
+
+SlotId Executor::delivery_slot(const Event& ev) const {
+  if (!fgm_active_ || ev.is_control()) return slot_;
+  const int p = fgm_partition_of(ev);
+  return fgm_moved_[static_cast<std::size_t>(p)] ? fgm_shadow_slot_ : slot_;
+}
+
+void Executor::fgm_flush_buffer() {
+  for (auto it = fgm_buffer_.rbegin(); it != fgm_buffer_.rend(); ++it) {
+    if (auto* at = attributor_for(*it))
+      at->on_migration_release(it->id, platform_.engine().now());
+    queue_.push_front(std::move(*it));
+  }
+  fgm_buffer_.clear();
+}
+
+void Executor::fgm_abort_batch(const TaskState& part) {
+  merge_partition(state_, part);
+  fgm_in_flight_ = -1;
+  fgm_flush_buffer();
+  pump();
+}
+
+void Executor::fgm_move_next_batch(std::function<void(FgmMoveOutcome)> done) {
+  if (!fgm_active_ || !fgm_shadow_ready_ || !ready()) {
+    done(FgmMoveOutcome::Failed);
+    return;
+  }
+  int next = -1;
+  for (int p = 0; p <= fgm_partitions_; ++p) {
+    if (!fgm_moved_[static_cast<std::size_t>(p)]) {
+      next = p;
+      break;
+    }
+  }
+  if (next < 0) {
+    done(FgmMoveOutcome::AllMoved);
+    return;
+  }
+  fgm_in_flight_ = next;
+  const StatePartitionMap map(fgm_partitions_);
+  TaskState part = extract_partition(state_, map, next);
+
+  CheckpointBlob blob;
+  blob.checkpoint_id = ++fgm_batch_seq_;
+  blob.state = part;
+  Bytes raw = blob.serialize();
+  const std::size_t bytes = raw.size();
+  const std::string key =
+      CheckpointBlob::fgm_key(fgm_batch_seq_, ref_.task, ref_.replica);
+
+  // The extracted copy survives in the continuation so a failed transfer
+  // merges it back — unmoved ranges never leave the source.
+  auto keep = std::make_shared<TaskState>(std::move(part));
+  const std::uint64_t epoch = epoch_;
+  const int batch = next;
+  platform_.store().put_pipelined(
+      platform_.cluster().vm_of(slot_), key, std::move(raw),
+      [this, done, keep, epoch, batch, key, bytes](bool ok) {
+        if (epoch != epoch_) {
+          // Killed while the PUT was in flight: the partition died with the
+          // worker's state either way.
+          done(FgmMoveOutcome::Failed);
+          return;
+        }
+        if (!ok) {
+          fgm_abort_batch(*keep);
+          done(FgmMoveOutcome::Failed);
+          return;
+        }
+        // lint: nodiscard-ok(Store::get is the async void overload — the
+        // result arrives through the completion callback)
+        platform_.store().get(
+            platform_.cluster().vm_of(fgm_shadow_slot_), key,
+            [this, done, keep, epoch, batch,
+             bytes](bool ok2, std::optional<Bytes> fetched_raw) {
+              if (epoch != epoch_) {
+                done(FgmMoveOutcome::Failed);
+                return;
+              }
+              if (!ok2 || !fetched_raw.has_value()) {
+                fgm_abort_batch(*keep);
+                done(FgmMoveOutcome::Failed);
+                return;
+              }
+              // The batch landed on the shadow's VM: commit the handover.
+              CheckpointBlob fetched = CheckpointBlob::deserialize(*fetched_raw);
+              merge_partition(state_, fetched.state);
+              fgm_moved_[static_cast<std::size_t>(batch)] = true;
+              fgm_in_flight_ = -1;
+              ++stats_.fgm_batches_moved;
+              if (auto* tr = platform_.tracer()) {
+                tr->instant(
+                    obs::instance_track(id_.value), "task", "fgm_batch",
+                    {obs::arg("batch", static_cast<std::uint64_t>(batch)),
+                     obs::arg("bytes", static_cast<std::uint64_t>(bytes)),
+                     obs::arg("left",
+                              static_cast<std::uint64_t>(fgm_unmoved()))});
+              }
+              fgm_flush_buffer();
+              pump();
+              done(FgmMoveOutcome::Moved);
+            });
+      });
+}
+
+void Executor::fgm_finalize() {
+  slot_ = fgm_shadow_slot_;
+  fgm_active_ = false;
+  fgm_shadow_ready_ = false;
+  fgm_partitions_ = 0;
+  fgm_moved_.clear();
+  fgm_in_flight_ = -1;
+  fgm_flush_buffer();  // defensive: no batch is in flight at finalize
   pump();
 }
 

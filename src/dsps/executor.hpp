@@ -15,6 +15,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -66,6 +67,15 @@ struct ExecutorStats {
   std::uint64_t post_commit_arrivals{0};  ///< CCR invariant: must stay 0
   std::uint64_t init_restores{0};
   std::uint64_t duplicate_inits{0};
+  std::uint64_t fgm_batches_moved{0};  ///< FGM key-batches committed to the shadow
+  std::uint64_t fgm_diverted{0};  ///< tuples held in the FGM divert buffer
+};
+
+/// Result of one FGM batch-move step (see Executor::fgm_move_next_batch).
+enum class FgmMoveOutcome : std::uint8_t {
+  Moved,     ///< one more batch committed; call again for the next
+  AllMoved,  ///< every partition (including the reserved one) has moved
+  Failed     ///< store failure or worker death; unmoved ranges stay local
 };
 
 /// Worker lifecycle.  Dead: killed, no destination exists — deliveries are
@@ -95,6 +105,17 @@ class Executor {
   void kill();
   /// Assign the replacement worker to a new slot; not yet ready.
   void respawn(SlotId new_slot);
+  /// Scoped-re-pin support: moves out every delivered-but-unprocessed user
+  /// event (sender transport buffer, queue, INIT holding pen) so a scoped
+  /// coordinated kill can hand them back to the respawned instance.  A
+  /// full-placement kill must NOT preserve these — there every upstream is
+  /// also reverted to the checkpoint and regenerates its in-flight events,
+  /// so a preserved copy would arrive twice.
+  [[nodiscard]] std::vector<Event> drain_unprocessed_for_requeue();
+  /// Re-delivers events drained by drain_unprocessed_for_requeue() after a
+  /// respawn.  Bypasses the `delivered` counter: the original enqueue
+  /// already counted them, and they are still bound for this instance.
+  void requeue(std::vector<Event> events);
   /// Worker process is up: accept deliveries.  Pass `awaiting_init` true
   /// after a migration respawn so user events pend until INIT restores the
   /// state (Storm's StatefulBoltExecutor behaviour).
@@ -131,6 +152,45 @@ class Executor {
   /// ("v<N>") so tests can audit which version processed which events.
   [[nodiscard]] int logic_version() const noexcept { return logic_version_; }
   void set_logic_version(int v) noexcept { logic_version_ = v; }
+
+  // ---- FGM fluid migration (StrategyKind::FGM) ----
+  // The executor never pauses: it keeps its old slot while a *shadow* slot
+  // warms up on the target VM, then moves its keyed state one partition
+  // batch at a time through the checkpoint store.  Tuples whose key range
+  // already moved are delivered to the shadow slot (delivery_slot); tuples
+  // whose range is mid-transfer wait in a divert buffer and are charged to
+  // the `migration` attribution cause.
+
+  /// Start a fluid migration: the shadow slot is occupied on the target VM
+  /// and `partitions` key ranges (plus the reserved non-keyed bucket) are
+  /// scheduled to move.  The shadow is not ready until fgm_shadow_up().
+  void fgm_begin(SlotId shadow_slot, int partitions);
+  /// The shadow worker process finished starting up; batches may now move.
+  void fgm_shadow_up() noexcept { fgm_shadow_ready_ = true; }
+  /// Move the next unmoved partition batch through the store (PUT from the
+  /// source VM, GET from the shadow VM), then re-inject diverted tuples.
+  /// On failure the extracted batch is merged back locally and every range
+  /// that already moved stays moved — a retry resumes where this left off.
+  void fgm_move_next_batch(std::function<void(FgmMoveOutcome)> done);
+  /// All batches moved: the shadow slot becomes the real slot.  The caller
+  /// (rebalancer) vacates the old slot first.
+  void fgm_finalize();
+
+  [[nodiscard]] bool fgm_active() const noexcept { return fgm_active_; }
+  [[nodiscard]] bool fgm_shadow_is_ready() const noexcept {
+    return fgm_shadow_ready_;
+  }
+  [[nodiscard]] SlotId fgm_shadow_slot() const noexcept {
+    return fgm_shadow_slot_;
+  }
+  /// Partitions (including the reserved bucket) not yet moved.
+  [[nodiscard]] int fgm_unmoved() const noexcept;
+
+  /// Where the network should deliver `ev` for this executor: the shadow
+  /// slot when the event's key range has already moved, the bound slot
+  /// otherwise.  Control events always use the bound slot.  A pure branch:
+  /// without an active fluid migration this is exactly slot().
+  [[nodiscard]] SlotId delivery_slot(const Event& ev) const;
 
  private:
   friend class Platform;
@@ -199,6 +259,18 @@ class Executor {
   void apply_user_logic(const Event& ev);
   void restore_from_blob(const CheckpointBlob& blob);
 
+  /// Key-range bucket `ev` belongs to: its key's partition for keyed tasks,
+  /// the reserved bucket otherwise (non-keyed state mutates on every event).
+  [[nodiscard]] int fgm_partition_of(const Event& ev) const;
+  /// True when `ev` must wait out the in-flight batch transfer.
+  [[nodiscard]] bool fgm_diverts(const Event& ev) const;
+  /// Re-inject diverted tuples at the queue front, charging the buffered
+  /// wait to the `migration` attribution cause.
+  void fgm_flush_buffer();
+  /// A batch transfer failed: merge the extracted partition back into the
+  /// local state and release the diverted tuples — nothing was moved.
+  void fgm_abort_batch(const TaskState& part);
+
   Platform& platform_;
   InstanceId id_;
   InstanceRef ref_;
@@ -259,6 +331,18 @@ class Executor {
   std::unordered_map<RootId, int> align_count_;
   // INIT dedup: wave roots already acted on (forwarded / restored).
   std::unordered_set<RootId> seen_init_roots_;
+
+  // ---- FGM fluid migration state ----
+  bool fgm_active_{false};
+  bool fgm_shadow_ready_{false};
+  SlotId fgm_shadow_slot_{};
+  /// Key-range partitions this migration moves; the moved bitmap has one
+  /// extra trailing entry for the reserved (non-keyed) bucket, moved last.
+  int fgm_partitions_{0};
+  std::vector<bool> fgm_moved_;
+  int fgm_in_flight_{-1};
+  std::deque<Event> fgm_buffer_;
+  std::uint64_t fgm_batch_seq_{0};
 
   /// Bumped on kill/respawn so that in-flight scheduled callbacks from a
   /// previous incarnation become no-ops.

@@ -11,10 +11,9 @@ namespace rill::dsps {
 namespace {
 
 std::uint64_t splitmix64_once(std::uint64_t x) noexcept {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
+  // Delegates to the shared mix so fields-grouping routing and the FGM
+  // state partition map can never disagree about a key's owner.
+  return key_hash64(x);
 }
 
 }  // namespace
@@ -333,8 +332,10 @@ int Platform::emit_user_children(Executor& from, const Event& parent) {
 
       if (child.sampled && attributor_ != nullptr)
         attributor_->fork(parent.id, child.id, engine_.now());
+      // delivery_slot == slot() except during a fluid migration, where
+      // tuples whose key range already moved go to the shadow slot's VM.
       const net::SendOutcome sent = network_->send(
-          cluster_.vm_of(from.slot()), cluster_.vm_of(dst.slot()),
+          cluster_.vm_of(from.slot()), cluster_.vm_of(dst.delivery_slot(child)),
           child.payload_size, [&dst, child] { dst.enqueue(child); });
       if (child.sampled && attributor_ != nullptr) {
         if (sent.dropped)
@@ -371,7 +372,7 @@ void Platform::emit_from_source(Spout& spout, const Event& root_copy_template,
       attributor_->on_root_copy(copy.id, copy.root, copy.origin, copy.born_at,
                                 engine_.now());
     const net::SendOutcome sent = network_->send(
-        cluster_.vm_of(spout.slot()), cluster_.vm_of(dst.slot()),
+        cluster_.vm_of(spout.slot()), cluster_.vm_of(dst.delivery_slot(copy)),
         copy.payload_size, [&dst, copy] { dst.enqueue(copy); });
     if (copy.sampled && attributor_ != nullptr) {
       if (sent.dropped)

@@ -75,15 +75,29 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
     last_->killed_at = platform_.engine().now();
 
     // Kill every migrating worker instance: queues, in-memory state and
-    // CCR capture lists die with the worker.
-    const std::vector<InstanceRef> migrating = platform_.worker_instances();
+    // CCR capture lists die with the worker.  A scoped plan (abort re-pin
+    // of only the failed placements) names its subset; everything else
+    // keeps its slot.
+    const std::vector<InstanceRef> migrating =
+        plan.instances.has_value() ? *plan.instances
+                                   : platform_.worker_instances();
     last_->instances_migrated = static_cast<int>(migrating.size());
     const std::vector<VmId> old_vms = platform_.worker_vms();
 
     std::uint64_t lost = 0;
+    // Scoped plans preserve each victim's delivered-but-unprocessed events
+    // across the kill: the untouched upstreams keep (or already kept)
+    // emitting into these instances and will never regenerate those
+    // deliveries, unlike a full re-pin where every instance re-replays
+    // from the committed checkpoint.
+    std::vector<std::pair<InstanceRef, std::vector<Event>>> preserved;
     for (const InstanceRef& ref : migrating) {
       Executor& ex = platform_.executor(ref);
       if (ex.life() == LifeState::Dead) continue;  // already crashed (chaos)
+      if (plan.instances.has_value()) {
+        std::vector<Event> held = ex.drain_unprocessed_for_requeue();
+        if (!held.empty()) preserved.emplace_back(ref, std::move(held));
+      }
       const std::uint64_t before = ex.stats().lost_at_kill;
       platform_.cluster().vacate(ex.slot());
       ex.kill();
@@ -110,7 +124,8 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
         time::sec_f(command_sec) - platform_.config().kill_delay;
     platform_.engine().schedule_detached(
         std::max<SimDuration>(remaining, 0),
-        [this, plan, migrating, old_vms, done = std::move(done)]() mutable {
+        [this, plan, migrating, old_vms, preserved = std::move(preserved),
+         done = std::move(done)]() mutable {
           const PlatformConfig& cfg2 = platform_.config();
 
           // Place the migrating instances on the target VMs and rewire.
@@ -126,11 +141,35 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
               if (task == ref.task) ex.set_logic_version(version);
             }
           }
-          platform_.worker_vms_ = plan.target_vms;
+          // Hand preserved deliveries back to their (scoped-plan) owners;
+          // they drain once the worker is up and its state is restored.
+          for (auto& [ref, events] : preserved) {
+            platform_.executor(ref).requeue(std::move(events));
+          }
+          // The new worker pool: the plan's target VMs, plus — for a scoped
+          // plan — any old VM still hosting an instance the plan left alone.
+          std::vector<VmId> pool = plan.target_vms;
+          if (plan.instances.has_value()) {
+            std::unordered_set<std::uint32_t> in_pool;
+            for (VmId v : pool) in_pool.insert(v.value);
+            std::unordered_set<std::uint32_t> hosting;
+            for (const InstanceRef& ref : platform_.worker_instances()) {
+              hosting.insert(platform_.cluster()
+                                 .vm_of(platform_.executor(ref).slot())
+                                 .value);
+            }
+            for (VmId v : old_vms) {
+              if (!in_pool.contains(v.value) && hosting.contains(v.value)) {
+                pool.push_back(v);
+                in_pool.insert(v.value);
+              }
+            }
+          }
+          platform_.worker_vms_ = pool;
 
           if (plan.release_old_vms) {
             std::unordered_set<std::uint32_t> target;
-            for (VmId v : plan.target_vms) target.insert(v.value);
+            for (VmId v : pool) target.insert(v.value);
             for (VmId v : old_vms) {
               if (!target.contains(v.value) &&
                   platform_.cluster().vm(v).active()) {
@@ -184,6 +223,161 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
           if (done) done();
         });
   });
+}
+
+void Rebalancer::prepare_shadows(
+    const MigrationPlan& plan, std::function<void(InstanceRef)> on_shadow_ready) {
+  if (in_progress_) {
+    throw std::logic_error("rebalance already in progress");
+  }
+  if (plan.scheduler == nullptr) {
+    throw std::logic_error("migration plan has no scheduler");
+  }
+  in_progress_ = true;
+
+  RebalanceRecord rec;
+  rec.invoked_at = platform_.engine().now();
+  last_ = rec;
+
+  trace_span_ = obs::kNoSpan;
+  if (auto* tr = platform_.tracer()) {
+    trace_span_ = tr->begin(
+        obs::kTrackRebalancer, "rebalance", "fluid_rebalance",
+        {obs::arg("target_vms",
+                  static_cast<std::uint64_t>(plan.target_vms.size()))});
+  }
+
+  const PlatformConfig& cfg = platform_.config();
+  // Instances still carrying fluid state from an aborted attempt resume
+  // with their existing shadow; only the rest get fresh shadow slots.
+  std::vector<InstanceRef> fresh;
+  std::vector<InstanceRef> resumed;
+  for (const InstanceRef& ref : platform_.worker_instances()) {
+    if (platform_.executor(ref).fgm_active()) {
+      resumed.push_back(ref);
+    } else {
+      fresh.push_back(ref);
+    }
+  }
+  last_->instances_migrated = static_cast<int>(fresh.size() + resumed.size());
+
+  // Same draw order as a kill-based rebalance: command latency first, then
+  // one start-up sample per launching worker.
+  const double command_sec =
+      std::max(2.0, platform_.rng_rebalance().normal(cfg.rebalance_mean_sec,
+                                                     cfg.rebalance_stddev_sec));
+
+  const std::vector<SlotId> slots =
+      platform_.cluster().vacant_slots_on(plan.target_vms);
+  const Placement placement =
+      plan.scheduler->place(fresh, slots, platform_.cluster());
+  for (const auto& [ref, slot] : placement) {
+    Executor& ex = platform_.executor(ref);
+    platform_.cluster().occupy(slot, ex.id());
+    ex.fgm_begin(slot, cfg.fgm_batch_keys);
+  }
+  if (auto* tr = platform_.tracer()) {
+    tr->instant(obs::kTrackRebalancer, "rebalance", "shadows_placed",
+                {obs::arg("fresh", static_cast<std::uint64_t>(fresh.size())),
+                 obs::arg("resumed",
+                          static_cast<std::uint64_t>(resumed.size()))});
+  }
+
+  platform_.engine().schedule_detached(
+      time::sec_f(command_sec),
+      [this, plan, placement, resumed, ready = std::move(on_shadow_ready)] {
+        const PlatformConfig& cfg2 = platform_.config();
+        last_->command_completed_at = platform_.engine().now();
+
+        // Shadow workers launch with the same start-up model as respawned
+        // workers, including per-VM co-location contention among the
+        // shadows themselves.
+        std::unordered_map<std::uint32_t, int> per_vm;
+        for (const auto& [ref, slot] : placement) {
+          ++per_vm[platform_.cluster().vm_of(slot).value];
+        }
+        for (const auto& [ref, slot] : placement) {
+          const int colocated = per_vm[platform_.cluster().vm_of(slot).value];
+          double startup =
+              platform_.rng_rebalance().uniform(cfg2.worker_startup_min_sec,
+                                                cfg2.worker_startup_max_sec) +
+              cfg2.worker_startup_per_colocated_sec *
+                  static_cast<double>(colocated);
+          if (platform_.rng_rebalance().uniform01() <
+              cfg2.worker_slow_start_prob) {
+            startup += platform_.rng_rebalance().uniform(
+                cfg2.worker_slow_start_min_sec, cfg2.worker_slow_start_max_sec);
+          }
+          Executor& ex = platform_.executor(ref);
+          const std::uint64_t epoch = ex.epoch();
+          const InstanceRef r = ref;
+          platform_.engine().schedule_detached(
+              time::sec_f(startup), [&ex, r, epoch, ready] {
+                // If the worker was killed meanwhile its fluid state is
+                // gone; fire anyway — the first batch move then reports
+                // Failed and the strategy aborts cleanly instead of
+                // waiting on a chain that never starts.
+                if (ex.epoch() == epoch) ex.fgm_shadow_up();
+                if (ready) ready(r);
+              });
+        }
+        // Resumed instances: their shadow may already be up (ready now) or
+        // still starting under the previous attempt's timer — poll on the
+        // control-plane cadence until it is.
+        for (const InstanceRef& ref : resumed) {
+          wait_shadow_ready(ref, platform_.executor(ref).epoch(), ready);
+        }
+      });
+}
+
+void Rebalancer::wait_shadow_ready(InstanceRef ref, std::uint64_t epoch,
+                                   std::function<void(InstanceRef)> ready) {
+  Executor& ex = platform_.executor(ref);
+  if (ex.epoch() != epoch || ex.fgm_shadow_is_ready() || !ex.fgm_active()) {
+    if (ready) ready(ref);
+    return;
+  }
+  platform_.engine().schedule_detached(
+      platform_.config().init_resend_period,
+      [this, ref, epoch, ready = std::move(ready)] {
+        wait_shadow_ready(ref, epoch, ready);
+      });
+}
+
+void Rebalancer::finalize_fluid(const MigrationPlan& plan) {
+  const std::vector<VmId> old_vms = platform_.worker_vms();
+  int swapped = 0;
+  for (const InstanceRef& ref : platform_.worker_instances()) {
+    Executor& ex = platform_.executor(ref);
+    if (!ex.fgm_active()) continue;
+    platform_.cluster().vacate(ex.slot());
+    ex.fgm_finalize();
+    for (const auto& [task, version] : plan.logic_updates) {
+      if (task == ref.task) ex.set_logic_version(version);
+    }
+    ++swapped;
+  }
+  platform_.worker_vms_ = plan.target_vms;
+  if (plan.release_old_vms) {
+    std::unordered_set<std::uint32_t> target;
+    for (VmId v : plan.target_vms) target.insert(v.value);
+    for (VmId v : old_vms) {
+      if (!target.contains(v.value) && platform_.cluster().vm(v).active()) {
+        platform_.cluster().release(v);
+      }
+    }
+  }
+  in_progress_ = false;
+  if (auto* tr = platform_.tracer()) {
+    tr->end(trace_span_, {obs::arg("instances", swapped)});
+  }
+}
+
+void Rebalancer::abort_fluid() {
+  in_progress_ = false;
+  if (auto* tr = platform_.tracer()) {
+    tr->end(trace_span_, {obs::arg("aborted", std::uint64_t{1})});
+  }
 }
 
 }  // namespace rill::dsps

@@ -40,6 +40,11 @@ struct MigrationPlan {
   /// Old events drained by DCR run entirely under the old version; events
   /// captured by CCR resume under the new one.
   std::vector<std::pair<TaskId, int>> logic_updates;
+  /// When set, only these instances are killed and re-placed; everything
+  /// else keeps its current slot (the abort path re-pinning just the
+  /// placements whose restore failed).  Absent = all worker instances,
+  /// the historical behaviour.
+  std::optional<std::vector<InstanceRef>> instances;
 };
 
 struct RebalanceRecord {
@@ -66,6 +71,24 @@ class Rebalancer {
   /// before a migration so the abort path can re-pin the old placement.
   [[nodiscard]] Placement current_placement() const;
 
+  // ---- FGM fluid migration (StrategyKind::FGM) ----
+  /// Phase 1 of a fluid migration: occupy a shadow slot on the target VMs
+  /// for every worker instance (plan scheduler, same vacant-slot order as a
+  /// kill-based rebalance) and start the shadow workers.  Nothing is killed
+  /// and sources never pause.  `on_shadow_ready(ref)` fires per instance
+  /// once its shadow worker finished starting up — batch moves may begin.
+  /// Instances still carrying fgm state from an aborted attempt resume with
+  /// their existing shadow (no second slot, no extra start-up draw).
+  void prepare_shadows(const MigrationPlan& plan,
+                       std::function<void(InstanceRef)> on_shadow_ready);
+  /// Phase 3: every batch moved.  Swaps each executor onto its shadow slot,
+  /// vacates the old slots, applies logic updates, adopts the target VM
+  /// pool and releases the old VMs.
+  void finalize_fluid(const MigrationPlan& plan);
+  /// A batch transfer failed: close the command, leaving shadows up and
+  /// unmoved ranges on their old slots so a retry resumes incrementally.
+  void abort_fluid();
+
   [[nodiscard]] bool in_progress() const noexcept { return in_progress_; }
   [[nodiscard]] const std::optional<RebalanceRecord>& last() const noexcept {
     return last_;
@@ -74,6 +97,10 @@ class Rebalancer {
  private:
   void kill_and_redeploy(const MigrationPlan& plan,
                          std::function<void()> on_command_complete);
+  /// Poll (control-plane cadence) until a resumed instance's shadow from a
+  /// previous fluid attempt is up, then fire the ready callback.
+  void wait_shadow_ready(InstanceRef ref, std::uint64_t epoch,
+                         std::function<void(InstanceRef)> ready);
 
   Platform& platform_;
   bool in_progress_{false};

@@ -1,5 +1,7 @@
 #include "dsps/state.hpp"
 
+#include <string_view>
+
 namespace rill::dsps {
 
 namespace {
@@ -159,6 +161,44 @@ std::string CheckpointBlob::key(std::uint64_t checkpoint_id, TaskId task,
                                 int replica) {
   return "chk/" + std::to_string(checkpoint_id) + "/" +
          std::to_string(task.value) + "/" + std::to_string(replica);
+}
+
+std::string CheckpointBlob::fgm_key(std::uint64_t batch_seq, TaskId task,
+                                    int replica) {
+  return "fgm/" + std::to_string(batch_seq) + "/" +
+         std::to_string(task.value) + "/" + std::to_string(replica);
+}
+
+int StatePartitionMap::partition_of_state_key(const std::string& k) const {
+  constexpr std::string_view kPrefix = "key/";
+  if (k.size() <= kPrefix.size() || k.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return reserved();
+  }
+  std::uint64_t key = 0;
+  for (std::size_t i = kPrefix.size(); i < k.size(); ++i) {
+    const char c = k[i];
+    if (c < '0' || c > '9') return reserved();
+    key = key * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return partition_of_key(key);
+}
+
+TaskState extract_partition(TaskState& state, const StatePartitionMap& map,
+                            int p) {
+  std::vector<std::string> keys;
+  for (const auto& [k, v] : state.counters) {
+    if (map.partition_of_state_key(k) == p) keys.push_back(k);
+  }
+  TaskState part;
+  for (const auto& k : keys) {
+    part[k] = state.counters.find(k)->second;
+    state.erase(k);
+  }
+  return part;
+}
+
+void merge_partition(TaskState& state, const TaskState& part) {
+  for (const auto& [k, v] : part.counters) state[k] = v;
 }
 
 }  // namespace rill::dsps

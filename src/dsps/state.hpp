@@ -150,6 +150,67 @@ struct CheckpointBlob {
   /// Store key for a given wave / task instance.
   [[nodiscard]] static std::string key(std::uint64_t checkpoint_id,
                                        TaskId task, int replica);
+
+  /// Store key for one FGM key-batch transfer.  Lives in its own "fgm/"
+  /// namespace so batch blobs can never collide with checkpoint-wave blobs.
+  [[nodiscard]] static std::string fgm_key(std::uint64_t batch_seq,
+                                           TaskId task, int replica);
 };
+
+/// The mix the platform's fields-grouping uses to route an event key to a
+/// replica (splitmix64 finalizer over key + the golden-ratio increment).
+/// The partition map reuses it so "which replica owns key k" and "which
+/// partition holds key k's state" are the same pure function of k.
+[[nodiscard]] constexpr std::uint64_t key_hash64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Splits a task's keyed state into `partitions` key-range buckets plus one
+/// *reserved* bucket for everything that is not per-key ("processed",
+/// "sig", window counters, …).  Keyed entries are the `"key/<n>"` counters
+/// fieldsGrouping tasks write; bucket = key_hash64(n) % partitions.
+///
+/// Partition counts nest: because assignment is a modulus over the same
+/// hash, partition p under n is exactly the union of partitions p and p+n
+/// under 2n — so a map can be split (n → 2n) or merged (2n → n) without any
+/// key changing owner relative to the coarser map.
+class StatePartitionMap {
+ public:
+  /// `partitions` is clamped below at 1.
+  explicit StatePartitionMap(int partitions) noexcept
+      : partitions_(partitions < 1 ? 1 : partitions) {}
+
+  [[nodiscard]] int partitions() const noexcept { return partitions_; }
+
+  /// Index of the reserved (non-keyed) bucket: one past the key ranges.
+  [[nodiscard]] int reserved() const noexcept { return partitions_; }
+
+  [[nodiscard]] int partition_of_key(std::uint64_t key) const noexcept {
+    return static_cast<int>(key_hash64(key) %
+                            static_cast<std::uint64_t>(partitions_));
+  }
+
+  /// Buckets a state-map key: `"key/<n>"` entries go to partition_of_key(n),
+  /// everything else (including malformed "key/" entries) to reserved().
+  [[nodiscard]] int partition_of_state_key(const std::string& k) const;
+
+ private:
+  int partitions_;
+};
+
+/// Moves partition `p`'s keys out of `state` into a fresh TaskState.
+/// Dirty-coherent: removals are tombstoned in `state`, inserts are recorded
+/// as dirty in the returned sub-state, so delta checkpoints taken on either
+/// side of a transfer stay faithful.
+[[nodiscard]] TaskState extract_partition(TaskState& state,
+                                          const StatePartitionMap& map,
+                                          int p);
+
+/// Re-inserts `part`'s keys into `state` (recorded as upserts).  The exact
+/// inverse of extract_partition for disjoint key sets.
+void merge_partition(TaskState& state, const TaskState& part);
 
 }  // namespace rill::dsps

@@ -100,7 +100,10 @@ std::optional<double> LatencySeries::percentile_ms(double q, SimTime from,
   if (q <= 0.0 || q >= 1.0) return std::nullopt;
   std::vector<SimDuration> vals;
   for (const Sample& s : samples_) {
-    if (s.arrival >= from && s.arrival < to) vals.push_back(s.latency);
+    // Inclusive upper bound: the whole-run window ends exactly at the run
+    // duration, and a final sink arrival landing on that boundary is a real
+    // sample — excluding it reported the previous (stale) window's tail.
+    if (s.arrival >= from && s.arrival <= to) vals.push_back(s.latency);
   }
   if (vals.empty()) return std::nullopt;
   const auto rank = static_cast<std::size_t>(

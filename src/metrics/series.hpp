@@ -66,10 +66,11 @@ class LatencySeries {
   [[nodiscard]] std::vector<std::pair<std::size_t, double>> windowed_avg_ms(
       std::size_t window_sec = 10) const;
 
-  /// Median latency (ms) of samples arriving in [from, to).
+  /// Median latency (ms) of samples arriving in [from, to].
   [[nodiscard]] std::optional<double> median_ms(SimTime from, SimTime to) const;
 
-  /// Arbitrary percentile (0 < q < 1) of samples arriving in [from, to),
+  /// Arbitrary percentile (0 < q < 1) of samples arriving in [from, to]
+  /// (closed: an arrival exactly on the window-end boundary counts),
   /// nearest-rank method.  p95/p99 tails make DSM's replay-induced latency
   /// spread visible where the median hides it.
   [[nodiscard]] std::optional<double> percentile_ms(double q, SimTime from,

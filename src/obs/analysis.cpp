@@ -210,7 +210,8 @@ bool parse_line(const std::string& text, std::size_t begin, std::size_t end,
 }
 
 constexpr const char* kCauseArgKeys[kCauseCount] = {
-    "queue_us", "service_us", "network_us", "pause_us", "chaos_us"};
+    "queue_us",   "service_us", "network_us",
+    "pause_us",   "chaos_us",   "migration_us"};
 
 }  // namespace
 

@@ -18,6 +18,7 @@ struct HopSplit {
   std::uint64_t network{0};
   std::uint64_t pause{0};
   std::uint64_t chaos{0};
+  std::uint64_t migration{0};
 };
 
 [[nodiscard]] HopSplit split(const HopRecord& h) noexcept {
@@ -25,7 +26,12 @@ struct HopSplit {
   const std::uint64_t wire = h.enqueued - h.emitted;
   s.chaos = std::min(h.chaos_us, wire);
   s.network = wire - s.chaos;
-  s.pause = h.released - h.enqueued;
+  // Buffer residency (enqueue → final release) splits into the FGM divert
+  // share, accumulated by on_migration_release, and whatever else stalled
+  // the event; clamping keeps the telescoping exact.
+  const std::uint64_t buffered = h.released - h.enqueued;
+  s.migration = std::min(h.migration_us, buffered);
+  s.pause = buffered - s.migration;
   s.queue = h.svc_start - h.released;
   s.service = h.svc_end - h.svc_start;
   return s;
@@ -94,6 +100,14 @@ void LatencyAttributor::on_release(EventId id, SimTime now) {
   it->second.cur.released = now;
 }
 
+void LatencyAttributor::on_migration_release(EventId id, SimTime now) {
+  const auto it = live_.find(id);
+  if (it == live_.end() || !it->second.open) return;
+  HopRecord& h = it->second.cur;
+  h.migration_us += now - h.released;
+  h.released = now;
+}
+
 void LatencyAttributor::on_service_start(EventId id, SimTime now,
                                          const std::string& label) {
   const auto it = live_.find(id);
@@ -111,6 +125,7 @@ void LatencyAttributor::close_hop(Path& path, SimTime now) {
   path.cause_us[static_cast<int>(Cause::Network)] += s.network;
   path.cause_us[static_cast<int>(Cause::Pause)] += s.pause;
   path.cause_us[static_cast<int>(Cause::Chaos)] += s.chaos;
+  path.cause_us[static_cast<int>(Cause::Migration)] += s.migration;
   if (metrics_ != nullptr && !path.cur.label.empty()) {
     metrics_->histogram(names::attr_metric(path.cur.label, "queue"))
         ->record(s.queue);
@@ -122,6 +137,8 @@ void LatencyAttributor::close_hop(Path& path, SimTime now) {
         ->record(s.pause);
     metrics_->histogram(names::attr_metric(path.cur.label, "chaos"))
         ->record(s.chaos);
+    metrics_->histogram(names::attr_metric(path.cur.label, "migration"))
+        ->record(s.migration);
   }
   path.hops.push_back(std::move(path.cur));
   path.cur = HopRecord{};
@@ -170,6 +187,7 @@ void LatencyAttributor::emit_trace(const TupleRecord& rec) const {
        arg("network_us", rec.cause_us[static_cast<int>(Cause::Network)]),
        arg("pause_us", rec.cause_us[static_cast<int>(Cause::Pause)]),
        arg("chaos_us", rec.cause_us[static_cast<int>(Cause::Chaos)]),
+       arg("migration_us", rec.cause_us[static_cast<int>(Cause::Migration)]),
        arg("hops", static_cast<std::uint64_t>(rec.hops.size()))});
   for (const HopRecord& h : rec.hops) {
     const HopSplit s = split(h);
@@ -178,7 +196,8 @@ void LatencyAttributor::emit_trace(const TupleRecord& rec) const {
                      {arg("root", rec.root), arg("task", h.label),
                       arg("queue_us", s.queue), arg("service_us", s.service),
                       arg("network_us", s.network), arg("pause_us", s.pause),
-                      arg("chaos_us", s.chaos)});
+                      arg("chaos_us", s.chaos),
+                      arg("migration_us", s.migration)});
   }
 }
 

@@ -5,14 +5,16 @@
 //
 // The data plane stamps sampled events at each lifecycle edge — spout
 // emit, network send, queue enqueue, pause release, service start/end,
-// sink arrival — and the attributor folds the stamps into five causes:
+// sink arrival — and the attributor folds the stamps into six causes:
 //
-//   queue    time runnable in an executor's input queue
-//   service  time being processed by task logic
-//   network  wire transit (baseline latency model, minus chaos extra)
-//   pause    migration/backlog stalls: source backpressure + replay wait
-//            (born → first emit) and transport/capture/init buffering
-//   chaos    injected extra wire delay (fault campaigns)
+//   queue      time runnable in an executor's input queue
+//   service    time being processed by task logic
+//   network    wire transit (baseline latency model, minus chaos extra)
+//   pause      migration/backlog stalls: source backpressure + replay wait
+//              (born → first emit) and transport/capture/init buffering
+//   chaos      injected extra wire delay (fault campaigns)
+//   migration  FGM key-batch divert buffering: time a tuple waited while
+//              its key range was in flight between slots
 //
 // Children are emitted at the exact instant their parent's service ends,
 // so the components telescope: their sum equals (sink arrival − born)
@@ -45,8 +47,15 @@ class Histogram;
 inline constexpr std::int32_t kTuplesPid = 6;
 inline constexpr std::int32_t kTupleLanes = 256;
 
-enum class Cause : std::uint8_t { Queue, Service, Network, Pause, Chaos };
-inline constexpr int kCauseCount = 5;
+enum class Cause : std::uint8_t {
+  Queue,
+  Service,
+  Network,
+  Pause,
+  Chaos,
+  Migration
+};
+inline constexpr int kCauseCount = 6;
 
 [[nodiscard]] constexpr const char* to_string(Cause c) noexcept {
   switch (c) {
@@ -55,6 +64,7 @@ inline constexpr int kCauseCount = 5;
     case Cause::Network: return "network";
     case Cause::Pause: return "pause";
     case Cause::Chaos: return "chaos";
+    case Cause::Migration: return "migration";
   }
   return "?";
 }
@@ -67,7 +77,8 @@ struct HopRecord {
   SimTime released{0};  ///< left any pause buffer (== enqueued when none)
   SimTime svc_start{0};
   SimTime svc_end{0};
-  std::uint64_t chaos_us{0};  ///< injected extra wire delay on this hop
+  std::uint64_t chaos_us{0};      ///< injected extra wire delay on this hop
+  std::uint64_t migration_us{0};  ///< FGM divert-buffer residency on this hop
 };
 
 /// A completed sampled tuple: one spout root's path to a sink.
@@ -122,6 +133,9 @@ class LatencyAttributor {
   void on_enqueue(EventId id, SimTime now);
   /// Left a pause buffer (transport / capture / await-init re-injection).
   void on_release(EventId id, SimTime now);
+  /// Left an FGM divert buffer: its key range's batch transfer committed
+  /// (or aborted).  The buffered wait is charged to Migration, not Pause.
+  void on_migration_release(EventId id, SimTime now);
   /// Task logic starts; `label` is the instance's "task/replica" name.
   void on_service_start(EventId id, SimTime now, const std::string& label);
   /// A child of `parent` is emitted (service just ended: closes the

@@ -141,6 +141,8 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.post_commit_arrivals += s.post_commit_arrivals;
     result.lost_at_kill += s.lost_at_kill;
     result.transport_overflow += s.transport_overflow;
+    result.fgm_batches_moved += s.fgm_batches_moved;
+    result.fgm_diverted += s.fgm_diverted;
     result.delivered += s.delivered;
     result.init_replays += s.init_replays;
     result.capture_handoff += s.capture_handoff;

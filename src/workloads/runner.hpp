@@ -102,6 +102,8 @@ struct ExperimentResult {
   std::uint64_t post_commit_arrivals{0};  ///< CCR invariant, must be 0
   std::uint64_t lost_at_kill{0};          ///< 0 for DCR/CCR
   std::uint64_t transport_overflow{0};    ///< Starting-buffer cap drops
+  std::uint64_t fgm_batches_moved{0};     ///< FGM key-batches landed on shadows
+  std::uint64_t fgm_diverted{0};          ///< tuples held while their batch flew
   /// Executors whose conservation ledger failed to balance at teardown:
   ///   delivered + init_replays == processed + lost_enqueue + lost_at_kill
   ///                               + transport_overflow + capture_handoff

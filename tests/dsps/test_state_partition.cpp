@@ -1,0 +1,194 @@
+// Keyed-state partitioning (FGM substrate): the partition map must agree
+// with fields-grouping routing, nest under split/merge, and survive a
+// partition → blob → restore round trip byte-faithfully — including the
+// dirty/tombstone bookkeeping delta checkpoints depend on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dsps/state.hpp"
+
+namespace rill::dsps {
+namespace {
+
+/// A representative keyed-task state: 64 "key/<n>" counters (the fields
+/// keyspace) plus the non-keyed counters every task mutates per event.
+TaskState keyed_state(std::uint64_t keys = 64) {
+  TaskState s;
+  for (std::uint64_t k = 0; k < keys; ++k) {
+    s["key/" + std::to_string(k)] = static_cast<std::int64_t>(k * 7 + 1);
+  }
+  s["processed"] = 12345;
+  s["sig"] = -42;
+  s["replayed_seen"] = 3;
+  return s;
+}
+
+TEST(StatePartitionMap, KeyedEntriesFollowTheRoutingHash) {
+  const StatePartitionMap map(8);
+  EXPECT_EQ(map.partitions(), 8);
+  EXPECT_EQ(map.reserved(), 8);
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    const int p = map.partition_of_key(k);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, map.partitions());
+    // "Which partition holds key k" must be the same pure function of k
+    // that fields-grouping uses, applied to the state-map spelling.
+    EXPECT_EQ(map.partition_of_state_key("key/" + std::to_string(k)), p);
+  }
+}
+
+TEST(StatePartitionMap, NonKeyedAndMalformedKeysGoToReserved) {
+  const StatePartitionMap map(4);
+  EXPECT_EQ(map.partition_of_state_key("processed"), map.reserved());
+  EXPECT_EQ(map.partition_of_state_key("sig"), map.reserved());
+  EXPECT_EQ(map.partition_of_state_key("v3"), map.reserved());
+  EXPECT_EQ(map.partition_of_state_key(""), map.reserved());
+  EXPECT_EQ(map.partition_of_state_key("key/"), map.reserved());
+  EXPECT_EQ(map.partition_of_state_key("key/abc"), map.reserved());
+  EXPECT_EQ(map.partition_of_state_key("key/12x"), map.reserved());
+  EXPECT_EQ(map.partition_of_state_key("key"), map.reserved());
+}
+
+TEST(StatePartitionMap, PartitionCountClampsToOne) {
+  const StatePartitionMap map(0);
+  EXPECT_EQ(map.partitions(), 1);
+  EXPECT_EQ(map.partition_of_key(999), 0);
+  EXPECT_EQ(map.reserved(), 1);
+}
+
+// The modulo-nesting invariant the in-flight routing relies on: because
+// assignment is key_hash64(k) % n, partition p under n is exactly the union
+// of partitions p and p+n under 2n — no key changes owner relative to the
+// coarser map when a map is split or merged.
+TEST(StatePartitionMap, SplitAssignmentsNestExactly) {
+  for (int n : {1, 2, 4, 8, 16}) {
+    const StatePartitionMap coarse(n);
+    const StatePartitionMap fine(2 * n);
+    for (std::uint64_t k = 0; k < 1024; ++k) {
+      EXPECT_EQ(fine.partition_of_key(k) % n, coarse.partition_of_key(k))
+          << "key " << k << " under n=" << n;
+    }
+  }
+}
+
+// The same invariant at the extract/merge level: splitting one coarse
+// partition into its two fine halves and merging them back reconstructs it.
+TEST(StatePartitionMap, SplitMergeReconstructsCoarsePartition) {
+  const TaskState original = keyed_state();
+  for (int n : {1, 2, 4}) {
+    const StatePartitionMap coarse(n);
+    const StatePartitionMap fine(2 * n);
+    for (int p = 0; p < n; ++p) {
+      TaskState a = original;
+      const TaskState want = extract_partition(a, coarse, p);
+
+      TaskState b = original;
+      TaskState got = extract_partition(b, fine, p);
+      const TaskState other = extract_partition(b, fine, p + n);
+      merge_partition(got, other);
+      EXPECT_EQ(got, want) << "partition " << p << " under n=" << n;
+    }
+    // The reserved bucket is partition-count independent.
+    TaskState a = original;
+    TaskState b = original;
+    EXPECT_EQ(extract_partition(a, coarse, coarse.reserved()),
+              extract_partition(b, fine, fine.reserved()));
+  }
+}
+
+// One FGM batch transfer end to end: extract a partition, carry it through
+// a full-form CheckpointBlob (the wire format the store sees), and merge it
+// into the destination.  Moving every partition must transplant the state
+// exactly and leave the source empty.
+TEST(ExtractPartition, RoundTripThroughBlobReassemblesState) {
+  const TaskState original = keyed_state();
+  TaskState source = original;
+  TaskState dest;
+  const StatePartitionMap map(8);
+  std::uint64_t seq = 0;
+  for (int p = 0; p <= map.reserved(); ++p) {
+    CheckpointBlob blob;
+    blob.checkpoint_id = ++seq;
+    blob.state = extract_partition(source, map, p);
+    const CheckpointBlob back = CheckpointBlob::deserialize(blob.serialize());
+    EXPECT_FALSE(back.is_delta());
+    merge_partition(dest, back.state);
+  }
+  EXPECT_EQ(dest, original);
+  EXPECT_TRUE(source.counters.empty());
+}
+
+TEST(ExtractPartition, IsDirtyCoherentOnBothSides) {
+  TaskState source = keyed_state();
+  source.clear_dirty();
+  const StatePartitionMap map(4);
+
+  TaskState part = extract_partition(source, map, 2);
+  ASSERT_FALSE(part.counters.empty());
+  for (const auto& [k, v] : part.counters) {
+    // Removal is tombstoned in the source (a delta taken there must record
+    // the key as gone) and recorded as an upsert in the moved sub-state (a
+    // delta taken on the destination must carry it).
+    EXPECT_TRUE(source.deleted_keys().contains(k)) << k;
+    EXPECT_TRUE(part.dirty_keys().contains(k)) << k;
+  }
+
+  TaskState dest;
+  dest.clear_dirty();
+  merge_partition(dest, part);
+  for (const auto& [k, v] : part.counters) {
+    EXPECT_TRUE(dest.dirty_keys().contains(k)) << k;
+  }
+}
+
+TEST(CheckpointBlob, FgmKeysLiveInTheirOwnNamespace) {
+  const std::string a = CheckpointBlob::fgm_key(1, TaskId{2}, 3);
+  EXPECT_EQ(a.rfind("fgm/", 0), 0u) << a;
+  EXPECT_NE(a, CheckpointBlob::key(1, TaskId{2}, 3));
+  EXPECT_NE(a, CheckpointBlob::fgm_key(1, TaskId{2}, 4));
+  EXPECT_NE(a, CheckpointBlob::fgm_key(1, TaskId{3}, 3));
+  EXPECT_NE(a, CheckpointBlob::fgm_key(2, TaskId{2}, 3));
+}
+
+// Seeded fuzz sweep mirroring the blob fuzzer: random states, random
+// partition counts, partitions extracted in a rotated order and carried
+// through blob serde one at a time — reassembly must always be exact.
+TEST(ExtractPartition, SeededFuzzReassembly) {
+  Rng rng(0xC0FFEEull);
+  for (int round = 0; round < 50; ++round) {
+    TaskState original;
+    const std::uint64_t keys = 1 + rng.uniform_int(1, 40);
+    for (std::uint64_t k = 0; k < keys; ++k) {
+      original["key/" + std::to_string(rng.next() % 200)] =
+          static_cast<std::int64_t>(rng.next() % 1000);
+    }
+    const std::uint64_t aux = rng.uniform_int(0, 4);
+    for (std::uint64_t a = 0; a < aux; ++a) {
+      original["aux" + std::to_string(a)] =
+          static_cast<std::int64_t>(rng.next() % 1000);
+    }
+
+    const StatePartitionMap map(static_cast<int>(rng.uniform_int(1, 8)));
+    const int buckets = map.reserved() + 1;
+    const int start = static_cast<int>(
+        rng.next() % static_cast<std::uint64_t>(buckets));
+    TaskState source = original;
+    TaskState dest;
+    for (int i = 0; i < buckets; ++i) {
+      const int p = (start + i) % buckets;
+      CheckpointBlob blob;
+      blob.checkpoint_id = static_cast<std::uint64_t>(i) + 1;
+      blob.state = extract_partition(source, map, p);
+      merge_partition(dest,
+                      CheckpointBlob::deserialize(blob.serialize()).state);
+    }
+    EXPECT_EQ(dest, original) << "round " << round;
+    EXPECT_TRUE(source.counters.empty()) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace rill::dsps

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 
+#include "metrics/series.hpp"
 #include "obs/names.hpp"
 #include "obs/registry.hpp"
 #include "obs/slo.hpp"
@@ -136,6 +137,42 @@ TEST(SloMonitor, ExportToWritesSloInstruments) {
   const Histogram& p99 = *reg.histogram(names::slo_metric("window_p99_us"));
   EXPECT_EQ(p99.count(), 2u);  // one sample per non-empty window
   EXPECT_EQ(p99.max(), 100u);
+}
+
+// Boundary pins for the windowed-percentile fix: the report's whole-run
+// window ends exactly at the run duration, and a final sink arrival landing
+// on that boundary is a real sample.  The old half-open filter dropped it
+// and reported the previous (stale) window's tail.
+
+TEST(LatencyWindowBoundary, ArrivalExactlyOnWindowEndIsIncluded) {
+  metrics::LatencySeries s;
+  s.add(1 * kSec, 10'000);    // 10 ms early on
+  s.add(420 * kSec, 90'000);  // final arrival lands on the run-end boundary
+  const auto p99 = s.percentile_ms(0.99, 0, 420 * kSec);
+  ASSERT_TRUE(p99.has_value());
+  EXPECT_DOUBLE_EQ(*p99, 90.0);  // the off-by-one reported 10 ms here
+  const auto med = s.median_ms(0, 420 * kSec);
+  ASSERT_TRUE(med.has_value());
+  EXPECT_DOUBLE_EQ(*med, 90.0);  // nearest-rank over both samples
+}
+
+TEST(LatencyWindowBoundary, LoneBoundarySampleStillYieldsAValue) {
+  metrics::LatencySeries s;
+  s.add(60 * kSec, 25'000);
+  // A window whose only sample sits on its end must not read as empty.
+  const auto p = s.percentile_ms(0.99, 50 * kSec, 60 * kSec);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(*p, 25.0);
+}
+
+TEST(LatencyWindowBoundary, SamplesPastTheWindowStayExcluded) {
+  metrics::LatencySeries s;
+  s.add(5 * kSec, 10'000);
+  s.add(10 * kSec, 20'000);      // on the boundary: in
+  s.add(10 * kSec + 1, 99'000);  // one tick past: out
+  const auto p = s.percentile_ms(0.99, 0, 10 * kSec);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(*p, 20.0);
 }
 
 }  // namespace

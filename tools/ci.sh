@@ -18,8 +18,10 @@
 # the two JSONL traces of each pair must be byte-identical, and the first
 # run's artifacts must match the committed sha256 manifests
 # (baseline.sha256 for full blobs, baseline-delta.sha256 for delta mode,
-# baseline-adaptive.sha256 for the adaptive checkpoint policy).
-# `--regen-determinism` rewrites all three manifests instead of checking
+# baseline-adaptive.sha256 for the adaptive checkpoint policy).  The FGM
+# strategy runs its own full-blob double-run against baseline-fgm.sha256 —
+# the three FGM-off manifests above must stay byte-identical regardless.
+# `--regen-determinism` rewrites all four manifests instead of checking
 # them (for PRs that sanction a behavioral change).
 #
 # An attribution gate follows: each strategy's reference config reruns
@@ -35,9 +37,11 @@
 # which fails on a >20% regression of the single-shard baseline or a lost
 # sharding win, bench_ckpt_policy --check asserts the adaptive policy
 # meets its RTO at p95 without writing more checkpoint bytes than the
-# static RTO-tuned baseline, and bench_micro --check asserts the
+# static RTO-tuned baseline, bench_micro --check asserts the
 # observability layer's zero-cost-when-disabled and <5%-when-sampling
-# overhead contracts. `--skip-bench` opts out.
+# overhead contracts, and bench_fig9_latency --check asserts the fluid
+# strategy's whole-run p99 stays strictly below CCR's pause-bounded p99
+# under the 420 s seed-1 Grid scale-in. `--skip-bench` opts out.
 #
 # Usage: tools/ci.sh [--tsan] [--skip-asan] [--skip-bench] [--skip-lint]
 #                    [--regen-determinism]
@@ -117,6 +121,21 @@ for mode in full delta adaptive; do
     cp "$det_dir/$s$tag.run1.json" "$det_dir/$s$tag.json"
   done
 done
+# FGM arm (full blobs only): a fourth manifest for the fluid strategy.  It
+# runs after — and fully apart from — the three FGM-off strategies above,
+# so their manifests cannot be perturbed by the new code path.
+for pass in 1 2; do
+  ./build/tools/rill_run --strategy fgm --dag grid --scale in \
+    --seed 1 --duration 420 --migrate-at 60 --ckpt-delta 0 \
+    --trace-jsonl "$det_dir/fgm.run$pass.jsonl" --json \
+    > "$det_dir/fgm.run$pass.json"
+done
+cmp "$det_dir/fgm.run1.jsonl" "$det_dir/fgm.run2.jsonl" \
+  || { echo "ci.sh: fgm trace differs between identical runs" >&2; exit 1; }
+cmp "$det_dir/fgm.run1.json" "$det_dir/fgm.run2.json" \
+  || { echo "ci.sh: fgm report differs between identical runs" >&2; exit 1; }
+cp "$det_dir/fgm.run1.jsonl" "$det_dir/fgm.jsonl"
+cp "$det_dir/fgm.run1.json" "$det_dir/fgm.json"
 if [ "$regen_determinism" = 1 ]; then
   ( cd "$det_dir" &&
     sha256sum dsm.jsonl dsm.json dcr.jsonl dcr.json ccr.jsonl ccr.json ) \
@@ -130,9 +149,12 @@ if [ "$regen_determinism" = 1 ]; then
               dcr.adaptive.jsonl dcr.adaptive.json \
               ccr.adaptive.jsonl ccr.adaptive.json ) \
     > tests/determinism/baseline-adaptive.sha256
+  ( cd "$det_dir" && sha256sum fgm.jsonl fgm.json ) \
+    > tests/determinism/baseline-fgm.sha256
   echo "==> determinism gate: manifests regenerated" \
        "(tests/determinism/baseline.sha256, baseline-delta.sha256," \
-       "baseline-adaptive.sha256) — commit them with the PR"
+       "baseline-adaptive.sha256, baseline-fgm.sha256) — commit them" \
+       "with the PR"
 else
   ( cd "$det_dir" && sha256sum -c ../../tests/determinism/baseline.sha256 ) \
     || { echo "ci.sh: artifacts drifted from tests/determinism/baseline.sha256;" \
@@ -148,6 +170,12 @@ else
     sha256sum -c ../../tests/determinism/baseline-adaptive.sha256 ) \
     || { echo "ci.sh: artifacts drifted from" \
               "tests/determinism/baseline-adaptive.sha256;" \
+              "if the change is sanctioned, rerun with --regen-determinism" >&2
+         exit 1; }
+  ( cd "$det_dir" &&
+    sha256sum -c ../../tests/determinism/baseline-fgm.sha256 ) \
+    || { echo "ci.sh: artifacts drifted from" \
+              "tests/determinism/baseline-fgm.sha256;" \
               "if the change is sanctioned, rerun with --regen-determinism" >&2
          exit 1; }
 fi
@@ -173,7 +201,8 @@ if [ "$run_bench" = 1 ]; then
     ./bench_fig5_scale_out --check &&
     ./bench_fig5_scale_in --check &&
     ./bench_ckpt_policy --check &&
-    ./bench_micro --check )
+    ./bench_micro --check &&
+    ./bench_fig9_latency --check )
 fi
 
 if [ "$run_asan" = 1 ]; then

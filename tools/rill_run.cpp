@@ -29,7 +29,7 @@ void print_help(std::FILE* out, const char* argv0) {
                "experiment:\n"
                "  --dag NAME            linear|diamond|star|traffic|grid "
                "(default grid)\n"
-               "  --strategy NAME       dsm|dsm-t|dcr|ccr (default ccr)\n"
+               "  --strategy NAME       dsm|dsm-t|dcr|ccr|fgm (default ccr)\n"
                "  --scale in|out        scale direction (default in)\n"
                "  --rate R              source rate, events/s\n"
                "  --seed N              RNG seed (deterministic per seed)\n"
@@ -38,6 +38,8 @@ void print_help(std::FILE* out, const char* argv0) {
                "  --linear-n N          override the DAG with Linear-N\n"
                "  --kv-shards N         checkpoint store shards (default 1;\n"
                "                        1 = the single-Redis baseline)\n"
+               "  --fgm-batch-keys N    FGM only: key-range partitions moved\n"
+               "                        one batch at a time (default 8)\n"
                "\n"
                "incremental checkpointing:\n"
                "  --ckpt-delta 0|1      COMMIT persists dirty-key deltas when\n"
@@ -121,6 +123,7 @@ bool parse_strategy(const std::string& s, core::StrategyKind& out) {
   else if (s == "dsm-t") out = core::StrategyKind::DSM_T;
   else if (s == "dcr") out = core::StrategyKind::DCR;
   else if (s == "ccr") out = core::StrategyKind::CCR;
+  else if (s == "fgm") out = core::StrategyKind::FGM;
   else return false;
   return true;
 }
@@ -189,6 +192,7 @@ int main(int argc, char** argv) {
   workloads::ExperimentConfig cfg;
   bool json = false;
   bool series = false;
+  bool want_help = false;
   std::string trace_out;
   std::string trace_jsonl;
   std::string task_metrics_out;
@@ -237,6 +241,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--kv-shards") {
       cfg.platform.kv_shards = parse_int(argv[0], arg, next());
       if (cfg.platform.kv_shards < 1) die(argv[0], "--kv-shards must be >= 1");
+    } else if (arg == "--fgm-batch-keys") {
+      cfg.platform.fgm_batch_keys = parse_int(argv[0], arg, next());
+      if (cfg.platform.fgm_batch_keys < 1) {
+        die(argv[0], "--fgm-batch-keys must be >= 1");
+      }
     } else if (arg == "--ckpt-delta") {
       const int v = parse_int(argv[0], arg, next());
       if (v != 0 && v != 1) die(argv[0], "--ckpt-delta must be 0 or 1");
@@ -314,11 +323,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--series") {
       series = true;
     } else if (arg == "--help" || arg == "-h") {
-      print_help(stdout, argv[0]);
-      return 0;
+      // Deferred until the whole command line parsed: the strict-parsing
+      // contract says an unknown flag exits 2 even when --help is present,
+      // so unknown-flag detection must run first.
+      want_help = true;
     } else {
       die(argv[0], "unknown flag: " + arg);
     }
+  }
+  if (want_help) {
+    print_help(stdout, argv[0]);
+    return 0;
   }
 
   // The flight recorder is only attached when an output was requested.
