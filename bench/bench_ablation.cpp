@@ -111,6 +111,7 @@ int main() {
       auto strategy = core::make_dsm_timeout_strategy(time::sec_f(est));
       strategy->configure(platform);
       platform.start();
+      // lint: lifetime-ok(bench locals outlive the engine.run below)
       engine.schedule_detached(time::sec(60), [&] {
         collector.set_request_time(engine.now());
         const auto d3 = platform.cluster().provision_n(

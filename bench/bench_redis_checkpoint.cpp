@@ -49,6 +49,7 @@ double checkpoint_ms(std::size_t batch, int nshards) {
   }
   SimTime done_at = 0;
   store.put_batch(client, std::move(kvs),
+                  // lint: lifetime-ok(bench locals outlive the engine.run below)
                   [&](bool) { done_at = engine.now(); });
   engine.run();
   return time::to_ms(static_cast<SimDuration>(done_at));

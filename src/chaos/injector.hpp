@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "chaos/plan.hpp"
+#include "common/island.hpp"
 #include "common/rng.hpp"
 #include "common/time.hpp"
 #include "kvstore/store.hpp"
@@ -51,7 +52,8 @@ struct ChaosStats {
   }
 };
 
-class ChaosInjector final : public net::Network::FaultHook,
+class RILL_ISLAND(ctrl) RILL_PINNED ChaosInjector final
+    : public net::Network::FaultHook,
                             public kvstore::Store::FaultHook {
  public:
   ChaosInjector(ChaosPlan plan, std::uint64_t seed);

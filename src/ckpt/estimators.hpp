@@ -20,11 +20,12 @@
 #include <optional>
 
 #include "chaos/plan.hpp"
+#include "common/island.hpp"
 #include "common/time.hpp"
 
 namespace rill::ckpt {
 
-class MttfEstimator {
+class RILL_ISLAND(ctrl) MttfEstimator {
  public:
   explicit MttfEstimator(double alpha = 0.3) noexcept : alpha_(alpha) {}
 
@@ -56,7 +57,7 @@ class MttfEstimator {
   std::uint64_t failures_{0};
 };
 
-class MttrEstimator {
+class RILL_ISLAND(ctrl) MttrEstimator {
  public:
   explicit MttrEstimator(double alpha = 0.3) noexcept : alpha_(alpha) {}
 

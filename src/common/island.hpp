@@ -1,0 +1,52 @@
+// Island-affinity and lifetime annotations for the parallel-engine contract.
+//
+// The future parallel simulation engine (ROADMAP item 3) advances per-VM
+// event streams as sequential islands between synchronization horizons.
+// That is only safe if every piece of mutable sim-side state has a declared
+// home and nothing mutates it from another island except through the
+// sanctioned crossing points (a `net::` send or an engine event enqueue,
+// both of which serialise the effect into the owner's event stream).
+//
+// These macros expand to nothing — they are read by rill_lint (tools/lint),
+// which tokenizes raw source, never the preprocessed TU.  The linter:
+//
+//   * builds the machine-readable island map (`rill_lint --islands-out
+//     islands.json`) the parallel engine will consume as its partitioning
+//     contract, and
+//   * enforces rule R7: state annotated with one island may only be mutated
+//     from methods of classes on the same island, or from inside a callback
+//     handed to a crossing-point API (the mutation then rides the event
+//     fabric and executes on the owner's island).
+//
+// Annotation grammar (attribute position for classes, declaration prefix
+// for members):
+//
+//   class RILL_ISLAND(vm) RILL_PINNED Executor { ... };   // class-level
+//   RILL_ISLAND(vm) std::deque<Event> queue_;             // member-level
+//   RILL_SHARED NetworkStats stats_;                      // shared fabric
+//
+// A class-level RILL_ISLAND assigns every member to that island; a
+// member-level annotation overrides the class default.  RILL_SHARED marks
+// state that is *expected* to be touched from multiple islands — it must
+// eventually live behind the crossing points or become per-island sharded,
+// and the island map calls it out so the parallel engine PR knows exactly
+// what it has to fence.
+//
+// Island names in use today:
+//   vm    state partitionable by VM (executors, per-shard stores)
+//   ctrl  control-plane state (coordinator, rebalancer, chaos, policy)
+//
+// RILL_PINNED is the companion *lifetime* annotation for rule R6: it
+// declares that objects of this class outlive every engine callback they
+// schedule (platform-owned, torn down only after the event loop stops), so
+// capturing raw `this` in a scheduled/completion callback is sound.  The
+// claim is auditable in one place — the class declaration — instead of
+// being re-asserted by a waiver comment at every call site.  Classes that
+// are NOT pinned must either hold the returned TimerId in a member and
+// cancel it in their destructor, or carry a per-site
+// `// lint: lifetime-ok(<reason>)` waiver.
+#pragma once
+
+#define RILL_ISLAND(island)
+#define RILL_SHARED
+#define RILL_PINNED

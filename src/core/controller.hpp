@@ -15,6 +15,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/island.hpp"
 #include "core/strategy.hpp"
 #include "dsps/platform.hpp"
 
@@ -39,7 +40,7 @@ struct RecoveryStats {
   std::optional<double> first_abort_latency_sec;
 };
 
-class MigrationController {
+class RILL_ISLAND(ctrl) RILL_PINNED MigrationController {
  public:
   MigrationController(dsps::Platform& platform, MigrationStrategy& strategy,
                       ControllerConfig config = {})

@@ -17,7 +17,17 @@ namespace rill::dsps {
 CheckpointCoordinator::CheckpointCoordinator(Platform& platform)
     : platform_(platform) {}
 
-CheckpointCoordinator::~CheckpointCoordinator() { stop_periodic(); }
+CheckpointCoordinator::~CheckpointCoordinator() {
+  stop_periodic();
+  // An INIT session may still be in flight at teardown: its resend and
+  // deadline timers capture `this` and would fire into a destroyed
+  // coordinator if the engine keeps running (tests tear platforms down
+  // while the engine lives on).  Cancel both; a cleared TimerId is a no-op.
+  // lint: nodiscard-ok(cancel-if-pending: false just means it never armed)
+  static_cast<void>(platform_.engine().cancel(init_resend_timer_));
+  // lint: nodiscard-ok(cancel-if-pending: false just means it never armed)
+  static_cast<void>(platform_.engine().cancel(init_deadline_timer_));
+}
 
 void CheckpointCoordinator::start_periodic() {
   if (periodic_running_) return;

@@ -28,6 +28,7 @@
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "common/island.hpp"
 #include "common/time.hpp"
 #include "dsps/config.hpp"
 #include "dsps/event.hpp"
@@ -64,7 +65,7 @@ struct CheckpointStats {
   std::uint64_t init_chain_fetches{0};  ///< extra base-blob fetches on restore
 };
 
-class CheckpointCoordinator {
+class RILL_ISLAND(ctrl) CheckpointCoordinator {
  public:
   using Done = std::function<void(bool success)>;
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/ids.hpp"
+#include "common/island.hpp"
 #include "common/time.hpp"
 #include "dsps/config.hpp"
 #include "dsps/event.hpp"
@@ -85,7 +86,7 @@ enum class FgmMoveOutcome : std::uint8_t {
 /// client reconnect behaviour).  Running: processing normally.
 enum class LifeState : std::uint8_t { Dead, Starting, Running };
 
-class Executor {
+class RILL_ISLAND(vm) RILL_PINNED Executor {
  public:
   Executor(Platform& platform, InstanceId id, InstanceRef ref);
 
@@ -276,7 +277,7 @@ class Executor {
   InstanceRef ref_;
   SlotId slot_{};
 
-  std::deque<Event> queue_;
+  RILL_ISLAND(vm) std::deque<Event> queue_;
   bool busy_{false};
   LifeState life_{LifeState::Dead};
   bool awaiting_init_{false};
@@ -359,7 +360,7 @@ class Executor {
   /// Lazily-built "task/replica" label for attribution hops.
   std::string attr_label_;
 
-  ExecutorStats stats_;
+  RILL_SHARED ExecutorStats stats_;
 };
 
 }  // namespace rill::dsps

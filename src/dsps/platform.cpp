@@ -336,6 +336,7 @@ int Platform::emit_user_children(Executor& from, const Event& parent) {
       // tuples whose key range already moved go to the shadow slot's VM.
       const net::SendOutcome sent = network_->send(
           cluster_.vm_of(from.slot()), cluster_.vm_of(dst.delivery_slot(child)),
+          // lint: lifetime-ok(dst is a platform-owned Executor; the map never erases)
           child.payload_size, [&dst, child] { dst.enqueue(child); });
       if (child.sampled && attributor_ != nullptr) {
         if (sent.dropped)
@@ -373,6 +374,7 @@ void Platform::emit_from_source(Spout& spout, const Event& root_copy_template,
                                 engine_.now());
     const net::SendOutcome sent = network_->send(
         cluster_.vm_of(spout.slot()), cluster_.vm_of(dst.delivery_slot(copy)),
+        // lint: lifetime-ok(dst is a platform-owned Executor; the map never erases)
         copy.payload_size, [&dst, copy] { dst.enqueue(copy); });
     if (copy.sampled && attributor_ != nullptr) {
       if (sent.dropped)
@@ -395,6 +397,7 @@ void Platform::forward_control(Executor& from, const Event& ev) {
 
       Executor& dst = executor(InstanceRef{e.to, r});
       network_->send(cluster_.vm_of(from.slot()), cluster_.vm_of(dst.slot()),
+                     // lint: lifetime-ok(dst is a platform-owned Executor)
                      copy.payload_size, [&dst, copy] { dst.enqueue(copy); },
                      net::MsgClass::Control);
     }
@@ -404,6 +407,7 @@ void Platform::forward_control(Executor& from, const Event& ev) {
 void Platform::send_control_from_coordinator(InstanceRef dst_ref, Event ev) {
   Executor& dst = executor(dst_ref);
   network_->send(io_vm_, cluster_.vm_of(dst.slot()), ev.payload_size,
+                 // lint: lifetime-ok(dst is a platform-owned Executor)
                  [&dst, ev] { dst.enqueue(ev); }, net::MsgClass::Control);
 }
 

@@ -21,6 +21,7 @@
 
 #include "cluster/cluster.hpp"
 #include "common/ids.hpp"
+#include "common/island.hpp"
 #include "common/rng.hpp"
 #include "dsps/acker.hpp"
 #include "dsps/checkpoint.hpp"
@@ -54,7 +55,7 @@ struct PlatformStats {
   std::uint64_t replayed_emissions{0};  ///< emissions tainted `replayed`
 };
 
-class Platform {
+class RILL_ISLAND(ctrl) RILL_PINNED Platform {
  public:
   Platform(sim::Engine& engine, PlatformConfig config);
   ~Platform();

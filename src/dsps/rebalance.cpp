@@ -206,6 +206,7 @@ void Rebalancer::kill_and_redeploy(const MigrationPlan& plan,
             const bool stateful = platform_.topology().task(ref.task).stateful;
             const std::uint64_t epoch = ex.epoch();
             platform_.engine().schedule_detached(
+                // lint: lifetime-ok(ex is a platform-owned Executor; epoch guard no-ops stale fires)
                 time::sec_f(startup), [&ex, stateful, epoch] {
                   // Stale once the worker is re-killed (abort re-pin, chaos
                   // crash): the next incarnation arms its own timer.
@@ -312,6 +313,7 @@ void Rebalancer::prepare_shadows(
           const std::uint64_t epoch = ex.epoch();
           const InstanceRef r = ref;
           platform_.engine().schedule_detached(
+              // lint: lifetime-ok(ex is a platform-owned Executor; epoch guard no-ops stale fires)
               time::sec_f(startup), [&ex, r, epoch, ready] {
                 // If the worker was killed meanwhile its fluid state is
                 // gone; fire anyway — the first batch move then reports

@@ -22,6 +22,8 @@
 #include <optional>
 #include <string>
 
+#include "common/island.hpp"
+
 namespace rill::obs {
 
 class Counter {
@@ -89,7 +91,7 @@ class Histogram {
 
 /// Named instrument store.  std::map keeps instrument addresses stable
 /// across inserts, so `counter("x")` may be cached for the whole run.
-class MetricsRegistry {
+class RILL_SHARED MetricsRegistry {
  public:
   [[nodiscard]] Counter* counter(const std::string& name) {
     return &counters_[name];

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/island.hpp"
 #include "common/time.hpp"
 
 namespace rill::sim {
@@ -75,7 +76,7 @@ struct Arg {
 [[nodiscard]] Arg arg(std::string key, double value);
 [[nodiscard]] Arg arg(std::string key, bool value);
 
-class Tracer {
+class RILL_SHARED Tracer {
  public:
   /// Record phase, matching Chrome's "ph" field.
   enum class Phase : char { Span = 'X', Instant = 'i', Counter = 'C' };

@@ -12,6 +12,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/island.hpp"
 #include "common/time.hpp"
 
 namespace rill::sim {
@@ -23,7 +24,7 @@ struct TimerId {
 };
 
 /// The simulation clock and event loop.
-class Engine {
+class RILL_SHARED Engine {
  public:
   using Callback = std::function<void()>;
 

@@ -78,6 +78,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // hand the plan to the strategy.
   engine.schedule_at_detached(
       static_cast<SimTime>(config.migrate_at),
+      // lint: lifetime-ok(all captures live on the run() caller's stack past engine.run)
       [&platform, &collector, &controller, &scheduler, &config, plan] {
         collector.set_request_time(platform.engine().now());
         const std::vector<VmId> target = platform.cluster().provision_n(

@@ -214,6 +214,32 @@ TEST(Checkpoint, SecondCheckpointUsesNewWaveId) {
   EXPECT_EQ(h.p().coordinator().stats().waves_committed, 2u);
 }
 
+TEST(Checkpoint, DestructorCancelsInFlightInitTimers) {
+  // Regression (found by rill_lint R6): tearing down a platform while an
+  // INIT session is in flight must cancel the resend and deadline timers —
+  // both capture `this` and would fire into a destroyed coordinator if the
+  // engine keeps running after the platform is gone.  Compare how many
+  // pending engine callbacks teardown cancels with and without an in-flight
+  // INIT session: the two timers are the only extra cancellations.
+  const auto pending_drop_on_teardown = [](bool with_init) {
+    Harness h(testutil::mini_chain());
+    h.p().start();
+    h.run_for(time::sec(10));
+    h.p().pause_sources();
+    h.run_for(time::sec(30));
+    if (with_init) {
+      h.p().coordinator().run_init(1, CheckpointMode::Wave, time::sec(1),
+                                   [](bool) {}, time::sec(60));
+    }
+    const std::size_t before = h.engine.pending();
+    h.platform.reset();
+    return before - h.engine.pending();
+  };
+  const std::size_t control = pending_drop_on_teardown(false);
+  const std::size_t with_init = pending_drop_on_teardown(true);
+  EXPECT_EQ(with_init, control + 2u);
+}
+
 TEST(Checkpoint, ConcurrentCheckpointRejected) {
   Harness h(testutil::mini_chain());
   h.p().start();

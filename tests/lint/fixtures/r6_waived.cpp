@@ -1,0 +1,14 @@
+// R6 fixture — a by-reference capture silenced by a lifetime-ok waiver
+// with a reason.  The waiver may sit on the call line or up to three
+// lines above it.
+namespace fx {
+
+struct Waived {
+  Engine& eng_;
+  void arm(int& counter) {
+    // lint: lifetime-ok(counter lives on the harness stack past engine.run)
+    eng_.schedule_detached(5, [&counter] { ++counter; });
+  }
+};
+
+}  // namespace fx

@@ -1,0 +1,33 @@
+// R7 fixture — Driver (island ctrl) writes Worker (island vm) state.  The
+// two direct writes in poke() violate; everything else is legal: Worker's
+// own writes, Driver's writes to its own members, reads, a mutation routed
+// through a crossing point (schedule_detached), and a waived write.
+namespace fx {
+
+struct RILL_ISLAND(vm) Worker {
+  int depth_ = 0;
+  Vec queue_;
+  void bump() { depth_ += 1; }
+};
+
+struct RILL_ISLAND(ctrl) Driver {
+  Engine& eng_;
+  int seen_ = 0;
+  void poke(Worker& w) {
+    w.depth_ += 1;
+    w.queue_.push_back(7);
+  }
+  void tally(const Worker& w) {
+    seen_ = w.depth_;
+  }
+  void defer(Worker& w) {
+    // lint: lifetime-ok(fixture: w outlives the loop in this scenario)
+    eng_.schedule_detached(5, [&w] { w.depth_ += 1; });
+  }
+  void force(Worker& w) {
+    // lint: island-ok(single-threaded until the parallel engine lands)
+    w.depth_ = 0;
+  }
+};
+
+}  // namespace fx

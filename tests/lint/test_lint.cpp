@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -196,6 +198,226 @@ TEST(RillLint, BaselineRoundTrip) {
 TEST(RillLint, BaselineIsDeterministic) {
   const auto fs = lint_one("r2_unordered.cpp");
   EXPECT_EQ(write_baseline(fs), write_baseline(fs));
+}
+
+TEST(RillLint, BaselineSurvivesReformatting) {
+  // v2 keys hash whitespace-normalized statement text, so re-indenting a
+  // baselined violation must not resurrect it.
+  const auto fs = run({{"x.cpp",
+                        "void f() {\n"
+                        "  long t = time(nullptr);\n"
+                        "  (void)t;\n"
+                        "}\n"}});
+  ASSERT_EQ(fs.size(), 1u);
+  const std::string baseline = write_baseline(fs);
+  const auto reformatted = run({{"x.cpp",
+                                 "void f() {\n"
+                                 "      long   t =   time( nullptr );\n"
+                                 "  (void)t;\n"
+                                 "}\n"}});
+  ASSERT_EQ(reformatted.size(), 1u);
+  EXPECT_TRUE(filter_baseline(reformatted, baseline).empty());
+}
+
+TEST(RillLint, BaselineAcceptsLegacyV1Keys) {
+  // A v1 baseline carries the raw trimmed line text instead of the hash;
+  // migration must keep suppressing from the old format.
+  const auto fs = run({{"x.cpp",
+                        "void f() {\n"
+                        "  long t = time(nullptr);\n"
+                        "  (void)t;\n"
+                        "}\n"}});
+  ASSERT_EQ(fs.size(), 1u);
+  const std::string legacy =
+      "1\tx.cpp\tR1/wallclock\tlong t = time(nullptr);\n";
+  EXPECT_TRUE(filter_baseline(fs, legacy).empty());
+}
+
+TEST(RillLint, FormatGithubEscapesProperties) {
+  Finding f;
+  f.file = "src/a,b.cpp";
+  f.line = 7;
+  f.col = 3;
+  f.rule = "R1/wallclock";
+  f.message = "wall-clock call 100% banned";
+  f.hint = "use sim time";
+  EXPECT_EQ(format_github(f),
+            "::error file=src/a%2Cb.cpp,line=7,col=3,title=R1/wallclock"
+            "::wall-clock call 100%25 banned [use sim time]");
+}
+
+// --------------------------------------------------------------------- R6
+
+TEST(RillLint, R6LifetimeFixture) {
+  const auto fs = lint_one("r6_lifetime.cpp");
+  EXPECT_TRUE(has(fs, "R6/callback-lifetime", 9)) << "this, detached, unpinned";
+  EXPECT_TRUE(has(fs, "R6/callback-lifetime", 18)) << "handle held in a local";
+  EXPECT_TRUE(has(fs, "R6/callback-lifetime", 22)) << "&counter";
+  EXPECT_TRUE(has(fs, "R6/callback-lifetime", 23)) << "[&]";
+  EXPECT_EQ(fs.size(), 4u);
+}
+
+TEST(RillLint, R6CleanFixtureIsClean) {
+  // Member-held handle + dtor cancel, RILL_PINNED, and by-value captures
+  // are all legal routes.
+  EXPECT_TRUE(lint_one("r6_clean.cpp").empty());
+}
+
+TEST(RillLint, R6WaiverSilences) {
+  EXPECT_TRUE(lint_one("r6_waived.cpp").empty());
+}
+
+TEST(RillLint, R6DtorCancelMustReachTheMember) {
+  // The destructor cancels a *different* member's handle: the schedule
+  // into pending_ stays illegal.  This is the shape of the real
+  // CheckpointCoordinator init-timer bug.
+  const auto fs = run({{"x.cpp",
+                        "struct H {\n"
+                        "  Engine& eng_;\n"
+                        "  TimerId pending_;\n"
+                        "  TimerId other_;\n"
+                        "  ~H() { static_cast<void>(eng_.cancel(other_)); }\n"
+                        "  void arm() {\n"
+                        "    pending_ = eng_.schedule(5, [this] { poke(); });\n"
+                        "  }\n"
+                        "  void poke();\n"
+                        "};\n"}});
+  EXPECT_TRUE(has(fs, "R6/callback-lifetime", 7));
+}
+
+// --------------------------------------------------------------------- R7
+
+TEST(RillLint, R7IslandFixture) {
+  const auto fs = lint_one("r7_island.cpp");
+  EXPECT_TRUE(has(fs, "R7/island-affinity", 17)) << "w.depth_ += 1";
+  EXPECT_TRUE(has(fs, "R7/island-affinity", 18)) << "w.queue_.push_back";
+  EXPECT_EQ(fs.size(), 2u)
+      << "self-writes, own-member writes, reads, sanctioned crossings and "
+         "the island-ok waiver must stay silent";
+}
+
+TEST(RillLint, R7SharedMembersAreWritableAnywhere) {
+  const auto fs = run({{"x.cpp",
+                        "struct RILL_ISLAND(vm) W {\n"
+                        "  int hot_ = 0;\n"
+                        "  RILL_SHARED long stats_ = 0;\n"
+                        "};\n"
+                        "struct RILL_ISLAND(ctrl) D {\n"
+                        "  void f(W& w) { w.stats_ += 1; }\n"
+                        "};\n"}});
+  EXPECT_TRUE(fs.empty());
+}
+
+// -------------------------------------------------------------- island map
+
+TEST(RillLint, IslandMapCoversAnnotatedClasses) {
+  const Analysis a =
+      analyze({{"r7_island.cpp", fixture("r7_island.cpp")}});
+  ASSERT_EQ(a.islands.classes.size(), 2u);
+  // Sorted by class name: Driver, Worker.
+  EXPECT_EQ(a.islands.classes[0].name, "Driver");
+  EXPECT_EQ(a.islands.classes[0].island, "ctrl");
+  EXPECT_EQ(a.islands.classes[1].name, "Worker");
+  EXPECT_EQ(a.islands.classes[1].island, "vm");
+  EXPECT_EQ(a.islands.classes[1].file, "r7_island.cpp");
+
+  const std::string json = write_islands_json(a.islands);
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"vm\""), std::string::npos);
+  EXPECT_NE(json.find("\"ctrl\""), std::string::npos);
+  EXPECT_NE(json.find("\"Worker\""), std::string::npos);
+  EXPECT_NE(json.find("\"depth_\""), std::string::npos);
+  EXPECT_EQ(write_islands_json(a.islands), json) << "deterministic";
+}
+
+TEST(RillLint, IslandMapRecordsSharedAndPinned) {
+  const Analysis a = analyze(
+      {{"x.cpp",
+        "struct RILL_SHARED Reg { int n_ = 0; };\n"
+        "struct RILL_ISLAND(vm) RILL_PINNED Exec { int d_ = 0; };\n"}});
+  ASSERT_EQ(a.islands.classes.size(), 2u);
+  EXPECT_EQ(a.islands.classes[0].name, "Exec");
+  EXPECT_TRUE(a.islands.classes[0].pinned);
+  EXPECT_EQ(a.islands.classes[1].island, "shared");
+  const std::string json = write_islands_json(a.islands);
+  EXPECT_NE(json.find("\"shared\""), std::string::npos);
+  EXPECT_NE(json.find("\"pinned\": true"), std::string::npos);
+}
+
+// ------------------------------------------------------------- parallelism
+
+TEST(RillLint, ParallelAnalysisIsDeterministic) {
+  std::vector<SourceFile> files = {
+      {"r1_wallclock.cpp", fixture("r1_wallclock.cpp")},
+      {"r2_unordered.cpp", fixture("r2_unordered.cpp")},
+      {"r4_nodiscard.cpp", fixture("r4_nodiscard.cpp")},
+      {"r6_lifetime.cpp", fixture("r6_lifetime.cpp")},
+      {"r7_island.cpp", fixture("r7_island.cpp")},
+      {"clean.cpp", fixture("clean.cpp")}};
+  Options seq;
+  seq.jobs = 1;
+  Options par;
+  par.jobs = 8;
+  const Analysis a = analyze(files, seq);
+  const Analysis b = analyze(files, par);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+  for (std::size_t i = 0; i < a.findings.size(); ++i) {
+    EXPECT_EQ(a.findings[i].file, b.findings[i].file);
+    EXPECT_EQ(a.findings[i].line, b.findings[i].line);
+    EXPECT_EQ(a.findings[i].rule, b.findings[i].rule);
+  }
+  EXPECT_EQ(write_baseline(a.findings), write_baseline(b.findings));
+  EXPECT_EQ(write_islands_json(a.islands), write_islands_json(b.islands));
+}
+
+// ---------------------------------------------------------- full-tree gate
+
+std::vector<SourceFile> load_tree() {
+  namespace fs = std::filesystem;
+  const fs::path root(RILL_SOURCE_DIR);
+  std::vector<SourceFile> files;
+  for (const char* dir : {"src", "bench", "tools"}) {
+    for (const auto& e : fs::recursive_directory_iterator(root / dir)) {
+      if (!e.is_regular_file()) continue;
+      const std::string ext = e.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h") continue;
+      std::ifstream in(e.path(), std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      files.push_back({fs::relative(e.path(), root).generic_string(),
+                       buf.str()});
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+  return files;
+}
+
+TEST(RillLint, FullTreeIsCleanUnderAllRules) {
+  Options opts;
+  opts.jobs = 4;
+  const Analysis a = analyze(load_tree(), opts);
+  for (const Finding& f : a.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " " << f.rule << " "
+                  << f.message;
+  }
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(RillLint, FullTreeIslandMapCoversCoreSubsystems) {
+  const Analysis a = analyze(load_tree());
+  EXPECT_FALSE(a.islands.classes.empty());
+  std::set<std::string> prefixes;
+  for (const IslandClass& c : a.islands.classes) {
+    const std::size_t slash = c.file.find('/', c.file.find('/') + 1);
+    prefixes.insert(c.file.substr(0, slash));
+  }
+  for (const char* want :
+       {"src/sim", "src/dsps", "src/net", "src/kvstore"}) {
+    EXPECT_TRUE(prefixes.contains(want)) << "island map misses " << want;
+  }
 }
 
 }  // namespace

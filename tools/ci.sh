@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 CI gate: RelWithDebInfo build + full test suite, then the ASan
-# preset. The TSan preset exists (`--tsan`) but is opt-in — the simulator
-# is single-threaded, so data-race coverage only matters for future work.
+# preset (build + the fast chaos/FGM teardown subset). The TSan preset
+# (`--tsan`) is opt-in and build-only — the simulator is single-threaded
+# until the parallel engine lands, so there are no races to run down yet.
 #
 # A lint gate runs right after the default-preset tests:
-#   * rill_lint (tools/lint) enforces the determinism rules R1–R4 and the
-#     metric-name grammar R5 over src/ bench/ tools/ and must report zero
-#     findings;
+#   * rill_lint (tools/lint) enforces the determinism rules R1–R4, the
+#     metric-name grammar R5, the callback-lifetime rule R6 and the
+#     VM-island affinity rule R7 over src/ bench/ tools/ and must report
+#     zero findings — any new R6/R7 violation fails the gate (there is no
+#     committed baseline; the tree is clean).  The gate also emits the
+#     island map (build/islands.json) consumed by the parallel-engine
+#     work and fails if it comes out empty;
 #   * clang-tidy runs the checked-in .clang-tidy profile over src/ when
 #     the binary is available (skipped with a notice otherwise — the
 #     profile needs no network, just an installed clang-tidy).
@@ -80,8 +85,13 @@ echo "==> tier-1: ctest (default preset)"
 ctest --preset default -j "$jobs"
 
 if [ "$run_lint" = 1 ]; then
-  echo "==> lint gate: rill_lint (determinism rules R1-R4)"
-  ./build/tools/lint/rill_lint --root .
+  echo "==> lint gate: rill_lint (rules R1-R7) + island map"
+  ./build/tools/lint/rill_lint --root . --jobs "$jobs" \
+    --islands-out build/islands.json
+  [ -s build/islands.json ] && grep -q '"islands"' build/islands.json \
+    || { echo "ci.sh: build/islands.json is empty — island annotations" \
+              "(RILL_ISLAND/RILL_SHARED) went missing" >&2
+         exit 1; }
 
   if command -v clang-tidy >/dev/null 2>&1; then
     echo "==> lint gate: clang-tidy (.clang-tidy profile)"
@@ -206,17 +216,25 @@ if [ "$run_bench" = 1 ]; then
 fi
 
 if [ "$run_asan" = 1 ]; then
-  echo "==> asan: configure + build + ctest"
+  # The fast sanitizer subset covers the suites that exercise teardown
+  # while callbacks are still scheduled (chaos crash/respawn, FGM fluid
+  # migration, capture-window retries) — the lifetimes rill_lint's R6
+  # reasons about statically get checked dynamically here without paying
+  # for the full suite under instrumentation.
+  echo "==> asan: configure + build + fast chaos/FGM subset"
   cmake --preset asan
   cmake --build --preset asan -j "$jobs"
-  ctest --preset asan -j "$jobs"
+  ctest --preset asan -j "$jobs" \
+    -R 'Chaos|CaptureWindow|Fgm|StatePartition|ExtractPartition|Checkpoint'
 fi
 
 if [ "$run_tsan" = 1 ]; then
-  echo "==> tsan: configure + build + ctest"
+  # Build-only until the parallel engine lands: the simulator is
+  # single-threaded today, so running tests under TSan buys nothing, but
+  # the build keeps the instrumentation-clean property from rotting.
+  echo "==> tsan: configure + build (build-only; no threads to race yet)"
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs"
-  ctest --preset tsan -j "$jobs"
 fi
 
 echo "==> ci.sh: all requested suites passed"

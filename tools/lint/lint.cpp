@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -191,6 +194,27 @@ LexedFile lex(const std::string& source) {
 
 namespace {
 
+/// One method body parsed by the class scan: token range [begin, end) of
+/// the body (braces excluded), the unqualified owning class name and the
+/// method name ("~" for destructors).
+struct ScanRegion {
+  std::size_t begin{0};
+  std::size_t end{0};
+  std::string cls;
+  std::string method;
+};
+
+/// One class/struct definition parsed by the class scan (per file, merged
+/// across the whole input set into the ClassModel).
+struct ScanClass {
+  std::string name;
+  int line{1};
+  std::string island;  ///< "" none, "shared", or an island name
+  bool pinned{false};
+  std::vector<std::string> members;  ///< declaration order
+  std::map<std::string, std::string> member_island;
+};
+
 struct FileInfo {
   LexedFile lexed;
   std::vector<std::string> lines;       ///< raw source lines (1-based via index+1)
@@ -202,6 +226,9 @@ struct FileInfo {
   std::set<std::string> unordered_accessors;
   std::set<std::string> nodiscard_funcs;
   std::set<std::string> float_fields;
+  // Class model inputs for R6/R7.
+  std::vector<ScanClass> classes;
+  std::vector<ScanRegion> regions;
 };
 
 std::vector<std::string> split_lines(const std::string& s) {
@@ -296,6 +323,24 @@ std::size_t match_bracket_back(const std::vector<Token>& t, std::size_t close) {
     if (t[i].text == "[" && --depth == 0) return i;
   }
   return 0;
+}
+
+std::size_t match_bracket_fwd(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "[") ++depth;
+    if (t[i].text == "]" && --depth == 0) return i;
+  }
+  return t.size() - 1;
+}
+
+std::size_t match_brace_fwd(const std::vector<Token>& t, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < t.size(); ++i) {
+    if (t[i].text == "{") ++depth;
+    if (t[i].text == "}" && --depth == 0) return i;
+  }
+  return t.size() - 1;
 }
 
 /// From the `<` that opens a template argument list, return the index of
@@ -721,26 +766,678 @@ void check_r5(const std::string& path, const FileInfo& info,
   }
 }
 
+// ------------------------------------------------- class model (R6 / R7)
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Consume RILL_ISLAND(x) / RILL_SHARED / RILL_PINNED annotations starting
+/// at `i`; returns the index of the first non-annotation token.
+std::size_t parse_annotations(const std::vector<Token>& t, std::size_t i,
+                              std::string& island, bool& pinned) {
+  for (;;) {
+    if (i >= t.size()) return i;
+    const std::string& x = t[i].text;
+    if (x == "RILL_ISLAND" && i + 1 < t.size() && t[i + 1].text == "(") {
+      const std::size_t close = match_paren_fwd(t, i + 1);
+      if (i + 2 < close) island = t[i + 2].text;
+      i = close + 1;
+    } else if (x == "RILL_SHARED") {
+      island = "shared";
+      ++i;
+    } else if (x == "RILL_PINNED") {
+      pinned = true;
+      ++i;
+    } else {
+      return i;
+    }
+  }
+}
+
+/// Advance past one statement: everything up to and including the next
+/// top-level `;`, skipping balanced (), {}, [].  Stops (without consuming)
+/// at a stray `}` so a class body's end is never overrun.
+std::size_t skip_statement(const std::vector<Token>& t, std::size_t i) {
+  while (i < t.size()) {
+    const std::string& x = t[i].text;
+    if (x == "(") { i = match_paren_fwd(t, i) + 1; continue; }
+    if (x == "{") { i = match_brace_fwd(t, i) + 1; continue; }
+    if (x == "[") { i = match_bracket_fwd(t, i) + 1; continue; }
+    if (x == ";") return i + 1;
+    if (x == "}") return i;
+    ++i;
+  }
+  return i;
+}
+
+/// After a parameter list's closing `)`, decide whether a function body
+/// follows (skipping cv-qualifiers, noexcept, trailing returns and a
+/// constructor init list) or the construct is a mere declaration — or not a
+/// function definition at all (we hit `,` / `)` / `]` / `}` first, e.g. the
+/// "call expression followed by more arguments" false pattern).
+struct BodyScan {
+  enum Result : std::uint8_t { Body, Decl, NotADef } result{NotADef};
+  std::size_t body_open{0};  ///< index of the body `{` (Result::Body only)
+  std::size_t resume{0};     ///< first token after the construct
+};
+
+BodyScan scan_after_params(const std::vector<Token>& t, std::size_t close) {
+  BodyScan r;
+  bool in_init = false;  // a `:` introduced a constructor init list
+  std::size_t k = close + 1;
+  for (int steps = 0; k < t.size() && steps < 512; ++steps) {
+    const std::string& x = t[k].text;
+    if (x == ")" || x == "]" || x == "}") {
+      r.resume = k;
+      return r;  // NotADef
+    }
+    if (x == ",") {
+      if (!in_init) {
+        r.resume = k;
+        return r;  // NotADef: argument-list context
+      }
+      ++k;  // separator between member initializers
+      continue;
+    }
+    if (x == "(") { k = match_paren_fwd(t, k) + 1; continue; }
+    if (x == ":") { in_init = true; ++k; continue; }
+    if (x == "{") {
+      if (in_init && k > 0 && t[k - 1].kind == TokKind::Ident) {
+        k = match_brace_fwd(t, k) + 1;  // member brace-init in the init list
+        continue;
+      }
+      r.result = BodyScan::Body;
+      r.body_open = k;
+      r.resume = match_brace_fwd(t, k) + 1;
+      return r;
+    }
+    if (x == ";") {
+      r.result = BodyScan::Decl;
+      r.resume = k + 1;
+      return r;
+    }
+    if (x == "=") {  // = default / = delete / = 0 — runs to the `;`
+      while (k < t.size() && t[k].text != ";") ++k;
+      r.result = BodyScan::Decl;
+      r.resume = k + 1;
+      return r;
+    }
+    ++k;
+  }
+  r.resume = k;
+  return r;
+}
+
+/// Parse one member declaration at class-body top level starting at `i`;
+/// records member variables (with any member-level island annotation) and
+/// inline method body regions on `info`.  Returns the index to resume at.
+std::size_t parse_member(FileInfo& info, std::size_t i, std::size_t cls_idx) {
+  const std::vector<Token>& t = info.lexed.tokens;
+  ScanClass& cls = info.classes[cls_idx];
+  const std::string& x = t[i].text;
+  if ((x == "public" || x == "private" || x == "protected") &&
+      i + 1 < t.size() && t[i + 1].text == ":") {
+    return i + 2;
+  }
+  if (x == "friend" || x == "using" || x == "typedef" || x == "enum" ||
+      x == "static_assert") {
+    return skip_statement(t, i + 1);
+  }
+  if (x == "template") {
+    std::size_t j = i + 1;
+    if (j < t.size() && t[j].text == "<") j = match_angle_fwd(t, j) + 1;
+    return j < t.size() ? parse_member(info, j, cls_idx) : j;
+  }
+
+  std::string island;
+  bool pinned = false;  // ignored at member level; RILL_PINNED is per-class
+  std::size_t j = parse_annotations(t, i, island, pinned);
+
+  auto record_method = [&](std::size_t paren,
+                           const std::string& method) -> std::size_t {
+    const std::size_t close = match_paren_fwd(t, paren);
+    const BodyScan bs = scan_after_params(t, close);
+    if (bs.result == BodyScan::Body) {
+      info.regions.push_back({bs.body_open + 1, match_brace_fwd(t, bs.body_open),
+                              cls.name, method});
+      return bs.resume;
+    }
+    if (bs.result == BodyScan::Decl) return bs.resume;
+    return close + 1;  // defensive: resume after the parens
+  };
+
+  std::ptrdiff_t last_ident = -1;
+  int angle = 0;
+  while (j < t.size()) {
+    const std::string& y = t[j].text;
+    if (y == "}") return j;  // class body end — caller pops the scope
+    if (y == "[[") {
+      while (j < t.size() && t[j].text != "]]") ++j;
+      ++j;
+      continue;
+    }
+    if (y == "<") { ++angle; ++j; continue; }
+    if (y == "<<") { angle += 2; ++j; continue; }
+    if (y == ">") { if (angle > 0) --angle; ++j; continue; }
+    if (y == ">>") { angle = angle >= 2 ? angle - 2 : 0; ++j; continue; }
+    if (angle > 0) { ++j; continue; }
+    if (y == "operator") {
+      std::size_t k = j + 1;
+      for (int steps = 0; k < t.size() && t[k].text != "(" && steps < 8; ++steps)
+        ++k;
+      if (k + 2 < t.size() && t[k].text == "(" && t[k + 1].text == ")" &&
+          t[k + 2].text == "(")
+        k += 2;  // operator()
+      if (k < t.size() && t[k].text == "(") return record_method(k, "operator");
+      return k < t.size() ? k + 1 : k;
+    }
+    if (y == "(") {
+      std::string method = last_ident >= 0 ? t[last_ident].text : "?";
+      if (last_ident >= 1 && t[last_ident - 1].text == "~") method = "~";
+      return record_method(j, method);
+    }
+    if (y == "=" || y == "{" || y == "[" || y == ";") {
+      if (last_ident >= 0) {
+        const std::string& m = t[last_ident].text;
+        cls.members.push_back(m);
+        if (!island.empty()) cls.member_island.emplace(m, island);
+      }
+      if (y == ";") return j + 1;
+      return skip_statement(t, j);
+    }
+    if (t[j].kind == TokKind::Ident) last_ident = static_cast<std::ptrdiff_t>(j);
+    ++j;
+  }
+  return j;
+}
+
+/// The class scan: one linear token walk that records class/struct
+/// definitions (with annotations and members), inline method bodies, and
+/// out-of-line `A::b(...) { ... }` / `A::~A() { ... }` definitions.
+/// Recognized method bodies are skipped wholesale, so local structs inside
+/// functions are invisible and regions never nest.
+void scan_classes(FileInfo& info) {
+  const std::vector<Token>& t = info.lexed.tokens;
+  struct Open {
+    bool is_class{false};
+    std::size_t cls{0};  // index into info.classes when is_class
+  };
+  std::vector<Open> stack;
+  std::map<std::size_t, std::size_t> class_opens;  // body "{" index → class
+
+  std::size_t i = 0;
+  while (i < t.size()) {
+    const std::string& x = t[i].text;
+    if (x == "{") {
+      const auto it = class_opens.find(i);
+      stack.push_back(it != class_opens.end() ? Open{true, it->second} : Open{});
+      ++i;
+      continue;
+    }
+    if (x == "}") {
+      if (!stack.empty()) stack.pop_back();
+      ++i;
+      continue;
+    }
+    if ((x == "class" || x == "struct") && (i == 0 || t[i - 1].text != "enum")) {
+      std::size_t j = i + 1;
+      ScanClass c;
+      j = parse_annotations(t, j, c.island, c.pinned);
+      if (j >= t.size() || t[j].kind != TokKind::Ident) {
+        ++i;
+        continue;
+      }
+      c.name = t[j].text;
+      c.line = t[j].line;
+      ++j;
+      if (j < t.size() && t[j].text == "final") ++j;
+      if (j < t.size() && t[j].text == ":") {
+        int angle = 0;
+        ++j;
+        while (j < t.size()) {
+          const std::string& y = t[j].text;
+          if (y == "<") ++angle;
+          else if (y == "<<") angle += 2;
+          else if (y == ">") --angle;
+          else if (y == ">>") angle -= 2;
+          else if (y == "{" && angle <= 0) break;
+          else if (y == ";") break;  // defensive
+          ++j;
+        }
+      }
+      if (j < t.size() && t[j].text == "{") {
+        class_opens.emplace(j, info.classes.size());
+        info.classes.push_back(std::move(c));
+        i = j;  // the "{" handler above pushes the class scope
+      } else {
+        i = j;  // forward declaration / template parameter — no body
+      }
+      continue;
+    }
+    if (!stack.empty() && stack.back().is_class) {
+      i = parse_member(info, i, stack.back().cls);
+      continue;
+    }
+    // Namespace/function scope: out-of-line definition `A::b(` / `A::~A(`.
+    if (t[i].kind == TokKind::Ident && i + 3 < t.size() &&
+        t[i + 1].text == "::") {
+      std::string method;
+      std::size_t paren = 0;
+      if (t[i + 2].kind == TokKind::Ident && t[i + 3].text == "(") {
+        method = t[i + 2].text;
+        paren = i + 3;
+      } else if (t[i + 2].text == "~" && i + 4 < t.size() &&
+                 t[i + 3].kind == TokKind::Ident && t[i + 4].text == "(") {
+        method = "~";
+        paren = i + 4;
+      }
+      if (paren != 0) {
+        const std::size_t close = match_paren_fwd(t, paren);
+        const BodyScan bs = scan_after_params(t, close);
+        if (bs.result == BodyScan::Body) {
+          info.regions.push_back({bs.body_open + 1,
+                                  match_brace_fwd(t, bs.body_open), t[i].text,
+                                  method});
+          i = bs.resume;  // skip the body (call sites are scanned by rules)
+          continue;
+        }
+      }
+    }
+    ++i;
+  }
+}
+
+/// Merged cross-TU class model, keyed by unqualified class name.
+struct ClassInfo {
+  std::string file;
+  int line{1};
+  std::size_t best_members{0};  ///< richest definition wins file attribution
+  std::string island;
+  bool pinned{false};
+  std::vector<std::string> member_order;
+  std::set<std::string> members;
+  std::map<std::string, std::string> member_island;
+  /// Idents appearing in each method body ("~" = destructor) — the
+  /// one-level call graph used for the destructor-cancels check.
+  std::map<std::string, std::set<std::string>> method_idents;
+
+  [[nodiscard]] bool annotated() const {
+    return !island.empty() || pinned || !member_island.empty();
+  }
+};
+using ClassModel = std::map<std::string, ClassInfo>;
+
+ClassModel build_model(const std::vector<const FileInfo*>& order,
+                       const std::vector<std::string>& paths) {
+  ClassModel model;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const FileInfo& fi = *order[k];
+    for (const ScanClass& c : fi.classes) {
+      ClassInfo& ci = model[c.name];
+      if (ci.file.empty() || c.members.size() > ci.best_members) {
+        ci.file = paths[k];
+        ci.line = c.line;
+        ci.best_members = c.members.size();
+      }
+      if (ci.island.empty()) ci.island = c.island;
+      ci.pinned = ci.pinned || c.pinned;
+      for (const std::string& m : c.members) {
+        if (ci.members.insert(m).second) ci.member_order.push_back(m);
+      }
+      for (const auto& [m, isl] : c.member_island) {
+        ci.member_island.emplace(m, isl);
+      }
+    }
+    for (const ScanRegion& r : fi.regions) {
+      std::set<std::string>& ids = model[r.cls].method_idents[r.method];
+      for (std::size_t j = r.begin; j < r.end && j < fi.lexed.tokens.size();
+           ++j) {
+        if (fi.lexed.tokens[j].kind == TokKind::Ident)
+          ids.insert(fi.lexed.tokens[j].text);
+      }
+    }
+  }
+  return model;
+}
+
+/// Does the class's destructor (directly, or through a same-class method it
+/// names) both mention `member` and call something named `cancel`?  This is
+/// R6's "handle held and cancelled" legality route, checked per member so a
+/// destructor that cancels one timer does not launder the others.
+bool dtor_cancels_member(const ClassInfo& ci, const std::string& member) {
+  const auto d = ci.method_idents.find("~");
+  if (d == ci.method_idents.end()) return false;
+  std::set<std::string> reach = d->second;
+  for (const std::string& callee : d->second) {
+    const auto m = ci.method_idents.find(callee);
+    if (m != ci.method_idents.end())
+      reach.insert(m->second.begin(), m->second.end());
+  }
+  return reach.contains("cancel") && reach.contains(member);
+}
+
+/// Innermost method-body region containing token index `idx`, or nullptr.
+const ScanRegion* enclosing_region(const FileInfo& info, std::size_t idx) {
+  const ScanRegion* best = nullptr;
+  for (const ScanRegion& r : info.regions) {
+    if (idx < r.begin || idx >= r.end) continue;
+    if (best == nullptr || (r.end - r.begin) < (best->end - best->begin))
+      best = &r;
+  }
+  return best;
+}
+
+/// From the called ident at `i` (t[i-1] is "." or "->"), walk back across
+/// the receiver chain (`a.b().c[k].f`) and return the index of the token
+/// just before it, or kNpos at beginning of input.
+std::size_t prev_before_receiver(const std::vector<Token>& t, std::size_t i) {
+  std::size_t j = i - 1;
+  while (t[j].text == "." || t[j].text == "->") {
+    if (j == 0) return kNpos;
+    --j;
+    if (t[j].text == ")") {
+      j = match_paren_back(t, j);
+      if (j == 0) return kNpos;
+      --j;
+      if (t[j].kind == TokKind::Ident) {
+        if (j == 0) return kNpos;
+        --j;
+      }
+    } else if (t[j].text == "]") {
+      j = match_bracket_back(t, j);
+      if (j == 0) return kNpos;
+      --j;
+      if (t[j].kind == TokKind::Ident) {
+        if (j == 0) return kNpos;
+        --j;
+      }
+    } else if (t[j].kind == TokKind::Ident) {
+      if (j == 0) return kNpos;
+      --j;
+    } else {
+      break;
+    }
+  }
+  return j;
+}
+
+void check_r6(const std::string& path, const FileInfo& info,
+              const ClassModel& model, const Options& opts,
+              std::vector<Finding>& out) {
+  const std::vector<Token>& t = info.lexed.tokens;
+  std::set<std::string> handles(opts.handle_schedulers.begin(),
+                                opts.handle_schedulers.end());
+  std::set<std::string> all = handles;
+  all.insert(opts.detached_schedulers.begin(), opts.detached_schedulers.end());
+  all.insert(opts.callback_apis.begin(), opts.callback_apis.end());
+
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::Ident || !all.contains(t[i].text)) continue;
+    if (t[i + 1].text != "(") continue;
+    const std::string& recv = t[i - 1].text;
+    if (recv != "." && recv != "->") continue;
+    const std::size_t close = match_paren_fwd(t, i + 1);
+
+    const ScanRegion* reg = enclosing_region(info, i);
+    const ClassInfo* encl = nullptr;
+    if (reg != nullptr) {
+      const auto it = model.find(reg->cls);
+      if (it != model.end()) encl = &it->second;
+    }
+
+    // Legality route (a): the returned handle is stored into a member of
+    // the enclosing class whose destructor cancels that member.
+    bool handle_held = false;
+    if (handles.contains(t[i].text) && encl != nullptr) {
+      const std::size_t p = prev_before_receiver(t, i);
+      if (p != kNpos && p >= 1 && t[p].text == "=" &&
+          t[p - 1].kind == TokKind::Ident &&
+          encl->members.contains(t[p - 1].text) &&
+          dtor_cancels_member(*encl, t[p - 1].text)) {
+        handle_held = true;
+      }
+    }
+
+    int depth = 0;
+    for (std::size_t j = i + 1; j < close; ++j) {
+      const std::string& y = t[j].text;
+      if (y == "(") { ++depth; continue; }
+      if (y == ")") { --depth; continue; }
+      // Lambda introducer at argument depth 1 of *this* call (nested calls
+      // claim their own lambdas at their own depth-1 scan).
+      if (y != "[" || depth != 1) continue;
+      if (t[j - 1].text != "(" && t[j - 1].text != ",") continue;
+      const std::size_t rb = match_bracket_fwd(t, j);
+      if (rb + 1 >= t.size()) continue;
+      const std::string& after = t[rb + 1].text;
+      if (after != "(" && after != "{" && after != "mutable") continue;
+
+      std::vector<std::string> bad;
+      for (std::size_t k = j + 1; k < rb; ++k) {
+        const std::string& ct = t[k].text;
+        if (ct == "this" && t[k - 1].text != "*") {
+          bad.emplace_back("this");
+        } else if (ct == "&") {
+          const std::string& nx = t[k + 1].text;
+          if (nx == "," || nx == "]") bad.emplace_back("[&]");
+          else if (t[k + 1].kind == TokKind::Ident) bad.emplace_back("&" + nx);
+        }
+      }
+      if (bad.empty()) continue;
+      bool only_this = true;
+      for (const std::string& b : bad) {
+        if (b != "this") only_this = false;
+      }
+      if (handle_held) continue;
+      // Legality route (b): a bare `this` capture in a class that declares
+      // (auditable, in one place) that it outlives the event loop.
+      if (only_this && encl != nullptr && encl->pinned) continue;
+      if (waived(info.lexed, t[j].line, "lifetime") ||
+          waived(info.lexed, t[i].line, "lifetime"))
+        continue;
+      std::string caps;
+      for (const std::string& b : bad) {
+        if (!caps.empty()) caps += ", ";
+        caps += b;
+      }
+      emit(out, path, info, t[j], "R6/callback-lifetime",
+           "callback passed to '" + t[i].text + "' captures " + caps +
+               " with no lifetime guarantee",
+           "store the returned TimerId in a member cancelled by the "
+           "destructor, annotate the owning class RILL_PINNED "
+           "(src/common/island.hpp) if it provably outlives the event loop, "
+           "or waive with // lint: lifetime-ok(reason)");
+    }
+  }
+}
+
+/// Member-name → owning island, over every annotated class in the model.
+/// A name claimed by two classes on different islands is ambiguous and
+/// excluded (unique=false).
+struct MemberOwner {
+  std::string island;
+  bool unique{true};
+};
+
+std::map<std::string, MemberOwner> build_owner_index(const ClassModel& model) {
+  std::map<std::string, MemberOwner> owners;
+  for (const auto& [name, ci] : model) {
+    for (const std::string& m : ci.member_order) {
+      std::string isl = ci.island;
+      const auto ov = ci.member_island.find(m);
+      if (ov != ci.member_island.end()) isl = ov->second;
+      if (isl.empty()) continue;
+      const auto [it, fresh] = owners.try_emplace(m, MemberOwner{isl, true});
+      if (!fresh && it->second.island != isl) it->second.unique = false;
+    }
+  }
+  return owners;
+}
+
+void check_r7(const std::string& path, const FileInfo& info,
+              const ClassModel& model,
+              const std::map<std::string, MemberOwner>& owners,
+              const Options& opts, std::vector<Finding>& out) {
+  if (info.regions.empty() || owners.empty()) return;
+  const std::vector<Token>& t = info.lexed.tokens;
+  const std::set<std::string> mutators(opts.mutator_methods.begin(),
+                                       opts.mutator_methods.end());
+  std::set<std::string> crossing(opts.handle_schedulers.begin(),
+                                 opts.handle_schedulers.end());
+  crossing.insert(opts.detached_schedulers.begin(),
+                  opts.detached_schedulers.end());
+  crossing.insert(opts.callback_apis.begin(), opts.callback_apis.end());
+
+  // Argument spans of crossing-point calls: a mutation lexically inside one
+  // rides the event fabric and executes on the owner's island.
+  std::vector<std::pair<std::size_t, std::size_t>> sanctioned;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (t[i].kind == TokKind::Ident && crossing.contains(t[i].text) &&
+        t[i + 1].text == "(" &&
+        (t[i - 1].text == "." || t[i - 1].text == "->")) {
+      sanctioned.emplace_back(i + 1, match_paren_fwd(t, i + 1));
+    }
+  }
+  const auto in_sanctioned = [&](std::size_t k) {
+    for (const auto& [a, b] : sanctioned) {
+      if (k > a && k < b) return true;
+    }
+    return false;
+  };
+
+  const auto is_mutation = [&](std::size_t k) -> bool {
+    if (k > 0 && (t[k - 1].text == "++" || t[k - 1].text == "--")) return true;
+    std::size_t j = k + 1;
+    for (int hops = 0; j < t.size() && hops < 4; ++hops) {
+      const std::string& y = t[j].text;
+      if ((y == "." || y == "->") && j + 1 < t.size() &&
+          t[j + 1].kind == TokKind::Ident) {
+        if (j + 2 < t.size() && t[j + 2].text == "(") {
+          return mutators.contains(t[j + 1].text);  // m.push_back(...)
+        }
+        j += 2;  // m.field ...
+        continue;
+      }
+      if (y == "[") {  // m[k] ...
+        j = match_bracket_fwd(t, j) + 1;
+        continue;
+      }
+      break;
+    }
+    if (j >= t.size()) return false;
+    static const std::unordered_set<std::string> kMutOps = {
+        "=",  "+=", "-=", "*=", "/=",  "%=",  "&=",
+        "|=", "^=", "<<=", ">>=", "++", "--"};
+    return kMutOps.contains(t[j].text);
+  };
+
+  for (const ScanRegion& r : info.regions) {
+    const auto ci_it = model.find(r.cls);
+    if (ci_it == model.end()) continue;
+    const ClassInfo& cls = ci_it->second;
+    // Only methods with a declared island home are checked; unannotated and
+    // shared classes have no affinity to violate from.
+    if (cls.island.empty() || cls.island == "shared") continue;
+    for (std::size_t k = r.begin; k < r.end && k < t.size(); ++k) {
+      if (t[k].kind != TokKind::Ident) continue;
+      const std::string& m = t[k].text;
+      if (cls.members.contains(m)) continue;  // own state — same island
+      const auto ow = owners.find(m);
+      if (ow == owners.end() || !ow->second.unique) continue;
+      const std::string& mi = ow->second.island;
+      if (mi.empty() || mi == "shared" || mi == cls.island) continue;
+      if (k > 0 && t[k - 1].text == "::") continue;  // qualified non-member
+      if (!is_mutation(k)) continue;
+      if (in_sanctioned(k)) continue;
+      if (waived(info.lexed, t[k].line, "island")) continue;
+      emit(out, path, info, t[k], "R7/island-affinity",
+           "'" + r.cls + "' (island '" + cls.island + "') mutates '" + m +
+               "' owned by island '" + mi + "'",
+           "route the write through a crossing point (engine schedule / net "
+           "send / store completion) so it runs on the owner's island; or "
+           "waive with // lint: island-ok(reason)");
+    }
+  }
+}
+
+IslandMap build_island_map(const ClassModel& model) {
+  IslandMap map;
+  for (const auto& [name, ci] : model) {
+    if (!ci.annotated()) continue;
+    IslandClass c;
+    c.name = name;
+    c.file = ci.file;
+    c.island = ci.island;
+    c.pinned = ci.pinned;
+    c.members = ci.member_order;
+    c.member_islands = ci.member_island;
+    map.classes.push_back(std::move(c));
+  }
+  return map;  // ClassModel is ordered → sorted by class name
+}
+
+/// Chunk-free work-stealing parallel loop; `body(i)` must be safe to run
+/// concurrently for distinct `i`.
+void parallel_for(std::size_t n, int jobs,
+                  const std::function<void(std::size_t)>& body) {
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(jobs > 1 ? jobs : 1, n));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      body(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) pool.emplace_back(drain);
+  drain();
+  for (std::thread& th : pool) th.join();
+}
+
 }  // namespace
 
-std::vector<Finding> run(const std::vector<SourceFile>& files,
-                         const Options& opts) {
-  // Pass 1: lex and index every file.
-  std::map<std::string, FileInfo> infos;
-  for (const SourceFile& f : files) {
-    FileInfo info;
+Analysis analyze(const std::vector<SourceFile>& files, const Options& opts) {
+  // Deterministic processing order regardless of input order or job count.
+  std::vector<std::size_t> order(files.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return files[a].path < files[b].path;
+  });
+
+  // Pass 1 (parallel): lex, index, and class-scan every file independently.
+  std::vector<FileInfo> slots(files.size());
+  parallel_for(order.size(), opts.jobs, [&](std::size_t k) {
+    const SourceFile& f = files[order[k]];
+    FileInfo& info = slots[k];
     info.lexed = lex(f.content);
     info.lines = split_lines(f.content);
     info.report_surface = is_report_surface(f.path);
     index_file(info);
-    infos.emplace(f.path, std::move(info));
+    scan_classes(info);
+  });
+
+  std::map<std::string, const FileInfo*> infos;
+  std::vector<const FileInfo*> by_order;
+  std::vector<std::string> paths;
+  by_order.reserve(order.size());
+  paths.reserve(order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    infos.emplace(files[order[k]].path, &slots[k]);
+    by_order.push_back(&slots[k]);
+    paths.push_back(files[order[k]].path);
   }
 
   // Include-closure edges: resolve quoted includes against src/, the scan
   // root, and the including file's own directory.
   std::unordered_map<std::string, std::vector<std::string>> edges;
   for (const auto& [path, info] : infos) {
-    for (const std::string& inc : info.lexed.quoted_includes) {
+    for (const std::string& inc : info->lexed.quoted_includes) {
       for (const std::string& cand :
            {std::string("src/") + inc, inc,
             dirname_of(path).empty() ? inc : dirname_of(path) + "/" + inc}) {
@@ -752,10 +1449,17 @@ std::vector<Finding> run(const std::vector<SourceFile>& files,
     }
   }
 
-  // Pass 2: per file, union declarations over its include closure (BFS),
-  // then run the rules.
-  std::vector<Finding> findings;
-  for (const auto& [path, info] : infos) {
+  // Cross-TU class model for R6/R7, merged in sorted file order.
+  const ClassModel model = build_model(by_order, paths);
+  const std::map<std::string, MemberOwner> owners = build_owner_index(model);
+
+  // Pass 2 (parallel): per file, union declarations over its include
+  // closure (BFS), then run the rules.  All shared state is read-only.
+  std::vector<std::vector<Finding>> per_file(order.size());
+  parallel_for(order.size(), opts.jobs, [&](std::size_t k) {
+    const std::string& path = paths[k];
+    const FileInfo& info = *by_order[k];
+    std::vector<Finding>& findings = per_file[k];
     Scope scope;
     for (const std::string& seed : opts.nodiscard_seed) {
       scope.nodiscard_funcs.insert(seed);
@@ -765,7 +1469,7 @@ std::vector<Finding> run(const std::vector<SourceFile>& files,
     while (!queue.empty()) {
       const std::string cur = std::move(queue.back());
       queue.pop_back();
-      const FileInfo& ci = infos.at(cur);
+      const FileInfo& ci = *infos.at(cur);
       scope.unordered_vars.insert(ci.unordered_vars.begin(),
                                   ci.unordered_vars.end());
       scope.unordered_accessors.insert(ci.unordered_accessors.begin(),
@@ -784,23 +1488,180 @@ std::vector<Finding> run(const std::vector<SourceFile>& files,
     check_r3(path, info, scope, findings);
     check_r4(path, info, scope, findings);
     check_r5(path, info, opts, findings);
-  }
+    check_r6(path, info, model, opts, findings);
+    check_r7(path, info, model, owners, opts, findings);
+  });
 
-  std::sort(findings.begin(), findings.end(),
+  Analysis res;
+  for (std::vector<Finding>& v : per_file) {
+    res.findings.insert(res.findings.end(),
+                        std::make_move_iterator(v.begin()),
+                        std::make_move_iterator(v.end()));
+  }
+  std::sort(res.findings.begin(), res.findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.file != b.file) return a.file < b.file;
               if (a.line != b.line) return a.line < b.line;
               if (a.col != b.col) return a.col < b.col;
               return a.rule < b.rule;
             });
-  return findings;
+  res.islands = build_island_map(model);
+  return res;
+}
+
+std::vector<Finding> run(const std::vector<SourceFile>& files,
+                         const Options& opts) {
+  return analyze(files, opts).findings;
+}
+
+// ------------------------------------------------------------- island JSON
+
+namespace {
+
+void json_string(std::ostringstream& o, const std::string& s) {
+  o << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') o << '\\';
+    o << c;
+  }
+  o << '"';
+}
+
+void json_class(std::ostringstream& o, const IslandClass& c,
+                const char* indent) {
+  o << indent << "{\"class\": ";
+  json_string(o, c.name);
+  o << ", \"file\": ";
+  json_string(o, c.file);
+  o << ", \"pinned\": " << (c.pinned ? "true" : "false");
+  o << ", \"members\": [";
+  bool first = true;
+  for (const std::string& m : c.members) {
+    if (!first) o << ", ";
+    json_string(o, m);
+    first = false;
+  }
+  o << "], \"member_islands\": {";
+  first = true;
+  for (const auto& [m, isl] : c.member_islands) {
+    if (!first) o << ", ";
+    json_string(o, m);
+    o << ": ";
+    json_string(o, isl);
+    first = false;
+  }
+  o << "}}";
+}
+
+}  // namespace
+
+std::string write_islands_json(const IslandMap& map) {
+  std::map<std::string, std::vector<const IslandClass*>> islands;
+  std::vector<const IslandClass*> shared;
+  for (const IslandClass& c : map.classes) {
+    if (c.island == "shared") {
+      shared.push_back(&c);
+    } else {
+      islands[c.island.empty() ? "unassigned" : c.island].push_back(&c);
+    }
+  }
+  std::ostringstream o;
+  o << "{\n  \"version\": 1,\n  \"islands\": {";
+  bool first_island = true;
+  for (const auto& [name, list] : islands) {
+    o << (first_island ? "" : ",") << "\n    ";
+    json_string(o, name);
+    o << ": [";
+    bool first_cls = true;
+    for (const IslandClass* c : list) {
+      o << (first_cls ? "" : ",") << "\n";
+      json_class(o, *c, "      ");
+      first_cls = false;
+    }
+    o << "\n    ]";
+    first_island = false;
+  }
+  o << (islands.empty() ? "" : "\n  ") << "},\n  \"shared\": [";
+  bool first_sh = true;
+  for (const IslandClass* c : shared) {
+    o << (first_sh ? "" : ",") << "\n";
+    json_class(o, *c, "    ");
+    first_sh = false;
+  }
+  o << (shared.empty() ? "" : "\n  ") << "]\n}\n";
+  return o.str();
+}
+
+std::string format_github(const Finding& f) {
+  const auto esc_data = [](const std::string& s) {
+    std::string r;
+    for (const char c : s) {
+      if (c == '%') r += "%25";
+      else if (c == '\n') r += "%0A";
+      else if (c == '\r') r += "%0D";
+      else r += c;
+    }
+    return r;
+  };
+  const auto esc_prop = [&](const std::string& s) {
+    std::string r;
+    for (const char c : esc_data(s)) {
+      if (c == ',') r += "%2C";
+      else if (c == ':') r += "%3A";
+      else r += c;
+    }
+    return r;
+  };
+  std::ostringstream o;
+  o << "::error file=" << esc_prop(f.file) << ",line=" << f.line
+    << ",col=" << f.col << ",title=" << esc_prop(f.rule)
+    << "::" << esc_data(f.message) << " [" << esc_data(f.hint) << "]";
+  return o.str();
 }
 
 // --------------------------------------------------------------- baseline
 
 namespace {
 
-std::string baseline_key(const Finding& f) {
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// v2 key field: "h:" + 16 hex digits of the FNV-1a-64 hash of the
+/// statement text with all whitespace removed, so pure reformatting
+/// (re-indents, alignment, spaces inside parens) does not invalidate a
+/// baseline entry.  Collisions between distinct statements that differ
+/// only in spacing are acceptable for a suppression key.
+std::string normalized_hash(const std::string& line_text) {
+  std::string norm;
+  for (const char c : line_text) {
+    if (c == ' ' || c == '\t') continue;
+    norm += c;
+  }
+  std::uint64_t h = fnv1a64(norm);
+  char hex[17];
+  static constexpr char kDigits[] = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    hex[i] = kDigits[h & 0xF];
+    h >>= 4;
+  }
+  hex[16] = '\0';
+  return std::string("h:") + hex;
+}
+
+std::string baseline_key_v2(const Finding& f) {
+  return f.file + "\t" + f.rule + "\t" + normalized_hash(f.line_text);
+}
+
+/// v1 (legacy) key: the raw trimmed statement text.  Still accepted by
+/// filter_baseline so a committed v1 baseline keeps working until it is
+/// regenerated with --write-baseline.
+std::string baseline_key_v1(const Finding& f) {
   return f.file + "\t" + f.rule + "\t" + f.line_text;
 }
 
@@ -808,11 +1669,12 @@ std::string baseline_key(const Finding& f) {
 
 std::string write_baseline(const std::vector<Finding>& findings) {
   std::map<std::string, int> counts;
-  for (const Finding& f : findings) ++counts[baseline_key(f)];
+  for (const Finding& f : findings) ++counts[baseline_key_v2(f)];
   std::ostringstream out;
-  out << "# rill_lint baseline — regenerate with: rill_lint --write-baseline "
-         "<file>\n"
-      << "# count<TAB>file<TAB>rule<TAB>statement\n";
+  out << "# rill_lint baseline v2 — regenerate with: rill_lint "
+         "--write-baseline <file>\n"
+      << "# count<TAB>file<TAB>rule<TAB>h:<fnv1a64 of normalized "
+         "statement>\n";
   for (const auto& [key, count] : counts) out << count << '\t' << key << '\n';
   return out.str();
 }
@@ -829,12 +1691,16 @@ std::vector<Finding> filter_baseline(const std::vector<Finding>& findings,
   }
   std::vector<Finding> fresh;
   for (const Finding& f : findings) {
-    auto it = budget.find(baseline_key(f));
-    if (it != budget.end() && it->second > 0) {
-      --it->second;
-      continue;
+    bool suppressed = false;
+    for (const std::string& key : {baseline_key_v2(f), baseline_key_v1(f)}) {
+      const auto it = budget.find(key);
+      if (it != budget.end() && it->second > 0) {
+        --it->second;
+        suppressed = true;
+        break;
+      }
     }
-    fresh.push_back(f);
+    if (!suppressed) fresh.push_back(f);
   }
   return fresh;
 }

@@ -10,8 +10,16 @@
 //   --write-baseline FILE  snapshot current findings into FILE and exit 0
 //   --allow PREFIX       extra path prefix exempt from R1 (repeatable)
 //   --list               print scanned file paths and exit
+//   --format FMT         output format: text (default) or github
+//                        (GitHub Actions ::error annotations)
+//   --jobs N             scan with N worker threads (default 1; output is
+//                        deterministic either way)
+//   --islands-out FILE   write the RILL_ISLAND/RILL_SHARED island map
+//                        (the parallel-engine partitioning contract) as
+//                        JSON to FILE
 //
 // Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -35,7 +43,9 @@ bool has_source_ext(const fs::path& p) {
 int usage(std::ostream& os, int code) {
   os << "usage: rill_lint [--root DIR] [--baseline FILE | --write-baseline "
         "FILE]\n"
-        "                 [--allow PREFIX]... [--list] [paths...]\n"
+        "                 [--allow PREFIX]... [--format text|github] "
+        "[--jobs N]\n"
+        "                 [--islands-out FILE] [--list] [paths...]\n"
         "default paths: src bench tools\n";
   return code;
 }
@@ -46,6 +56,8 @@ int main(int argc, char** argv) {
   std::string root = ".";
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string islands_out_path;
+  std::string format = "text";
   bool list_only = false;
   rill::lint::Options opts;
   std::vector<std::string> paths;
@@ -67,6 +79,20 @@ int main(int argc, char** argv) {
       write_baseline_path = value("--write-baseline");
     } else if (arg == "--allow") {
       opts.wallclock_allowlist.push_back(value("--allow"));
+    } else if (arg == "--format") {
+      format = value("--format");
+      if (format != "text" && format != "github") {
+        std::cerr << "rill_lint: --format must be 'text' or 'github'\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (arg == "--jobs") {
+      opts.jobs = std::atoi(value("--jobs").c_str());
+      if (opts.jobs < 1) {
+        std::cerr << "rill_lint: --jobs requires a positive integer\n";
+        return usage(std::cerr, 2);
+      }
+    } else if (arg == "--islands-out") {
+      islands_out_path = value("--islands-out");
     } else if (arg == "--list") {
       list_only = true;
     } else if (arg == "-h" || arg == "--help") {
@@ -118,7 +144,19 @@ int main(int argc, char** argv) {
   }
   if (list_only) return 0;
 
-  std::vector<rill::lint::Finding> findings = rill::lint::run(files, opts);
+  rill::lint::Analysis analysis = rill::lint::analyze(files, opts);
+  std::vector<rill::lint::Finding>& findings = analysis.findings;
+
+  if (!islands_out_path.empty()) {
+    std::ofstream out(islands_out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "rill_lint: cannot write " << islands_out_path << "\n";
+      return 2;
+    }
+    out << rill::lint::write_islands_json(analysis.islands);
+    std::cout << "rill_lint: wrote island map (" << analysis.islands.classes.size()
+              << " annotated class(es)) to " << islands_out_path << "\n";
+  }
 
   if (!write_baseline_path.empty()) {
     std::ofstream out(write_baseline_path, std::ios::binary);
@@ -147,8 +185,12 @@ int main(int argc, char** argv) {
   }
 
   for (const rill::lint::Finding& f : findings) {
-    std::cout << f.file << ":" << f.line << ":" << f.col << ": [" << f.rule
-              << "] " << f.message << "\n    hint: " << f.hint << "\n";
+    if (format == "github") {
+      std::cout << rill::lint::format_github(f) << "\n";
+    } else {
+      std::cout << f.file << ":" << f.line << ":" << f.col << ": [" << f.rule
+                << "] " << f.message << "\n    hint: " << f.hint << "\n";
+    }
   }
   std::cout << "rill_lint: scanned " << files.size() << " file(s), "
             << findings.size() << " finding(s)";
