@@ -1,0 +1,208 @@
+// Closed-loop SLO-driven autoscaling (ROADMAP item 2).
+//
+// The AutoscaleController closes the loop the paper leaves open: it
+// subscribes to the live sink-arrival stream (through a tee on the
+// platform's EventListener), folds it into an OnlineSloMonitor, samples
+// queue depths and source backlogs, and once per decision period decides
+// whether to move the worker pool between three VM tiers —
+//
+//   Packed (D3, ⌈slots/4⌉ VMs)  ←  Default (D2, ⌈slots/2⌉)  →  Wide (D1, slots)
+//
+// — and with WHICH migration strategy.  The slot count never changes
+// (Table 1); elasticity is re-packing the same instances onto more or
+// fewer, bigger or smaller VMs, trading noisy-neighbour dilation against
+// cost exactly as the paper's scale-out/in experiments do.
+//
+// Strategy selection (the paper's §6 "which mechanism when" made code):
+//   * scale-out while the SLO is burning and the dataflow holds keyed
+//     state → FGM: fluid key-batch moves, no stop-the-world pause;
+//   * scale-out otherwise → CCR: fastest checkpoint-assisted restore;
+//   * scale-in keyed → FGM as well: the tempting "load is low, a
+//     stop-the-world drain is affordable" shortcut is a bug — DCR/CCR
+//     pause for the whole restore, and tens of seconds of sink silence
+//     burn SLO windows no matter how low the rate is;
+//   * scale-in unkeyed → CCR (FGM needs key batches to move fluidly);
+//   * if the chosen strategy exhausts its attempts, the underlying
+//     MigrationController degrades to DSM — the fallback of last resort.
+//
+// Guards, in evaluation order: an in-flight/queued migration beyond
+// max_parallel_migrations suppresses the trigger (counted), then a
+// cooldown window after every trigger absorbs the decision noise while
+// the dataflow stabilises.  Hysteresis is asymmetric: scale-out needs
+// `scale_out_windows` consecutive violated windows OR a queue-depth
+// spike; scale-in needs a (longer) `scale_in_windows` healthy streak AND
+// drained queues AND an empty source backlog.
+//
+// decide() is a pure function of (Signals, AutoscaleConfig) so the policy
+// table is unit-testable without a platform.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/island.hpp"
+#include "common/time.hpp"
+#include "core/controller.hpp"
+#include "core/strategy.hpp"
+#include "dsps/listener.hpp"
+#include "dsps/scheduler.hpp"
+#include "obs/slo.hpp"
+#include "sim/engine.hpp"
+#include "workloads/scenario.hpp"
+
+namespace rill::obs {
+class MetricsRegistry;
+}
+
+namespace rill::autoscale {
+
+/// Worker-pool packing tiers (Table 1 geometries).
+enum class PoolTier : std::uint8_t { Packed, Default, Wide };
+
+[[nodiscard]] std::string_view to_string(PoolTier t) noexcept;
+
+struct AutoscaleConfig {
+  /// Master switch; off = the controller never schedules anything and the
+  /// run is byte-identical to a controller-less one.
+  bool enabled{false};
+  /// SLO: per-window p99 target fed to the online monitor.
+  std::uint64_t target_p99_us{1'500'000};
+  /// SLO window width, seconds of sim time.
+  std::uint64_t window_sec{10};
+  /// How often the controller wakes up to decide.
+  SimDuration decision_period{time::sec(5)};
+  /// Minimum gap after a trigger before the next one.
+  SimDuration cooldown{time::sec(60)};
+  /// Scale-out hysteresis: consecutive violated windows required.
+  int scale_out_windows{2};
+  /// Scale-in hysteresis: consecutive healthy windows required.
+  int scale_in_windows{9};
+  /// Queue-depth watermarks (max over worker executors): at or above
+  /// `queue_high` the controller scales out even before the SLO burns;
+  /// scale-in additionally requires the max depth at or below `queue_low`.
+  std::uint64_t queue_high{40};
+  std::uint64_t queue_low{4};
+  /// Concurrent migrations allowed (in flight + queued).  1 = strictly
+  /// serial triggers.
+  std::size_t max_parallel_migrations{1};
+  /// Pin every trigger to one strategy (per-strategy experiment rows);
+  /// nullopt = pick per situation (FGM/CCR/DCR table above).
+  std::optional<core::StrategyKind> force_strategy;
+};
+
+enum class Action : std::uint8_t { None, ScaleOut, ScaleIn };
+
+[[nodiscard]] std::string_view to_string(Action a) noexcept;
+
+/// Everything decide() looks at, gathered once per decision tick.
+struct Signals {
+  int violated_streak{0};           ///< closed violated windows at the tail
+  int ok_streak{0};                 ///< closed healthy windows at the tail
+  std::uint64_t queue_depth_max{0}; ///< max executor queue depth
+  std::uint64_t backlog{0};         ///< total source backlog
+  bool keyed{false};                ///< dataflow holds fields-grouped state
+  PoolTier tier{PoolTier::Default};
+  std::size_t migrations_busy{0};   ///< in flight + queued at the controller
+  bool cooling_down{false};
+};
+
+struct Decision {
+  Action action{Action::None};   ///< what to do after the guards
+  Action desired{Action::None};  ///< pre-guard intent (for suppression stats)
+  core::StrategyKind strategy{core::StrategyKind::CCR};
+  PoolTier target{PoolTier::Default};
+  std::string_view reason;       ///< static string, for traces/tests
+};
+
+/// The policy table, pure in its inputs.
+[[nodiscard]] Decision decide(const Signals& s, const AutoscaleConfig& cfg);
+
+/// One enacted trigger, for the report and the sweep tests.
+struct AutoscaleEvent {
+  SimTime at{0};
+  Action action{Action::None};
+  core::StrategyKind strategy{core::StrategyKind::CCR};
+  PoolTier from{PoolTier::Default};
+  PoolTier to{PoolTier::Default};
+  bool succeeded{false};  ///< filled when the migration's on_done fires
+};
+
+struct AutoscaleStats {
+  std::uint64_t decisions{0};             ///< decision ticks evaluated
+  std::uint64_t scale_outs{0};
+  std::uint64_t scale_ins{0};
+  std::uint64_t fgm_chosen{0};
+  std::uint64_t ccr_chosen{0};
+  std::uint64_t dcr_chosen{0};
+  std::uint64_t suppressed_cooldown{0};   ///< intents absorbed by cooldown
+  std::uint64_t suppressed_busy{0};       ///< intents absorbed by the guard
+  std::uint64_t failed{0};                ///< triggers whose migration failed
+  std::vector<AutoscaleEvent> events;
+};
+
+/// The closed-loop controller.  Sits between the platform and the real
+/// listener (tee): call attach() AFTER the runner installs its collector,
+/// then start() after Platform::start().
+class RILL_ISLAND(ctrl) RILL_PINNED AutoscaleController final
+    : public dsps::EventListener {
+ public:
+  AutoscaleController(dsps::Platform& platform,
+                      core::MigrationController& migrations,
+                      workloads::VmPlan plan, AutoscaleConfig config);
+
+  /// Interpose on the platform's listener chain (keeps the current
+  /// listener as the downstream tee target).
+  void attach();
+  void start();
+  void stop();
+
+  /// Fires at the FIRST trigger only (the collector's epoch stamp).
+  void set_on_first_trigger(std::function<void(SimTime)> cb) {
+    on_first_trigger_ = std::move(cb);
+  }
+
+  [[nodiscard]] const AutoscaleStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] PoolTier tier() const noexcept { return tier_; }
+  [[nodiscard]] obs::OnlineSloMonitor& slo() noexcept { return slo_; }
+
+  /// Export autoscale.* counters into the registry (post-run).
+  void export_to(obs::MetricsRegistry& reg) const;
+
+  // ---- EventListener (tee) ----
+  void on_source_emit(const dsps::Event& ev, bool replay) override;
+  void on_emit(const dsps::Event& ev) override;
+  void on_sink_arrival(const dsps::Event& ev, SimTime now) override;
+  void on_lost(const dsps::Event& ev, SimTime now) override;
+
+ private:
+  void tick();
+  [[nodiscard]] Signals gather();
+  void enact(const Decision& d, SimTime now);
+
+  dsps::Platform& platform_;
+  core::MigrationController& migrations_;
+  workloads::VmPlan plan_;
+  AutoscaleConfig config_;
+  obs::OnlineSloMonitor slo_;
+  dsps::EventListener* downstream_{nullptr};
+  dsps::RoundRobinScheduler scheduler_;  ///< outlives every enacted plan
+  sim::PeriodicTimer timer_;
+  PoolTier tier_{PoolTier::Default};
+  SimTime cooldown_until_{0};
+  /// Completion instant of the last enacted migration.  SLO windows that
+  /// started before it are tainted by the migration's own sink silence
+  /// (the stop-the-world restore reads as a breach) and must not feed the
+  /// next decision's streaks — otherwise every DCR scale-in manufactures
+  /// the violated streak that triggers a spurious scale-out (thrash).
+  SimTime settled_at_{0};
+  bool keyed_{false};
+  bool triggered_once_{false};
+  int trigger_seq_{0};  ///< unique VM label suffix per trigger
+  std::function<void(SimTime)> on_first_trigger_;
+  AutoscaleStats stats_;
+};
+
+}  // namespace rill::autoscale

@@ -9,9 +9,18 @@
 // failed attempts the controller degrades to plain DSM — always-on acking
 // plus periodic checkpoints — so the migration still completes, trading
 // the paper's zero-loss guarantee for at-least-once progress.
+//
+// Requests arriving while one is in flight (the autoscale controller fires
+// them from a timer, so overlap with a retry/backoff window is routine) are
+// queued FIFO up to `max_queued` and enacted in arrival order when the
+// current one finishes; beyond the cap they are rejected immediately with
+// on_done(false).  Both outcomes are deterministic — nothing about the
+// in-flight migration is perturbed.
 #pragma once
 
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 
@@ -29,6 +38,16 @@ struct ControllerConfig {
   SimDuration retry_backoff{time::sec(5)};
   /// Degrade to DSM after the attempts are exhausted instead of failing.
   bool fallback_to_dsm{true};
+  /// Requests arriving while one is in flight wait here (FIFO) instead of
+  /// throwing; beyond this cap they are rejected with on_done(false).
+  std::size_t max_queued{1};
+};
+
+/// Overlapping-request accounting (all deterministic).
+struct RequestQueueStats {
+  std::uint64_t queued{0};     ///< requests parked behind an in-flight one
+  std::uint64_t dequeued{0};   ///< parked requests later enacted
+  std::uint64_t rejected{0};   ///< requests refused at the queue cap
 };
 
 struct RecoveryStats {
@@ -49,10 +68,19 @@ class RILL_ISLAND(ctrl) RILL_PINNED MigrationController {
         active_(&strategy),
         config_(config) {}
 
-  /// Enact the plan now.  `on_done` (optional) fires when the migration
-  /// finally completes — after retries and, if enabled, the DSM fallback.
-  /// One request at a time.
+  /// Enact the plan with the strategy bound at construction.  `on_done`
+  /// (optional) fires when the migration finally completes — after retries
+  /// and, if enabled, the DSM fallback.  If a migration is already in
+  /// flight the request queues (or is rejected at the cap) — see above.
   void request(dsps::MigrationPlan plan,
+               std::function<void(bool)> on_done = {});
+
+  /// Enact the plan with an explicit strategy for this request — the
+  /// autoscale controller picks FGM/CCR/DCR per situation.  The strategy
+  /// instance is created once per kind and cached; its configure() runs
+  /// before every enactment so the platform's session knobs (acking,
+  /// checkpoint wiring, periodic waves) match the chosen strategy.
+  void request(dsps::MigrationPlan plan, StrategyKind kind,
                std::function<void(bool)> on_done = {});
 
   [[nodiscard]] bool in_flight() const noexcept { return in_flight_; }
@@ -70,19 +98,36 @@ class RILL_ISLAND(ctrl) RILL_PINNED MigrationController {
   [[nodiscard]] const ControllerConfig& config() const noexcept {
     return config_;
   }
+  [[nodiscard]] const RequestQueueStats& queue_stats() const noexcept {
+    return queue_stats_;
+  }
+  [[nodiscard]] std::size_t queued() const noexcept { return pending_.size(); }
 
  private:
+  struct PendingRequest {
+    dsps::MigrationPlan plan;
+    std::optional<StrategyKind> kind;  ///< nullopt = the bound strategy
+    std::function<void(bool)> on_done;
+  };
+
+  void begin(PendingRequest req);
+  void enqueue_or_begin(PendingRequest req);
   void start_attempt(std::function<void(bool)> on_done);
   void on_attempt_done(bool ok, std::function<void(bool)> on_done);
   void fall_back(std::function<void(bool)> on_done);
   void finish(bool ok, std::function<void(bool)>& on_done);
 
   dsps::Platform& platform_;
-  MigrationStrategy* strategy_;          ///< requested strategy (borrowed)
+  MigrationStrategy* strategy_;          ///< bound default strategy (borrowed)
   MigrationStrategy* active_{nullptr};   ///< strategy currently migrating
   std::unique_ptr<MigrationStrategy> fallback_;  ///< owned DSM, if degraded
+  /// Per-kind strategy cache for explicit-strategy requests (ordered map:
+  /// iteration never happens on a hot path, but determinism is free).
+  std::map<StrategyKind, std::unique_ptr<MigrationStrategy>> owned_;
   ControllerConfig config_;
   dsps::MigrationPlan plan_;  ///< kept for retries / fallback
+  std::deque<PendingRequest> pending_;  ///< overlapping requests, FIFO
+  RequestQueueStats queue_stats_;
   RecoveryStats recovery_;
   bool in_flight_{false};
   bool completed_{false};

@@ -145,6 +145,18 @@ struct PlatformConfig {
   /// sensor ids); fields-grouped edges route by hash of these.
   std::uint64_t key_cardinality = 64;
 
+  // ---- VM interference (noisy neighbours) ----
+  /// Per-busy-colocated-neighbour service-time dilation, in per mille of
+  /// the task's base service time: a user event served while `n` other
+  /// instances on the same VM are busy takes
+  ///   service · (1000 + vm_steal_permille · n) / 1000.
+  /// This is what gives the paper's VM packing its capacity meaning — a
+  /// consolidated D3 (4 slots) steals CPU under load where a dedicated D1
+  /// does not — and is what the autoscale controller's scale-out relieves.
+  /// 0 (default) disables the model entirely and keeps every baseline
+  /// byte-identical.
+  int vm_steal_permille = 0;
+
   /// Master seed; every component forks its own stream from this.
   std::uint64_t seed = 42;
 };

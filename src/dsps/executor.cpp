@@ -300,8 +300,10 @@ void Executor::pump() {
     if (auto* at = attributor_for(ev))
       at->on_service_start(ev.id, platform_.engine().now(), attr_label());
     const std::uint64_t epoch = epoch_;
-    const TaskDef& def = platform_.topology().task(ref_.task);
-    platform_.engine().schedule_detached(def.service_time, [this, ev, epoch] {
+    // Noisy-neighbour dilation: busy colocated instances on this VM steal
+    // CPU (no-op at the default knob, where this is the base service time).
+    const SimDuration service = platform_.user_service_time(*this);
+    platform_.engine().schedule_detached(service, [this, ev, epoch] {
       if (epoch != epoch_) {
         // Killed mid-processing: the event is lost with the worker.  The
         // kill already charged lost_mid_service for it (and must not be

@@ -131,6 +131,9 @@ class RILL_ISLAND(vm) RILL_PINNED Executor {
   [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
   [[nodiscard]] bool awaiting_init() const noexcept { return awaiting_init_; }
   [[nodiscard]] bool capturing() const noexcept { return capturing_; }
+  /// Currently serving an event (user or control) — the VM-interference
+  /// model counts busy colocated neighbours.
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
 
   // ---- dataflow ----
   /// Deliver an event into the input queue (network callback).  Dropped

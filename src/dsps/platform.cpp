@@ -446,4 +446,17 @@ VmId Platform::vm_of_instance(InstanceRef ref) const {
   return cluster_.vm_of(executor(ref).slot());
 }
 
+SimDuration Platform::user_service_time(const Executor& ex) const {
+  const TaskDef& def = topology_.task(ex.task());
+  if (config_.vm_steal_permille <= 0) return def.service_time;
+  const VmId vm = cluster_.vm_of(ex.slot());
+  std::int64_t busy_neighbours = 0;
+  for (const auto& [ref, other] : executors_) {
+    if (other.get() == &ex || !other->busy()) continue;
+    if (cluster_.vm_of(other->slot()) == vm) ++busy_neighbours;
+  }
+  return def.service_time +
+         def.service_time * config_.vm_steal_permille * busy_neighbours / 1000;
+}
+
 }  // namespace rill::dsps

@@ -210,6 +210,12 @@ class RILL_ISLAND(ctrl) RILL_PINNED Platform {
   /// VM hosting an instance's current slot.
   [[nodiscard]] VmId vm_of_instance(InstanceRef ref) const;
 
+  /// Effective service time for a user event at `ex`: the task's base
+  /// service time, dilated by vm_steal_permille for every other busy
+  /// executor colocated on the same VM (noisy-neighbour CPU steal).
+  /// Integer-µs arithmetic; with the knob at 0 this is exactly the base.
+  [[nodiscard]] SimDuration user_service_time(const Executor& ex) const;
+
  private:
   friend class Rebalancer;
 

@@ -1,6 +1,7 @@
 #include "dsps/spout.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "dsps/platform.hpp"
 #include "obs/attribution.hpp"
@@ -8,27 +9,100 @@
 
 namespace rill::dsps {
 
+namespace {
+
+/// µs·µev/s numerator an inter-arrival interval is carved from: at rate r
+/// µev/s the exact interval is 10¹²/r µs (e.g. 8 ev/s → exactly 125000).
+constexpr std::uint64_t kIntervalNumerator = 1'000'000'000'000ull;
+
+[[nodiscard]] std::uint64_t to_ueps(double events_per_sec) {
+  if (!(events_per_sec > 0.0)) return 0;
+  return static_cast<std::uint64_t>(std::llround(events_per_sec * 1e6));
+}
+
+}  // namespace
+
 Spout::Spout(Platform& platform, InstanceId id, InstanceRef ref, double rate)
     : platform_(platform),
       id_(id),
       ref_(ref),
-      rate_(rate),
-      gen_timer_(platform.engine(), time::sec_f(1.0 / rate),
-                 [this] { tick(); }),
+      rate_ueps_(to_ueps(rate)),
       pump_timer_(platform.engine(),
                   time::sec_f(1.0 / platform.config().backlog_pump_rate),
                   [this] { pump_backlog(); }) {}
 
+Spout::~Spout() { stop(); }
+
 void Spout::start() {
   if (running_) return;
   running_ = true;
-  gen_timer_.start();
+  if (rate_ueps_ > 0) schedule_next_tick();
 }
 
 void Spout::stop() {
   running_ = false;
-  gen_timer_.stop();
+  if (gen_armed_) {
+    gen_armed_ = false;
+    // lint: nodiscard-ok(cancel-if-pending: false just means the tick already fired)
+    static_cast<void>(platform_.engine().cancel(gen_pending_));
+  }
   pump_timer_.stop();
+}
+
+void Spout::arm_gen(std::uint64_t delay_us) {
+  gen_armed_ = true;
+  gen_due_ = platform_.engine().now() + delay_us;
+  gen_pending_ = platform_.engine().schedule(
+      static_cast<SimDuration>(delay_us), [this] {
+        if (!running_) return;
+        gen_armed_ = false;
+        // Re-arm before the tick body, mirroring PeriodicTimer::arm(), so
+        // a tick that calls stop()/set_rate() cancels cleanly and the
+        // engine's sequence order matches the old periodic scheduling.
+        schedule_next_tick();
+        tick();
+      });
+}
+
+void Spout::schedule_next_tick() {
+  // Integer-µs inter-arrival accumulation: interval = ⌊(10¹² + carry) /
+  // rate⌋, carrying the remainder forward.  Intervals differ by at most
+  // 1 µs and average to exactly 10¹²/rate — e.g. rate 3 ev/s yields
+  // 333334, 333333, 333333, repeating, instead of a drifting 333333.
+  const std::uint64_t num = kIntervalNumerator + phase_rem_;
+  const std::uint64_t interval = num / rate_ueps_;
+  phase_rem_ = num % rate_ueps_;
+  arm_gen(interval);
+}
+
+void Spout::set_rate(double events_per_sec) {
+  const std::uint64_t ueps = to_ueps(events_per_sec);
+  if (ueps == rate_ueps_) return;
+  const std::uint64_t old_ueps = rate_ueps_;
+  rate_ueps_ = ueps;
+  phase_rem_ = 0;
+  if (!running_) return;  // picked up by the next start()
+
+  if (gen_armed_) {
+    gen_armed_ = false;
+    // lint: nodiscard-ok(cancel-if-pending: rearmed below at the scaled delay)
+    static_cast<void>(platform_.engine().cancel(gen_pending_));
+  }
+  if (rate_ueps_ == 0) return;  // silence until a later set_rate() > 0
+
+  const SimTime now = platform_.engine().now();
+  std::uint64_t delay;
+  if (old_ueps > 0 && gen_due_ > now) {
+    // Phase-continuous: keep the elapsed fraction of the interval.  The
+    // remaining fraction is (due − now)/old_interval; the same fraction of
+    // the new interval is (due − now) · old_rate / new_rate.  remaining ≤
+    // 10¹²/old_ueps, so the product stays ≤ 10¹² — no overflow.
+    delay = (gen_due_ - now) * old_ueps / rate_ueps_;
+  } else {
+    // Was stopped (rate 0) or due now: restart with a full interval.
+    delay = kIntervalNumerator / rate_ueps_;
+  }
+  arm_gen(delay);
 }
 
 void Spout::pause() {
@@ -102,7 +176,8 @@ void Spout::emit_root(SimTime born_at, bool replay, RootId origin) {
   tmpl.id = root;
   tmpl.root = root;
   tmpl.origin = origin;
-  tmpl.key = next_key_++ % platform_.config().key_cardinality;
+  tmpl.key = key_picker_ ? key_picker_()
+                         : next_key_++ % platform_.config().key_cardinality;
   tmpl.producer = ref_.task;
   tmpl.born_at = born_at;
   tmpl.emitted_at = platform_.engine().now();

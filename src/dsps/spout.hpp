@@ -1,8 +1,11 @@
 // Source task (spout): rate-driven synthetic event generator with the
 // reliability features the paper's strategies depend on.
 //
-//  * Emits root events at a fixed rate (paper: 8 ev/s) and duplicates each
-//    root to every out-edge.
+//  * Emits root events at a configurable rate (paper: 8 ev/s) and
+//    duplicates each root to every out-edge.  Emission is scheduled by
+//    integer-µs inter-arrival accumulation (no float phase error over long
+//    runs) and the rate can be changed mid-run phase-continuously — the
+//    traffic models (diurnal curves, flash crowds) drive set_rate().
 //  * When user acking is enabled (DSM), caches emitted roots until the
 //    acker reports the causal tree complete; failed roots are re-emitted
 //    ("replayed") with the original birth timestamp so end-to-end latency
@@ -15,6 +18,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 
 #include "common/ids.hpp"
@@ -39,6 +43,7 @@ struct SpoutStats {
 class Spout {
  public:
   Spout(Platform& platform, InstanceId id, InstanceRef ref, double rate);
+  ~Spout();
 
   Spout(const Spout&) = delete;
   Spout& operator=(const Spout&) = delete;
@@ -60,6 +65,21 @@ class Spout {
   /// direct emission.
   void unpause();
 
+  /// Change the generation rate mid-run, phase-continuously: the elapsed
+  /// fraction of the current inter-arrival interval is preserved, so a
+  /// ramp produces no burst and no gap at the switch point.  Rate 0 stops
+  /// generation until a later set_rate() > 0.
+  void set_rate(double events_per_sec);
+  /// Current rate in micro-events per second (integer; exact).
+  [[nodiscard]] std::uint64_t rate_ueps() const noexcept { return rate_ueps_; }
+
+  /// Override the partition-key assignment of emitted roots (default:
+  /// round-robin over key_cardinality).  The traffic models install a
+  /// Zipf-skewed sampler here; the picker must be deterministic.
+  void set_key_picker(std::function<std::uint64_t()> picker) {
+    key_picker_ = std::move(picker);
+  }
+
   [[nodiscard]] bool paused() const noexcept { return paused_; }
   [[nodiscard]] std::size_t backlog() const noexcept { return backlog_.size(); }
   [[nodiscard]] std::size_t cache_size() const noexcept { return cache_.size(); }
@@ -74,6 +94,10 @@ class Spout {
 
   void tick();                   ///< periodic external generation
   void pump_backlog();
+  /// Schedule the next generation tick `delay_us` from now.
+  void arm_gen(std::uint64_t delay_us);
+  /// Accumulate the next integer-µs inter-arrival interval and arm it.
+  void schedule_next_tick();
   void emit_root(SimTime born_at, bool replay, RootId origin = 0);
   void on_root_complete(RootId root);
   void on_root_fail(RootId root);
@@ -82,15 +106,28 @@ class Spout {
   InstanceId id_;
   InstanceRef ref_;
   SlotId slot_{};
-  double rate_;
   bool running_{false};
   bool paused_{false};
 
-  sim::PeriodicTimer gen_timer_;
+  /// Generation rate in micro-events per second (rate · 10⁶, rounded).
+  /// Inter-arrival intervals are carved from a 10¹² µs·µev/s numerator with
+  /// a carried remainder, so the long-run average rate is exact — no float
+  /// phase accumulates no matter how long the run or how often set_rate()
+  /// retunes it.
+  std::uint64_t rate_ueps_;
+  /// Carried remainder of the inter-arrival division, < rate_ueps_.
+  std::uint64_t phase_rem_{0};
+  /// Absolute due time of the armed generation tick (phase-continuity).
+  SimTime gen_due_{0};
+  sim::TimerId gen_pending_{};
+  bool gen_armed_{false};
+
   sim::PeriodicTimer pump_timer_;
 
   /// Rolling partition-key assignment for emitted roots.
   std::uint64_t next_key_{0};
+  /// Optional key-assignment override (Zipf traffic model).
+  std::function<std::uint64_t()> key_picker_;
   /// Birth timestamps of generated-but-not-yet-emitted events.
   std::deque<SimTime> backlog_;
   /// Roots awaiting causal-tree completion (only when acking is on).

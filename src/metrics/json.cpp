@@ -82,6 +82,23 @@ std::string to_json(const MigrationReport& r, int indent) {
     }
     os << "\n" << pad << "}";
   }
+  // Autoscale block only when the controller ran, for the same reason.
+  if (r.autoscale.has_value()) {
+    const MigrationReport::AutoscaleSummary& a = *r.autoscale;
+    os << ",\n";
+    os << pad << "\"autoscale\": {\n";
+    os << pad << "  \"decisions\": " << a.decisions << ",\n";
+    os << pad << "  \"scale_outs\": " << a.scale_outs << ",\n";
+    os << pad << "  \"scale_ins\": " << a.scale_ins << ",\n";
+    os << pad << "  \"fgm_chosen\": " << a.fgm_chosen << ",\n";
+    os << pad << "  \"ccr_chosen\": " << a.ccr_chosen << ",\n";
+    os << pad << "  \"dcr_chosen\": " << a.dcr_chosen << ",\n";
+    os << pad << "  \"suppressed\": " << a.suppressed << ",\n";
+    os << pad << "  \"failed\": " << a.failed << ",\n";
+    os << pad << "  \"slo_windows\": " << a.slo_windows << ",\n";
+    os << pad << "  \"slo_burn_per_mille\": " << a.slo_burn_per_mille << "\n";
+    os << pad << "}";
+  }
   os << "\n}";
   return os.str();
 }

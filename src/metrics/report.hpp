@@ -78,6 +78,24 @@ struct MigrationReport {
   std::vector<CauseBreakdown> attribution;
   /// Sampled tuples that completed (reached a sink).
   std::uint64_t sampled_tuples{0};
+
+  // ---- closed-loop autoscaling (autoscale::AutoscaleController) ----
+  /// Plain-counter mirror of AutoscaleStats (the metrics layer stays
+  /// independent of src/autoscale/).  Absent when the controller was off,
+  /// so every pre-autoscale report renders byte-identical.
+  struct AutoscaleSummary {
+    std::uint64_t decisions{0};
+    std::uint64_t scale_outs{0};
+    std::uint64_t scale_ins{0};
+    std::uint64_t fgm_chosen{0};
+    std::uint64_t ccr_chosen{0};
+    std::uint64_t dcr_chosen{0};
+    std::uint64_t suppressed{0};  ///< cooldown + busy-guard suppressions
+    std::uint64_t failed{0};
+    std::uint64_t slo_windows{0};         ///< closed SLO windows
+    std::uint64_t slo_burn_per_mille{0};  ///< violated / closed, per mille
+  };
+  std::optional<AutoscaleSummary> autoscale;
 };
 
 /// Render a fixed-width text table.  `rows` are pre-formatted cells.

@@ -51,4 +51,10 @@ std::string slo_metric(std::string_view field) {
   return out;
 }
 
+std::string autoscale_metric(std::string_view field) {
+  std::string out = "autoscale.";
+  out += field;
+  return out;
+}
+
 }  // namespace rill::obs::names

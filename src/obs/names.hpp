@@ -38,4 +38,7 @@ namespace rill::obs::names {
 /// "slo.<field>" — windowed SLO monitor exports.
 [[nodiscard]] std::string slo_metric(std::string_view field);
 
+/// "autoscale.<field>" — closed-loop autoscale controller exports.
+[[nodiscard]] std::string autoscale_metric(std::string_view field);
+
 }  // namespace rill::obs::names

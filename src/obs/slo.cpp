@@ -92,6 +92,81 @@ std::uint64_t SloMonitor::burn_per_mille() const noexcept {
   return violated_windows() * 1000 / windows_.size();
 }
 
+OnlineSloMonitor::OnlineSloMonitor(SloConfig config) : config_(config) {
+  if (config_.window_sec == 0) config_.window_sec = 1;
+}
+
+void OnlineSloMonitor::record(SimTime arrival, std::uint64_t latency_us) {
+  const std::uint64_t width_us = config_.window_sec * 1'000'000ull;
+  if (!opened_) {
+    // Anchor the first window at the first arrival, like the batch
+    // monitor: windows before any traffic simply do not exist.
+    open_start_us_ = arrival / width_us * width_us;
+    opened_ = true;
+  }
+  // A sample past the open window's end proves those windows elapsed.
+  while (arrival >= open_start_us_ + width_us) close_window();
+  seen_sample_ = true;
+  current_.push_back(latency_us);
+}
+
+void OnlineSloMonitor::advance_to(SimTime now) {
+  if (!opened_) return;  // no traffic yet: leading empties are skipped
+  const std::uint64_t width_us = config_.window_sec * 1'000'000ull;
+  while (open_start_us_ + width_us <= now) close_window();
+}
+
+void OnlineSloMonitor::close_window() {
+  std::sort(current_.begin(), current_.end());
+  SloWindow win;
+  win.start_sec = open_start_us_ / 1'000'000ull;
+  win.count = current_.size();
+  win.p50_us = nearest_rank(current_, 0.50);
+  win.p95_us = nearest_rank(current_, 0.95);
+  win.p99_us = nearest_rank(current_, 0.99);
+  if (config_.target_p99_us > 0) {
+    // An empty *closed* window after traffic started means the sinks went
+    // silent for its whole width — online that is a breach (it may turn
+    // out to be the trailing shutdown; finalize() trims those).
+    win.violated =
+        current_.empty() ? true : win.p99_us > config_.target_p99_us;
+  }
+  windows_.push_back(win);
+  current_.clear();
+  open_start_us_ += config_.window_sec * 1'000'000ull;
+}
+
+void OnlineSloMonitor::finalize() {
+  while (!windows_.empty() && windows_.back().count == 0) windows_.pop_back();
+}
+
+std::uint64_t OnlineSloMonitor::violated_windows() const noexcept {
+  std::uint64_t n = 0;
+  for (const SloWindow& w : windows_)
+    if (w.violated) ++n;
+  return n;
+}
+
+std::uint64_t OnlineSloMonitor::burn_per_mille() const noexcept {
+  if (windows_.empty()) return 0;
+  return violated_windows() * 1000 / windows_.size();
+}
+
+int OnlineSloMonitor::violated_streak() const noexcept {
+  int n = 0;
+  for (auto it = windows_.rbegin(); it != windows_.rend() && it->violated; ++it)
+    ++n;
+  return n;
+}
+
+int OnlineSloMonitor::ok_streak() const noexcept {
+  int n = 0;
+  for (auto it = windows_.rbegin(); it != windows_.rend() && !it->violated;
+       ++it)
+    ++n;
+  return n;
+}
+
 void SloMonitor::export_to(MetricsRegistry& reg) const {
   reg.counter(names::slo_metric("windows"))->add(windows_.size());
   reg.counter(names::slo_metric("violated_windows"))->add(violated_windows());

@@ -46,6 +46,8 @@ struct SloViolation {
   std::uint64_t end_sec{0};
 };
 
+class OnlineSloMonitor;
+
 class SloMonitor {
  public:
   explicit SloMonitor(SloConfig config);
@@ -82,6 +84,64 @@ class SloMonitor {
   std::vector<SloWindow> windows_;
   std::vector<SloViolation> violations_;
   bool finalized_{false};
+};
+
+/// Incremental variant of SloMonitor for online (mid-run) querying — the
+/// autoscale controller's live signal.
+///
+/// The batch monitor's empty-window rule misfires when applied to a run
+/// that is still in progress: the window containing "now" has not elapsed
+/// yet, so its emptiness (or a low sample count) proves nothing.  This
+/// monitor therefore only ever evaluates *closed* windows:
+///
+///  * a window closes when sim time passes its end (advance_to);
+///  * the current, not-yet-elapsed window is never counted — violated or
+///    otherwise;
+///  * leading empty windows (before the first sample ever) are skipped
+///    entirely, exactly as the batch monitor starts at the first arrival;
+///  * empty closed windows after traffic has started count as violated
+///    while the run is live (sink silence IS a breach online);
+///  * finalize() trims trailing empty windows so the finished series
+///    matches SloMonitor::finalize() over the same samples byte for byte.
+///
+/// Samples must arrive in non-decreasing arrival order (the sink feed is
+/// causal); a sample implicitly closes every window it has passed.
+class OnlineSloMonitor {
+ public:
+  explicit OnlineSloMonitor(SloConfig config);
+
+  /// Feed one sink arrival.  Arrivals must be non-decreasing.
+  void record(SimTime arrival, std::uint64_t latency_us);
+
+  /// Close every window whose end lies at or before `now`.
+  void advance_to(SimTime now);
+
+  /// Trim trailing empty closed windows (run over; the silence past the
+  /// last arrival is the shutdown, not a breach).  Call once at run end.
+  void finalize();
+
+  [[nodiscard]] const SloConfig& config() const noexcept { return config_; }
+  /// Closed windows so far, oldest first.
+  [[nodiscard]] const std::vector<SloWindow>& windows() const noexcept {
+    return windows_;
+  }
+  [[nodiscard]] std::uint64_t violated_windows() const noexcept;
+  /// violated / closed windows, per mille (integer; R3-clean).
+  [[nodiscard]] std::uint64_t burn_per_mille() const noexcept;
+  /// Consecutive violated windows at the tail of the closed series.
+  [[nodiscard]] int violated_streak() const noexcept;
+  /// Consecutive non-violated windows at the tail of the closed series.
+  [[nodiscard]] int ok_streak() const noexcept;
+
+ private:
+  void close_window();
+
+  SloConfig config_;
+  std::vector<SloWindow> windows_;       ///< closed windows
+  std::vector<std::uint64_t> current_;   ///< latencies in the open window
+  std::uint64_t open_start_us_{0};       ///< open window start, µs
+  bool seen_sample_{false};  ///< a sample has ever arrived (leading-empty rule)
+  bool opened_{false};       ///< open_start_us_ is anchored
 };
 
 }  // namespace rill::obs

@@ -56,6 +56,19 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   core::MigrationController controller(platform, *strategy,
                                        config.controller);
 
+  // Closed-loop elasticity: the autoscaler tees the listener chain (sink
+  // arrivals feed its online SLO monitor on the way to the collector) and
+  // owns every migration trigger when enabled.
+  autoscale::AutoscaleController autoscaler(platform, controller, plan,
+                                            config.autoscale);
+  autoscaler.attach();
+  autoscaler.set_on_first_trigger(
+      [&collector](SimTime at) { collector.set_request_time(at); });
+
+  // Time-varying traffic: re-rates the spouts (phase-continuously) once a
+  // second and installs the Zipf key pickers.
+  TrafficDriver traffic(platform, config.traffic);
+
   // Chaos: arm the fault hooks + point faults after deploy, before start.
   chaos::ChaosInjector injector(config.chaos, config.platform.seed);
   injector.arm(platform);
@@ -73,24 +86,31 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   policy.start();
 
   platform.start();
+  traffic.start();
+  autoscaler.start();
 
   // Enact the migration at `migrate_at`: provision the target pool, then
-  // hand the plan to the strategy.
-  engine.schedule_at_detached(
-      static_cast<SimTime>(config.migrate_at),
-      // lint: lifetime-ok(all captures live on the run() caller's stack past engine.run)
-      [&platform, &collector, &controller, &scheduler, &config, plan] {
-        collector.set_request_time(platform.engine().now());
-        const std::vector<VmId> target = platform.cluster().provision_n(
-            target_vm_type(config.scale), target_vm_count(plan, config.scale),
-            config.scale == ScaleKind::In ? "d3" : "d1");
-        dsps::MigrationPlan mplan;
-        mplan.target_vms = target;
-        mplan.scheduler = &scheduler;
-        controller.request(std::move(mplan));
-      });
+  // hand the plan to the strategy.  With the autoscaler on, the one-shot
+  // request is skipped — the controller decides when (and how) to migrate.
+  if (!config.autoscale.enabled) {
+    engine.schedule_at_detached(
+        static_cast<SimTime>(config.migrate_at),
+        // lint: lifetime-ok(all captures live on the run() caller's stack past engine.run)
+        [&platform, &collector, &controller, &scheduler, &config, plan] {
+          collector.set_request_time(platform.engine().now());
+          const std::vector<VmId> target = platform.cluster().provision_n(
+              target_vm_type(config.scale), target_vm_count(plan, config.scale),
+              config.scale == ScaleKind::In ? "d3" : "d1");
+          dsps::MigrationPlan mplan;
+          mplan.target_vms = target;
+          mplan.scheduler = &scheduler;
+          controller.request(std::move(mplan));
+        });
+  }
 
   engine.run_until(static_cast<SimTime>(config.run_duration));
+  autoscaler.stop();
+  traffic.stop();
   policy.stop();
   platform.stop();
 
@@ -156,6 +176,21 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (in != out) ++result.accounting_violations;
   }
   result.billed_cents = platform.cluster().billed_cents();
+  result.request_queue = controller.queue_stats();
+
+  if (config.autoscale.enabled) {
+    // Close out the online SLO series so its burn rate matches what the
+    // batch monitor would compute over the same arrivals.
+    autoscaler.slo().advance_to(static_cast<SimTime>(config.run_duration));
+    autoscaler.slo().finalize();
+    result.autoscale = autoscaler.stats();
+    result.slo_windows = autoscaler.slo().windows().size();
+    result.slo_burn_per_mille = autoscaler.slo().burn_per_mille();
+    for (const obs::SloWindow& w : autoscaler.slo().windows()) {
+      result.slo_strip.push_back(w.violated ? 'X' : '.');
+    }
+    if (config.metrics != nullptr) autoscaler.export_to(*config.metrics);
+  }
 
   const SimTime request = result.phases.request_at;
   metrics::MigrationReport rep;
@@ -244,8 +279,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
   }
 
+  if (config.autoscale.enabled) {
+    metrics::MigrationReport::AutoscaleSummary as;
+    as.decisions = result.autoscale.decisions;
+    as.scale_outs = result.autoscale.scale_outs;
+    as.scale_ins = result.autoscale.scale_ins;
+    as.fgm_chosen = result.autoscale.fgm_chosen;
+    as.ccr_chosen = result.autoscale.ccr_chosen;
+    as.dcr_chosen = result.autoscale.dcr_chosen;
+    as.suppressed = result.autoscale.suppressed_cooldown +
+                    result.autoscale.suppressed_busy;
+    as.failed = result.autoscale.failed;
+    as.slo_windows = result.slo_windows;
+    as.slo_burn_per_mille = result.slo_burn_per_mille;
+    rep.autoscale = as;
+  }
+
   // Windowed SLO series over the sink-arrival log, exported as slo.*
-  // instruments (the autoscaler's future subscription feed).
+  // instruments (the autoscaler's live feed when enabled).
   if (config.metrics != nullptr) {
     obs::SloMonitor slo(config.slo);
     for (const metrics::LatencySeries::Sample& s :

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "autoscale/controller.hpp"
 #include "chaos/injector.hpp"
 #include "chaos/plan.hpp"
 #include "ckpt/policy.hpp"
@@ -27,6 +28,7 @@
 #include "obs/slo.hpp"
 #include "workloads/dags.hpp"
 #include "workloads/scenario.hpp"
+#include "workloads/traffic.hpp"
 
 namespace rill::obs {
 class Tracer;
@@ -78,6 +80,16 @@ struct ExperimentConfig {
   /// Windowed SLO monitoring over the sink-arrival log; computed post-run
   /// and exported as slo.* instruments when `metrics` is attached.
   obs::SloConfig slo{};
+
+  /// Time-varying traffic (diurnal / flash crowds / Zipf keys).  Disabled
+  /// by default: the spouts keep their static source_rate and round-robin
+  /// keys, byte-identical to every pre-traffic baseline.
+  TrafficConfig traffic{};
+
+  /// Closed-loop SLO-driven elasticity.  When enabled the `migrate_at` /
+  /// `strategy` / `scale` fields above are ignored — the controller decides
+  /// when to migrate, to which tier, and with which strategy.
+  autoscale::AutoscaleConfig autoscale{};
 };
 
 struct ExperimentResult {
@@ -135,6 +147,17 @@ struct ExperimentResult {
   std::optional<SimTime> first_init_received;
   std::optional<SimTime> init_completed_at;
   std::optional<SimTime> last_init_attempt_at;
+
+  /// Closed-loop controller accounting (zeros when autoscale was off).
+  autoscale::AutoscaleStats autoscale;
+  /// Finalized online SLO series (autoscale runs only): closed windows and
+  /// integer burn rate, matching the batch monitor's semantics at run end.
+  std::uint64_t slo_windows{0};
+  std::uint64_t slo_burn_per_mille{0};
+  /// One char per closed window, in order: '.' healthy, 'X' violated.
+  std::string slo_strip;
+  /// Overlapping-request bookkeeping at the migration controller.
+  core::RequestQueueStats request_queue;
 };
 
 /// Run one experiment.  Deterministic for a fixed config (seed included).

@@ -1,0 +1,142 @@
+// Seeded closed-loop property sweep: the controller against the traffic
+// models (flash crowd, diurnal-only, heavy Zipf skew) and one chaos
+// variant, on the Keyed dataflow.  Every run must keep the conservation
+// ledger balanced; chaos-free runs must lose nothing; and the trigger
+// stream must honour the cooldown and walk the tier ladder one step at a
+// time.
+#include <gtest/gtest.h>
+
+#include "workloads/runner.hpp"
+
+namespace rill::workloads {
+namespace {
+
+ExperimentConfig loop_cfg(std::uint64_t seed) {
+  ExperimentConfig cfg;
+  cfg.dag = DagKind::Keyed;
+  cfg.platform.seed = seed;
+  cfg.platform.vm_steal_permille = 600;
+  cfg.run_duration = time::sec(420);
+  cfg.traffic.enabled = true;
+  cfg.traffic.base_rate = 2.0;
+  cfg.traffic.zipf_s = 0.6;
+  cfg.autoscale.enabled = true;
+  cfg.autoscale.target_p99_us = 1'500'000;
+  return cfg;
+}
+
+ExperimentConfig flash_crowd_cfg(std::uint64_t seed) {
+  ExperimentConfig cfg = loop_cfg(seed);
+  cfg.traffic.crowds.push_back({/*at=*/150.0, /*ramp=*/10.0, /*hold=*/90.0,
+                                /*fall=*/20.0, /*multiplier=*/18.0});
+  return cfg;
+}
+
+ExperimentConfig diurnal_cfg(std::uint64_t seed) {
+  ExperimentConfig cfg = loop_cfg(seed);
+  cfg.traffic.diurnal_amplitude = 0.5;
+  cfg.traffic.diurnal_period_sec = 300.0;
+  return cfg;
+}
+
+ExperimentConfig heavy_skew_cfg(std::uint64_t seed) {
+  ExperimentConfig cfg = flash_crowd_cfg(seed);
+  cfg.traffic.zipf_s = 1.0;
+  cfg.traffic.crowds.back().multiplier = 12.0;
+  return cfg;
+}
+
+/// Invariants every closed-loop run must satisfy, chaos included.
+void check_loop_invariants(const ExperimentResult& r,
+                           const ExperimentConfig& cfg) {
+  EXPECT_EQ(r.accounting_violations, 0u);
+  const auto& events = r.autoscale.events;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // The tier ladder is a chain: each trigger starts where the previous
+    // one landed, and never jumps Packed <-> Wide in one hop.
+    if (i > 0) {
+      EXPECT_EQ(events[i].from, events[i - 1].to) << "trigger " << i;
+      EXPECT_GE(events[i].at - events[i - 1].at,
+                static_cast<SimTime>(cfg.autoscale.cooldown))
+          << "trigger " << i << " inside the cooldown";
+    }
+    EXPECT_NE(events[i].from, events[i].to) << "trigger " << i;
+    if (events[i].action == autoscale::Action::ScaleOut) {
+      // Scale-out is the emergency move: one jump straight to Wide.
+      EXPECT_EQ(events[i].to, autoscale::PoolTier::Wide) << "trigger " << i;
+    } else {
+      // Scale-in steps the ladder one tier at a time.
+      const bool one_step =
+          events[i].from == autoscale::PoolTier::Default ||
+          events[i].to == autoscale::PoolTier::Default;
+      EXPECT_TRUE(one_step) << "trigger " << i << " skipped a tier";
+    }
+    // Keyed dataflow, no forced strategy: every move must be fluid.
+    EXPECT_EQ(events[i].strategy, core::StrategyKind::FGM) << "trigger " << i;
+  }
+  EXPECT_EQ(r.autoscale.scale_outs + r.autoscale.scale_ins, events.size());
+}
+
+class AutoscaleSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AutoscaleSweep, FlashCrowdScalesOutFluidlyAndExactlyOnce) {
+  const ExperimentConfig cfg = flash_crowd_cfg(GetParam());
+  const ExperimentResult r = run_experiment(cfg);
+  check_loop_invariants(r, cfg);
+  EXPECT_EQ(r.events_lost, 0u);
+  EXPECT_EQ(r.autoscale.failed, 0u);
+  EXPECT_GE(r.autoscale.scale_outs, 1u);
+  EXPECT_GE(r.autoscale.fgm_chosen, 1u);
+}
+
+TEST_P(AutoscaleSweep, DiurnalAloneOnlyEverScalesIn) {
+  const ExperimentConfig cfg = diurnal_cfg(GetParam());
+  const ExperimentResult r = run_experiment(cfg);
+  check_loop_invariants(r, cfg);
+  EXPECT_EQ(r.events_lost, 0u);
+  EXPECT_EQ(r.autoscale.failed, 0u);
+  // 1–3 ev/s never stresses any tier: the controller should bank the
+  // savings and never page anyone.
+  EXPECT_EQ(r.autoscale.scale_outs, 0u);
+  EXPECT_GE(r.autoscale.scale_ins, 1u);
+}
+
+TEST_P(AutoscaleSweep, HeavySkewStillConvergesExactlyOnce) {
+  const ExperimentConfig cfg = heavy_skew_cfg(GetParam());
+  const ExperimentResult r = run_experiment(cfg);
+  check_loop_invariants(r, cfg);
+  EXPECT_EQ(r.events_lost, 0u);
+  EXPECT_EQ(r.autoscale.failed, 0u);
+  EXPECT_GE(r.autoscale.scale_outs, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutoscaleSweep, ::testing::Values(1u, 7u));
+
+TEST(AutoscaleSweepChaos, WorkerCrashDoesNotBreakTheLedger) {
+  ExperimentConfig cfg = flash_crowd_cfg(1);
+  cfg.platform.respawn_restore = true;
+  cfg.chaos.crash_worker(time::sec(60));
+  const ExperimentResult r = run_experiment(cfg);
+  // A crash mid-loop may cost events and may fail a trigger; what it must
+  // never do is unbalance the conservation ledger or wedge the controller.
+  check_loop_invariants(r, cfg);
+  EXPECT_GE(r.autoscale.decisions, 10u);
+}
+
+TEST(AutoscaleSweepDeterminism, SameSeedSameTriggerStream) {
+  const ExperimentConfig cfg = flash_crowd_cfg(3);
+  const ExperimentResult a = run_experiment(cfg);
+  const ExperimentResult b = run_experiment(cfg);
+  ASSERT_EQ(a.autoscale.events.size(), b.autoscale.events.size());
+  for (std::size_t i = 0; i < a.autoscale.events.size(); ++i) {
+    EXPECT_EQ(a.autoscale.events[i].at, b.autoscale.events[i].at);
+    EXPECT_EQ(a.autoscale.events[i].strategy, b.autoscale.events[i].strategy);
+    EXPECT_EQ(a.autoscale.events[i].to, b.autoscale.events[i].to);
+  }
+  EXPECT_EQ(a.slo_strip, b.slo_strip);
+  EXPECT_EQ(a.events_emitted, b.events_emitted);
+  EXPECT_EQ(a.delivered, b.delivered);
+}
+
+}  // namespace
+}  // namespace rill::workloads

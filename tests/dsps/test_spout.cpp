@@ -129,5 +129,85 @@ TEST(Spout, StopHaltsGeneration) {
   EXPECT_EQ(s.stats().generated, n);
 }
 
+// ---- integer-µs inter-arrival scheduling + set_rate (ISSUE 10) ----
+
+TEST(Spout, IntegerRateAccumulatesNoPhaseDrift) {
+  // 3 ev/s has no exact µs period (333333.3̅ µs).  The old float-period
+  // timer drifted one whole event every ~92 min; the integer accumulator
+  // carries the remainder, so long runs stay exact: 3 ev/s × 3600 s =
+  // 10800 events, ± the one tick in flight.
+  PlatformConfig cfg;
+  cfg.source_rate = 3.0;
+  Harness h(testutil::mini_chain(3.0), cfg);
+  h.p().start();
+  h.run_for(time::sec(3600));
+  const Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  EXPECT_NEAR(static_cast<double>(s.stats().generated), 10800.0, 1.0);
+}
+
+TEST(Spout, SetRateTakesEffectMidRun) {
+  Harness h(testutil::mini_chain());
+  h.p().start();
+  h.run_for(time::sec(10));  // 8 ev/s × 10 s = 80
+  Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  const auto before = s.stats().generated;
+  EXPECT_NEAR(static_cast<double>(before), 80.0, 1.0);
+  s.set_rate(40.0);
+  h.run_for(time::sec(10));  // 40 ev/s × 10 s = 400 more
+  EXPECT_NEAR(static_cast<double>(s.stats().generated - before), 400.0, 2.0);
+}
+
+TEST(Spout, SetRateIsPhaseContinuous) {
+  // Halving the rate exactly halfway through an interval must emit the
+  // next event at half of the *new* interval — no burst, no gap.  At
+  // 8 ev/s ticks land at 125 ms boundaries; switching to 4 ev/s at
+  // t=10.0625 s (halfway to the tick due at 10.125 s) reschedules it to
+  // t=10.1875 s (halfway through the new 250 ms interval).
+  Harness h(testutil::mini_chain());
+  h.p().start();
+  h.run_for(time::sec(10));
+  Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  h.run_for(time::ms(62) + time::us(500));
+  s.set_rate(4.0);
+  const auto before = s.stats().generated;
+  h.run_for(time::ms(124));  // just before the rescheduled tick
+  EXPECT_EQ(s.stats().generated, before);
+  h.run_for(time::ms(2));  // crosses t = 10.1875 s
+  EXPECT_EQ(s.stats().generated, before + 1);
+}
+
+TEST(Spout, SetRateZeroSilencesUntilRestarted) {
+  Harness h(testutil::mini_chain());
+  h.p().start();
+  h.run_for(time::sec(5));
+  Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  s.set_rate(0.0);
+  const auto n = s.stats().generated;
+  h.run_for(time::sec(20));
+  EXPECT_EQ(s.stats().generated, n);
+  EXPECT_EQ(s.rate_ueps(), 0u);
+  s.set_rate(8.0);
+  h.run_for(time::sec(10));
+  EXPECT_NEAR(static_cast<double>(s.stats().generated - n), 80.0, 1.0);
+}
+
+TEST(Spout, KeyPickerOverridesRoundRobin) {
+  struct KeyLog final : EventListener {
+    std::vector<std::uint64_t> keys;
+    void on_source_emit(const Event& ev, bool /*replay*/) override {
+      keys.push_back(ev.key);
+    }
+  };
+  Harness h(testutil::mini_chain());
+  Spout& s = h.p().spout(h.p().topology().sources()[0]);
+  s.set_key_picker([] { return std::uint64_t{7}; });
+  KeyLog log;
+  h.p().set_listener(&log);
+  h.p().start();
+  h.run_for(time::sec(5));
+  ASSERT_FALSE(log.keys.empty());
+  for (const std::uint64_t k : log.keys) EXPECT_EQ(k, 7u);
+}
+
 }  // namespace
 }  // namespace rill::dsps

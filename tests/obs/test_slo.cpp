@@ -139,6 +139,132 @@ TEST(SloMonitor, ExportToWritesSloInstruments) {
   EXPECT_EQ(p99.max(), 100u);
 }
 
+// ---- OnlineSloMonitor: the incremental, window-closing variant ----
+//
+// Edge pins for the online empty-window rule (ISSUE 10 satellite): the
+// current, not-yet-elapsed window must never count as violated, and
+// leading/trailing empty windows stay excluded.
+
+TEST(OnlineSloMonitor, OpenWindowIsNeverViolated) {
+  OnlineSloMonitor slo(SloConfig{/*target_p99_us=*/50, /*window_sec=*/10});
+  // One over-target sample in the window [0,10), queried mid-window: the
+  // window has not elapsed, so nothing is closed and nothing is violated.
+  slo.record(2 * kSec, 999);
+  slo.advance_to(9 * kSec);
+  EXPECT_TRUE(slo.windows().empty());
+  EXPECT_EQ(slo.violated_windows(), 0u);
+  EXPECT_EQ(slo.violated_streak(), 0);
+  // The instant the window elapses it closes — and is violated.
+  slo.advance_to(10 * kSec);
+  ASSERT_EQ(slo.windows().size(), 1u);
+  EXPECT_TRUE(slo.windows()[0].violated);
+  EXPECT_EQ(slo.violated_streak(), 1);
+}
+
+TEST(OnlineSloMonitor, CurrentEmptyWindowDoesNotCountAsViolated) {
+  OnlineSloMonitor slo(SloConfig{/*target_p99_us=*/50, /*window_sec=*/10});
+  slo.record(5 * kSec, 10);
+  // Sinks silent since t=10 s; at t=29 s the windows [10,20) has closed
+  // (violated: silence after traffic), but [20,30) is still open and must
+  // NOT be counted even though it is empty so far.
+  slo.advance_to(29 * kSec);
+  ASSERT_EQ(slo.windows().size(), 2u);
+  EXPECT_FALSE(slo.windows()[0].violated);
+  EXPECT_TRUE(slo.windows()[1].violated);
+  EXPECT_EQ(slo.violated_windows(), 1u);
+}
+
+TEST(OnlineSloMonitor, LeadingEmptyWindowsAreSkipped) {
+  OnlineSloMonitor slo(SloConfig{/*target_p99_us=*/50, /*window_sec=*/10});
+  // No traffic at all until t=95 s: advancing time alone creates nothing.
+  slo.advance_to(90 * kSec);
+  EXPECT_TRUE(slo.windows().empty());
+  slo.record(95 * kSec, 10);
+  slo.advance_to(100 * kSec);
+  ASSERT_EQ(slo.windows().size(), 1u);
+  EXPECT_EQ(slo.windows()[0].start_sec, 90u);
+  EXPECT_FALSE(slo.windows()[0].violated);
+}
+
+TEST(OnlineSloMonitor, TrailingEmptyWindowsAreTrimmedAtFinalize) {
+  OnlineSloMonitor slo(SloConfig{/*target_p99_us=*/50, /*window_sec=*/10});
+  slo.record(5 * kSec, 10);
+  // Run ends at t=60 s with the sinks silent since t=10 s.  Live, the
+  // silent closed windows count as violated; at finalize they turn out to
+  // be the shutdown tail and are excluded, matching the batch monitor.
+  slo.advance_to(60 * kSec);
+  EXPECT_EQ(slo.windows().size(), 6u);
+  EXPECT_EQ(slo.violated_windows(), 5u);
+  slo.finalize();
+  ASSERT_EQ(slo.windows().size(), 1u);
+  EXPECT_EQ(slo.violated_windows(), 0u);
+  EXPECT_EQ(slo.burn_per_mille(), 0u);
+}
+
+TEST(OnlineSloMonitor, InteriorEmptyWindowStaysViolatedThroughFinalize) {
+  OnlineSloMonitor slo(SloConfig{/*target_p99_us=*/1000, /*window_sec=*/10});
+  slo.record(5 * kSec, 100);
+  slo.record(35 * kSec, 100);
+  slo.advance_to(40 * kSec);
+  slo.finalize();
+  ASSERT_EQ(slo.windows().size(), 4u);
+  EXPECT_FALSE(slo.windows()[0].violated);
+  EXPECT_TRUE(slo.windows()[1].violated);
+  EXPECT_TRUE(slo.windows()[2].violated);
+  EXPECT_FALSE(slo.windows()[3].violated);
+  EXPECT_EQ(slo.burn_per_mille(), 500u);
+}
+
+TEST(OnlineSloMonitor, RecordPastOpenWindowClosesIt) {
+  OnlineSloMonitor slo(SloConfig{/*target_p99_us=*/50, /*window_sec=*/10});
+  slo.record(5 * kSec, 100);   // violated once closed
+  slo.record(15 * kSec, 10);   // lands in the next window, closing [0,10)
+  ASSERT_EQ(slo.windows().size(), 1u);
+  EXPECT_TRUE(slo.windows()[0].violated);
+  EXPECT_EQ(slo.windows()[0].count, 1u);
+}
+
+TEST(OnlineSloMonitor, StreaksTrackTheTailOfTheClosedSeries) {
+  OnlineSloMonitor slo(SloConfig{/*target_p99_us=*/50, /*window_sec=*/10});
+  slo.record(5 * kSec, 999);    // w0 violated
+  slo.record(15 * kSec, 999);   // w1 violated
+  slo.record(25 * kSec, 10);    // w2 fine
+  slo.record(35 * kSec, 10);    // w3 fine
+  slo.advance_to(30 * kSec);
+  EXPECT_EQ(slo.violated_streak(), 0);
+  EXPECT_EQ(slo.ok_streak(), 1);
+  slo.advance_to(40 * kSec);
+  EXPECT_EQ(slo.ok_streak(), 2);
+  EXPECT_EQ(slo.violated_windows(), 2u);
+}
+
+TEST(OnlineSloMonitor, FinalizedSeriesMatchesBatchMonitor) {
+  // Equivalence: the same sample stream, advanced past the end and
+  // finalized, must reproduce the batch monitor's window series exactly.
+  const SloConfig cfg{/*target_p99_us=*/200, /*window_sec=*/10};
+  SloMonitor batch(cfg);
+  OnlineSloMonitor online(cfg);
+  const std::uint64_t lat[] = {10, 500, 40, 250, 90, 70, 320, 15};
+  for (int i = 0; i < 8; ++i) {
+    // Arrivals spread over [12, 96] s with an interior gap at [40,60).
+    const std::uint64_t t = (i < 4 ? 12 + 9 * i : 60 + 9 * (i - 4)) * kSec;
+    batch.record(t, lat[i]);
+    online.record(t, lat[i]);
+  }
+  batch.finalize();
+  online.advance_to(200 * kSec);
+  online.finalize();
+  ASSERT_EQ(online.windows().size(), batch.windows().size());
+  for (std::size_t i = 0; i < batch.windows().size(); ++i) {
+    EXPECT_EQ(online.windows()[i].start_sec, batch.windows()[i].start_sec);
+    EXPECT_EQ(online.windows()[i].count, batch.windows()[i].count);
+    EXPECT_EQ(online.windows()[i].p50_us, batch.windows()[i].p50_us);
+    EXPECT_EQ(online.windows()[i].p99_us, batch.windows()[i].p99_us);
+    EXPECT_EQ(online.windows()[i].violated, batch.windows()[i].violated);
+  }
+  EXPECT_EQ(online.burn_per_mille(), batch.burn_per_mille());
+}
+
 // Boundary pins for the windowed-percentile fix: the report's whole-run
 // window ends exactly at the run duration, and a final sink arrival landing
 // on that boundary is a real sample.  The old half-open filter dropped it

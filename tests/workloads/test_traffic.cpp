@@ -1,0 +1,154 @@
+// Traffic-model pins: the deterministic rate shapes and the Zipf sampler.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "workloads/traffic.hpp"
+
+namespace rill::workloads {
+namespace {
+
+TrafficConfig diurnal_config() {
+  TrafficConfig cfg;
+  cfg.enabled = true;
+  cfg.base_rate = 8.0;
+  cfg.diurnal_amplitude = 0.5;
+  cfg.diurnal_period_sec = 600.0;
+  return cfg;
+}
+
+TEST(RateSchedule, DiurnalTriangleHitsTroughAndPeak) {
+  const RateSchedule sched(diurnal_config());
+  // The triangle starts at the trough, peaks at the half period, and
+  // returns — piecewise linear, so the quarter points are exact.
+  EXPECT_DOUBLE_EQ(sched.rate_at(0), 4.0);                    // 8 * (1-0.5)
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(150)), 8.0);      // mid-ramp
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(300)), 12.0);     // 8 * (1+0.5)
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(450)), 8.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(600)), 4.0);      // next period
+}
+
+TEST(RateSchedule, FlashCrowdTrapezoid) {
+  TrafficConfig cfg;
+  cfg.enabled = true;
+  cfg.base_rate = 2.0;
+  cfg.crowds.push_back({/*at=*/100.0, /*ramp=*/10.0, /*hold=*/60.0,
+                        /*fall=*/20.0, /*multiplier=*/11.0});
+  const RateSchedule sched(cfg);
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(99)), 2.0);
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(105)), 12.0);   // half the ramp
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(110)), 22.0);   // full multiplier
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(169)), 22.0);   // still holding
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(180)), 12.0);   // half the fall
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(190)), 2.0);    // over
+}
+
+TEST(RateSchedule, CrowdsStackMultiplicativelyOnTheDiurnal) {
+  TrafficConfig cfg = diurnal_config();
+  cfg.crowds.push_back({/*at=*/250.0, /*ramp=*/0.0, /*hold=*/100.0,
+                        /*fall=*/0.0, /*multiplier=*/10.0});
+  const RateSchedule sched(cfg);
+  // Diurnal peak (12 ev/s) × crowd hold (×10).
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(300)), 120.0);
+  EXPECT_DOUBLE_EQ(sched.peak_rate(), 120.0);
+}
+
+TEST(RateSchedule, PeakRateSpansTenToHundredFoldSwing) {
+  // The ISSUE's 10–100× swing: trough 1 ev/s, crowd-on-peak 80 ev/s.
+  TrafficConfig cfg;
+  cfg.enabled = true;
+  cfg.base_rate = 2.0;
+  cfg.diurnal_amplitude = 0.5;
+  cfg.diurnal_period_sec = 600.0;
+  cfg.crowds.push_back({/*at=*/0.0, /*ramp=*/10.0, /*hold=*/60.0,
+                        /*fall=*/20.0, /*multiplier=*/26.0 + 2.0 / 3.0});
+  const RateSchedule sched(cfg);
+  EXPECT_DOUBLE_EQ(sched.rate_at(time::sec(600)), 1.0);  // trough, no crowd
+  EXPECT_NEAR(sched.peak_rate(), 80.0, 1e-9);
+  EXPECT_GE(sched.peak_rate() / sched.rate_at(time::sec(600)), 10.0);
+  EXPECT_LE(sched.peak_rate() / sched.rate_at(time::sec(600)), 100.0);
+}
+
+TEST(ZipfKeys, SameSeedSameStream) {
+  ZipfKeys a(64, 1.0, Rng(7));
+  ZipfKeys b(64, 1.0, Rng(7));
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(ZipfKeys, SkewConcentratesOnLowKeys) {
+  ZipfKeys keys(64, 1.0, Rng(11));
+  // Zipf(1) over 64 keys: key 0 holds ~21 % of the mass (1/H_64).
+  EXPECT_GE(keys.hottest_share_per_mille(), 180u);
+  EXPECT_LE(keys.hottest_share_per_mille(), 240u);
+  std::uint64_t hot = 0;
+  const int draws = 10000;
+  for (int i = 0; i < draws; ++i) {
+    if (keys.next() == 0) ++hot;
+  }
+  EXPECT_GE(hot, 1700u);
+  EXPECT_LE(hot, 2500u);
+}
+
+TEST(ZipfKeys, ZeroSkewIsUniformish) {
+  ZipfKeys keys(16, 0.0, Rng(3));
+  // s = 0 → all weights equal; key 0's share is 1/16 ≈ 62 per mille.
+  EXPECT_GE(keys.hottest_share_per_mille(), 55u);
+  EXPECT_LE(keys.hottest_share_per_mille(), 70u);
+}
+
+TEST(TrafficDriver, AppliesScheduleToSpouts) {
+  testutil::Harness h(testutil::mini_chain());
+  TrafficConfig cfg;
+  cfg.enabled = true;
+  cfg.base_rate = 4.0;
+  cfg.crowds.push_back({/*at=*/10.0, /*ramp=*/0.0, /*hold=*/30.0,
+                        /*fall=*/0.0, /*multiplier=*/5.0});
+  TrafficDriver driver(h.p(), cfg);
+  h.p().start();
+  driver.start();
+  h.run_for(time::sec(5));
+  dsps::Spout* spout = h.p().spouts().front();
+  EXPECT_EQ(spout->rate_ueps(), 4'000'000ull);  // base, pre-crowd
+  h.run_for(time::sec(10));
+  EXPECT_EQ(spout->rate_ueps(), 20'000'000ull);  // crowd hold: 4 × 5
+  h.run_for(time::sec(35));
+  EXPECT_EQ(spout->rate_ueps(), 4'000'000ull);  // crowd passed
+  driver.stop();
+  h.p().stop();
+}
+
+TEST(TrafficDriver, DisabledDriverNeverTouchesTheSpout) {
+  testutil::Harness h(testutil::mini_chain());
+  TrafficConfig cfg;  // enabled = false
+  cfg.base_rate = 40.0;
+  TrafficDriver driver(h.p(), cfg);
+  h.p().start();
+  driver.start();
+  h.run_for(time::sec(10));
+  // The platform default is 8 ev/s; the disabled driver must not re-rate.
+  EXPECT_EQ(h.p().spouts().front()->rate_ueps(), 8'000'000ull);
+  h.p().stop();
+}
+
+TEST(KeyedDag, ShapeAndProvisioning) {
+  dsps::Topology t = build_dag(DagKind::Keyed);
+  EXPECT_EQ(t.name(), "Keyed");
+  EXPECT_EQ(expected_tasks(DagKind::Keyed), 2);
+  EXPECT_EQ(t.worker_instances(), expected_instances(DagKind::Keyed));
+  // The parse→count edge is fields-grouped and count holds keyed state.
+  bool found_fields = false;
+  for (const dsps::EdgeDef& e : t.edges()) {
+    found_fields =
+        found_fields || e.grouping == dsps::Grouping::Fields;
+  }
+  EXPECT_TRUE(found_fields);
+  bool keyed = false;
+  for (const dsps::TaskDef& def : t.tasks()) keyed = keyed || def.keyed_state;
+  EXPECT_TRUE(keyed);
+  // Keyed is intentionally not part of the Table-1 list.
+  for (DagKind k : all_dags()) EXPECT_NE(k, DagKind::Keyed);
+}
+
+}  // namespace
+}  // namespace rill::workloads

@@ -26,7 +26,11 @@
 # baseline-adaptive.sha256 for the adaptive checkpoint policy).  The FGM
 # strategy runs its own full-blob double-run against baseline-fgm.sha256 —
 # the three FGM-off manifests above must stay byte-identical regardless.
-# `--regen-determinism` rewrites all four manifests instead of checking
+# A fifth arm pins the closed loop: the Keyed dag under the bench traffic
+# (diurnal + flash crowd + Zipf keys + CPU steal) with --autoscale 1 runs
+# twice and checks baseline-autoscale.sha256; the four autoscale-off
+# manifests above must stay byte-identical regardless.
+# `--regen-determinism` rewrites all five manifests instead of checking
 # them (for PRs that sanction a behavioral change).
 #
 # An attribution gate follows: each strategy's reference config reruns
@@ -42,7 +46,10 @@
 # which fails on a >20% regression of the single-shard baseline or a lost
 # sharding win, bench_ckpt_policy --check asserts the adaptive policy
 # meets its RTO at p95 without writing more checkpoint bytes than the
-# static RTO-tuned baseline, bench_micro --check asserts the
+# static RTO-tuned baseline, bench_autoscale --check asserts the
+# closed-loop controller holds the SLO through a 10-100x load swing while
+# beating the static packed baseline's burn and choosing FGM for the keyed
+# hot shard, bench_micro --check asserts the
 # observability layer's zero-cost-when-disabled and <5%-when-sampling
 # overhead contracts, and bench_fig9_latency --check asserts the fluid
 # strategy's whole-run p99 stays strictly below CCR's pause-bounded p99
@@ -146,6 +153,28 @@ cmp "$det_dir/fgm.run1.json" "$det_dir/fgm.run2.json" \
   || { echo "ci.sh: fgm report differs between identical runs" >&2; exit 1; }
 cp "$det_dir/fgm.run1.jsonl" "$det_dir/fgm.jsonl"
 cp "$det_dir/fgm.run1.json" "$det_dir/fgm.json"
+# Autoscale arm: the closed loop on the Keyed dag under the bench traffic
+# (tests/determinism/README.md).  Runs after — and fully apart from — the
+# autoscale-off arms above, so their manifests cannot be perturbed by the
+# controller code path.
+for pass in 1 2; do
+  ./build/tools/rill_run --dag keyed --autoscale 1 \
+    --autoscale-slo-p99-ms 1500 \
+    --traffic-base 2 --traffic-diurnal 0.5 --traffic-diurnal-period-s 600 \
+    --traffic-crowd 200,15,120,30,18 --traffic-zipf 0.6 \
+    --interference-permille 600 \
+    --seed 1 --duration 900 --ckpt-delta 0 \
+    --trace-jsonl "$det_dir/autoscale.run$pass.jsonl" --json \
+    > "$det_dir/autoscale.run$pass.json"
+done
+cmp "$det_dir/autoscale.run1.jsonl" "$det_dir/autoscale.run2.jsonl" \
+  || { echo "ci.sh: autoscale trace differs between identical runs" >&2
+       exit 1; }
+cmp "$det_dir/autoscale.run1.json" "$det_dir/autoscale.run2.json" \
+  || { echo "ci.sh: autoscale report differs between identical runs" >&2
+       exit 1; }
+cp "$det_dir/autoscale.run1.jsonl" "$det_dir/autoscale.jsonl"
+cp "$det_dir/autoscale.run1.json" "$det_dir/autoscale.json"
 if [ "$regen_determinism" = 1 ]; then
   ( cd "$det_dir" &&
     sha256sum dsm.jsonl dsm.json dcr.jsonl dcr.json ccr.jsonl ccr.json ) \
@@ -161,10 +190,12 @@ if [ "$regen_determinism" = 1 ]; then
     > tests/determinism/baseline-adaptive.sha256
   ( cd "$det_dir" && sha256sum fgm.jsonl fgm.json ) \
     > tests/determinism/baseline-fgm.sha256
+  ( cd "$det_dir" && sha256sum autoscale.jsonl autoscale.json ) \
+    > tests/determinism/baseline-autoscale.sha256
   echo "==> determinism gate: manifests regenerated" \
        "(tests/determinism/baseline.sha256, baseline-delta.sha256," \
-       "baseline-adaptive.sha256, baseline-fgm.sha256) — commit them" \
-       "with the PR"
+       "baseline-adaptive.sha256, baseline-fgm.sha256," \
+       "baseline-autoscale.sha256) — commit them with the PR"
 else
   ( cd "$det_dir" && sha256sum -c ../../tests/determinism/baseline.sha256 ) \
     || { echo "ci.sh: artifacts drifted from tests/determinism/baseline.sha256;" \
@@ -186,6 +217,12 @@ else
     sha256sum -c ../../tests/determinism/baseline-fgm.sha256 ) \
     || { echo "ci.sh: artifacts drifted from" \
               "tests/determinism/baseline-fgm.sha256;" \
+              "if the change is sanctioned, rerun with --regen-determinism" >&2
+         exit 1; }
+  ( cd "$det_dir" &&
+    sha256sum -c ../../tests/determinism/baseline-autoscale.sha256 ) \
+    || { echo "ci.sh: artifacts drifted from" \
+              "tests/determinism/baseline-autoscale.sha256;" \
               "if the change is sanctioned, rerun with --regen-determinism" >&2
          exit 1; }
 fi
@@ -211,6 +248,7 @@ if [ "$run_bench" = 1 ]; then
     ./bench_fig5_scale_out --check &&
     ./bench_fig5_scale_in --check &&
     ./bench_ckpt_policy --check &&
+    ./bench_autoscale --check &&
     ./bench_micro --check &&
     ./bench_fig9_latency --check )
 fi

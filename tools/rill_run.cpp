@@ -27,8 +27,9 @@ void print_help(std::FILE* out, const char* argv0) {
                "Run one migration experiment and print its report.\n"
                "\n"
                "experiment:\n"
-               "  --dag NAME            linear|diamond|star|traffic|grid "
-               "(default grid)\n"
+               "  --dag NAME            linear|diamond|star|traffic|grid|keyed\n"
+               "                        (default grid; keyed = the fields-\n"
+               "                        grouped autoscale chain)\n"
                "  --strategy NAME       dsm|dsm-t|dcr|ccr|fgm (default ccr)\n"
                "  --scale in|out        scale direction (default in)\n"
                "  --rate R              source rate, events/s\n"
@@ -40,6 +41,35 @@ void print_help(std::FILE* out, const char* argv0) {
                "                        1 = the single-Redis baseline)\n"
                "  --fgm-batch-keys N    FGM only: key-range partitions moved\n"
                "                        one batch at a time (default 8)\n"
+               "  --interference-permille N  noisy-neighbour CPU steal: each\n"
+               "                        busy colocated executor dilates service\n"
+               "                        time by N per mille (default 0)\n"
+               "\n"
+               "traffic models (deterministic per seed):\n"
+               "  --traffic-base R      enable time-varying traffic with base\n"
+               "                        rate R ev/s (replaces --rate's static\n"
+               "                        feed)\n"
+               "  --traffic-diurnal A   diurnal triangle amplitude in [0,1)\n"
+               "  --traffic-diurnal-period-s S  diurnal period, seconds\n"
+               "  --traffic-crowd AT,RAMP,HOLD,FALL,MULT  flash crowd: ramp to\n"
+               "                        MULT x over RAMP s at AT s, hold, fall\n"
+               "                        (repeatable; multipliers stack)\n"
+               "  --traffic-zipf S      Zipf key skew exponent (0 = round-\n"
+               "                        robin keys, default)\n"
+               "\n"
+               "closed-loop autoscaling:\n"
+               "  --autoscale 0|1       enable the SLO-driven controller; it\n"
+               "                        owns every migration (--migrate-at,\n"
+               "                        --strategy and --scale are ignored)\n"
+               "  --autoscale-slo-p99-ms N  per-window p99 target, ms\n"
+               "                        (default 1500)\n"
+               "  --autoscale-cooldown-s S  minimum gap between triggers\n"
+               "                        (default 60)\n"
+               "  --autoscale-max-tasks N   concurrent migrations allowed\n"
+               "                        (in flight + queued, default 1)\n"
+               "  --autoscale-force NAME    pin every trigger to one\n"
+               "                        strategy (per-strategy experiment\n"
+               "                        rows; default: pick per situation)\n"
                "\n"
                "incremental checkpointing:\n"
                "  --ckpt-delta 0|1      COMMIT persists dirty-key deltas when\n"
@@ -114,6 +144,7 @@ bool parse_dag(const std::string& s, workloads::DagKind& out) {
   else if (s == "star") out = workloads::DagKind::Star;
   else if (s == "traffic") out = workloads::DagKind::Traffic;
   else if (s == "grid") out = workloads::DagKind::Grid;
+  else if (s == "keyed") out = workloads::DagKind::Keyed;
   else return false;
   return true;
 }
@@ -246,6 +277,63 @@ int main(int argc, char** argv) {
       if (cfg.platform.fgm_batch_keys < 1) {
         die(argv[0], "--fgm-batch-keys must be >= 1");
       }
+    } else if (arg == "--interference-permille") {
+      cfg.platform.vm_steal_permille = parse_int(argv[0], arg, next());
+      if (cfg.platform.vm_steal_permille < 0) {
+        die(argv[0], "--interference-permille must be >= 0");
+      }
+    } else if (arg == "--traffic-base") {
+      cfg.traffic.enabled = true;
+      cfg.traffic.base_rate = num();
+      if (cfg.traffic.base_rate <= 0) {
+        die(argv[0], "--traffic-base must be > 0");
+      }
+    } else if (arg == "--traffic-diurnal") {
+      cfg.traffic.diurnal_amplitude = num();
+      if (cfg.traffic.diurnal_amplitude < 0.0 ||
+          cfg.traffic.diurnal_amplitude >= 1.0) {
+        die(argv[0], "--traffic-diurnal must be in [0, 1)");
+      }
+    } else if (arg == "--traffic-diurnal-period-s") {
+      cfg.traffic.diurnal_period_sec = num();
+      if (cfg.traffic.diurnal_period_sec <= 0) {
+        die(argv[0], "--traffic-diurnal-period-s must be > 0");
+      }
+    } else if (arg == "--traffic-crowd") {
+      const auto v = csv(5, 5);
+      workloads::FlashCrowd crowd;
+      crowd.at_sec = v[0];
+      crowd.ramp_sec = v[1];
+      crowd.hold_sec = v[2];
+      crowd.fall_sec = v[3];
+      crowd.multiplier = v[4];
+      if (crowd.multiplier < 1.0) {
+        die(argv[0], "--traffic-crowd multiplier must be >= 1");
+      }
+      cfg.traffic.crowds.push_back(crowd);
+    } else if (arg == "--traffic-zipf") {
+      cfg.traffic.zipf_s = num();
+      if (cfg.traffic.zipf_s < 0) die(argv[0], "--traffic-zipf must be >= 0");
+    } else if (arg == "--autoscale") {
+      const int v = parse_int(argv[0], arg, next());
+      if (v != 0 && v != 1) die(argv[0], "--autoscale must be 0 or 1");
+      cfg.autoscale.enabled = v == 1;
+    } else if (arg == "--autoscale-slo-p99-ms") {
+      const int v = parse_int(argv[0], arg, next());
+      if (v <= 0) die(argv[0], "--autoscale-slo-p99-ms must be > 0");
+      cfg.autoscale.target_p99_us = static_cast<std::uint64_t>(v) * 1000ull;
+    } else if (arg == "--autoscale-cooldown-s") {
+      const int v = parse_int(argv[0], arg, next());
+      if (v < 0) die(argv[0], "--autoscale-cooldown-s must be >= 0");
+      cfg.autoscale.cooldown = time::sec(v);
+    } else if (arg == "--autoscale-max-tasks") {
+      const int v = parse_int(argv[0], arg, next());
+      if (v < 1) die(argv[0], "--autoscale-max-tasks must be >= 1");
+      cfg.autoscale.max_parallel_migrations = static_cast<std::size_t>(v);
+    } else if (arg == "--autoscale-force") {
+      core::StrategyKind k{};
+      if (!parse_strategy(next(), k)) die(argv[0], "unknown strategy");
+      cfg.autoscale.force_strategy = k;
     } else if (arg == "--ckpt-delta") {
       const int v = parse_int(argv[0], arg, next());
       if (v != 0 && v != 1) die(argv[0], "--ckpt-delta must be 0 or 1");
@@ -413,10 +501,45 @@ int main(int argc, char** argv) {
                     static_cast<unsigned long long>(cb.total_us));
       }
     }
-    std::printf("  migration %s\n", r.migration_succeeded ? "ok" : "FAILED");
+    if (rep.autoscale.has_value()) {
+      const auto& as = *rep.autoscale;
+      std::printf("  autoscale      %llu out, %llu in (fgm %llu, ccr %llu, "
+                  "dcr %llu; %llu suppressed, %llu failed)\n",
+                  static_cast<unsigned long long>(as.scale_outs),
+                  static_cast<unsigned long long>(as.scale_ins),
+                  static_cast<unsigned long long>(as.fgm_chosen),
+                  static_cast<unsigned long long>(as.ccr_chosen),
+                  static_cast<unsigned long long>(as.dcr_chosen),
+                  static_cast<unsigned long long>(as.suppressed),
+                  static_cast<unsigned long long>(as.failed));
+      std::printf("  slo burn       %llu/1000 over %llu windows\n",
+                  static_cast<unsigned long long>(as.slo_burn_per_mille),
+                  static_cast<unsigned long long>(as.slo_windows));
+      if (!r.slo_strip.empty()) {
+        std::printf("  slo windows    %s\n", r.slo_strip.c_str());
+      }
+      for (const auto& ev : r.autoscale.events) {
+        std::printf("    t=%7.1fs %-9s %s -> %s via %s %s\n",
+                    time::to_sec(static_cast<SimDuration>(ev.at)),
+                    std::string(autoscale::to_string(ev.action)).c_str(),
+                    std::string(autoscale::to_string(ev.from)).c_str(),
+                    std::string(autoscale::to_string(ev.to)).c_str(),
+                    std::string(core::to_string(ev.strategy)).c_str(),
+                    ev.succeeded ? "ok" : "FAILED");
+      }
+    }
+    if (cfg.autoscale.enabled) {
+      std::printf("  autoscale %s\n",
+                  r.autoscale.failed == 0 ? "ok" : "FAILED");
+    } else {
+      std::printf("  migration %s\n", r.migration_succeeded ? "ok" : "FAILED");
+    }
   }
   if (series) {
     std::puts(metrics::series_json(r.collector).c_str());
   }
+  // An autoscale run succeeds when no trigger's migration failed — there
+  // is no single "the" migration to judge by.
+  if (cfg.autoscale.enabled) return r.autoscale.failed == 0 ? 0 : 1;
   return r.migration_succeeded ? 0 : 1;
 }
